@@ -1,0 +1,95 @@
+// Appendix (motivating) experiment — not a paper table: single-interest
+// sequential recommendation (GRU4Rec-style) vs multi-interest extraction
+// (ComiRec-DR) on the same pre-training data, reported at several
+// cut-offs plus MRR. The paper's premise (§I) is that users hold several
+// concurrent interests that one preference vector cannot cover; this
+// bench quantifies that on the synthetic corpora, where the ground-truth
+// interest count per user is known.
+#include "baselines/gru4rec.h"
+#include "bench/bench_common.h"
+#include "core/imsr_trainer.h"
+
+namespace {
+
+using namespace imsr;  // NOLINT(build/namespaces)
+
+eval::MultiCutoffMetrics EvaluateMultiCutoff(
+    const nn::Tensor& item_embeddings, const core::InterestStore& store,
+    const data::Dataset& dataset, int test_span, eval::ScoreRule rule) {
+  eval::MultiCutoffAccumulator accumulator({10, 20, 50});
+  for (data::UserId user : dataset.active_users(test_span)) {
+    const data::UserSpanData& span_data =
+        dataset.user_span(user, test_span);
+    if (span_data.test < 0 || !store.Has(user)) continue;
+    accumulator.AddRank(eval::TargetRank(
+        store.Interests(user), item_embeddings, span_data.test, rule));
+  }
+  return accumulator.Finalize();
+}
+
+void PrintRow(util::Table& table, const std::string& name,
+              const eval::MultiCutoffMetrics& metrics) {
+  table.AddRow({name, util::FormatPercent(metrics.hit_ratio[0]),
+                util::FormatPercent(metrics.hit_ratio[1]),
+                util::FormatPercent(metrics.hit_ratio[2]),
+                util::FormatPercent(metrics.mrr),
+                std::to_string(metrics.users)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const bench::BenchSetup setup = bench::ParseBenchFlags(flags);
+
+  bench::PrintHeader(
+      "Appendix — single-interest (GRU4Rec) vs multi-interest "
+      "(ComiRec-DR)",
+      "motivating premise of §I, not a paper table");
+
+  for (const data::SyntheticConfig& data_config :
+       bench::AllDatasetConfigs(setup.scale)) {
+    const data::SyntheticDataset synthetic = GenerateSynthetic(data_config);
+    const data::Dataset& dataset = *synthetic.dataset;
+
+    // Single-interest recurrent model, pretraining span only.
+    baselines::Gru4RecConfig gru_config;
+    gru_config.embedding_dim = setup.experiment.model.embedding_dim;
+    gru_config.hidden_dim = setup.experiment.model.embedding_dim;
+    gru_config.epochs = 3;
+    gru_config.max_history = 20;
+    gru_config.seed = setup.seed;
+    baselines::Gru4RecModel gru(gru_config, dataset.num_items());
+    gru.TrainSpan(dataset, 0);
+    gru.RefreshRepresentations(dataset, 0);
+
+    // Multi-interest model, identical training budget.
+    core::ExperimentConfig multi_config = setup.experiment;
+    multi_config.model.kind = models::ExtractorKind::kComiRecDr;
+    models::MsrModel model(multi_config.model, dataset.num_items(),
+                           setup.seed);
+    core::InterestStore store;
+    core::ImsrTrainer trainer(&model, &store,
+                              multi_config.strategy.train);
+    trainer.Pretrain(dataset);
+
+    util::Table table({"Model (" + data_config.name + ")", "HR@10",
+                       "HR@20", "HR@50", "MRR", "users"});
+    PrintRow(table, "GRU4Rec (K=1)",
+             EvaluateMultiCutoff(gru.item_embeddings(),
+                                 gru.representations(), dataset, 1,
+                                 eval::ScoreRule::kAttentive));
+    PrintRow(table, "ComiRec-DR (K=4)",
+             EvaluateMultiCutoff(
+                 model.embeddings().parameter().value(), store, dataset,
+                 1, setup.experiment.eval.rule));
+    bench::PrintTable(table);
+  }
+
+  std::printf(
+      "Expected: the multi-interest extractor wins at every cut-off —\n"
+      "synthetic users own 3-5 concurrent interest categories, which a\n"
+      "single preference vector must average over (§I's motivation for\n"
+      "MSR models, and transitively for incremental MSR).\n");
+  return 0;
+}

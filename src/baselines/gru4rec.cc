@@ -1,0 +1,139 @@
+#include "baselines/gru4rec.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "models/sampled_softmax.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace imsr::baselines {
+namespace ops = ::imsr::nn::ops;
+
+Gru4RecModel::Gru4RecModel(const Gru4RecConfig& config, int64_t num_items)
+    : config_(config),
+      rng_(config.seed),
+      embeddings_(num_items, config.embedding_dim, rng_),
+      w_update_x_(nn::XavierUniform(config.embedding_dim,
+                                    config.hidden_dim, rng_),
+                  true),
+      w_update_h_(nn::XavierUniform(config.hidden_dim, config.hidden_dim,
+                                    rng_),
+                  true),
+      b_update_(nn::Tensor({config.hidden_dim}), true),
+      w_reset_x_(nn::XavierUniform(config.embedding_dim,
+                                   config.hidden_dim, rng_),
+                 true),
+      w_reset_h_(nn::XavierUniform(config.hidden_dim, config.hidden_dim,
+                                   rng_),
+                 true),
+      b_reset_(nn::Tensor({config.hidden_dim}), true),
+      w_cand_x_(nn::XavierUniform(config.embedding_dim, config.hidden_dim,
+                                  rng_),
+                true),
+      w_cand_h_(nn::XavierUniform(config.hidden_dim, config.hidden_dim,
+                                  rng_),
+                true),
+      b_cand_(nn::Tensor({config.hidden_dim}), true),
+      negative_sampler_(static_cast<int32_t>(num_items)) {
+  IMSR_CHECK_EQ(config.embedding_dim, config.hidden_dim)
+      << "hidden state doubles as the user representation, so it must "
+         "match the item embedding dimension";
+}
+
+std::vector<nn::Var> Gru4RecModel::Parameters() {
+  return {embeddings_.parameter(),
+          w_update_x_, w_update_h_, b_update_,
+          w_reset_x_,  w_reset_h_,  b_reset_,
+          w_cand_x_,   w_cand_h_,   b_cand_};
+}
+
+nn::Var Gru4RecModel::ForwardHidden(
+    const std::vector<data::ItemId>& history) {
+  IMSR_CHECK(!history.empty());
+  nn::Var items = embeddings_.Lookup(history);  // (n x d)
+  nn::Var hidden(nn::Tensor({config_.hidden_dim}));  // h_0 = 0, constant
+
+  // One (1 x d_h)-shaped helper for row-vector matmuls.
+  const int64_t n = static_cast<int64_t>(history.size());
+  for (int64_t t = 0; t < n; ++t) {
+    nn::Var x = ops::RowVector(items, t);  // (d)
+    // z = sigma(Wzx x + Wzh h + bz); r likewise; h~ = tanh(Wcx x +
+    // Wch (r * h) + bc); h = (1-z) * h + z * h~.
+    auto affine = [&](const nn::Var& wx, const nn::Var& wh,
+                      const nn::Var& bias, const nn::Var& h_input) {
+      nn::Var xw = ops::MatVec(ops::Transpose(wx), x);
+      nn::Var hw = ops::MatVec(ops::Transpose(wh), h_input);
+      return ops::Add(ops::Add(xw, hw), bias);
+    };
+    nn::Var z = ops::Sigmoid(affine(w_update_x_, w_update_h_, b_update_,
+                                    hidden));
+    nn::Var r = ops::Sigmoid(affine(w_reset_x_, w_reset_h_, b_reset_,
+                                    hidden));
+    nn::Var candidate = ops::Tanh(affine(
+        w_cand_x_, w_cand_h_, b_cand_, ops::Mul(r, hidden)));
+    nn::Var keep = ops::Mul(ops::Scale(ops::AddScalar(z, -1.0f), -1.0f),
+                            hidden);  // (1 - z) * h
+    hidden = ops::Add(keep, ops::Mul(z, candidate));
+  }
+  return hidden;
+}
+
+void Gru4RecModel::TrainSpan(const data::Dataset& dataset, int span) {
+  nn::Adam optimizer(config_.learning_rate);
+  for (const nn::Var& parameter : Parameters()) {
+    optimizer.Register(parameter);
+  }
+  const std::vector<data::TrainingSample> samples =
+      data::BuildSpanSamples(dataset, span, config_.max_history);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::vector<size_t> order(samples.size());
+    std::iota(order.begin(), order.end(), 0);
+    rng_.Shuffle(order);
+    for (size_t begin = 0; begin < order.size();
+         begin += static_cast<size_t>(config_.batch_size)) {
+      const size_t end = std::min(
+          order.size(), begin + static_cast<size_t>(config_.batch_size));
+      nn::Var batch_loss;
+      for (size_t i = begin; i < end; ++i) {
+        const data::TrainingSample& sample = samples[order[i]];
+        nn::Var hidden = ForwardHidden(sample.history);
+        std::vector<data::ItemId> candidates = {sample.target};
+        const std::vector<data::ItemId> negatives =
+            negative_sampler_.Sample(config_.negatives, sample.target,
+                                     rng_);
+        candidates.insert(candidates.end(), negatives.begin(),
+                          negatives.end());
+        nn::Var loss = models::SampledSoftmaxLoss(
+            hidden, embeddings_.Lookup(candidates));
+        batch_loss =
+            batch_loss.defined() ? ops::Add(batch_loss, loss) : loss;
+      }
+      if (!batch_loss.defined()) continue;
+      batch_loss =
+          ops::Scale(batch_loss, 1.0f / static_cast<float>(end - begin));
+      batch_loss.Backward();
+      optimizer.Step();
+      optimizer.ZeroGradAll();
+    }
+  }
+}
+
+void Gru4RecModel::RefreshRepresentations(const data::Dataset& dataset,
+                                          int span) {
+  for (data::UserId user : dataset.active_users(span)) {
+    std::vector<data::ItemId> items = dataset.user_span(user, span).all;
+    if (items.empty()) continue;
+    if (static_cast<int>(items.size()) > config_.max_history) {
+      items.erase(items.begin(), items.end() - config_.max_history);
+    }
+    if (!store_.Has(user)) {
+      store_.Initialize(user, 1, config_.hidden_dim, span, rng_);
+    }
+    const nn::Tensor hidden = ForwardHidden(items).value();
+    store_.SetInterests(user, hidden.Reshape({1, config_.hidden_dim}));
+  }
+}
+
+}  // namespace imsr::baselines

@@ -1,0 +1,69 @@
+// GRU4Rec-style single-interest sequential recommender [Hidasi et al.
+// 2015], the class of models the paper's introduction argues against:
+// one preference vector per user, no multi-interest structure. Serves as
+// the motivating baseline — multi-interest extractors beat it whenever
+// users genuinely have several concurrent interests — and doubles as a
+// recurrent-network exercise for the autograd substrate.
+#ifndef IMSR_BASELINES_GRU4REC_H_
+#define IMSR_BASELINES_GRU4REC_H_
+
+#include <vector>
+
+#include "core/interest_store.h"
+#include "data/sampler.h"
+#include "models/embedding.h"
+#include "nn/optim.h"
+
+namespace imsr::baselines {
+
+struct Gru4RecConfig {
+  int64_t embedding_dim = 32;
+  int64_t hidden_dim = 32;
+  int epochs = 5;
+  int batch_size = 64;
+  float learning_rate = 0.005f;
+  int negatives = 10;
+  int max_history = 30;
+  uint64_t seed = 21;
+};
+
+// A single-layer GRU over the item sequence; the final hidden state is
+// the user representation (a 1-interest "interest set" for evaluation).
+class Gru4RecModel {
+ public:
+  Gru4RecModel(const Gru4RecConfig& config, int64_t num_items);
+
+  // Graph-building forward over one history -> hidden state (d) Var.
+  nn::Var ForwardHidden(const std::vector<data::ItemId>& history);
+
+  // Trains on one span's next-item samples.
+  void TrainSpan(const data::Dataset& dataset, int span);
+
+  // Recomputes each active user's representation from the span's items
+  // into the interest store (K = 1 row per user).
+  void RefreshRepresentations(const data::Dataset& dataset, int span);
+
+  const core::InterestStore& representations() const { return store_; }
+  const nn::Tensor& item_embeddings() const {
+    return embeddings_.parameter().value();
+  }
+
+  // Trainable parameters (exposed for tests).
+  std::vector<nn::Var> Parameters();
+
+ private:
+  Gru4RecConfig config_;
+  util::Rng rng_;
+  models::EmbeddingTable embeddings_;
+  // GRU gates: update z, reset r, candidate h~. Each maps [x; h] -> d_h
+  // via input and recurrent weights plus bias.
+  nn::Var w_update_x_, w_update_h_, b_update_;
+  nn::Var w_reset_x_, w_reset_h_, b_reset_;
+  nn::Var w_cand_x_, w_cand_h_, b_cand_;
+  core::InterestStore store_;
+  data::NegativeSampler negative_sampler_;
+};
+
+}  // namespace imsr::baselines
+
+#endif  // IMSR_BASELINES_GRU4REC_H_

@@ -1,0 +1,167 @@
+#include "baselines/limarec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "models/aggregator.h"
+#include "nn/optim.h"
+#include "models/sampled_softmax.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace imsr::baselines {
+namespace {
+
+constexpr float kEps = 1e-4f;
+
+}  // namespace
+
+LimaRecModel::LimaRecModel(const LimaRecConfig& config, int64_t num_items)
+    : config_(config),
+      rng_(config.seed),
+      embeddings_(num_items, config.embedding_dim, rng_),
+      w_key_(nn::XavierUniform(config.embedding_dim, config.embedding_dim,
+                               rng_),
+             /*requires_grad=*/true),
+      w_value_(nn::XavierUniform(config.embedding_dim,
+                                 config.embedding_dim, rng_),
+               /*requires_grad=*/true),
+      queries_(nn::Tensor::Randn({config.num_heads, config.embedding_dim},
+                                 rng_),
+               /*requires_grad=*/true) {}
+
+nn::Var LimaRecModel::ForwardInterests(
+    const std::vector<data::ItemId>& history) {
+  nn::Var items = embeddings_.Lookup(history);  // (n x d)
+  nn::Var keys = nn::ops::Sigmoid(nn::ops::MatMul(items, w_key_));
+  nn::Var values = nn::ops::MatMul(items, w_value_);
+  nn::Var s = nn::ops::MatMul(nn::ops::Transpose(keys), values);  // (d x d)
+  // z = column sums of keys.
+  const nn::Var ones(
+      nn::Tensor::Ones({static_cast<int64_t>(history.size())}));
+  nn::Var z = nn::ops::MatVec(nn::ops::Transpose(keys), ones);  // (d)
+
+  std::vector<nn::Var> heads;
+  heads.reserve(static_cast<size_t>(config_.num_heads));
+  for (int k = 0; k < config_.num_heads; ++k) {
+    nn::Var phi_q =
+        nn::ops::Sigmoid(nn::ops::RowVector(queries_, k));       // (d)
+    nn::Var numerator = nn::ops::MatVec(nn::ops::Transpose(s), phi_q);
+    nn::Var denominator =
+        nn::ops::AddScalar(nn::ops::Dot(phi_q, z), kEps);
+    heads.push_back(nn::ops::DivByScalar(numerator, denominator));
+  }
+  return nn::ops::ConcatRows(heads);  // (K x d)
+}
+
+void LimaRecModel::Pretrain(const data::Dataset& dataset) {
+  nn::Adam optimizer(config_.learning_rate);
+  optimizer.Register(embeddings_.parameter());
+  optimizer.Register(w_key_);
+  optimizer.Register(w_value_);
+  optimizer.Register(queries_);
+
+  const std::vector<data::TrainingSample> samples =
+      data::BuildSpanSamples(dataset, /*span=*/0, config_.max_history);
+  data::NegativeSampler negatives(
+      static_cast<int32_t>(embeddings_.num_items()));
+
+  for (int epoch = 0; epoch < config_.pretrain_epochs; ++epoch) {
+    std::vector<size_t> order(samples.size());
+    std::iota(order.begin(), order.end(), 0);
+    rng_.Shuffle(order);
+    for (size_t begin = 0; begin < order.size();
+         begin += static_cast<size_t>(config_.batch_size)) {
+      const size_t end = std::min(
+          order.size(), begin + static_cast<size_t>(config_.batch_size));
+      nn::Var batch_loss;
+      for (size_t i = begin; i < end; ++i) {
+        const data::TrainingSample& sample = samples[order[i]];
+        nn::Var interests = ForwardInterests(sample.history);
+        nn::Var target = nn::ops::Reshape(
+            embeddings_.Lookup({sample.target}), {config_.embedding_dim});
+        nn::Var user_repr = models::AttentiveAggregate(interests, target);
+        std::vector<data::ItemId> candidates = {sample.target};
+        const std::vector<data::ItemId> negs =
+            negatives.Sample(config_.negatives, sample.target, rng_);
+        candidates.insert(candidates.end(), negs.begin(), negs.end());
+        nn::Var loss = models::SampledSoftmaxLoss(
+            user_repr, embeddings_.Lookup(candidates));
+        batch_loss =
+            batch_loss.defined() ? nn::ops::Add(batch_loss, loss) : loss;
+      }
+      if (!batch_loss.defined()) continue;
+      batch_loss = nn::ops::Scale(
+          batch_loss, 1.0f / static_cast<float>(end - begin));
+      batch_loss.Backward();
+      optimizer.Step();
+      optimizer.ZeroGradAll();
+    }
+  }
+
+  // Seed every span-0 user's associative state.
+  ObserveSpan(dataset, /*span=*/0);
+}
+
+void LimaRecModel::EnsureState(data::UserId user) {
+  if (state_.count(user) > 0) return;
+  UserState fresh;
+  fresh.s = nn::Tensor({config_.embedding_dim, config_.embedding_dim});
+  fresh.z = nn::Tensor({config_.embedding_dim});
+  state_[user] = std::move(fresh);
+  if (!interests_.Has(user)) {
+    interests_.Initialize(user, config_.num_heads, config_.embedding_dim,
+                          /*span=*/0, rng_);
+  }
+}
+
+void LimaRecModel::AbsorbItem(data::UserId user, data::ItemId item) {
+  UserState& user_state = state_.at(user);
+  const nn::Tensor e = embeddings_.RowNoGrad(item);
+  const nn::Tensor key =
+      nn::Sigmoid(nn::MatVec(nn::Transpose(w_key_.value()), e));
+  const nn::Tensor value =
+      nn::MatVec(nn::Transpose(w_value_.value()), e);
+  // S += phi(k) v^T ; z += phi(k).
+  const int64_t d = config_.embedding_dim;
+  for (int64_t i = 0; i < d; ++i) {
+    const float ki = key.at(i);
+    user_state.z.at(i) += ki;
+    for (int64_t j = 0; j < d; ++j) {
+      user_state.s.at(i, j) += ki * value.at(j);
+    }
+  }
+}
+
+nn::Tensor LimaRecModel::ReadInterests(data::UserId user) const {
+  const UserState& user_state = state_.at(user);
+  const int64_t d = config_.embedding_dim;
+  nn::Tensor interests({config_.num_heads, d});
+  for (int k = 0; k < config_.num_heads; ++k) {
+    nn::Tensor phi_q({d});
+    for (int64_t j = 0; j < d; ++j) {
+      phi_q.at(j) =
+          1.0f / (1.0f + std::exp(-queries_.value().at(k, j)));
+    }
+    const nn::Tensor numerator =
+        nn::MatVec(nn::Transpose(user_state.s), phi_q);
+    const float denominator =
+        nn::DotFlat(phi_q, user_state.z) + kEps;
+    for (int64_t j = 0; j < d; ++j) {
+      interests.at(k, j) = numerator.at(j) / denominator;
+    }
+  }
+  return interests;
+}
+
+void LimaRecModel::ObserveSpan(const data::Dataset& dataset, int span) {
+  for (data::UserId user : dataset.active_users(span)) {
+    EnsureState(user);
+    const data::UserSpanData& span_data = dataset.user_span(user, span);
+    for (data::ItemId item : span_data.all) AbsorbItem(user, item);
+    interests_.SetInterests(user, ReadInterests(user));
+  }
+}
+
+}  // namespace imsr::baselines

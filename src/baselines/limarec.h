@@ -1,0 +1,73 @@
+// LimaRec-style life-long baseline [Wu et al. 2021]: linear self-attention
+// whose associative state (S_u, z_u) is updated incrementally per
+// interaction, so user representations evolve online while the model
+// parameters (embeddings, key/value maps, interest queries) stay frozen
+// after pretraining. Interest k is read as
+//   h_k = S_u^T phi(q_k) / (phi(q_k) . z_u + eps),
+// with S_u = sum_i phi(W_k e_i) (W_v e_i)^T and z_u = sum_i phi(W_k e_i);
+// phi is a positive feature map (sigmoid here).
+#ifndef IMSR_BASELINES_LIMAREC_H_
+#define IMSR_BASELINES_LIMAREC_H_
+
+#include <unordered_map>
+
+#include "core/interest_store.h"
+#include "data/sampler.h"
+#include "models/embedding.h"
+
+namespace imsr::baselines {
+
+struct LimaRecConfig {
+  int64_t embedding_dim = 32;
+  int num_heads = 4;  // fixed interest count (no expansion, by design)
+  int pretrain_epochs = 5;
+  int batch_size = 64;
+  float learning_rate = 0.005f;
+  int negatives = 10;
+  int max_history = 50;
+  uint64_t seed = 11;
+};
+
+class LimaRecModel {
+ public:
+  LimaRecModel(const LimaRecConfig& config, int64_t num_items);
+
+  // Trains embeddings, W_k, W_v and the interest queries on span 0, then
+  // builds each user's associative state from their span-0 items.
+  void Pretrain(const data::Dataset& dataset);
+
+  // Incremental state updates for one span (no parameter updates).
+  void ObserveSpan(const data::Dataset& dataset, int span);
+
+  // Reads interests out of the associative state for every tracked user.
+  const core::InterestStore& interests() const { return interests_; }
+  const nn::Tensor& item_embeddings() const {
+    return embeddings_.parameter().value();
+  }
+
+ private:
+  // One (K x d) interest matrix from the user's current state.
+  nn::Tensor ReadInterests(data::UserId user) const;
+  void AbsorbItem(data::UserId user, data::ItemId item);
+  void EnsureState(data::UserId user);
+  // Training-graph interest extraction over a history (pretraining only).
+  nn::Var ForwardInterests(const std::vector<data::ItemId>& history);
+
+  LimaRecConfig config_;
+  util::Rng rng_;
+  models::EmbeddingTable embeddings_;
+  nn::Var w_key_;    // (d x d)
+  nn::Var w_value_;  // (d x d)
+  nn::Var queries_;  // (K x d)
+
+  struct UserState {
+    nn::Tensor s;  // (d x d)
+    nn::Tensor z;  // (d)
+  };
+  std::unordered_map<data::UserId, UserState> state_;
+  core::InterestStore interests_;
+};
+
+}  // namespace imsr::baselines
+
+#endif  // IMSR_BASELINES_LIMAREC_H_

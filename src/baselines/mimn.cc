@@ -1,0 +1,65 @@
+#include "baselines/mimn.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace imsr::baselines {
+
+MimnModel::MimnModel(const MimnConfig& config, int64_t num_items,
+                     uint64_t seed)
+    : config_(config),
+      model_(config.base, num_items, seed),
+      rng_(seed ^ 0x313A17ULL) {
+  IMSR_CHECK_GE(config.memory_slots, 1);
+}
+
+void MimnModel::Pretrain(const data::Dataset& dataset) {
+  core::ImsrTrainer trainer(&model_, &pretrain_interests_,
+                            config_.pretrain);
+  trainer.Pretrain(dataset);
+  for (data::UserId user : dataset.active_users(0)) {
+    InitMemory(user);
+  }
+}
+
+void MimnModel::InitMemory(data::UserId user) {
+  if (memory_.Has(user)) return;
+  const int64_t dim = config_.base.embedding_dim;
+  memory_.Initialize(user, config_.memory_slots, dim, /*span=*/0, rng_);
+  if (!pretrain_interests_.Has(user)) return;
+  // Seed the first slots from the pretrained interests.
+  const nn::Tensor& learned = pretrain_interests_.Interests(user);
+  nn::Tensor slots = memory_.Interests(user);
+  const int64_t copy = std::min(learned.size(0), slots.size(0));
+  for (int64_t k = 0; k < copy; ++k) slots.SetRow(k, learned.Row(k));
+  memory_.SetInterests(user, std::move(slots));
+}
+
+void MimnModel::WriteMemory(data::UserId user,
+                            const nn::Tensor& item_embedding) {
+  nn::Tensor slots = memory_.Interests(user);
+  // Addressing: softmax attention of the item over slots.
+  const nn::Tensor weights =
+      nn::Softmax(nn::MatVec(slots, item_embedding));
+  // NTM-style blended write: M_k += rate * w_k * (e - M_k).
+  const int64_t dim = slots.size(1);
+  for (int64_t k = 0; k < slots.size(0); ++k) {
+    const float step = config_.write_rate * weights.at(k);
+    for (int64_t j = 0; j < dim; ++j) {
+      slots.at(k, j) += step * (item_embedding.at(j) - slots.at(k, j));
+    }
+  }
+  memory_.SetInterests(user, std::move(slots));
+}
+
+void MimnModel::ObserveSpan(const data::Dataset& dataset, int span) {
+  for (data::UserId user : dataset.active_users(span)) {
+    InitMemory(user);
+    const data::UserSpanData& span_data = dataset.user_span(user, span);
+    for (data::ItemId item : span_data.all) {
+      WriteMemory(user, model_.embeddings().RowNoGrad(item));
+    }
+  }
+}
+
+}  // namespace imsr::baselines

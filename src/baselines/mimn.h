@@ -1,0 +1,52 @@
+// MIMN-style life-long baseline [Pi et al. 2019]: a fixed-size per-user
+// memory (NTM-like) that is *written* online as interactions arrive, while
+// model parameters stay frozen after pretraining — the distinguishing
+// property the paper compares against (Table IV): user representations
+// update, the model does not, and the interest capacity is fixed.
+#ifndef IMSR_BASELINES_MIMN_H_
+#define IMSR_BASELINES_MIMN_H_
+
+#include "core/imsr_trainer.h"
+#include "core/interest_store.h"
+#include "models/msr_model.h"
+
+namespace imsr::baselines {
+
+struct MimnConfig {
+  models::ModelConfig base;     // pretraining model (embeddings)
+  core::TrainConfig pretrain;   // span-0 training
+  int memory_slots = 8;         // fixed interest capacity
+  float write_rate = 0.3f;      // slot update step size
+};
+
+class MimnModel {
+ public:
+  MimnModel(const MimnConfig& config, int64_t num_items, uint64_t seed);
+
+  // Trains embeddings + extractor on span 0, then seeds each user's memory
+  // from their learned interests (padded with random slots).
+  void Pretrain(const data::Dataset& dataset);
+
+  // Online memory writes for one incremental span; no parameter updates.
+  void ObserveSpan(const data::Dataset& dataset, int span);
+
+  // Memory slots double as interest vectors for evaluation.
+  const core::InterestStore& memory() const { return memory_; }
+  const nn::Tensor& item_embeddings() const {
+    return model_.embeddings().parameter().value();
+  }
+
+ private:
+  void InitMemory(data::UserId user);
+  void WriteMemory(data::UserId user, const nn::Tensor& item_embedding);
+
+  MimnConfig config_;
+  models::MsrModel model_;
+  core::InterestStore pretrain_interests_;
+  core::InterestStore memory_;
+  util::Rng rng_;
+};
+
+}  // namespace imsr::baselines
+
+#endif  // IMSR_BASELINES_MIMN_H_

@@ -1,0 +1,24 @@
+// SML baseline [Huang et al. 2020]: after fine-tuning on the new span, a
+// learned *transfer module* combines the previous span's parameters with
+// the freshly trained ones. Our reduction (see DESIGN.md §1): a per-row
+// gating network over the embedding table — each item row's gate is
+// produced by a small shared MLP (equivalent to a 1x1 convolution over the
+// stacked old/new tables) from features [||old||, ||new||, cos(old,new),
+// 1], trained on the span's validation interactions; the shared extractor
+// weights are blended with the mean gate.
+#ifndef IMSR_BASELINES_SML_H_
+#define IMSR_BASELINES_SML_H_
+
+#include <memory>
+
+#include "core/strategies.h"
+
+namespace imsr::baselines {
+
+std::unique_ptr<core::LearningStrategy> CreateSmlStrategy(
+    const core::StrategyConfig& config, models::MsrModel* model,
+    core::InterestStore* store);
+
+}  // namespace imsr::baselines
+
+#endif  // IMSR_BASELINES_SML_H_

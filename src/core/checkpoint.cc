@@ -1,0 +1,45 @@
+#include "core/checkpoint.h"
+
+#include "util/serialization.h"
+
+namespace imsr::core {
+namespace {
+
+constexpr char kMagic[] = "imsr-checkpoint-v1";
+
+}  // namespace
+
+bool SaveCheckpoint(const std::string& path, const models::MsrModel& model,
+                    const InterestStore& store,
+                    const CheckpointMetadata& metadata) {
+  util::BinaryWriter writer;
+  writer.WriteString(kMagic);
+  writer.WriteInt64(metadata.trained_through_span);
+  writer.WriteString(metadata.note);
+  model.Save(&writer);
+  store.Save(&writer);
+  return writer.WriteToFile(path);
+}
+
+bool LoadCheckpoint(const std::string& path, models::MsrModel* model,
+                    InterestStore* store, CheckpointMetadata* metadata,
+                    std::string* error) {
+  util::BinaryReader reader({});
+  if (!util::BinaryReader::ReadFromFile(path, &reader)) {
+    if (error != nullptr) *error = "cannot read " + path;
+    return false;
+  }
+  if (reader.ReadString() != kMagic) {
+    if (error != nullptr) *error = "not an IMSR checkpoint: " + path;
+    return false;
+  }
+  CheckpointMetadata loaded;
+  loaded.trained_through_span = reader.ReadInt64();
+  loaded.note = reader.ReadString();
+  model->Load(&reader);
+  store->Load(&reader);
+  if (metadata != nullptr) *metadata = loaded;
+  return true;
+}
+
+}  // namespace imsr::core

@@ -1,0 +1,36 @@
+// Full-state checkpointing for the incremental pipeline: one file holds
+// the model parameters, the per-user interest store and bookkeeping, so a
+// deployment can stop after span t and resume at span t+1 — the paper's
+// premise that historical interactions can be discarded (§IV-E) requires
+// exactly this state to persist.
+#ifndef IMSR_CORE_CHECKPOINT_H_
+#define IMSR_CORE_CHECKPOINT_H_
+
+#include <string>
+
+#include "core/interest_store.h"
+#include "models/msr_model.h"
+
+namespace imsr::core {
+
+struct CheckpointMetadata {
+  int64_t trained_through_span = 0;
+  std::string note;
+};
+
+// Serialises (model, store, metadata) to `path`. Returns false on I/O
+// failure.
+bool SaveCheckpoint(const std::string& path, const models::MsrModel& model,
+                    const InterestStore& store,
+                    const CheckpointMetadata& metadata);
+
+// Restores a checkpoint into an existing model of the same configuration.
+// Returns false on I/O failure or format mismatch; `error` (optional)
+// receives a description.
+bool LoadCheckpoint(const std::string& path, models::MsrModel* model,
+                    InterestStore* store, CheckpointMetadata* metadata,
+                    std::string* error = nullptr);
+
+}  // namespace imsr::core
+
+#endif  // IMSR_CORE_CHECKPOINT_H_

@@ -1,0 +1,166 @@
+#include "core/eir.h"
+
+#include <cmath>
+
+#include "nn/ops.h"
+#include "util/check.h"
+
+namespace imsr::core {
+namespace {
+
+// Teacher logit matrix f(h_k^{t-1}, e_c): (K_prev x m) dot products of the
+// (constant) previous-span interests against the candidate snapshot.
+nn::Tensor TeacherLogits(const nn::Tensor& teacher_interests,
+                         const nn::Tensor& candidates) {
+  return nn::MatMul(teacher_interests, nn::Transpose(candidates));
+}
+
+// Cosine-normalised teacher logits (KD2 variant).
+nn::Tensor CosineTeacherLogits(const nn::Tensor& teacher_interests,
+                               const nn::Tensor& candidates) {
+  nn::Tensor logits = TeacherLogits(teacher_interests, candidates);
+  for (int64_t k = 0; k < logits.size(0); ++k) {
+    const float row_norm = nn::L2NormFlat(teacher_interests.Row(k));
+    for (int64_t c = 0; c < logits.size(1); ++c) {
+      const float cand_norm = nn::L2NormFlat(candidates.Row(c));
+      const float denom = row_norm * cand_norm;
+      logits.at(k, c) = denom > 1e-12f ? logits.at(k, c) / denom : 0.0f;
+    }
+  }
+  return logits;
+}
+
+nn::Tensor SigmoidWithTau(const nn::Tensor& logits, float tau) {
+  nn::Tensor probs(logits.shape());
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    probs.data()[i] = 1.0f / (1.0f + std::exp(-logits.data()[i] / tau));
+  }
+  return probs;
+}
+
+// Softmax over interests (rows) for each candidate column.
+nn::Tensor ColumnSoftmaxWithTau(const nn::Tensor& logits, float tau) {
+  return nn::Transpose(
+      nn::Softmax(nn::Scale(nn::Transpose(logits), 1.0f / tau)));
+}
+
+// Sum over candidates of the per-candidate softmax KD between the student
+// logit columns and the precomputed teacher column distributions.
+nn::Var ColumnwiseSoftmaxKd(const nn::Var& student_logits,
+                            const nn::Tensor& teacher_probs, float tau) {
+  const int64_t k = teacher_probs.size(0);
+  const int64_t m = teacher_probs.size(1);
+  nn::Var student_t = nn::ops::Transpose(student_logits);  // (m x K)
+  nn::Var total;
+  for (int64_t c = 0; c < m; ++c) {
+    nn::Tensor teacher_col({k});
+    for (int64_t row = 0; row < k; ++row) {
+      teacher_col.at(row) = teacher_probs.at(row, c);
+    }
+    nn::Var term = nn::ops::KdSoftmaxCrossEntropy(
+        nn::ops::RowVector(student_t, c), teacher_col, tau);
+    total = total.defined() ? nn::ops::Add(total, term) : term;
+  }
+  return total;
+}
+
+}  // namespace
+
+const char* RetentionKindName(RetentionKind kind) {
+  switch (kind) {
+    case RetentionKind::kNone:
+      return "none";
+    case RetentionKind::kSigmoidKd:
+      return "EIR";
+    case RetentionKind::kEuclidean:
+      return "DIR";
+    case RetentionKind::kSoftmaxKd1:
+      return "KD1";
+    case RetentionKind::kSoftmaxKd2:
+      return "KD2";
+    case RetentionKind::kSoftmaxKd3:
+      return "KD3";
+  }
+  return "?";
+}
+
+RetentionKind RetentionKindFromName(const std::string& name) {
+  if (name == "none") return RetentionKind::kNone;
+  if (name == "EIR" || name == "eir") return RetentionKind::kSigmoidKd;
+  if (name == "DIR" || name == "dir") return RetentionKind::kEuclidean;
+  if (name == "KD1" || name == "kd1") return RetentionKind::kSoftmaxKd1;
+  if (name == "KD2" || name == "kd2") return RetentionKind::kSoftmaxKd2;
+  if (name == "KD3" || name == "kd3") return RetentionKind::kSoftmaxKd3;
+  IMSR_CHECK(false) << "unknown retention kind '" << name << "'";
+  std::abort();
+}
+
+nn::Var RetentionLoss(const EirConfig& config,
+                      const nn::Var& student_interests,
+                      const nn::Tensor& teacher_interests,
+                      const nn::Var& candidates,
+                      const nn::Tensor& teacher_candidates) {
+  if (config.kind == RetentionKind::kNone) return nn::Var();
+  const int64_t k_prev = teacher_interests.size(0);
+  IMSR_CHECK_GE(student_interests.value().size(0), k_prev)
+      << "student must keep every existing interest row";
+  IMSR_CHECK_GT(k_prev, 0);
+
+  // The student rows aligned with the teacher's interests.
+  nn::Var student_existing =
+      nn::ops::RowSlice(student_interests, 0, k_prev);
+
+  if (config.kind == RetentionKind::kEuclidean) {
+    // DIR: sum_k || h_k^t - h_k^{t-1} ||^2 — no candidate involvement.
+    const nn::Var teacher_const(teacher_interests);
+    return nn::ops::SumSquares(
+        nn::ops::Sub(student_existing, teacher_const));
+  }
+
+  const int64_t m = candidates.value().size(0);
+  // Student logit matrix f(h_k^t, e_c): (K_prev x m).
+  nn::Var student_logits = nn::ops::MatMul(
+      student_existing, nn::ops::Transpose(candidates));
+
+  switch (config.kind) {
+    case RetentionKind::kSigmoidKd: {
+      const nn::Tensor teacher_probs = SigmoidWithTau(
+          TeacherLogits(teacher_interests, teacher_candidates),
+          config.tau);
+      return nn::ops::KdSigmoidCrossEntropy(
+          nn::ops::Reshape(student_logits, {k_prev * m}),
+          teacher_probs.Reshape({k_prev * m}), config.tau);
+    }
+    case RetentionKind::kSoftmaxKd1: {
+      const float tau = 2.0f;
+      return ColumnwiseSoftmaxKd(
+          student_logits,
+          ColumnSoftmaxWithTau(
+              TeacherLogits(teacher_interests, teacher_candidates), tau),
+          tau);
+    }
+    case RetentionKind::kSoftmaxKd2: {
+      const float tau = 1.0f;
+      return ColumnwiseSoftmaxKd(
+          student_logits,
+          ColumnSoftmaxWithTau(
+              CosineTeacherLogits(teacher_interests, teacher_candidates),
+              tau),
+          tau);
+    }
+    case RetentionKind::kSoftmaxKd3: {
+      const float tau = 0.5f;
+      return ColumnwiseSoftmaxKd(
+          student_logits,
+          ColumnSoftmaxWithTau(
+              TeacherLogits(teacher_interests, teacher_candidates), tau),
+          tau);
+    }
+    default:
+      break;
+  }
+  IMSR_CHECK(false) << "unreachable retention kind";
+  std::abort();
+}
+
+}  // namespace imsr::core

@@ -1,0 +1,54 @@
+// Existing-interests retainer (§IV-B): a knowledge-distillation loss that
+// pins the matching scores of inherited interests to the scores produced
+// by the previous span's interest vectors (Eq. 10). Includes the ablation
+// variants of §V-C: DIR (Euclidean regularisation) and three softmax-based
+// distillation losses (KD1/KD2/KD3).
+#ifndef IMSR_CORE_EIR_H_
+#define IMSR_CORE_EIR_H_
+
+#include <string>
+
+#include "nn/variable.h"
+
+namespace imsr::core {
+
+enum class RetentionKind {
+  kNone,        // plain fine-tuning
+  kSigmoidKd,   // EIR — Eq. 10 with the sigmoid form of [Wang et al. 2020]
+  kEuclidean,   // DIR — distance-based regularisation ablation
+  kSoftmaxKd1,  // LwF-style softmax KD, tau = 2
+  kSoftmaxKd2,  // cosine-normalised softmax KD, tau = 1
+  kSoftmaxKd3,  // low-temperature softmax KD, tau = 0.5
+};
+
+const char* RetentionKindName(RetentionKind kind);
+RetentionKind RetentionKindFromName(const std::string& name);
+
+struct EirConfig {
+  RetentionKind kind = RetentionKind::kSigmoidKd;
+  float tau = 1.0f;         // temperature for the sigmoid form
+  float coefficient = 0.1f; // weight of the retention term in the loss
+};
+
+// Builds the retention loss for one training sample. `student_interests`
+// (K_t x d Var) are the live interests whose first `teacher.size(0)` rows
+// correspond to the existing interests; `teacher_interests` (K_{t-1} x d)
+// are the previous span's stored vectors (constants); `candidates`
+// ((1+N) x d Var) stacks the sample's target and sampled negatives — the
+// distillation anchors the matching scores of every existing interest
+// against the whole candidate set, so negative sampling cannot silently
+// demote items of dormant interests. `teacher_candidates` are the same
+// candidate rows gathered from the *previous span's* embedding table: the
+// teacher is the whole model M^{t-1} (interests and embeddings), so its
+// scores stay fixed while the student drifts. Returns an *unweighted*
+// scalar loss (the caller applies EirConfig::coefficient); undefined Var
+// when kind == kNone.
+nn::Var RetentionLoss(const EirConfig& config,
+                      const nn::Var& student_interests,
+                      const nn::Tensor& teacher_interests,
+                      const nn::Var& candidates,
+                      const nn::Tensor& teacher_candidates);
+
+}  // namespace imsr::core
+
+#endif  // IMSR_CORE_EIR_H_

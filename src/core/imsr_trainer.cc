@@ -1,0 +1,294 @@
+#include "core/imsr_trainer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "models/aggregator.h"
+#include "models/sampled_softmax.h"
+#include "nn/ops.h"
+#include "util/logging.h"
+
+namespace imsr::core {
+
+ImsrTrainer::ImsrTrainer(models::MsrModel* model, InterestStore* store,
+                         const TrainConfig& config)
+    : model_(model),
+      store_(store),
+      config_(config),
+      optimizer_(config.learning_rate),
+      rng_(config.seed),
+      negative_sampler_(static_cast<int32_t>(model->num_items())) {
+  IMSR_CHECK(model != nullptr);
+  IMSR_CHECK(store != nullptr);
+  IMSR_CHECK_GT(config.batch_size, 0);
+  IMSR_CHECK_GT(config.negatives, 0);
+  for (const nn::Var& parameter : model_->SharedParameters()) {
+    optimizer_.Register(parameter);
+  }
+}
+
+void ImsrTrainer::EnsureUserState(const data::Dataset& dataset, int span) {
+  const int64_t dim = model_->config().embedding_dim;
+  for (data::UserId user : dataset.active_users(span)) {
+    if (!store_->Has(user)) {
+      store_->Initialize(user, config_.initial_interests, dim, span, rng_);
+    }
+    model_->extractor().EnsureUserCapacity(
+        user, store_->NumInterests(user), rng_, &optimizer_);
+  }
+}
+
+nn::Var ImsrTrainer::SampleLoss(const data::TrainingSample& sample,
+                                const TeacherSnapshot* teacher) {
+  IMSR_CHECK(store_->Has(sample.user));
+  const nn::Tensor& interest_init = store_->Interests(sample.user);
+  nn::Var interests =
+      model_->ForwardInterests(sample.history, interest_init, sample.user);
+
+  // Target embedding as a (d) vector.
+  nn::Var target_embedding = nn::ops::Reshape(
+      model_->embeddings().Lookup({sample.target}),
+      {model_->config().embedding_dim});
+
+  // Eq. 5 + Eq. 6.
+  nn::Var user_repr =
+      models::AttentiveAggregate(interests, target_embedding);
+  std::vector<data::ItemId> candidates = {sample.target};
+  const std::vector<data::ItemId> negatives =
+      negative_sampler_.Sample(config_.negatives, sample.target, rng_);
+  candidates.insert(candidates.end(), negatives.begin(), negatives.end());
+  nn::Var candidate_embeddings = model_->embeddings().Lookup(candidates);
+  nn::Var loss = models::SampledSoftmaxLoss(user_repr,
+                                            candidate_embeddings);
+
+  // Eq. 10, when a teacher snapshot covers this user. Distillation runs
+  // over the whole candidate set so the scores of dormant interests stay
+  // stable under negative sampling.
+  if (teacher != nullptr && config_.eir.kind != RetentionKind::kNone) {
+    auto it = teacher->interests.find(sample.user);
+    if (it != teacher->interests.end() &&
+        it->second.size(0) <= interests.value().size(0)) {
+      std::vector<int64_t> candidate_indices(candidates.begin(),
+                                             candidates.end());
+      const nn::Tensor teacher_candidates =
+          nn::GatherRows(teacher->embeddings, candidate_indices);
+      nn::Var retention =
+          RetentionLoss(config_.eir, interests, it->second,
+                        candidate_embeddings, teacher_candidates);
+      loss = nn::ops::Add(
+          loss, nn::ops::Scale(retention, config_.eir.coefficient));
+    }
+  }
+  return loss;
+}
+
+void ImsrTrainer::TrainEpoch(
+    const std::vector<data::TrainingSample>& samples,
+    const TeacherSnapshot* teacher) {
+  if (samples.empty()) return;
+  std::vector<size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng_.Shuffle(order);
+
+  for (size_t begin = 0; begin < order.size();
+       begin += static_cast<size_t>(config_.batch_size)) {
+    const size_t end = std::min(
+        order.size(), begin + static_cast<size_t>(config_.batch_size));
+    nn::Var batch_loss;
+    for (size_t i = begin; i < end; ++i) {
+      nn::Var loss = SampleLoss(samples[order[i]], teacher);
+      batch_loss =
+          batch_loss.defined() ? nn::ops::Add(batch_loss, loss) : loss;
+    }
+    batch_loss = nn::ops::Scale(batch_loss,
+                                1.0f / static_cast<float>(end - begin));
+    batch_loss.Backward();
+    optimizer_.Step();
+    optimizer_.ZeroGradAll();
+  }
+}
+
+double ImsrTrainer::ValidationLoss(const data::Dataset& dataset,
+                                   int span) {
+  double total = 0.0;
+  int64_t count = 0;
+  for (data::UserId user : dataset.active_users(span)) {
+    const data::UserSpanData& span_data = dataset.user_span(user, span);
+    if (span_data.valid < 0 || span_data.train.empty()) continue;
+    if (!store_->Has(user)) continue;
+    data::TrainingSample sample;
+    sample.user = user;
+    sample.target = span_data.valid;
+    sample.history = span_data.train;
+    if (static_cast<int>(sample.history.size()) > config_.max_history) {
+      sample.history.erase(
+          sample.history.begin(),
+          sample.history.end() - config_.max_history);
+    }
+    total += SampleLoss(sample, /*teacher=*/nullptr).value().item();
+    ++count;
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+namespace {
+
+// Tracks the best validation loss; returns true when training should stop.
+class EarlyStopper {
+ public:
+  EarlyStopper(bool enabled, int patience)
+      : enabled_(enabled), patience_(patience) {}
+
+  bool ShouldStop(double validation_loss) {
+    if (!enabled_) return false;
+    if (validation_loss < best_ - 1e-6) {
+      best_ = validation_loss;
+      stale_ = 0;
+      return false;
+    }
+    return ++stale_ >= patience_;
+  }
+
+ private:
+  bool enabled_;
+  int patience_;
+  double best_ = 1e300;
+  int stale_ = 0;
+};
+
+}  // namespace
+
+void ImsrTrainer::Pretrain(const data::Dataset& dataset) {
+  EnsureUserState(dataset, /*span=*/0);
+  const std::vector<data::TrainingSample> samples =
+      data::BuildSpanSamples(dataset, /*span=*/0, config_.max_history);
+  EarlyStopper stopper(config_.early_stopping,
+                       config_.early_stopping_patience);
+  for (int epoch = 0; epoch < config_.pretrain_epochs; ++epoch) {
+    TrainEpoch(samples, /*teacher=*/nullptr);
+    if (config_.early_stopping &&
+        stopper.ShouldStop(ValidationLoss(dataset, 0))) {
+      break;
+    }
+  }
+  RefreshInterests(dataset, /*span=*/0);
+}
+
+void ImsrTrainer::TrainSpan(
+    const data::Dataset& dataset, int span,
+    const std::vector<data::TrainingSample>* extra_samples) {
+  IMSR_CHECK_GE(span, 1);
+  // Snapshot the teacher before EnsureUserState so first-seen users (whose
+  // interests are still random) are not anchored to noise.
+  TeacherSnapshot teacher;
+  if (config_.eir.kind != RetentionKind::kNone) {
+    teacher = SnapshotTeacher(dataset, span);
+  }
+  EnsureUserState(dataset, span);
+  const TeacherSnapshot* teacher_ptr =
+      config_.eir.kind != RetentionKind::kNone ? &teacher : nullptr;
+
+  std::vector<data::TrainingSample> samples =
+      data::BuildSpanSamples(dataset, span, config_.max_history);
+  if (extra_samples != nullptr) {
+    samples.insert(samples.end(), extra_samples->begin(),
+                   extra_samples->end());
+  }
+
+  EarlyStopper stopper(config_.early_stopping,
+                       config_.early_stopping_patience);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (config_.enable_expansion &&
+        (epoch == 0 || config_.expansion_every_epoch)) {
+      const ExpansionOutcome outcome = RunInterestsExpansion(
+          model_, store_, dataset, span, config_.expansion, rng_,
+          &optimizer_);
+      expansion_totals_.users_considered += outcome.users_considered;
+      expansion_totals_.users_expanded += outcome.users_expanded;
+      expansion_totals_.interests_added += outcome.interests_added;
+      expansion_totals_.interests_trimmed += outcome.interests_trimmed;
+    }
+    TrainEpoch(samples, teacher_ptr);
+    if (config_.early_stopping &&
+        stopper.ShouldStop(ValidationLoss(dataset, span))) {
+      break;
+    }
+  }
+  RefreshInterests(dataset, span);
+}
+
+void ImsrTrainer::RefreshInterests(const data::Dataset& dataset, int span) {
+  for (data::UserId user : dataset.active_users(span)) {
+    const data::UserSpanData& span_data = dataset.user_span(user, span);
+    std::vector<data::ItemId> items = span_data.all;
+    if (static_cast<int>(items.size()) > config_.max_history) {
+      items.erase(items.begin(),
+                  items.end() - config_.max_history);
+    }
+    const nn::Tensor& stored = store_->Interests(user);
+    if (!config_.persist_interests && span > 0) {
+      // Baseline behaviour (§III): interests are whatever the extractor
+      // finds in the *current* span, routed from a fresh random seed —
+      // interests the user did not express this span are forgotten.
+      const nn::Tensor fresh_seed = nn::Tensor::Randn(
+          {stored.size(0), stored.size(1)}, rng_);
+      store_->SetInterests(
+          user, model_->ForwardInterestsNoGrad(items, fresh_seed, user));
+      continue;
+    }
+    nn::Tensor refreshed =
+        model_->ForwardInterestsNoGrad(items, stored, user);
+    // Evidence gating: an interest none of the span's items are assigned
+    // to (cosine argmax) keeps its stored vector — existing interests are
+    // preserved, not overwritten by unrelated interactions (§IV-B's
+    // premise). Interests with assigned items absorb them and drift
+    // modestly. Interests born this span are always taken from the fresh
+    // extraction.
+    if (span > 0 && config_.min_evidence_items > 0) {
+      const std::vector<int> assigned =
+          CountAssignedItems(model_->embeddings().LookupNoGrad(items),
+                             stored);
+      const std::vector<int>& births = store_->BirthSpans(user);
+      for (int64_t k = 0; k < refreshed.size(0); ++k) {
+        const bool born_this_span =
+            births[static_cast<size_t>(k)] == span;
+        if (!born_this_span &&
+            assigned[static_cast<size_t>(k)] <
+                config_.min_evidence_items) {
+          refreshed.SetRow(k, stored.Row(k));
+        }
+      }
+    }
+    store_->SetInterests(user, std::move(refreshed));
+  }
+}
+
+void ImsrTrainer::RefreshUserInterests(data::UserId user,
+                                       std::vector<data::ItemId> items) {
+  IMSR_CHECK(store_->Has(user));
+  IMSR_CHECK(!items.empty());
+  if (static_cast<int>(items.size()) > config_.max_history) {
+    items.erase(items.begin(), items.end() - config_.max_history);
+  }
+  const nn::Tensor& stored = store_->Interests(user);
+  const nn::Tensor seed =
+      config_.persist_interests
+          ? stored
+          : nn::Tensor::Randn({stored.size(0), stored.size(1)}, rng_);
+  store_->SetInterests(user,
+                       model_->ForwardInterestsNoGrad(items, seed, user));
+}
+
+TeacherSnapshot ImsrTrainer::SnapshotTeacher(const data::Dataset& dataset,
+                                             int span) const {
+  TeacherSnapshot teacher;
+  teacher.embeddings = model_->embeddings().parameter().value();
+  for (data::UserId user : dataset.active_users(span)) {
+    if (store_->Has(user)) {
+      teacher.interests.emplace(user, store_->Interests(user));
+    }
+  }
+  return teacher;
+}
+
+}  // namespace imsr::core

@@ -1,0 +1,137 @@
+// The IMSR training engine (Algorithm 2): pretraining, per-span
+// incremental training with interests expansion (Alg. 1) and the
+// retention loss (Eq. 10), and interest refreshing. Also serves as the
+// shared inner loop for the FT/FR/SML/ADER strategies, which configure
+// away the IMSR-specific parts.
+#ifndef IMSR_CORE_IMSR_TRAINER_H_
+#define IMSR_CORE_IMSR_TRAINER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/eir.h"
+#include "core/interest_store.h"
+#include "core/interests_expansion.h"
+#include "data/sampler.h"
+#include "models/msr_model.h"
+#include "nn/optim.h"
+
+namespace imsr::core {
+
+struct TrainConfig {
+  int pretrain_epochs = 5;
+  int epochs = 3;  // r in Algorithm 2
+  int batch_size = 64;
+  float learning_rate = 0.005f;
+  int negatives = 10;     // |I'| in Eq. 6
+  int max_history = 50;   // n cap on input sequences
+  int initial_interests = 4;  // K^0
+
+  // IMSR's interest-persistence rule (§IV-B: existing interests are
+  // preserved and only *adjusted* by items that belong to them). When
+  // true, the per-span re-extraction seeds routing from the stored
+  // interest vectors and an existing interest is only overwritten when at
+  // least `min_evidence_items` of the span's items are assigned to it
+  // (cosine argmax) — extractor-agnostic evidence that the span actually
+  // expressed that interest. When false — the FT/FR/SML/ADER baselines —
+  // interests are re-extracted from the current span's items alone, so
+  // interests the user did not express this span are structurally
+  // forgotten (the paper's §III failure mode).
+  bool persist_interests = true;
+  int min_evidence_items = 1;  // 0 disables gating
+
+  // Early stopping on the span's validation items (paper §IV-F): epochs
+  // end once the validation loss fails to improve `patience` times.
+  bool early_stopping = false;
+  int early_stopping_patience = 2;
+
+  EirConfig eir;              // set kind = kNone for plain fine-tuning
+  ExpansionConfig expansion;  // NID + PIT parameters
+  bool enable_expansion = true;
+  // Algorithm 2 re-runs IntsEx every epoch; once per span is the cheaper
+  // default (later runs are no-ops once puzzlement is absorbed).
+  bool expansion_every_epoch = false;
+
+  uint64_t seed = 1;
+};
+
+// Teacher snapshot for the retention loss: the relevant state of the
+// previous span's model M^{t-1} — per-user interest vectors plus the
+// embedding table as of the span start, so teacher scores stay fixed
+// while the student drifts.
+struct TeacherSnapshot {
+  std::unordered_map<data::UserId, nn::Tensor> interests;
+  nn::Tensor embeddings;  // (num_items x d) copy
+};
+
+class ImsrTrainer {
+ public:
+  ImsrTrainer(models::MsrModel* model, InterestStore* store,
+              const TrainConfig& config);
+
+  ImsrTrainer(const ImsrTrainer&) = delete;
+  ImsrTrainer& operator=(const ImsrTrainer&) = delete;
+
+  // Pretraining (Algorithm 2 lines 1-7): initialises K^0 interests per
+  // user active in span 0 and trains the base model.
+  void Pretrain(const data::Dataset& dataset);
+
+  // One incremental span (Algorithm 2's Training procedure). Optional
+  // `extra_samples` join the span's own samples (exemplar replay).
+  void TrainSpan(const data::Dataset& dataset, int span,
+                 const std::vector<data::TrainingSample>* extra_samples =
+                     nullptr);
+
+  // One supervised epoch over `samples`; `teacher` (nullable) enables the
+  // retention loss for users it covers.
+  void TrainEpoch(const std::vector<data::TrainingSample>& samples,
+                  const TeacherSnapshot* teacher);
+
+  // Creates store entries (K^0 random interests) and per-user extractor
+  // capacity for every user active in `span` that lacks them.
+  void EnsureUserState(const data::Dataset& dataset, int span);
+
+  // Recomputes and stores H_u from the user's span-`span` interactions.
+  void RefreshInterests(const data::Dataset& dataset, int span);
+
+  // Recomputes one user's interests from an explicit item list (used by
+  // replay-based strategies whose effective span data includes exemplars).
+  void RefreshUserInterests(data::UserId user,
+                            std::vector<data::ItemId> items);
+
+  // Snapshot of the stored interests of every user active in `span`.
+  TeacherSnapshot SnapshotTeacher(const data::Dataset& dataset,
+                                  int span) const;
+
+  // Mean sampled-softmax loss on the span's (train-sequence -> validation
+  // item) instances; drives early stopping and is useful for monitoring.
+  double ValidationLoss(const data::Dataset& dataset, int span);
+
+  // Builds the training-loss graph for a single sample (exposed for
+  // tests). `teacher` may be null.
+  nn::Var SampleLoss(const data::TrainingSample& sample,
+                     const TeacherSnapshot* teacher);
+
+  nn::Adam& optimizer() { return optimizer_; }
+  InterestStore& store() { return *store_; }
+  models::MsrModel& model() { return *model_; }
+  const TrainConfig& config() const { return config_; }
+
+  // Cumulative outcome of all expansion runs (diagnostics).
+  const ExpansionOutcome& expansion_totals() const {
+    return expansion_totals_;
+  }
+
+ private:
+  models::MsrModel* model_;
+  InterestStore* store_;
+  TrainConfig config_;
+  nn::Adam optimizer_;
+  util::Rng rng_;
+  data::NegativeSampler negative_sampler_;
+  ExpansionOutcome expansion_totals_;
+};
+
+}  // namespace imsr::core
+
+#endif  // IMSR_CORE_IMSR_TRAINER_H_

@@ -1,0 +1,130 @@
+#include "core/interest_store.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace imsr::core {
+
+bool InterestStore::Has(data::UserId user) const {
+  return entries_.count(user) > 0;
+}
+
+int64_t InterestStore::NumInterests(data::UserId user) const {
+  auto it = entries_.find(user);
+  return it == entries_.end() ? 0 : it->second.interests.size(0);
+}
+
+const nn::Tensor& InterestStore::Interests(data::UserId user) const {
+  auto it = entries_.find(user);
+  IMSR_CHECK(it != entries_.end()) << "no interests for user " << user;
+  return it->second.interests;
+}
+
+const std::vector<int>& InterestStore::BirthSpans(data::UserId user) const {
+  auto it = entries_.find(user);
+  IMSR_CHECK(it != entries_.end()) << "no interests for user " << user;
+  return it->second.birth_spans;
+}
+
+void InterestStore::Initialize(data::UserId user, int64_t k0, int64_t dim,
+                               int span, util::Rng& rng) {
+  IMSR_CHECK_GT(k0, 0);
+  Entry entry;
+  entry.interests = nn::Tensor::Randn({k0, dim}, rng);
+  entry.birth_spans.assign(static_cast<size_t>(k0), span);
+  entries_[user] = std::move(entry);
+}
+
+void InterestStore::SetInterests(data::UserId user, nn::Tensor interests) {
+  auto it = entries_.find(user);
+  IMSR_CHECK(it != entries_.end()) << "no interests for user " << user;
+  IMSR_CHECK_EQ(interests.size(0), it->second.interests.size(0))
+      << "SetInterests must preserve K (use Append/Keep to resize)";
+  IMSR_CHECK_EQ(interests.size(1), it->second.interests.size(1));
+  it->second.interests = std::move(interests);
+}
+
+void InterestStore::Append(data::UserId user, const nn::Tensor& rows,
+                           int span) {
+  auto it = entries_.find(user);
+  IMSR_CHECK(it != entries_.end()) << "no interests for user " << user;
+  IMSR_CHECK_EQ(rows.size(1), it->second.interests.size(1));
+  it->second.interests = nn::ConcatRows({it->second.interests, rows});
+  for (int64_t r = 0; r < rows.size(0); ++r) {
+    it->second.birth_spans.push_back(span);
+  }
+}
+
+void InterestStore::Keep(data::UserId user,
+                         const std::vector<int64_t>& kept) {
+  auto it = entries_.find(user);
+  IMSR_CHECK(it != entries_.end()) << "no interests for user " << user;
+  IMSR_CHECK(!kept.empty()) << "a user must keep at least one interest";
+  IMSR_CHECK(std::is_sorted(kept.begin(), kept.end()));
+  const nn::Tensor& current = it->second.interests;
+  nn::Tensor next({static_cast<int64_t>(kept.size()), current.size(1)});
+  std::vector<int> next_births;
+  next_births.reserve(kept.size());
+  for (size_t i = 0; i < kept.size(); ++i) {
+    IMSR_CHECK(kept[i] >= 0 && kept[i] < current.size(0));
+    next.SetRow(static_cast<int64_t>(i), current.Row(kept[i]));
+    next_births.push_back(
+        it->second.birth_spans[static_cast<size_t>(kept[i])]);
+  }
+  it->second.interests = std::move(next);
+  it->second.birth_spans = std::move(next_births);
+}
+
+void InterestStore::Clear() { entries_.clear(); }
+
+std::vector<data::UserId> InterestStore::Users() const {
+  std::vector<data::UserId> users;
+  users.reserve(entries_.size());
+  for (const auto& [user, entry] : entries_) users.push_back(user);
+  std::sort(users.begin(), users.end());
+  return users;
+}
+
+double InterestStore::AverageInterests() const {
+  if (entries_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& [user, entry] : entries_) {
+    total += static_cast<double>(entry.interests.size(0));
+  }
+  return total / static_cast<double>(entries_.size());
+}
+
+void InterestStore::Save(util::BinaryWriter* writer) const {
+  writer->WriteInt64(static_cast<int64_t>(entries_.size()));
+  for (data::UserId user : Users()) {
+    const Entry& entry = entries_.at(user);
+    writer->WriteInt64(user);
+    writer->WriteInt64(entry.interests.size(0));
+    writer->WriteInt64(entry.interests.size(1));
+    writer->WriteFloatArray(entry.interests.data(),
+                            static_cast<size_t>(entry.interests.numel()));
+    for (int span : entry.birth_spans) writer->WriteInt64(span);
+  }
+}
+
+void InterestStore::Load(util::BinaryReader* reader) {
+  entries_.clear();
+  const int64_t count = reader->ReadInt64();
+  for (int64_t i = 0; i < count; ++i) {
+    const auto user = static_cast<data::UserId>(reader->ReadInt64());
+    const int64_t k = reader->ReadInt64();
+    const int64_t dim = reader->ReadInt64();
+    Entry entry;
+    entry.interests = nn::Tensor({k, dim});
+    reader->ReadFloatArray(entry.interests.data(),
+                           static_cast<size_t>(entry.interests.numel()));
+    entry.birth_spans.reserve(static_cast<size_t>(k));
+    for (int64_t r = 0; r < k; ++r) {
+      entry.birth_spans.push_back(static_cast<int>(reader->ReadInt64()));
+    }
+    entries_[user] = std::move(entry);
+  }
+}
+
+}  // namespace imsr::core

@@ -1,0 +1,62 @@
+// Per-user interest vectors persisting across time spans — the {H_u^t}
+// state of Algorithms 1 and 2, plus the creation-span metadata used by the
+// case-study analyses (Fig. 7).
+#ifndef IMSR_CORE_INTEREST_STORE_H_
+#define IMSR_CORE_INTEREST_STORE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "data/interaction.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+#include "util/serialization.h"
+
+namespace imsr::core {
+
+class InterestStore {
+ public:
+  bool Has(data::UserId user) const;
+  int64_t NumInterests(data::UserId user) const;
+
+  // The user's interest matrix (K x d); aborts when absent.
+  const nn::Tensor& Interests(data::UserId user) const;
+  // Span at which each interest row was created (parallel to rows).
+  const std::vector<int>& BirthSpans(data::UserId user) const;
+
+  // Creates K0 interests drawn from N(0, I) (Algorithm 2, lines 2-6).
+  void Initialize(data::UserId user, int64_t k0, int64_t dim, int span,
+                  util::Rng& rng);
+
+  // Replaces the user's interest values; the row count may change only via
+  // Append/Keep, so `interests` must keep K rows.
+  void SetInterests(data::UserId user, nn::Tensor interests);
+
+  // Appends `rows` new interest vectors created at `span`.
+  void Append(data::UserId user, const nn::Tensor& rows, int span);
+
+  // Keeps only the rows at `kept` indices (ascending), dropping the rest —
+  // the trimming step of Algorithm 1.
+  void Keep(data::UserId user, const std::vector<int64_t>& kept);
+
+  // Removes the user entirely (full retraining reinitialises).
+  void Clear();
+
+  std::vector<data::UserId> Users() const;
+  double AverageInterests() const;
+  size_t num_users() const { return entries_.size(); }
+
+  void Save(util::BinaryWriter* writer) const;
+  void Load(util::BinaryReader* reader);
+
+ private:
+  struct Entry {
+    nn::Tensor interests;          // (K x d)
+    std::vector<int> birth_spans;  // size K
+  };
+  std::unordered_map<data::UserId, Entry> entries_;
+};
+
+}  // namespace imsr::core
+
+#endif  // IMSR_CORE_INTEREST_STORE_H_

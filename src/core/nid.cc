@@ -1,0 +1,96 @@
+#include "core/nid.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace imsr::core {
+namespace {
+
+// Cosine logits between one embedding row and every interest row.
+std::vector<double> CosineLogits(const nn::Tensor& item_embedding,
+                                 const nn::Tensor& interests) {
+  IMSR_CHECK_EQ(item_embedding.dim(), 1);
+  IMSR_CHECK_EQ(interests.dim(), 2);
+  IMSR_CHECK_EQ(item_embedding.numel(), interests.size(1));
+  const int64_t k = interests.size(0);
+  const int64_t d = interests.size(1);
+  const float item_norm = nn::L2NormFlat(item_embedding);
+  std::vector<double> logits(static_cast<size_t>(k), 0.0);
+  for (int64_t row = 0; row < k; ++row) {
+    double dot = 0.0;
+    double row_ss = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      const float h = interests.at(row, j);
+      dot += static_cast<double>(item_embedding.at(j)) * h;
+      row_ss += static_cast<double>(h) * h;
+    }
+    const double denom =
+        static_cast<double>(item_norm) * std::sqrt(row_ss);
+    logits[static_cast<size_t>(row)] = denom > 1e-12 ? dot / denom : 0.0;
+  }
+  return logits;
+}
+
+}  // namespace
+
+std::vector<double> AssignmentDistribution(const nn::Tensor& item_embedding,
+                                           const nn::Tensor& interests) {
+  std::vector<double> probs = CosineLogits(item_embedding, interests);
+  util::SoftmaxInPlace(probs);
+  return probs;
+}
+
+double AssignmentKl(const nn::Tensor& item_embedding,
+                    const nn::Tensor& interests) {
+  const std::vector<double> logits =
+      CosineLogits(item_embedding, interests);
+  // Eq. 12: KL(q || p) = logsumexp(x) - mean(x) - ln K, with q uniform.
+  const double lse = util::LogSumExp(logits);
+  const double mean = util::Mean(logits);
+  const double kl =
+      lse - mean - std::log(static_cast<double>(logits.size()));
+  // Numerically the expression can dip a hair below zero.
+  return kl < 0.0 ? 0.0 : kl;
+}
+
+double ItemPuzzlement(const nn::Tensor& item_embedding,
+                      const nn::Tensor& interests) {
+  return -AssignmentKl(item_embedding, interests);
+}
+
+double MeanAssignmentKl(const nn::Tensor& item_embeddings,
+                        const nn::Tensor& interests) {
+  IMSR_CHECK_EQ(item_embeddings.dim(), 2);
+  const int64_t n = item_embeddings.size(0);
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    total += AssignmentKl(item_embeddings.Row(i), interests);
+  }
+  return total / static_cast<double>(n);
+}
+
+bool DetectNewInterests(const nn::Tensor& item_embeddings,
+                        const nn::Tensor& interests,
+                        const NidConfig& config) {
+  return MeanAssignmentKl(item_embeddings, interests) < config.c1;
+}
+
+std::vector<int> CountAssignedItems(const nn::Tensor& item_embeddings,
+                                    const nn::Tensor& interests) {
+  IMSR_CHECK_EQ(item_embeddings.dim(), 2);
+  std::vector<int> counts(static_cast<size_t>(interests.size(0)), 0);
+  for (int64_t i = 0; i < item_embeddings.size(0); ++i) {
+    const std::vector<double> logits =
+        CosineLogits(item_embeddings.Row(i), interests);
+    size_t best = 0;
+    for (size_t k = 1; k < logits.size(); ++k) {
+      if (logits[k] > logits[best]) best = k;
+    }
+    ++counts[best];
+  }
+  return counts;
+}
+
+}  // namespace imsr::core

@@ -1,0 +1,67 @@
+#include "core/online_update.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace imsr::core {
+
+OnlineUpdater::OnlineUpdater(InterestStore* store,
+                             const models::EmbeddingTable* table,
+                             const OnlineUpdateConfig& config)
+    : store_(store), table_(table), config_(config) {
+  IMSR_CHECK(store != nullptr);
+  IMSR_CHECK(table != nullptr);
+  IMSR_CHECK_GE(config.rate, 0.0f);
+  IMSR_CHECK_GT(config.temperature, 0.0f);
+}
+
+void OnlineUpdater::Absorb(data::UserId user, data::ItemId item) {
+  if (config_.rate == 0.0f) return;
+  if (!store_->Has(user)) return;
+  const nn::Tensor item_embedding = table_->RowNoGrad(item);
+  const float item_norm = nn::L2NormFlat(item_embedding);
+  if (item_norm < 1e-8f) return;
+
+  nn::Tensor interests = store_->Interests(user);
+  const int64_t k = interests.size(0);
+  const int64_t dim = interests.size(1);
+
+  // Soft assignment over cosine similarities.
+  std::vector<double> logits(static_cast<size_t>(k), 0.0);
+  std::vector<float> norms(static_cast<size_t>(k), 0.0f);
+  for (int64_t row = 0; row < k; ++row) {
+    const nn::Tensor h = interests.Row(row);
+    norms[static_cast<size_t>(row)] = nn::L2NormFlat(h);
+    const float denom = norms[static_cast<size_t>(row)] * item_norm;
+    const double cosine =
+        denom > 1e-12f ? nn::DotFlat(h, item_embedding) / denom : 0.0;
+    logits[static_cast<size_t>(row)] = cosine / config_.temperature;
+  }
+  util::SoftmaxInPlace(logits);
+
+  // Norm-preserving pull: each interest moves towards the item direction
+  // scaled to the interest's own magnitude, so squashed-capsule and
+  // attention interests keep their scale.
+  for (int64_t row = 0; row < k; ++row) {
+    const float weight =
+        config_.rate * static_cast<float>(logits[static_cast<size_t>(row)]);
+    if (weight <= 0.0f) continue;
+    const float target_scale = norms[static_cast<size_t>(row)] / item_norm;
+    for (int64_t j = 0; j < dim; ++j) {
+      const float pulled = item_embedding.at(j) * target_scale;
+      interests.at(row, j) =
+          (1.0f - weight) * interests.at(row, j) + weight * pulled;
+    }
+  }
+  store_->SetInterests(user, std::move(interests));
+  ++updates_applied_;
+}
+
+void OnlineUpdater::AbsorbSequence(
+    data::UserId user, const std::vector<data::ItemId>& items) {
+  for (data::ItemId item : items) Absorb(user, item);
+}
+
+}  // namespace imsr::core

@@ -1,0 +1,49 @@
+// Serving-time interest updating between training spans. The paper's
+// related work (MIMN, LimaRec) updates user representations online while
+// model parameters stay fixed; this module provides the same capability
+// for the IMSR interest store: each incoming interaction softly rotates
+// the best-matching stored interest towards the item, without touching
+// model parameters — a cheap stop-gap until the next incremental
+// training run folds the span in properly.
+#ifndef IMSR_CORE_ONLINE_UPDATE_H_
+#define IMSR_CORE_ONLINE_UPDATE_H_
+
+#include "core/interest_store.h"
+#include "models/embedding.h"
+
+namespace imsr::core {
+
+struct OnlineUpdateConfig {
+  // Step size of the soft write; 0 disables updating.
+  float rate = 0.2f;
+  // Softmax temperature over cosine similarities when distributing the
+  // write across interests.
+  float temperature = 0.2f;
+};
+
+class OnlineUpdater {
+ public:
+  OnlineUpdater(InterestStore* store, const models::EmbeddingTable* table,
+                const OnlineUpdateConfig& config);
+
+  // Absorbs one interaction: distributes a norm-preserving pull towards
+  // the item over the user's interests (softmax of cosine similarities).
+  // No-op for users without stored interests.
+  void Absorb(data::UserId user, data::ItemId item);
+
+  // Absorbs a whole mini-session in order.
+  void AbsorbSequence(data::UserId user,
+                      const std::vector<data::ItemId>& items);
+
+  int64_t updates_applied() const { return updates_applied_; }
+
+ private:
+  InterestStore* store_;
+  const models::EmbeddingTable* table_;
+  OnlineUpdateConfig config_;
+  int64_t updates_applied_ = 0;
+};
+
+}  // namespace imsr::core
+
+#endif  // IMSR_CORE_ONLINE_UPDATE_H_

@@ -1,0 +1,122 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace imsr::data {
+
+Dataset::Dataset(int32_t num_users, int32_t num_items,
+                 std::vector<Interaction> log, int num_incremental_spans,
+                 double alpha, int min_interactions)
+    : num_users_(num_users),
+      num_items_(num_items),
+      num_incremental_spans_(num_incremental_spans) {
+  IMSR_CHECK_GT(num_users, 0);
+  IMSR_CHECK_GT(num_items, 0);
+  IMSR_CHECK_GT(num_incremental_spans, 0);
+  IMSR_CHECK(alpha > 0.0 && alpha < 1.0);
+  IMSR_CHECK(!log.empty()) << "empty interaction log";
+
+  std::stable_sort(log.begin(), log.end(),
+                   [](const Interaction& a, const Interaction& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+
+  // Discard sparse users (paper: fewer than 30 interactions).
+  std::vector<int64_t> counts(static_cast<size_t>(num_users), 0);
+  for (const Interaction& record : log) {
+    IMSR_CHECK(record.user >= 0 && record.user < num_users);
+    IMSR_CHECK(record.item >= 0 && record.item < num_items);
+    ++counts[static_cast<size_t>(record.user)];
+  }
+  kept_.assign(static_cast<size_t>(num_users), false);
+  for (int32_t u = 0; u < num_users; ++u) {
+    kept_[static_cast<size_t>(u)] = counts[static_cast<size_t>(u)] >=
+                                    min_interactions;
+    if (kept_[static_cast<size_t>(u)]) ++num_kept_users_;
+  }
+  IMSR_CHECK_GT(num_kept_users_, 0)
+      << "min_interactions filter removed every user";
+
+  // Span boundaries: [0, alpha*Z] then T equal slices of [alpha*Z, Z].
+  const int64_t z_min = log.front().timestamp;
+  const int64_t z_max = log.back().timestamp;
+  const double z_span = static_cast<double>(z_max - z_min) + 1.0;
+  const double pretrain_end = static_cast<double>(z_min) + alpha * z_span;
+  const double slice =
+      (1.0 - alpha) * z_span / static_cast<double>(num_incremental_spans);
+  auto span_of = [&](int64_t ts) {
+    if (static_cast<double>(ts) < pretrain_end) return 0;
+    int span = 1 + static_cast<int>(
+                       (static_cast<double>(ts) - pretrain_end) / slice);
+    return std::min(span, num_incremental_spans_);
+  };
+
+  const int total_spans = num_spans();
+  spans_.assign(static_cast<size_t>(total_spans),
+                std::vector<UserSpanData>(static_cast<size_t>(num_users)));
+  active_users_.assign(static_cast<size_t>(total_spans), {});
+  span_counts_.assign(static_cast<size_t>(total_spans), 0);
+
+  for (const Interaction& record : log) {
+    if (!kept_[static_cast<size_t>(record.user)]) continue;
+    const int span = span_of(record.timestamp);
+    UserSpanData& data =
+        spans_[static_cast<size_t>(span)][static_cast<size_t>(record.user)];
+    data.all.push_back(record.item);
+    ++span_counts_[static_cast<size_t>(span)];
+  }
+
+  // Leave-one-out split within each span.
+  for (int span = 0; span < total_spans; ++span) {
+    for (int32_t u = 0; u < num_users; ++u) {
+      UserSpanData& data =
+          spans_[static_cast<size_t>(span)][static_cast<size_t>(u)];
+      if (data.all.empty()) continue;
+      active_users_[static_cast<size_t>(span)].push_back(u);
+      const size_t n = data.all.size();
+      if (n >= 3) {
+        data.train.assign(data.all.begin(), data.all.end() - 2);
+        data.valid = data.all[n - 2];
+        data.test = data.all[n - 1];
+      } else if (n == 2) {
+        data.train.assign(data.all.begin(), data.all.end() - 1);
+        data.test = data.all[n - 1];
+      } else {
+        data.train = data.all;
+      }
+    }
+  }
+}
+
+const UserSpanData& Dataset::user_span(UserId user, int span) const {
+  IMSR_CHECK(span >= 0 && span < num_spans());
+  IMSR_CHECK(user >= 0 && user < num_users_);
+  return spans_[static_cast<size_t>(span)][static_cast<size_t>(user)];
+}
+
+const std::vector<UserId>& Dataset::active_users(int span) const {
+  IMSR_CHECK(span >= 0 && span < num_spans());
+  return active_users_[static_cast<size_t>(span)];
+}
+
+int64_t Dataset::span_interactions(int span) const {
+  IMSR_CHECK(span >= 0 && span < num_spans());
+  return span_counts_[static_cast<size_t>(span)];
+}
+
+std::vector<ItemId> Dataset::UserHistoryUpTo(UserId user,
+                                             int up_to_span) const {
+  IMSR_CHECK(up_to_span >= 0 && up_to_span < num_spans());
+  std::vector<ItemId> items;
+  for (int span = 0; span <= up_to_span; ++span) {
+    const UserSpanData& data = user_span(user, span);
+    items.insert(items.end(), data.all.begin(), data.all.end());
+  }
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  return items;
+}
+
+}  // namespace imsr::data

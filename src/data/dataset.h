@@ -1,0 +1,73 @@
+// Span-structured interaction dataset. Implements the paper's data
+// preparation (§V-A1): the timeline [0, Z] is split into a pre-training
+// span [0, alpha*Z] plus T equal incremental spans; within each span each
+// user's latest interaction is the test item, the second latest is the
+// validation item, and the rest are training items.
+#ifndef IMSR_DATA_DATASET_H_
+#define IMSR_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/interaction.h"
+
+namespace imsr::data {
+
+// Per-user data inside one time span.
+struct UserSpanData {
+  std::vector<ItemId> train;  // chronological, all but the last two items
+  ItemId valid = -1;          // second-to-last item (-1 when absent)
+  ItemId test = -1;           // last item (-1 when absent)
+  std::vector<ItemId> all;    // every span item in chronological order
+
+  bool active() const { return !all.empty(); }
+};
+
+class Dataset {
+ public:
+  // Builds span structure from a raw log. `num_incremental_spans` is the
+  // paper's T; `alpha` the pre-training fraction. Users with fewer than
+  // `min_interactions` records are discarded (paper uses 30).
+  Dataset(int32_t num_users, int32_t num_items,
+          std::vector<Interaction> log, int num_incremental_spans,
+          double alpha, int min_interactions);
+
+  int32_t num_users() const { return num_users_; }
+  int32_t num_items() const { return num_items_; }
+
+  // T; spans are indexed 0 (pre-training) .. T.
+  int num_incremental_spans() const { return num_incremental_spans_; }
+  int num_spans() const { return num_incremental_spans_ + 1; }
+
+  // Per-user data of one span; inactive users return an empty record.
+  const UserSpanData& user_span(UserId user, int span) const;
+
+  // Users with at least one interaction in `span`.
+  const std::vector<UserId>& active_users(int span) const;
+
+  // Total number of interactions in `span`.
+  int64_t span_interactions(int span) const;
+
+  // True if `user` survived the min-interactions filter.
+  bool user_kept(UserId user) const { return kept_[user]; }
+  int64_t num_kept_users() const { return num_kept_users_; }
+
+  // All items `user` interacted with in spans [0, up_to_span], sorted.
+  // Used by the case-study split into "existing" vs "new" items (Fig. 7a).
+  std::vector<ItemId> UserHistoryUpTo(UserId user, int up_to_span) const;
+
+ private:
+  int32_t num_users_;
+  int32_t num_items_;
+  int num_incremental_spans_;
+  int64_t num_kept_users_ = 0;
+  std::vector<bool> kept_;
+  // spans_[span][user]
+  std::vector<std::vector<UserSpanData>> spans_;
+  std::vector<std::vector<UserId>> active_users_;
+  std::vector<int64_t> span_counts_;
+};
+
+}  // namespace imsr::data
+
+#endif  // IMSR_DATA_DATASET_H_

@@ -1,0 +1,22 @@
+// Core data types for interaction logs.
+#ifndef IMSR_DATA_INTERACTION_H_
+#define IMSR_DATA_INTERACTION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace imsr::data {
+
+using UserId = int32_t;
+using ItemId = int32_t;
+
+// One (user, item, timestamp) record, the unit of every log (§II).
+struct Interaction {
+  UserId user = -1;
+  ItemId item = -1;
+  int64_t timestamp = 0;
+};
+
+}  // namespace imsr::data
+
+#endif  // IMSR_DATA_INTERACTION_H_

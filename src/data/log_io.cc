@@ -1,0 +1,154 @@
+#include "data/log_io.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace imsr::data {
+namespace {
+
+bool ParseField(const std::string& field, int64_t* value) {
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  while (begin != end && std::isspace(static_cast<unsigned char>(*begin))) {
+    ++begin;
+  }
+  auto [ptr, ec] = std::from_chars(begin, end, *value);
+  if (ec != std::errc()) return false;
+  while (ptr != end && std::isspace(static_cast<unsigned char>(*ptr))) {
+    ++ptr;
+  }
+  return ptr == end;
+}
+
+void SetError(std::string* error, int line, const std::string& message) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line) + ": " + message;
+  }
+}
+
+}  // namespace
+
+bool ParseInteractionsCsv(const std::string& content, InteractionLog* log,
+                          std::string* error) {
+  log->interactions.clear();
+  log->num_users = 0;
+  log->num_items = 0;
+
+  std::istringstream stream(content);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+
+    std::array<std::string, 3> fields;
+    size_t field = 0;
+    size_t start = 0;
+    bool malformed = false;
+    for (size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == ',') {
+        if (field >= fields.size()) {
+          malformed = true;
+          break;
+        }
+        fields[field++] = line.substr(start, i - start);
+        start = i + 1;
+      }
+    }
+    if (malformed || field != 3) {
+      SetError(error, line_number, "expected user,item,timestamp");
+      return false;
+    }
+
+    int64_t user = 0;
+    int64_t item = 0;
+    int64_t timestamp = 0;
+    if (!ParseField(fields[0], &user)) {
+      // Permit a single header line.
+      if (line_number == 1) continue;
+      SetError(error, line_number, "bad user id '" + fields[0] + "'");
+      return false;
+    }
+    if (!ParseField(fields[1], &item) ||
+        !ParseField(fields[2], &timestamp)) {
+      SetError(error, line_number, "bad item id or timestamp");
+      return false;
+    }
+    if (user < 0 || item < 0) {
+      SetError(error, line_number, "negative ids are not allowed");
+      return false;
+    }
+    Interaction record;
+    record.user = static_cast<UserId>(user);
+    record.item = static_cast<ItemId>(item);
+    record.timestamp = timestamp;
+    log->interactions.push_back(record);
+    log->num_users = std::max(log->num_users, record.user + 1);
+    log->num_items = std::max(log->num_items, record.item + 1);
+  }
+  if (log->interactions.empty()) {
+    SetError(error, line_number, "no interactions parsed");
+    return false;
+  }
+  return true;
+}
+
+bool ReadInteractionsCsv(const std::string& path, InteractionLog* log,
+                         std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  return ParseInteractionsCsv(content.str(), log, error);
+}
+
+std::string InteractionsToCsv(
+    const std::vector<Interaction>& interactions) {
+  std::ostringstream out;
+  out << "user,item,timestamp\n";
+  for (const Interaction& record : interactions) {
+    out << record.user << "," << record.item << "," << record.timestamp
+        << "\n";
+  }
+  return out.str();
+}
+
+bool WriteInteractionsCsv(const std::string& path,
+                          const std::vector<Interaction>& interactions) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << InteractionsToCsv(interactions);
+  return static_cast<bool>(out);
+}
+
+IdCompaction CompactIds(InteractionLog* log) {
+  IdCompaction compaction;
+  std::unordered_map<int32_t, int32_t> user_map;
+  std::unordered_map<int32_t, int32_t> item_map;
+  for (Interaction& record : log->interactions) {
+    auto [user_it, user_new] =
+        user_map.try_emplace(record.user,
+                             static_cast<int32_t>(user_map.size()));
+    if (user_new) compaction.user_ids.push_back(record.user);
+    record.user = user_it->second;
+    auto [item_it, item_new] =
+        item_map.try_emplace(record.item,
+                             static_cast<int32_t>(item_map.size()));
+    if (item_new) compaction.item_ids.push_back(record.item);
+    record.item = item_it->second;
+  }
+  log->num_users = static_cast<int32_t>(user_map.size());
+  log->num_items = static_cast<int32_t>(item_map.size());
+  return compaction;
+}
+
+}  // namespace imsr::data

@@ -1,0 +1,52 @@
+// Interaction-log I/O: load real interaction logs (e.g. preprocessed
+// Amazon review or Taobao click exports) from CSV, and write logs back
+// out — the adoption path for running the library on non-synthetic data.
+//
+// Format: one interaction per line, `user_id,item_id,timestamp` with an
+// optional header line. User and item ids must be non-negative integers;
+// ids are used directly as indices (the loader reports the id space), or
+// can be compacted with CompactIds().
+#ifndef IMSR_DATA_LOG_IO_H_
+#define IMSR_DATA_LOG_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "data/interaction.h"
+
+namespace imsr::data {
+
+struct InteractionLog {
+  std::vector<Interaction> interactions;
+  int32_t num_users = 0;  // max user id + 1
+  int32_t num_items = 0;  // max item id + 1
+};
+
+// Parses a CSV log. Returns false on I/O failure or malformed rows;
+// `error` (optional) receives a description with the line number.
+bool ReadInteractionsCsv(const std::string& path, InteractionLog* log,
+                         std::string* error = nullptr);
+
+// Parses CSV content from a string (exposed for tests and embedding).
+bool ParseInteractionsCsv(const std::string& content, InteractionLog* log,
+                          std::string* error = nullptr);
+
+// Writes a log as CSV with a header line. Returns false on I/O failure.
+bool WriteInteractionsCsv(const std::string& path,
+                          const std::vector<Interaction>& interactions);
+
+// Serialises a log to the CSV string written by WriteInteractionsCsv.
+std::string InteractionsToCsv(const std::vector<Interaction>& interactions);
+
+// Remaps user and item ids to dense 0..n-1 ranges (sparse production ids
+// make direct indexing wasteful). Mappings are returned so predictions
+// can be translated back: new_user = user_map[old], etc.
+struct IdCompaction {
+  std::vector<int32_t> user_ids;  // dense index -> original user id
+  std::vector<int32_t> item_ids;  // dense index -> original item id
+};
+IdCompaction CompactIds(InteractionLog* log);
+
+}  // namespace imsr::data
+
+#endif  // IMSR_DATA_LOG_IO_H_

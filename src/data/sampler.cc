@@ -1,0 +1,74 @@
+#include "data/sampler.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace imsr::data {
+namespace {
+
+void AppendSamplesFromSequence(UserId user,
+                               const std::vector<ItemId>& sequence,
+                               int max_history,
+                               std::vector<TrainingSample>* out) {
+  for (size_t j = 1; j < sequence.size(); ++j) {
+    TrainingSample sample;
+    sample.user = user;
+    sample.target = sequence[j];
+    const size_t begin =
+        j > static_cast<size_t>(max_history) ? j - max_history : 0;
+    sample.history.assign(sequence.begin() + static_cast<int64_t>(begin),
+                          sequence.begin() + static_cast<int64_t>(j));
+    out->push_back(std::move(sample));
+  }
+}
+
+}  // namespace
+
+std::vector<TrainingSample> BuildSpanSamples(const Dataset& dataset,
+                                             int span, int max_history) {
+  IMSR_CHECK_GT(max_history, 0);
+  std::vector<TrainingSample> samples;
+  for (UserId user : dataset.active_users(span)) {
+    const UserSpanData& data = dataset.user_span(user, span);
+    AppendSamplesFromSequence(user, data.train, max_history, &samples);
+  }
+  return samples;
+}
+
+std::vector<TrainingSample> BuildCumulativeSamples(const Dataset& dataset,
+                                                   int up_to_span,
+                                                   int max_history) {
+  IMSR_CHECK_GT(max_history, 0);
+  std::vector<TrainingSample> samples;
+  for (UserId user = 0; user < dataset.num_users(); ++user) {
+    if (!dataset.user_kept(user)) continue;
+    std::vector<ItemId> sequence;
+    for (int span = 0; span <= up_to_span; ++span) {
+      const UserSpanData& data = dataset.user_span(user, span);
+      sequence.insert(sequence.end(), data.train.begin(), data.train.end());
+    }
+    AppendSamplesFromSequence(user, sequence, max_history, &samples);
+  }
+  return samples;
+}
+
+NegativeSampler::NegativeSampler(int32_t num_items)
+    : num_items_(num_items) {
+  IMSR_CHECK_GT(num_items, 1);
+}
+
+std::vector<ItemId> NegativeSampler::Sample(int count, ItemId target,
+                                            util::Rng& rng) const {
+  std::vector<ItemId> negatives;
+  negatives.reserve(static_cast<size_t>(count));
+  while (static_cast<int>(negatives.size()) < count) {
+    const auto candidate =
+        static_cast<ItemId>(rng.NextBelow(static_cast<uint64_t>(num_items_)));
+    if (candidate == target) continue;
+    negatives.push_back(candidate);
+  }
+  return negatives;
+}
+
+}  // namespace imsr::data

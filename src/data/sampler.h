@@ -1,0 +1,49 @@
+// Training-sample construction (next-item prediction) and negative
+// sampling for the sampled-softmax objective (Eq. 6).
+#ifndef IMSR_DATA_SAMPLER_H_
+#define IMSR_DATA_SAMPLER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace imsr::data {
+
+// One next-item training instance: `history` (chronological) predicts
+// `target`.
+struct TrainingSample {
+  UserId user = -1;
+  std::vector<ItemId> history;
+  ItemId target = -1;
+};
+
+// Builds next-item samples from a single span's training sequences: every
+// position j >= 1 of the span-train sequence yields (prefix, seq[j]).
+// Histories are truncated to the most recent `max_history` items.
+std::vector<TrainingSample> BuildSpanSamples(const Dataset& dataset,
+                                             int span, int max_history);
+
+// Samples for the full-retraining strategy: per user the concatenation of
+// the train sequences of spans [0, up_to_span] is treated as one long
+// sequence.
+std::vector<TrainingSample> BuildCumulativeSamples(const Dataset& dataset,
+                                                   int up_to_span,
+                                                   int max_history);
+
+// Uniform negative sampler over the item catalogue.
+class NegativeSampler {
+ public:
+  explicit NegativeSampler(int32_t num_items);
+
+  // Draws `count` item ids uniformly, excluding `target` (with
+  // replacement across draws, as in sampled softmax practice).
+  std::vector<ItemId> Sample(int count, ItemId target, util::Rng& rng) const;
+
+ private:
+  int32_t num_items_;
+};
+
+}  // namespace imsr::data
+
+#endif  // IMSR_DATA_SAMPLER_H_

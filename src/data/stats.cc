@@ -1,0 +1,58 @@
+#include "data/stats.h"
+
+#include <set>
+
+namespace imsr::data {
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.num_users = dataset.num_kept_users();
+  stats.span_interactions.resize(static_cast<size_t>(dataset.num_spans()));
+  std::set<ItemId> items;
+  int64_t total = 0;
+  for (int span = 0; span < dataset.num_spans(); ++span) {
+    stats.span_interactions[static_cast<size_t>(span)] =
+        dataset.span_interactions(span);
+    total += dataset.span_interactions(span);
+    for (UserId user : dataset.active_users(span)) {
+      const UserSpanData& data = dataset.user_span(user, span);
+      items.insert(data.all.begin(), data.all.end());
+    }
+  }
+  stats.num_items_seen = static_cast<int64_t>(items.size());
+  stats.mean_sequence_length =
+      stats.num_users > 0
+          ? static_cast<double>(total) / static_cast<double>(stats.num_users)
+          : 0.0;
+  return stats;
+}
+
+double InterestReappearFraction(const Dataset& dataset,
+                                const SyntheticGroundTruth& truth,
+                                int times) {
+  int64_t total_interests = 0;
+  int64_t reappearing = 0;
+  for (UserId user = 0; user < dataset.num_users(); ++user) {
+    if (!dataset.user_kept(user)) continue;
+    const auto& interests = truth.user_interests[static_cast<size_t>(user)];
+    for (int category : interests) {
+      int spans_active = 0;
+      for (int span = 0; span < dataset.num_spans(); ++span) {
+        const UserSpanData& data = dataset.user_span(user, span);
+        for (ItemId item : data.all) {
+          if (truth.item_category[static_cast<size_t>(item)] == category) {
+            ++spans_active;
+            break;
+          }
+        }
+      }
+      ++total_interests;
+      if (spans_active >= times) ++reappearing;
+    }
+  }
+  if (total_interests == 0) return 0.0;
+  return static_cast<double>(reappearing) /
+         static_cast<double>(total_interests);
+}
+
+}  // namespace imsr::data

@@ -1,0 +1,32 @@
+// Dataset statistics reporting (the Table II analogue).
+#ifndef IMSR_DATA_STATS_H_
+#define IMSR_DATA_STATS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+
+namespace imsr::data {
+
+struct DatasetStats {
+  int64_t num_users = 0;
+  int64_t num_items_seen = 0;  // items occurring in the log
+  std::vector<int64_t> span_interactions;  // index 0 = pre-training
+  double mean_sequence_length = 0.0;       // per kept user, whole log
+};
+
+DatasetStats ComputeStats(const Dataset& dataset);
+
+// Fraction of (user, interest) pairs that are active in >= `times` spans —
+// the paper's "over eighty percent of interests reappear more than three
+// times" motivation, measured against generator ground truth. An interest
+// counts as appearing in a span when the user interacted with an item of
+// that category there.
+double InterestReappearFraction(const Dataset& dataset,
+                                const SyntheticGroundTruth& truth,
+                                int times);
+
+}  // namespace imsr::data
+
+#endif  // IMSR_DATA_STATS_H_

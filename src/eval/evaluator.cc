@@ -1,0 +1,70 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/parallel.h"
+#include "util/stopwatch.h"
+
+namespace imsr::eval {
+
+EvalResult EvaluateSpan(const nn::Tensor& item_embeddings,
+                        const core::InterestStore& store,
+                        const data::Dataset& dataset, int test_span,
+                        const EvalConfig& config, ItemFilter filter,
+                        int history_span) {
+  IMSR_CHECK(test_span >= 0 && test_span < dataset.num_spans());
+  if (filter != ItemFilter::kAll) {
+    IMSR_CHECK_GE(history_span, 0)
+        << "item filters need a history horizon";
+  }
+
+  // Collect the evaluable (user, target) pairs first; ranking then runs
+  // data-parallel over them.
+  struct Instance {
+    data::UserId user;
+    data::ItemId target;
+  };
+  std::vector<Instance> instances;
+  for (data::UserId user : dataset.active_users(test_span)) {
+    const data::UserSpanData& span_data =
+        dataset.user_span(user, test_span);
+    if (span_data.test < 0) continue;
+    if (!store.Has(user)) continue;
+
+    if (filter != ItemFilter::kAll) {
+      const std::vector<data::ItemId> history =
+          dataset.UserHistoryUpTo(user, history_span);
+      const bool existing = std::binary_search(
+          history.begin(), history.end(), span_data.test);
+      if (filter == ItemFilter::kExistingOnly && !existing) continue;
+      if (filter == ItemFilter::kNewOnly && existing) continue;
+    }
+    instances.push_back({user, span_data.test});
+  }
+
+  util::Stopwatch stopwatch;
+  std::vector<int64_t> ranks(instances.size(), 0);
+  util::ParallelChunks(
+      static_cast<int64_t>(instances.size()), config.threads,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          const Instance& instance =
+              instances[static_cast<size_t>(i)];
+          ranks[static_cast<size_t>(i)] =
+              TargetRank(store.Interests(instance.user), item_embeddings,
+                         instance.target, config.rule);
+        }
+      });
+  const double scoring_seconds = stopwatch.ElapsedSeconds();
+
+  MetricsAccumulator accumulator(config.top_n);
+  for (int64_t rank : ranks) accumulator.AddRank(rank);
+
+  EvalResult result;
+  result.metrics = accumulator.Finalize();
+  result.total_seconds = scoring_seconds;
+  return result;
+}
+
+}  // namespace imsr::eval

@@ -1,0 +1,43 @@
+// Per-span evaluation driver: after training through span t, the stored
+// interests rank the held-out test item of span t+1 (§IV-E's inference
+// procedure and §V-A1's protocol).
+#ifndef IMSR_EVAL_EVALUATOR_H_
+#define IMSR_EVAL_EVALUATOR_H_
+
+#include "core/interest_store.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "eval/ranker.h"
+
+namespace imsr::eval {
+
+struct EvalConfig {
+  int top_n = 20;
+  ScoreRule rule = ScoreRule::kAttentive;
+  // Worker threads for full-corpus ranking (users are independent).
+  int threads = 1;
+};
+
+// Which test targets to keep — the Fig. 7a case study splits them by
+// whether the user has interacted with the item before.
+enum class ItemFilter { kAll, kExistingOnly, kNewOnly };
+
+struct EvalResult {
+  TopNMetrics metrics;
+  double total_seconds = 0.0;  // wall time spent scoring
+};
+
+// Evaluates every user that (a) has stored interests and (b) has a test
+// item in `test_span`. `item_embeddings` is the model's (num_items x d)
+// table. With a filter other than kAll, `history_span` bounds the history
+// that defines "existing" items (usually test_span - 1).
+EvalResult EvaluateSpan(const nn::Tensor& item_embeddings,
+                        const core::InterestStore& store,
+                        const data::Dataset& dataset, int test_span,
+                        const EvalConfig& config,
+                        ItemFilter filter = ItemFilter::kAll,
+                        int history_span = -1);
+
+}  // namespace imsr::eval
+
+#endif  // IMSR_EVAL_EVALUATOR_H_

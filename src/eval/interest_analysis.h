@@ -1,0 +1,56 @@
+// Interest-set analytics backing the paper's diagnostic figures:
+// similarity-profile correlations (Fig. 3), inter-span drift (Fig. 7b)
+// and the interest-age census of which interests serve which targets
+// (Fig. 7c). Library functions so benches, examples and downstream users
+// share one implementation.
+#ifndef IMSR_EVAL_INTEREST_ANALYSIS_H_
+#define IMSR_EVAL_INTEREST_ANALYSIS_H_
+
+#include <vector>
+
+#include "core/interest_store.h"
+#include "data/dataset.h"
+#include "nn/tensor.h"
+
+namespace imsr::eval {
+
+// Similarity profile of each interest over a set of items: row k holds
+// the dot products of interest k with every item embedding (the p_k
+// vectors of §IV-D).
+std::vector<std::vector<double>> InterestItemProfiles(
+    const nn::Tensor& interests, const nn::Tensor& item_embeddings);
+
+// Pearson correlation matrix between interest profiles; entry (j, k) is
+// the correlation of interests j and k over the given items.
+std::vector<std::vector<double>> ProfileCorrelationMatrix(
+    const nn::Tensor& interests, const nn::Tensor& item_embeddings);
+
+// For each row in [first_new, K): the maximum Pearson correlation of its
+// profile against any row in [0, first_new) — Fig. 3's redundancy
+// measure.
+std::vector<double> MaxCorrelationAgainstExisting(
+    const nn::Tensor& interests, const nn::Tensor& item_embeddings,
+    int64_t first_new);
+
+// Per-row L2 norms (Fig. 3's existence measure).
+std::vector<double> InterestNorms(const nn::Tensor& interests);
+
+// Mean L2 distance between the first min(K_a, K_b) rows of two interest
+// snapshots — Fig. 7b's inherited-interest drift.
+double InheritedDrift(const nn::Tensor& before, const nn::Tensor& after);
+
+// For each new row (>= first_new) of `interests`: distance to the nearest
+// row below first_new — Fig. 7b's "new interests appear in new places".
+std::vector<double> DistanceToNearestExisting(const nn::Tensor& interests,
+                                              int64_t first_new);
+
+// Fig. 7c: fraction of `test_span` test targets whose best-matching
+// stored interest (by dot product) was created in each span. Entry s of
+// the result is the share for creation span s (0..max_span).
+std::vector<double> InterestAgeServingShare(
+    const nn::Tensor& item_embeddings, const core::InterestStore& store,
+    const data::Dataset& dataset, int test_span, int max_span);
+
+}  // namespace imsr::eval
+
+#endif  // IMSR_EVAL_INTEREST_ANALYSIS_H_

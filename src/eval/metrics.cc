@@ -1,0 +1,72 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace imsr::eval {
+
+MetricsAccumulator::MetricsAccumulator(int top_n) : top_n_(top_n) {
+  IMSR_CHECK_GT(top_n, 0);
+}
+
+void MetricsAccumulator::AddRank(int64_t rank) {
+  IMSR_CHECK_GE(rank, 1);
+  ++users_;
+  if (rank <= top_n_) ++hits_;
+  ndcg_sum_ += NdcgAtRank(rank, top_n_);
+}
+
+TopNMetrics MetricsAccumulator::Finalize() const {
+  TopNMetrics metrics;
+  metrics.users = users_;
+  if (users_ > 0) {
+    metrics.hit_ratio = static_cast<double>(hits_) /
+                        static_cast<double>(users_);
+    metrics.ndcg = ndcg_sum_ / static_cast<double>(users_);
+  }
+  return metrics;
+}
+
+double NdcgAtRank(int64_t rank, int top_n) {
+  if (rank > top_n) return 0.0;
+  return 1.0 / std::log2(static_cast<double>(rank) + 1.0);
+}
+
+MultiCutoffAccumulator::MultiCutoffAccumulator(std::vector<int> cutoffs)
+    : cutoffs_(std::move(cutoffs)),
+      hits_(cutoffs_.size(), 0),
+      ndcg_sums_(cutoffs_.size(), 0.0) {
+  IMSR_CHECK(!cutoffs_.empty());
+  for (int cutoff : cutoffs_) IMSR_CHECK_GT(cutoff, 0);
+}
+
+void MultiCutoffAccumulator::AddRank(int64_t rank) {
+  IMSR_CHECK_GE(rank, 1);
+  ++users_;
+  reciprocal_rank_sum_ += 1.0 / static_cast<double>(rank);
+  for (size_t i = 0; i < cutoffs_.size(); ++i) {
+    if (rank <= cutoffs_[i]) {
+      ++hits_[i];
+      ndcg_sums_[i] += NdcgAtRank(rank, cutoffs_[i]);
+    }
+  }
+}
+
+MultiCutoffMetrics MultiCutoffAccumulator::Finalize() const {
+  MultiCutoffMetrics metrics;
+  metrics.cutoffs = cutoffs_;
+  metrics.users = users_;
+  metrics.hit_ratio.resize(cutoffs_.size(), 0.0);
+  metrics.ndcg.resize(cutoffs_.size(), 0.0);
+  if (users_ == 0) return metrics;
+  for (size_t i = 0; i < cutoffs_.size(); ++i) {
+    metrics.hit_ratio[i] =
+        static_cast<double>(hits_[i]) / static_cast<double>(users_);
+    metrics.ndcg[i] = ndcg_sums_[i] / static_cast<double>(users_);
+  }
+  metrics.mrr = reciprocal_rank_sum_ / static_cast<double>(users_);
+  return metrics;
+}
+
+}  // namespace imsr::eval

@@ -1,0 +1,67 @@
+// Ranking metrics (HR@N, NDCG@N) used throughout the evaluation (§V-A2).
+#ifndef IMSR_EVAL_METRICS_H_
+#define IMSR_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace imsr::eval {
+
+// Aggregated top-N metrics over a set of evaluated users.
+struct TopNMetrics {
+  double hit_ratio = 0.0;
+  double ndcg = 0.0;
+  int64_t users = 0;
+};
+
+// Accumulates per-user ranks into running metric sums.
+class MetricsAccumulator {
+ public:
+  explicit MetricsAccumulator(int top_n);
+
+  // Records one user's 1-based rank of the ground-truth item.
+  void AddRank(int64_t rank);
+
+  TopNMetrics Finalize() const;
+
+  int top_n() const { return top_n_; }
+
+ private:
+  int top_n_;
+  int64_t users_ = 0;
+  int64_t hits_ = 0;
+  double ndcg_sum_ = 0.0;
+};
+
+// NDCG contribution of a single relevant item at 1-based `rank`
+// (1/log2(rank+1) within the cut-off, else 0).
+double NdcgAtRank(int64_t rank, int top_n);
+
+// Metrics at several cut-offs from one ranking pass, plus MRR — the
+// extended report some MSR papers use (HR/NDCG@10/20/50).
+struct MultiCutoffMetrics {
+  std::vector<int> cutoffs;
+  std::vector<double> hit_ratio;  // parallel to cutoffs
+  std::vector<double> ndcg;       // parallel to cutoffs
+  double mrr = 0.0;
+  int64_t users = 0;
+};
+
+class MultiCutoffAccumulator {
+ public:
+  explicit MultiCutoffAccumulator(std::vector<int> cutoffs);
+
+  void AddRank(int64_t rank);
+  MultiCutoffMetrics Finalize() const;
+
+ private:
+  std::vector<int> cutoffs_;
+  std::vector<int64_t> hits_;
+  std::vector<double> ndcg_sums_;
+  double reciprocal_rank_sum_ = 0.0;
+  int64_t users_ = 0;
+};
+
+}  // namespace imsr::eval
+
+#endif  // IMSR_EVAL_METRICS_H_

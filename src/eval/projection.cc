@@ -1,0 +1,117 @@
+#include "eval/projection.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace imsr::eval {
+namespace {
+
+// Covariance-vector product without materialising the d x d covariance:
+// C v = X^T (X v) / n for centred X.
+nn::Tensor CovarianceTimes(const nn::Tensor& centred,
+                           const nn::Tensor& v) {
+  const nn::Tensor xv = nn::MatVec(centred, v);            // (n)
+  nn::Tensor result = nn::MatVec(nn::Transpose(centred), xv);  // (d)
+  result.ScaleInPlace(1.0f / static_cast<float>(centred.size(0)));
+  return result;
+}
+
+// Leading eigenvector of the covariance of `centred`, orthogonal to
+// `deflate` (nullable), via power iteration. Returns a unit vector and
+// its eigenvalue through `eigenvalue`.
+nn::Tensor PowerIteration(const nn::Tensor& centred,
+                          const nn::Tensor* deflate, double* eigenvalue) {
+  const int64_t d = centred.size(1);
+  // Deterministic start vector.
+  nn::Tensor v({d});
+  for (int64_t j = 0; j < d; ++j) {
+    v.at(j) = 1.0f / std::sqrt(static_cast<float>(d)) *
+              (j % 2 == 0 ? 1.0f : -0.5f);
+  }
+  double lambda = 0.0;
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    if (deflate != nullptr) {
+      const float along = nn::DotFlat(v, *deflate);
+      v.AddScaledInPlace(*deflate, -along);
+    }
+    nn::Tensor next = CovarianceTimes(centred, v);
+    const float norm = nn::L2NormFlat(next);
+    if (norm < 1e-12f) {
+      // Degenerate direction (zero variance); return the current vector.
+      lambda = 0.0;
+      break;
+    }
+    next.ScaleInPlace(1.0f / norm);
+    const float delta = nn::MaxAbsDiff(next, v);
+    v = std::move(next);
+    lambda = static_cast<double>(norm);
+    if (delta < 1e-9f && iteration > 3) break;
+  }
+  if (eigenvalue != nullptr) *eigenvalue = lambda;
+  return v;
+}
+
+nn::Tensor CentreRows(const nn::Tensor& points) {
+  const int64_t n = points.size(0);
+  const int64_t d = points.size(1);
+  nn::Tensor mean({d});
+  for (int64_t i = 0; i < n; ++i) {
+    mean.AddInPlace(points.Row(i));
+  }
+  mean.ScaleInPlace(1.0f / static_cast<float>(n));
+  nn::Tensor centred = points;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      centred.at(i, j) -= mean.at(j);
+    }
+  }
+  return centred;
+}
+
+double TotalVariance(const nn::Tensor& centred) {
+  double total = 0.0;
+  for (int64_t i = 0; i < centred.numel(); ++i) {
+    total += static_cast<double>(centred.data()[i]) * centred.data()[i];
+  }
+  return total / static_cast<double>(centred.size(0));
+}
+
+}  // namespace
+
+std::vector<std::pair<double, double>> PcaProject2d(
+    const nn::Tensor& points) {
+  IMSR_CHECK_EQ(points.dim(), 2);
+  IMSR_CHECK_GE(points.size(0), 2);
+  const nn::Tensor centred = CentreRows(points);
+  double lambda1 = 0.0;
+  const nn::Tensor pc1 = PowerIteration(centred, nullptr, &lambda1);
+  double lambda2 = 0.0;
+  const nn::Tensor pc2 = PowerIteration(centred, &pc1, &lambda2);
+
+  std::vector<std::pair<double, double>> projected;
+  projected.reserve(static_cast<size_t>(points.size(0)));
+  for (int64_t i = 0; i < points.size(0); ++i) {
+    const nn::Tensor row = centred.Row(i);
+    projected.emplace_back(nn::DotFlat(row, pc1), nn::DotFlat(row, pc2));
+  }
+  return projected;
+}
+
+double PcaExplainedVariance(const nn::Tensor& points, int k) {
+  IMSR_CHECK(k == 1 || k == 2);
+  const nn::Tensor centred = CentreRows(points);
+  const double total = TotalVariance(centred);
+  if (total < 1e-12) return 1.0;
+  double lambda1 = 0.0;
+  const nn::Tensor pc1 = PowerIteration(centred, nullptr, &lambda1);
+  double explained = lambda1;
+  if (k == 2) {
+    double lambda2 = 0.0;
+    PowerIteration(centred, &pc1, &lambda2);
+    explained += lambda2;
+  }
+  return explained / total;
+}
+
+}  // namespace imsr::eval

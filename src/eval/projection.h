@@ -1,0 +1,28 @@
+// 2-D PCA projection of interest vectors — the quantitative stand-in for
+// the paper's t-SNE visualisation (Fig. 7b): project a set of
+// d-dimensional interest snapshots into the plane spanned by the top two
+// principal components so their evolution can be plotted or exported.
+#ifndef IMSR_EVAL_PROJECTION_H_
+#define IMSR_EVAL_PROJECTION_H_
+
+#include <utility>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace imsr::eval {
+
+// Centre the rows of `points` (n x d) and project onto the top two
+// principal components (power iteration with deflation). Returns n (x, y)
+// pairs. Requires n >= 2; with d == 1 the y coordinate is 0.
+std::vector<std::pair<double, double>> PcaProject2d(
+    const nn::Tensor& points);
+
+// Variance explained by the top `k` principal components (k in {1, 2}),
+// as a fraction of total variance. Diagnostic for how faithful the 2-D
+// picture is.
+double PcaExplainedVariance(const nn::Tensor& points, int k);
+
+}  // namespace imsr::eval
+
+#endif  // IMSR_EVAL_PROJECTION_H_

@@ -1,0 +1,86 @@
+#include "eval/ranker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace imsr::eval {
+
+std::vector<float> ScoreAllItems(const nn::Tensor& interests,
+                                 const nn::Tensor& item_embeddings,
+                                 ScoreRule rule) {
+  IMSR_CHECK_EQ(interests.dim(), 2);
+  IMSR_CHECK_EQ(item_embeddings.dim(), 2);
+  IMSR_CHECK_EQ(interests.size(1), item_embeddings.size(1));
+  const int64_t num_items = item_embeddings.size(0);
+  const int64_t k = interests.size(0);
+
+  // logits = E H^T, one row of K interest scores per item.
+  const nn::Tensor logits =
+      nn::MatMul(item_embeddings, nn::Transpose(interests));
+  std::vector<float> scores(static_cast<size_t>(num_items));
+  for (int64_t i = 0; i < num_items; ++i) {
+    const float* row = logits.data() + i * k;
+    if (rule == ScoreRule::kMaxInterest) {
+      float best = row[0];
+      for (int64_t j = 1; j < k; ++j) best = std::max(best, row[j]);
+      scores[static_cast<size_t>(i)] = best;
+    } else {
+      // Attentive: v_u(e_i) . e_i = sum_k softmax(row)_k row_k.
+      float max_logit = row[0];
+      for (int64_t j = 1; j < k; ++j) max_logit = std::max(max_logit, row[j]);
+      float total = 0.0f;
+      float weighted = 0.0f;
+      for (int64_t j = 0; j < k; ++j) {
+        const float w = std::exp(row[j] - max_logit);
+        total += w;
+        weighted += w * row[j];
+      }
+      scores[static_cast<size_t>(i)] = weighted / total;
+    }
+  }
+  return scores;
+}
+
+int64_t TargetRank(const nn::Tensor& interests,
+                   const nn::Tensor& item_embeddings, data::ItemId target,
+                   ScoreRule rule) {
+  IMSR_CHECK(target >= 0 && target < item_embeddings.size(0));
+  const std::vector<float> scores =
+      ScoreAllItems(interests, item_embeddings, rule);
+  const float target_score = scores[static_cast<size_t>(target)];
+  int64_t rank = 1;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (static_cast<data::ItemId>(i) == target) continue;
+    if (scores[i] >= target_score) ++rank;
+  }
+  return rank;
+}
+
+std::vector<std::pair<data::ItemId, float>> TopNItems(
+    const nn::Tensor& interests, const nn::Tensor& item_embeddings, int n,
+    ScoreRule rule) {
+  IMSR_CHECK_GT(n, 0);
+  const std::vector<float> scores =
+      ScoreAllItems(interests, item_embeddings, rule);
+  std::vector<data::ItemId> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<data::ItemId>(i);
+  }
+  const size_t keep = std::min(static_cast<size_t>(n), order.size());
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<int64_t>(keep), order.end(),
+                    [&scores](data::ItemId a, data::ItemId b) {
+                      return scores[static_cast<size_t>(a)] >
+                             scores[static_cast<size_t>(b)];
+                    });
+  std::vector<std::pair<data::ItemId, float>> top;
+  top.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    top.emplace_back(order[i], scores[static_cast<size_t>(order[i])]);
+  }
+  return top;
+}
+
+}  // namespace imsr::eval

@@ -1,0 +1,37 @@
+// Full-corpus ranking from a user's interest vectors. Implements both the
+// paper's attentive inference rule (Algorithm 2: v_u built per candidate
+// via Eq. 5, scored by inner product) and ComiRec's max-interest serving
+// rule.
+#ifndef IMSR_EVAL_RANKER_H_
+#define IMSR_EVAL_RANKER_H_
+
+#include <utility>
+#include <vector>
+
+#include "data/interaction.h"
+#include "nn/tensor.h"
+
+namespace imsr::eval {
+
+enum class ScoreRule { kAttentive, kMaxInterest };
+
+// Scores of every item: logits = E H^T (num_items x K), then per item
+// either the softmax-weighted combination (attentive) or the max over K.
+std::vector<float> ScoreAllItems(const nn::Tensor& interests,
+                                 const nn::Tensor& item_embeddings,
+                                 ScoreRule rule);
+
+// 1-based rank of `target` among all items under `rule` (ties resolved
+// pessimistically: equal scores ahead of the target count against it).
+int64_t TargetRank(const nn::Tensor& interests,
+                   const nn::Tensor& item_embeddings, data::ItemId target,
+                   ScoreRule rule);
+
+// Top-N (item, score) pairs, highest first.
+std::vector<std::pair<data::ItemId, float>> TopNItems(
+    const nn::Tensor& interests, const nn::Tensor& item_embeddings, int n,
+    ScoreRule rule);
+
+}  // namespace imsr::eval
+
+#endif  // IMSR_EVAL_RANKER_H_

@@ -1,0 +1,40 @@
+#include "models/aggregator.h"
+
+#include <algorithm>
+
+#include "nn/ops.h"
+
+namespace imsr::models {
+
+nn::Var AttentiveAggregate(const nn::Var& interests,
+                           const nn::Var& target_embedding) {
+  // beta = softmax(H e_a); v = H^T beta.
+  nn::Var logits = nn::ops::MatVec(interests, target_embedding);  // (K)
+  nn::Var beta = nn::ops::Softmax(logits);
+  return nn::ops::MatVec(nn::ops::Transpose(interests), beta);    // (d)
+}
+
+nn::Tensor AttentiveAggregateNoGrad(const nn::Tensor& interests,
+                                    const nn::Tensor& target_embedding) {
+  const nn::Tensor logits = nn::MatVec(interests, target_embedding);
+  const nn::Tensor beta = nn::Softmax(logits);
+  return nn::MatVec(nn::Transpose(interests), beta);
+}
+
+float AttentiveScore(const nn::Tensor& interests,
+                     const nn::Tensor& item_embedding) {
+  const nn::Tensor v = AttentiveAggregateNoGrad(interests, item_embedding);
+  return nn::DotFlat(v, item_embedding);
+}
+
+float MaxInterestScore(const nn::Tensor& interests,
+                       const nn::Tensor& item_embedding) {
+  const nn::Tensor logits = nn::MatVec(interests, item_embedding);
+  float best = logits.at(0);
+  for (int64_t k = 1; k < logits.numel(); ++k) {
+    best = std::max(best, logits.at(k));
+  }
+  return best;
+}
+
+}  // namespace imsr::models

@@ -1,0 +1,43 @@
+#include "models/capsule_routing.h"
+
+#include "util/check.h"
+
+namespace imsr::models {
+
+nn::Tensor B2IRouting(const nn::Tensor& e_hat,
+                      const nn::Tensor& interest_init,
+                      const RoutingConfig& config, util::Rng* rng) {
+  IMSR_CHECK_EQ(e_hat.dim(), 2);
+  IMSR_CHECK_EQ(interest_init.dim(), 2);
+  IMSR_CHECK_EQ(e_hat.size(1), interest_init.size(1));
+  IMSR_CHECK_GE(config.iterations, 1);
+
+  const int64_t n = e_hat.size(0);
+  const int64_t k = interest_init.size(0);
+
+  // Logits seeded by similarity to the stored interests — this is how
+  // existing interests persist across spans in the incremental setting.
+  nn::Tensor logits = nn::MatMul(e_hat, nn::Transpose(interest_init));
+  if (config.logit_noise > 0.0f) {
+    IMSR_CHECK(rng != nullptr) << "logit noise requires an Rng";
+    for (int64_t i = 0; i < logits.numel(); ++i) {
+      logits.data()[i] +=
+          static_cast<float>(rng->Gaussian(0.0, config.logit_noise));
+    }
+  }
+
+  nn::Tensor coupling({n, k});
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    // Votes: each behaviour distributes attention across interests.
+    coupling = nn::Softmax(logits);
+    if (iter + 1 == config.iterations) break;
+    // Candidate capsules from the current coupling, then logit update
+    // b_ik += e_hat_i . h_k.
+    const nn::Tensor capsules =
+        nn::SquashRows(nn::MatMul(nn::Transpose(coupling), e_hat));
+    logits.AddInPlace(nn::MatMul(e_hat, nn::Transpose(capsules)));
+  }
+  return coupling;
+}
+
+}  // namespace imsr::models

@@ -1,0 +1,31 @@
+// Behaviour-to-Interest (B2I) dynamic routing (Eq. 4) shared by the MIND
+// and ComiRec-DR extractors. Routing coefficients are computed outside the
+// autograd graph and treated as constants in the backward pass (see
+// DESIGN.md §1).
+#ifndef IMSR_MODELS_CAPSULE_ROUTING_H_
+#define IMSR_MODELS_CAPSULE_ROUTING_H_
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace imsr::models {
+
+struct RoutingConfig {
+  int iterations = 3;
+  // Stddev of Gaussian noise added to the initial logits (MIND initialises
+  // logits randomly; ComiRec-DR uses 0).
+  float logit_noise = 0.0f;
+};
+
+// Runs B2I routing of the transformed behaviour capsules `e_hat` (n x d)
+// against `interest_init` (K x d), the user's stored interest vectors that
+// seed the routing logits (b_ik = e_hat_i . h_k). Returns the final
+// coupling matrix C (n x K): the interest capsules are
+// H = squash(C^T e_hat).
+nn::Tensor B2IRouting(const nn::Tensor& e_hat,
+                      const nn::Tensor& interest_init,
+                      const RoutingConfig& config, util::Rng* rng);
+
+}  // namespace imsr::models
+
+#endif  // IMSR_MODELS_CAPSULE_ROUTING_H_

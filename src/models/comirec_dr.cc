@@ -1,0 +1,56 @@
+#include "models/comirec_dr.h"
+
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace imsr::models {
+
+DynamicRoutingExtractor::DynamicRoutingExtractor(
+    int64_t embedding_dim, const RoutingConfig& config, util::Rng& rng)
+    : embedding_dim_(embedding_dim),
+      routing_config_(config),
+      transform_(nn::XavierUniform(embedding_dim, embedding_dim, rng),
+                 /*requires_grad=*/true),
+      rng_(rng.Fork()) {}
+
+nn::Var DynamicRoutingExtractor::Forward(const nn::Var& item_embeddings,
+                                         const nn::Tensor& interest_init,
+                                         data::UserId /*user*/) {
+  // Eq. 3: behaviour capsules via the shared affine transform.
+  nn::Var e_hat = nn::ops::MatMul(item_embeddings, transform_);
+  // Routing runs outside the graph; coefficients enter as constants.
+  const nn::Tensor coupling =
+      B2IRouting(e_hat.value(), interest_init, routing_config_, &rng_);
+  const nn::Var coupling_t(nn::Transpose(coupling));  // (K x n), constant
+  // Eq. 4: h_k = squash(sum_i c_ik e_hat_i).
+  return nn::ops::SquashRows(nn::ops::MatMul(coupling_t, e_hat));
+}
+
+nn::Tensor DynamicRoutingExtractor::ForwardNoGrad(
+    const nn::Tensor& item_embeddings, const nn::Tensor& interest_init,
+    data::UserId /*user*/) {
+  const nn::Tensor e_hat = nn::MatMul(item_embeddings, transform_.value());
+  const nn::Tensor coupling =
+      B2IRouting(e_hat, interest_init, routing_config_, &rng_);
+  return nn::SquashRows(nn::MatMul(nn::Transpose(coupling), e_hat));
+}
+
+void DynamicRoutingExtractor::Reset(util::Rng& rng) {
+  transform_.mutable_value() =
+      nn::XavierUniform(embedding_dim_, embedding_dim_, rng);
+  transform_.ZeroGrad();
+}
+
+void DynamicRoutingExtractor::Save(util::BinaryWriter* writer) const {
+  writer->WriteInt64(embedding_dim_);
+  writer->WriteFloatArray(transform_.value().data(),
+                          static_cast<size_t>(transform_.value().numel()));
+}
+
+void DynamicRoutingExtractor::Load(util::BinaryReader* reader) {
+  IMSR_CHECK_EQ(reader->ReadInt64(), embedding_dim_);
+  reader->ReadFloatArray(transform_.mutable_value().data(),
+                         static_cast<size_t>(transform_.value().numel()));
+}
+
+}  // namespace imsr::models

@@ -1,0 +1,49 @@
+// Dynamic-routing multi-interest extractor (§III-1): a shared affine
+// transform into the behaviour-capsule plane followed by B2I routing.
+// Covers both ComiRec-DR (zero logit noise) and, via subclassing, MIND
+// (random logit initialisation) — the two differ only in routing-logit
+// initialisation (paper §V-A3).
+#ifndef IMSR_MODELS_COMIREC_DR_H_
+#define IMSR_MODELS_COMIREC_DR_H_
+
+#include <vector>
+
+#include "models/capsule_routing.h"
+#include "models/extractor.h"
+
+namespace imsr::models {
+
+class DynamicRoutingExtractor : public MultiInterestExtractor {
+ public:
+  DynamicRoutingExtractor(int64_t embedding_dim, const RoutingConfig& config,
+                          util::Rng& rng);
+
+  ExtractorKind kind() const override { return ExtractorKind::kComiRecDr; }
+
+  nn::Var Forward(const nn::Var& item_embeddings,
+                  const nn::Tensor& interest_init,
+                  data::UserId user) override;
+
+  nn::Tensor ForwardNoGrad(const nn::Tensor& item_embeddings,
+                           const nn::Tensor& interest_init,
+                           data::UserId user) override;
+
+  std::vector<nn::Var> SharedParameters() override { return {transform_}; }
+
+  void Reset(util::Rng& rng) override;
+
+  void Save(util::BinaryWriter* writer) const override;
+  void Load(util::BinaryReader* reader) override;
+
+  const nn::Var& transform() const { return transform_; }
+
+ private:
+  int64_t embedding_dim_;
+  RoutingConfig routing_config_;
+  nn::Var transform_;  // W^t in Eq. 3, (d x d)
+  util::Rng rng_;      // drives MIND's logit noise
+};
+
+}  // namespace imsr::models
+
+#endif  // IMSR_MODELS_COMIREC_DR_H_

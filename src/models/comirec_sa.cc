@@ -1,0 +1,165 @@
+#include "models/comirec_sa.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace imsr::models {
+
+SelfAttentionExtractor::SelfAttentionExtractor(int64_t embedding_dim,
+                                               int64_t attention_dim,
+                                               util::Rng& rng)
+    : embedding_dim_(embedding_dim),
+      attention_dim_(attention_dim),
+      w1_(nn::XavierUniform(embedding_dim, attention_dim, rng),
+          /*requires_grad=*/true) {}
+
+nn::Var SelfAttentionExtractor::Forward(const nn::Var& item_embeddings,
+                                        const nn::Tensor& interest_init,
+                                        data::UserId user) {
+  auto it = user_query_.find(user);
+  IMSR_CHECK(it != user_query_.end())
+      << "EnsureUserCapacity must run before Forward for user " << user;
+  const nn::Var& w_user = it->second;
+  IMSR_CHECK_EQ(w_user.value().size(1), interest_init.size(0))
+      << "user query width must match the stored interest count";
+  // Eq. 8 in row-major orientation: A^T = softmax_over_items(
+  //   (W_u^T tanh(E W1))^T ), H = A^T E.
+  nn::Var hidden = nn::ops::Tanh(nn::ops::MatMul(item_embeddings, w1_));
+  nn::Var logits = nn::ops::MatMul(hidden, w_user);        // (n x K)
+  nn::Var attention = nn::ops::Softmax(nn::ops::Transpose(logits));
+  return nn::ops::MatMul(attention, item_embeddings);      // (K x d)
+}
+
+nn::Tensor SelfAttentionExtractor::ForwardNoGrad(
+    const nn::Tensor& item_embeddings, const nn::Tensor& interest_init,
+    data::UserId user) {
+  auto it = user_query_.find(user);
+  IMSR_CHECK(it != user_query_.end())
+      << "EnsureUserCapacity must run before ForwardNoGrad for user "
+      << user;
+  const nn::Tensor& w_user = it->second.value();
+  IMSR_CHECK_EQ(w_user.size(1), interest_init.size(0));
+  const nn::Tensor hidden =
+      nn::Tanh(nn::MatMul(item_embeddings, w1_.value()));
+  const nn::Tensor logits = nn::MatMul(hidden, w_user);
+  const nn::Tensor attention = nn::Softmax(nn::Transpose(logits));
+  return nn::MatMul(attention, item_embeddings);
+}
+
+nn::Tensor SelfAttentionExtractor::RandomQueryColumns(
+    int64_t columns, util::Rng& rng) const {
+  const float bound = std::sqrt(
+      6.0f / static_cast<float>(attention_dim_ + columns));
+  return nn::Tensor::RandUniform({attention_dim_, columns}, rng, -bound,
+                                 bound);
+}
+
+void SelfAttentionExtractor::EnsureUserCapacity(data::UserId user,
+                                                int64_t num_interests,
+                                                util::Rng& rng,
+                                                nn::Optimizer* optimizer) {
+  IMSR_CHECK_GT(num_interests, 0);
+  auto it = user_query_.find(user);
+  if (it == user_query_.end()) {
+    nn::Var query(RandomQueryColumns(num_interests, rng),
+                  /*requires_grad=*/true);
+    user_query_.emplace(user, query);
+    if (optimizer != nullptr) optimizer->Register(query);
+    return;
+  }
+  const int64_t current = it->second.value().size(1);
+  if (current >= num_interests) return;
+  // Grow: copy existing columns, append fresh random ones.
+  nn::Tensor grown({attention_dim_, num_interests});
+  const nn::Tensor fresh = RandomQueryColumns(num_interests - current, rng);
+  for (int64_t r = 0; r < attention_dim_; ++r) {
+    for (int64_t c = 0; c < current; ++c) {
+      grown.at(r, c) = it->second.value().at(r, c);
+    }
+    for (int64_t c = current; c < num_interests; ++c) {
+      grown.at(r, c) = fresh.at(r, c - current);
+    }
+  }
+  nn::Var replacement(std::move(grown), /*requires_grad=*/true);
+  if (optimizer != nullptr) {
+    optimizer->Unregister(it->second);
+    optimizer->Register(replacement);
+  }
+  it->second = replacement;
+}
+
+void SelfAttentionExtractor::KeepUserInterests(
+    data::UserId user, const std::vector<int64_t>& kept,
+    nn::Optimizer* optimizer) {
+  auto it = user_query_.find(user);
+  IMSR_CHECK(it != user_query_.end());
+  IMSR_CHECK(!kept.empty()) << "a user must keep at least one interest";
+  const nn::Tensor& current = it->second.value();
+  nn::Tensor shrunk({attention_dim_, static_cast<int64_t>(kept.size())});
+  for (size_t c = 0; c < kept.size(); ++c) {
+    IMSR_CHECK(kept[c] >= 0 && kept[c] < current.size(1));
+    for (int64_t r = 0; r < attention_dim_; ++r) {
+      shrunk.at(r, static_cast<int64_t>(c)) = current.at(r, kept[c]);
+    }
+  }
+  nn::Var replacement(std::move(shrunk), /*requires_grad=*/true);
+  if (optimizer != nullptr) {
+    optimizer->Unregister(it->second);
+    optimizer->Register(replacement);
+  }
+  it->second = replacement;
+}
+
+void SelfAttentionExtractor::Reset(util::Rng& rng) {
+  w1_.mutable_value() =
+      nn::XavierUniform(embedding_dim_, attention_dim_, rng);
+  w1_.ZeroGrad();
+  user_query_.clear();
+}
+
+void SelfAttentionExtractor::Save(util::BinaryWriter* writer) const {
+  writer->WriteInt64(embedding_dim_);
+  writer->WriteInt64(attention_dim_);
+  writer->WriteFloatArray(w1_.value().data(),
+                          static_cast<size_t>(w1_.value().numel()));
+  writer->WriteInt64(static_cast<int64_t>(user_query_.size()));
+  for (const auto& [user, query] : user_query_) {
+    writer->WriteInt64(user);
+    writer->WriteInt64(query.value().size(1));
+    writer->WriteFloatArray(query.value().data(),
+                            static_cast<size_t>(query.value().numel()));
+  }
+}
+
+void SelfAttentionExtractor::Load(util::BinaryReader* reader) {
+  IMSR_CHECK_EQ(reader->ReadInt64(), embedding_dim_);
+  IMSR_CHECK_EQ(reader->ReadInt64(), attention_dim_);
+  reader->ReadFloatArray(w1_.mutable_value().data(),
+                         static_cast<size_t>(w1_.value().numel()));
+  user_query_.clear();
+  const int64_t count = reader->ReadInt64();
+  for (int64_t i = 0; i < count; ++i) {
+    const auto user = static_cast<data::UserId>(reader->ReadInt64());
+    const int64_t columns = reader->ReadInt64();
+    nn::Tensor query({attention_dim_, columns});
+    reader->ReadFloatArray(query.data(),
+                           static_cast<size_t>(query.numel()));
+    user_query_.emplace(user, nn::Var(std::move(query),
+                                      /*requires_grad=*/true));
+  }
+}
+
+int64_t SelfAttentionExtractor::UserCapacity(data::UserId user) const {
+  auto it = user_query_.find(user);
+  return it == user_query_.end() ? 0 : it->second.value().size(1);
+}
+
+const nn::Var& SelfAttentionExtractor::UserQuery(data::UserId user) const {
+  auto it = user_query_.find(user);
+  IMSR_CHECK(it != user_query_.end());
+  return it->second;
+}
+
+}  // namespace imsr::models

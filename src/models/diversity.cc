@@ -1,0 +1,66 @@
+#include "models/diversity.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace imsr::models {
+
+std::vector<std::pair<data::ItemId, float>> ControllableRerank(
+    const std::vector<std::pair<data::ItemId, float>>& candidates,
+    const std::vector<int>& item_category, const DiversityConfig& config) {
+  IMSR_CHECK_GT(config.top_n, 0);
+  IMSR_CHECK_GE(config.lambda, 0.0);
+
+  std::vector<bool> used(candidates.size(), false);
+  std::unordered_set<int> covered_categories;
+  std::vector<std::pair<data::ItemId, float>> selected;
+  const size_t keep =
+      std::min(static_cast<size_t>(config.top_n), candidates.size());
+  selected.reserve(keep);
+
+  while (selected.size() < keep) {
+    double best_value = -1e300;
+    size_t best_index = candidates.size();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      const auto [item, score] = candidates[i];
+      IMSR_CHECK(item >= 0 &&
+                 static_cast<size_t>(item) < item_category.size());
+      const int category = item_category[static_cast<size_t>(item)];
+      const double bonus =
+          covered_categories.count(category) == 0 ? config.lambda : 0.0;
+      const double value = static_cast<double>(score) + bonus;
+      if (value > best_value) {
+        best_value = value;
+        best_index = i;
+      }
+    }
+    if (best_index == candidates.size()) break;
+    used[best_index] = true;
+    const auto [item, score] = candidates[best_index];
+    covered_categories.insert(item_category[static_cast<size_t>(item)]);
+    selected.push_back(candidates[best_index]);
+  }
+  return selected;
+}
+
+double ListDiversity(
+    const std::vector<std::pair<data::ItemId, float>>& items,
+    const std::vector<int>& item_category) {
+  if (items.size() < 2) return 0.0;
+  int64_t different = 0;
+  int64_t pairs = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    for (size_t j = i + 1; j < items.size(); ++j) {
+      ++pairs;
+      const int ci = item_category[static_cast<size_t>(items[i].first)];
+      const int cj = item_category[static_cast<size_t>(items[j].first)];
+      if (ci != cj) ++different;
+    }
+  }
+  return static_cast<double>(different) / static_cast<double>(pairs);
+}
+
+}  // namespace imsr::models

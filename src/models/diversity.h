@@ -1,0 +1,40 @@
+// ComiRec's controllable re-ranking (Cen et al. 2020, §"Controllable
+// study"): after retrieving candidates with the multi-interest model, a
+// greedy selection trades accuracy against diversity,
+//   argmax_i  score(u, i) + lambda * sum_{j in S} delta(cat(i) != cat(j)),
+// where delta rewards covering categories not yet in the selected set S.
+// The paper under reproduction builds on ComiRec; the controllable module
+// completes the base framework.
+#ifndef IMSR_MODELS_DIVERSITY_H_
+#define IMSR_MODELS_DIVERSITY_H_
+
+#include <utility>
+#include <vector>
+
+#include "data/interaction.h"
+
+namespace imsr::models {
+
+// Item categories can come from generator ground truth or any taxonomy.
+struct DiversityConfig {
+  // Trade-off factor lambda: 0 = pure accuracy ranking.
+  double lambda = 0.1;
+  int top_n = 20;
+};
+
+// Greedy controllable selection from scored candidates.
+// `candidates` holds (item, relevance score) pairs — typically the top-M
+// output of eval::TopNItems with M > top_n; `item_category` maps every
+// item id to a category. Returns the re-ranked top-N.
+std::vector<std::pair<data::ItemId, float>> ControllableRerank(
+    const std::vector<std::pair<data::ItemId, float>>& candidates,
+    const std::vector<int>& item_category, const DiversityConfig& config);
+
+// Diversity of a recommendation list: fraction of pairs with different
+// categories (the ComiRec paper's Diversity@N metric).
+double ListDiversity(const std::vector<std::pair<data::ItemId, float>>& items,
+                     const std::vector<int>& item_category);
+
+}  // namespace imsr::models
+
+#endif  // IMSR_MODELS_DIVERSITY_H_

@@ -1,0 +1,62 @@
+#include "models/embedding.h"
+
+#include <vector>
+
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace imsr::models {
+namespace {
+
+std::vector<int64_t> ToIndices(const std::vector<data::ItemId>& items) {
+  std::vector<int64_t> indices;
+  indices.reserve(items.size());
+  for (data::ItemId item : items) indices.push_back(item);
+  return indices;
+}
+
+}  // namespace
+
+EmbeddingTable::EmbeddingTable(int64_t num_items, int64_t dim,
+                               util::Rng& rng)
+    : num_items_(num_items),
+      dim_(dim),
+      table_(nn::EmbeddingInit(num_items, dim, rng),
+             /*requires_grad=*/true) {}
+
+nn::Var EmbeddingTable::Lookup(
+    const std::vector<data::ItemId>& items) const {
+  return nn::ops::GatherRows(table_, ToIndices(items));
+}
+
+nn::Tensor EmbeddingTable::LookupNoGrad(
+    const std::vector<data::ItemId>& items) const {
+  return nn::GatherRows(table_.value(), ToIndices(items));
+}
+
+nn::Tensor EmbeddingTable::RowNoGrad(data::ItemId item) const {
+  return table_.value().Row(item);
+}
+
+void EmbeddingTable::Reset(util::Rng& rng) {
+  table_.mutable_value() = nn::EmbeddingInit(num_items_, dim_, rng);
+  table_.ZeroGrad();
+}
+
+void EmbeddingTable::Save(util::BinaryWriter* writer) const {
+  writer->WriteInt64(num_items_);
+  writer->WriteInt64(dim_);
+  writer->WriteFloatArray(table_.value().data(),
+                          static_cast<size_t>(table_.value().numel()));
+}
+
+void EmbeddingTable::Load(util::BinaryReader* reader) {
+  const int64_t rows = reader->ReadInt64();
+  const int64_t dim = reader->ReadInt64();
+  IMSR_CHECK_EQ(rows, num_items_);
+  IMSR_CHECK_EQ(dim, dim_);
+  reader->ReadFloatArray(table_.mutable_value().data(),
+                         static_cast<size_t>(table_.value().numel()));
+}
+
+}  // namespace imsr::models

@@ -1,0 +1,47 @@
+// Item embedding table — the shared bottom layer of every MSR model.
+#ifndef IMSR_MODELS_EMBEDDING_H_
+#define IMSR_MODELS_EMBEDDING_H_
+
+#include <vector>
+
+#include "data/interaction.h"
+#include "nn/variable.h"
+#include "util/rng.h"
+#include "util/serialization.h"
+
+namespace imsr::models {
+
+class EmbeddingTable {
+ public:
+  EmbeddingTable(int64_t num_items, int64_t dim, util::Rng& rng);
+
+  int64_t num_items() const { return num_items_; }
+  int64_t dim() const { return dim_; }
+
+  // The trainable parameter (num_items x dim).
+  nn::Var& parameter() { return table_; }
+  const nn::Var& parameter() const { return table_; }
+
+  // Graph-building lookup of a batch of items -> (n x dim) Var.
+  nn::Var Lookup(const std::vector<data::ItemId>& items) const;
+
+  // No-grad lookup -> (n x dim) Tensor.
+  nn::Tensor LookupNoGrad(const std::vector<data::ItemId>& items) const;
+  // No-grad lookup of a single item -> (dim) Tensor.
+  nn::Tensor RowNoGrad(data::ItemId item) const;
+
+  // Re-initialises the table in place (used by full retraining).
+  void Reset(util::Rng& rng);
+
+  void Save(util::BinaryWriter* writer) const;
+  void Load(util::BinaryReader* reader);
+
+ private:
+  int64_t num_items_;
+  int64_t dim_;
+  nn::Var table_;
+};
+
+}  // namespace imsr::models
+
+#endif  // IMSR_MODELS_EMBEDDING_H_

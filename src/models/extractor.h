@@ -1,0 +1,71 @@
+// Multi-interest extractor interface (Eq. 1): maps a user's interacted
+// item embeddings to K interest vectors. Implementations: MIND,
+// ComiRec-DR (dynamic routing) and ComiRec-SA (self-attention).
+#ifndef IMSR_MODELS_EXTRACTOR_H_
+#define IMSR_MODELS_EXTRACTOR_H_
+
+#include <vector>
+
+#include "data/interaction.h"
+#include "nn/optim.h"
+#include "nn/variable.h"
+#include "util/rng.h"
+#include "util/serialization.h"
+
+namespace imsr::models {
+
+enum class ExtractorKind { kMind, kComiRecDr, kComiRecSa };
+
+const char* ExtractorKindName(ExtractorKind kind);
+ExtractorKind ExtractorKindFromName(const std::string& name);
+
+class MultiInterestExtractor {
+ public:
+  virtual ~MultiInterestExtractor() = default;
+
+  virtual ExtractorKind kind() const = 0;
+
+  // Graph-building forward. `item_embeddings` is the (n x d) Var of the
+  // user's interacted items; `interest_init` the user's stored interest
+  // vectors (K x d) that carry interests across spans (routing-logit seed
+  // for DR models, interest count for SA). Returns the (K x d) interest
+  // matrix Var.
+  virtual nn::Var Forward(const nn::Var& item_embeddings,
+                          const nn::Tensor& interest_init,
+                          data::UserId user) = 0;
+
+  // No-grad forward used by interests expansion / NID / PIT / evaluation.
+  virtual nn::Tensor ForwardNoGrad(const nn::Tensor& item_embeddings,
+                                   const nn::Tensor& interest_init,
+                                   data::UserId user) = 0;
+
+  // Shared (non-per-user) trainable parameters.
+  virtual std::vector<nn::Var> SharedParameters() = 0;
+
+  // Per-user capacity maintenance for extractors with per-user parameters
+  // (ComiRec-SA's W_u). `optimizer` may be null; when set, newly created
+  // parameters are registered and replaced ones unregistered.
+  //
+  // Grows (or creates) the user's capacity to `num_interests`. Default:
+  // no-op (DR models carry interests in the InterestStore, not in
+  // parameters).
+  virtual void EnsureUserCapacity(data::UserId /*user*/,
+                                  int64_t /*num_interests*/,
+                                  util::Rng& /*rng*/,
+                                  nn::Optimizer* /*optimizer*/) {}
+  // Shrinks the user's capacity to the given kept interest indices.
+  // Default: no-op.
+  virtual void KeepUserInterests(data::UserId /*user*/,
+                                 const std::vector<int64_t>& /*kept*/,
+                                 nn::Optimizer* /*optimizer*/) {}
+
+  // Re-initialises all parameters (full retraining).
+  virtual void Reset(util::Rng& rng) = 0;
+
+  virtual void Save(util::BinaryWriter* writer) const = 0;
+  virtual void Load(util::BinaryReader* reader) = 0;
+};
+
+}  // namespace imsr::models
+
+#endif  // IMSR_MODELS_EXTRACTOR_H_

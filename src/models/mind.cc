@@ -1,0 +1,26 @@
+#include "models/mind.h"
+
+#include "util/check.h"
+
+namespace imsr::models {
+
+const char* ExtractorKindName(ExtractorKind kind) {
+  switch (kind) {
+    case ExtractorKind::kMind:
+      return "MIND";
+    case ExtractorKind::kComiRecDr:
+      return "ComiRec-DR";
+    case ExtractorKind::kComiRecSa:
+      return "ComiRec-SA";
+  }
+  return "?";
+}
+
+ExtractorKind ExtractorKindFromName(const std::string& name) {
+  if (name == "MIND" || name == "mind") return ExtractorKind::kMind;
+  if (name == "ComiRec-DR" || name == "dr") return ExtractorKind::kComiRecDr;
+  if (name == "ComiRec-SA" || name == "sa") return ExtractorKind::kComiRecSa;
+  IMSR_CHECK(false) << "unknown extractor kind '" << name << "'";
+}
+
+}  // namespace imsr::models

@@ -1,0 +1,25 @@
+// MIND extractor (§III-1, [Li et al. 2019]): dynamic routing with a shared
+// bilinear mapping matrix and randomly initialised routing logits. Shares
+// the routing machinery with ComiRec-DR; the distinguishing behaviour is
+// the Gaussian noise on the initial logits.
+#ifndef IMSR_MODELS_MIND_H_
+#define IMSR_MODELS_MIND_H_
+
+#include "models/comirec_dr.h"
+
+namespace imsr::models {
+
+class MindExtractor : public DynamicRoutingExtractor {
+ public:
+  MindExtractor(int64_t embedding_dim, int routing_iterations,
+                float logit_noise, util::Rng& rng)
+      : DynamicRoutingExtractor(
+            embedding_dim,
+            RoutingConfig{routing_iterations, logit_noise}, rng) {}
+
+  ExtractorKind kind() const override { return ExtractorKind::kMind; }
+};
+
+}  // namespace imsr::models
+
+#endif  // IMSR_MODELS_MIND_H_

@@ -1,0 +1,82 @@
+#include "models/msr_model.h"
+
+#include "models/comirec_dr.h"
+#include "models/comirec_sa.h"
+#include "models/mind.h"
+
+namespace imsr::models {
+namespace {
+
+std::unique_ptr<MultiInterestExtractor> MakeExtractor(
+    const ModelConfig& config, util::Rng& rng) {
+  switch (config.kind) {
+    case ExtractorKind::kMind:
+      return std::make_unique<MindExtractor>(config.embedding_dim,
+                                             config.routing_iterations,
+                                             config.mind_logit_noise, rng);
+    case ExtractorKind::kComiRecDr:
+      return std::make_unique<DynamicRoutingExtractor>(
+          config.embedding_dim,
+          RoutingConfig{config.routing_iterations, 0.0f}, rng);
+    case ExtractorKind::kComiRecSa:
+      return std::make_unique<SelfAttentionExtractor>(
+          config.embedding_dim, config.attention_dim, rng);
+  }
+  IMSR_CHECK(false) << "unreachable extractor kind";
+}
+
+}  // namespace
+
+MsrModel::MsrModel(const ModelConfig& config, int64_t num_items,
+                   uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      embeddings_(num_items, config.embedding_dim, rng_),
+      extractor_(MakeExtractor(config, rng_)) {}
+
+std::vector<nn::Var> MsrModel::SharedParameters() {
+  std::vector<nn::Var> parameters = {embeddings_.parameter()};
+  for (const nn::Var& p : extractor_->SharedParameters()) {
+    parameters.push_back(p);
+  }
+  return parameters;
+}
+
+nn::Var MsrModel::ForwardInterests(
+    const std::vector<data::ItemId>& history,
+    const nn::Tensor& interest_init, data::UserId user) {
+  IMSR_CHECK(!history.empty());
+  nn::Var item_embeddings = embeddings_.Lookup(history);
+  return extractor_->Forward(item_embeddings, interest_init, user);
+}
+
+nn::Tensor MsrModel::ForwardInterestsNoGrad(
+    const std::vector<data::ItemId>& history,
+    const nn::Tensor& interest_init, data::UserId user) {
+  IMSR_CHECK(!history.empty());
+  const nn::Tensor item_embeddings = embeddings_.LookupNoGrad(history);
+  return extractor_->ForwardNoGrad(item_embeddings, interest_init, user);
+}
+
+void MsrModel::Reset(uint64_t seed) {
+  rng_ = util::Rng(seed);
+  embeddings_.Reset(rng_);
+  extractor_->Reset(rng_);
+}
+
+void MsrModel::Save(util::BinaryWriter* writer) const {
+  writer->WriteString("imsr-msr-model-v1");
+  writer->WriteString(ExtractorKindName(config_.kind));
+  embeddings_.Save(writer);
+  extractor_->Save(writer);
+}
+
+void MsrModel::Load(util::BinaryReader* reader) {
+  IMSR_CHECK_EQ(reader->ReadString(), std::string("imsr-msr-model-v1"));
+  IMSR_CHECK_EQ(reader->ReadString(),
+                std::string(ExtractorKindName(config_.kind)));
+  embeddings_.Load(reader);
+  extractor_->Load(reader);
+}
+
+}  // namespace imsr::models

@@ -1,0 +1,68 @@
+// MSR model facade: embedding table + multi-interest extractor, with
+// construction from a declarative config, parameter enumeration for
+// optimisers, reset (full retraining) and checkpointing.
+#ifndef IMSR_MODELS_MSR_MODEL_H_
+#define IMSR_MODELS_MSR_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/embedding.h"
+#include "models/extractor.h"
+
+namespace imsr::models {
+
+struct ModelConfig {
+  ExtractorKind kind = ExtractorKind::kComiRecDr;
+  int64_t embedding_dim = 32;   // d
+  int64_t attention_dim = 32;   // d_a (ComiRec-SA)
+  int routing_iterations = 3;   // L
+  float mind_logit_noise = 0.1f;
+};
+
+class MsrModel {
+ public:
+  MsrModel(const ModelConfig& config, int64_t num_items, uint64_t seed);
+
+  MsrModel(const MsrModel&) = delete;
+  MsrModel& operator=(const MsrModel&) = delete;
+
+  const ModelConfig& config() const { return config_; }
+  int64_t num_items() const { return embeddings_.num_items(); }
+
+  EmbeddingTable& embeddings() { return embeddings_; }
+  const EmbeddingTable& embeddings() const { return embeddings_; }
+  MultiInterestExtractor& extractor() { return *extractor_; }
+
+  // Embedding + shared extractor parameters (per-user SA queries are
+  // registered separately when created).
+  std::vector<nn::Var> SharedParameters();
+
+  // Graph-building interest extraction for one user history.
+  nn::Var ForwardInterests(const std::vector<data::ItemId>& history,
+                           const nn::Tensor& interest_init,
+                           data::UserId user);
+  // No-grad counterpart.
+  nn::Tensor ForwardInterestsNoGrad(
+      const std::vector<data::ItemId>& history,
+      const nn::Tensor& interest_init, data::UserId user);
+
+  // Re-initialises every parameter from `seed` (full retraining).
+  void Reset(uint64_t seed);
+
+  void Save(util::BinaryWriter* writer) const;
+  void Load(util::BinaryReader* reader);
+
+  util::Rng& rng() { return rng_; }
+
+ private:
+  ModelConfig config_;
+  util::Rng rng_;
+  EmbeddingTable embeddings_;
+  std::unique_ptr<MultiInterestExtractor> extractor_;
+};
+
+}  // namespace imsr::models
+
+#endif  // IMSR_MODELS_MSR_MODEL_H_

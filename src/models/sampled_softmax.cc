@@ -1,0 +1,13 @@
+#include "models/sampled_softmax.h"
+
+#include "nn/ops.h"
+
+namespace imsr::models {
+
+nn::Var SampledSoftmaxLoss(const nn::Var& user_repr,
+                           const nn::Var& candidates) {
+  nn::Var scores = nn::ops::MatVec(candidates, user_repr);
+  return nn::ops::NegLogSoftmax(scores, /*target=*/0);
+}
+
+}  // namespace imsr::models

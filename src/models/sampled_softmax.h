@@ -1,0 +1,17 @@
+// Sampled-softmax objective (Eq. 6).
+#ifndef IMSR_MODELS_SAMPLED_SOFTMAX_H_
+#define IMSR_MODELS_SAMPLED_SOFTMAX_H_
+
+#include "nn/variable.h"
+
+namespace imsr::models {
+
+// `user_repr` (d) is v_u from Eq. 5; `candidates` ((1+N) x d) stacks the
+// positive item embedding in row 0 followed by N sampled negatives.
+// Returns the scalar -log softmax(candidates . v)[0].
+nn::Var SampledSoftmaxLoss(const nn::Var& user_repr,
+                           const nn::Var& candidates);
+
+}  // namespace imsr::models
+
+#endif  // IMSR_MODELS_SAMPLED_SOFTMAX_H_

@@ -1,0 +1,52 @@
+#include "nn/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace imsr::nn {
+
+GradCheckResult CheckGradients(const std::function<Var()>& forward,
+                               std::vector<Var> parameters,
+                               double epsilon, double tolerance) {
+  GradCheckResult result;
+  result.ok = true;
+
+  // Analytic pass.
+  for (Var& p : parameters) p.ZeroGrad();
+  Var loss = forward();
+  loss.Backward();
+  std::vector<Tensor> analytic;
+  analytic.reserve(parameters.size());
+  for (const Var& p : parameters) {
+    analytic.push_back(p.has_grad() ? p.grad()
+                                    : Tensor::Zeros(p.value().shape()));
+  }
+
+  // Numeric pass.
+  for (size_t pi = 0; pi < parameters.size(); ++pi) {
+    Tensor& value = parameters[pi].mutable_value();
+    for (int64_t i = 0; i < value.numel(); ++i) {
+      const float original = value.data()[i];
+      value.data()[i] = original + static_cast<float>(epsilon);
+      const double f_plus = static_cast<double>(forward().value().item());
+      value.data()[i] = original - static_cast<float>(epsilon);
+      const double f_minus = static_cast<double>(forward().value().item());
+      value.data()[i] = original;
+
+      const double numeric = (f_plus - f_minus) / (2.0 * epsilon);
+      const double exact = static_cast<double>(analytic[pi].data()[i]);
+      const double abs_err = std::fabs(numeric - exact);
+      const double denom = std::max({std::fabs(numeric), std::fabs(exact),
+                                     1e-8});
+      const double rel_err = abs_err / denom;
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      if (abs_err > tolerance && rel_err > tolerance) {
+        result.ok = false;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace imsr::nn

@@ -1,0 +1,31 @@
+// Numeric gradient checking used by the autograd test-suite: compares
+// analytic gradients against central finite differences.
+#ifndef IMSR_NN_GRADCHECK_H_
+#define IMSR_NN_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/variable.h"
+
+namespace imsr::nn {
+
+struct GradCheckResult {
+  bool ok = false;
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+};
+
+// `forward` rebuilds the graph from the current parameter values and
+// returns a scalar Var. The check perturbs every element of every
+// parameter with step `epsilon` and compares (f(x+e) - f(x-e)) / 2e with
+// the analytic gradient, passing when each element agrees within
+// `tolerance` absolutely or relatively.
+GradCheckResult CheckGradients(const std::function<Var()>& forward,
+                               std::vector<Var> parameters,
+                               double epsilon = 1e-3,
+                               double tolerance = 2e-2);
+
+}  // namespace imsr::nn
+
+#endif  // IMSR_NN_GRADCHECK_H_

@@ -1,0 +1,22 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace imsr::nn {
+
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, util::Rng& rng) {
+  IMSR_CHECK_GT(fan_in, 0);
+  IMSR_CHECK_GT(fan_out, 0);
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::RandUniform({fan_in, fan_out}, rng, -bound, bound);
+}
+
+Tensor EmbeddingInit(int64_t rows, int64_t dim, util::Rng& rng) {
+  IMSR_CHECK_GT(rows, 0);
+  IMSR_CHECK_GT(dim, 0);
+  const float stddev = 1.0f / std::sqrt(static_cast<float>(dim));
+  return Tensor::Randn({rows, dim}, rng, 0.0f, stddev);
+}
+
+}  // namespace imsr::nn

@@ -1,0 +1,18 @@
+// Weight initialisation schemes.
+#ifndef IMSR_NN_INIT_H_
+#define IMSR_NN_INIT_H_
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace imsr::nn {
+
+// Xavier/Glorot uniform: U[-a, a] with a = sqrt(6 / (fan_in + fan_out)).
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, util::Rng& rng);
+
+// Normal with stddev 1/sqrt(dim) — the usual embedding-table init.
+Tensor EmbeddingInit(int64_t rows, int64_t dim, util::Rng& rng);
+
+}  // namespace imsr::nn
+
+#endif  // IMSR_NN_INIT_H_

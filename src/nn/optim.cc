@@ -1,0 +1,78 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace imsr::nn {
+
+void Optimizer::Register(const Var& parameter) {
+  IMSR_CHECK(parameter.defined());
+  IMSR_CHECK(parameter.requires_grad())
+      << "optimiser parameters must require gradients";
+  VarNode* key = parameter.node().get();
+  if (index_.count(key) > 0) return;
+  index_[key] = parameters_.size();
+  parameters_.push_back(parameter);
+}
+
+void Optimizer::Unregister(const Var& parameter) {
+  VarNode* key = parameter.node().get();
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  const size_t pos = it->second;
+  index_.erase(it);
+  if (pos + 1 != parameters_.size()) {
+    parameters_[pos] = parameters_.back();
+    index_[parameters_[pos].node().get()] = pos;
+  }
+  parameters_.pop_back();
+}
+
+void Optimizer::ZeroGradAll() {
+  for (Var& parameter : parameters_) parameter.ZeroGrad();
+}
+
+void Sgd::Step() {
+  for (Var& parameter : parameters_) {
+    if (!parameter.has_grad()) continue;
+    parameter.mutable_value().AddScaledInPlace(parameter.grad(),
+                                               -learning_rate_);
+  }
+}
+
+void Adam::Unregister(const Var& parameter) {
+  state_.erase(parameter.node().get());
+  Optimizer::Unregister(parameter);
+}
+
+void Adam::Step() {
+  for (Var& parameter : parameters_) {
+    if (!parameter.has_grad()) continue;
+    State& state = state_[parameter.node().get()];
+    if (!state.m.defined()) {
+      state.m = Tensor::Zeros(parameter.value().shape());
+      state.v = Tensor::Zeros(parameter.value().shape());
+    }
+    state.step += 1;
+    const Tensor& grad = parameter.grad();
+    float* m = state.m.data();
+    float* v = state.v.data();
+    float* value = parameter.mutable_value().data();
+    const float* g = grad.data();
+    const float b1 = config_.beta1;
+    const float b2 = config_.beta2;
+    const float bias1 =
+        1.0f - std::pow(b1, static_cast<float>(state.step));
+    const float bias2 =
+        1.0f - std::pow(b2, static_cast<float>(state.step));
+    const float lr = config_.learning_rate;
+    for (int64_t i = 0; i < grad.numel(); ++i) {
+      m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+      v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      value[i] -= lr * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+    }
+  }
+}
+
+}  // namespace imsr::nn

@@ -1,0 +1,428 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace imsr::nn {
+namespace {
+
+int64_t ShapeNumel(const std::vector<int64_t>& shape) {
+  IMSR_CHECK(!shape.empty());
+  int64_t numel = 1;
+  for (int64_t extent : shape) {
+    IMSR_CHECK_GT(extent, 0) << "tensor extents must be positive";
+    numel *= extent;
+  }
+  return numel;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(ShapeNumel(shape_)), 0.0f) {}
+
+Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  IMSR_CHECK_EQ(ShapeNumel(shape_), static_cast<int64_t>(data_.size()));
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Ones(std::vector<int64_t> shape) {
+  return Full(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, util::Rng& rng, float mean,
+                     float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) {
+    v = static_cast<float>(rng.Gaussian(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::RandUniform(std::vector<int64_t> shape, util::Rng& rng,
+                           float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = static_cast<float>(rng.Uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::Identity(int64_t d) {
+  Tensor t({d, d});
+  for (int64_t i = 0; i < d; ++i) t.at(i, i) = 1.0f;
+  return t;
+}
+
+Tensor Tensor::FromVector(const std::vector<float>& values) {
+  IMSR_CHECK(!values.empty());
+  return Tensor({static_cast<int64_t>(values.size())}, values);
+}
+
+int64_t Tensor::size(int64_t axis) const {
+  IMSR_CHECK(axis >= 0 && axis < dim());
+  return shape_[static_cast<size_t>(axis)];
+}
+
+float& Tensor::at(int64_t i) {
+  IMSR_DCHECK(dim() == 1 && i >= 0 && i < shape_[0]);
+  return data_[static_cast<size_t>(i)];
+}
+
+float Tensor::at(int64_t i) const {
+  IMSR_DCHECK(dim() == 1 && i >= 0 && i < shape_[0]);
+  return data_[static_cast<size_t>(i)];
+}
+
+float& Tensor::at(int64_t i, int64_t j) {
+  return data_[static_cast<size_t>(Offset(i, j))];
+}
+
+float Tensor::at(int64_t i, int64_t j) const {
+  return data_[static_cast<size_t>(Offset(i, j))];
+}
+
+float& Tensor::at(int64_t i, int64_t j, int64_t k) {
+  return data_[static_cast<size_t>(Offset(i, j, k))];
+}
+
+float Tensor::at(int64_t i, int64_t j, int64_t k) const {
+  return data_[static_cast<size_t>(Offset(i, j, k))];
+}
+
+float Tensor::item() const {
+  IMSR_CHECK_EQ(numel(), 1);
+  return data_[0];
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
+  IMSR_CHECK_EQ(ShapeNumel(new_shape), numel());
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  IMSR_CHECK(SameShape(*this, other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::AddScaledInPlace(const Tensor& other, float alpha) {
+  IMSR_CHECK(SameShape(*this, other));
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Tensor::ScaleInPlace(float alpha) {
+  for (float& v : data_) v *= alpha;
+}
+
+Tensor Tensor::Row(int64_t i) const {
+  IMSR_CHECK_EQ(dim(), 2);
+  IMSR_CHECK(i >= 0 && i < shape_[0]);
+  const int64_t cols = shape_[1];
+  Tensor row({cols});
+  std::copy_n(data_.begin() + static_cast<size_t>(i * cols),
+              static_cast<size_t>(cols), row.data_.begin());
+  return row;
+}
+
+void Tensor::SetRow(int64_t i, const Tensor& row) {
+  IMSR_CHECK_EQ(dim(), 2);
+  IMSR_CHECK_EQ(row.dim(), 1);
+  IMSR_CHECK_EQ(row.numel(), shape_[1]);
+  IMSR_CHECK(i >= 0 && i < shape_[0]);
+  std::copy_n(row.data_.begin(), static_cast<size_t>(shape_[1]),
+              data_.begin() + static_cast<size_t>(i * shape_[1]));
+}
+
+Tensor Tensor::RowSlice(int64_t begin, int64_t end) const {
+  IMSR_CHECK_EQ(dim(), 2);
+  IMSR_CHECK(begin >= 0 && begin < end && end <= shape_[0])
+      << "RowSlice [" << begin << ", " << end << ") of " << shape_[0];
+  const int64_t cols = shape_[1];
+  Tensor out({end - begin, cols});
+  std::copy(data_.begin() + static_cast<size_t>(begin * cols),
+            data_.begin() + static_cast<size_t>(end * cols),
+            out.data_.begin());
+  return out;
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+std::string Tensor::ToString(int max_entries) const {
+  std::ostringstream out;
+  out << "Tensor" << ShapeString() << " {";
+  const int64_t shown = std::min<int64_t>(numel(), max_entries);
+  for (int64_t i = 0; i < shown; ++i) {
+    if (i > 0) out << ", ";
+    out << data_[static_cast<size_t>(i)];
+  }
+  if (shown < numel()) out << ", ...";
+  out << "}";
+  return out.str();
+}
+
+bool SameShape(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape();
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out.AddInPlace(b);
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out.AddScaledInPlace(b, -1.0f);
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  IMSR_CHECK(SameShape(a, b));
+  Tensor out = a;
+  float* o = out.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < out.numel(); ++i) o[i] *= pb[i];
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float alpha) {
+  Tensor out = a;
+  out.ScaleInPlace(alpha);
+  return out;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  IMSR_CHECK_EQ(a.dim(), 2);
+  IMSR_CHECK_EQ(b.dim(), 2);
+  IMSR_CHECK_EQ(a.size(1), b.size(0));
+  const int64_t m = a.size(0);
+  const int64_t k = a.size(1);
+  const int64_t n = b.size(1);
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // ikj loop order: streams through b and out rows contiguously.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* orow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  IMSR_CHECK_EQ(a.dim(), 2);
+  const int64_t m = a.size(0);
+  const int64_t n = a.size(1);
+  Tensor out({n, m});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
+  }
+  return out;
+}
+
+Tensor MatVec(const Tensor& a, const Tensor& x) {
+  IMSR_CHECK_EQ(a.dim(), 2);
+  IMSR_CHECK_EQ(x.dim(), 1);
+  IMSR_CHECK_EQ(a.size(1), x.numel());
+  const int64_t m = a.size(0);
+  const int64_t k = a.size(1);
+  Tensor out({m});
+  const float* pa = a.data();
+  const float* px = x.data();
+  for (int64_t i = 0; i < m; ++i) {
+    float acc = 0.0f;
+    const float* arow = pa + i * k;
+    for (int64_t j = 0; j < k; ++j) acc += arow[j] * px[j];
+    out.at(i) = acc;
+  }
+  return out;
+}
+
+float DotFlat(const Tensor& a, const Tensor& b) {
+  IMSR_CHECK_EQ(a.numel(), b.numel());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float acc = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) acc += pa[i] * pb[i];
+  return acc;
+}
+
+float L2NormFlat(const Tensor& a) {
+  float ss = 0.0f;
+  const float* pa = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) ss += pa[i] * pa[i];
+  return std::sqrt(ss);
+}
+
+namespace {
+
+void SoftmaxSpan(const float* in, float* out, int64_t n) {
+  float max_value = in[0];
+  for (int64_t i = 1; i < n; ++i) max_value = std::max(max_value, in[i]);
+  float total = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = std::exp(in[i] - max_value);
+    total += out[i];
+  }
+  for (int64_t i = 0; i < n; ++i) out[i] /= total;
+}
+
+}  // namespace
+
+Tensor Softmax(const Tensor& a) {
+  IMSR_CHECK(a.dim() == 1 || a.dim() == 2);
+  Tensor out(a.shape());
+  if (a.dim() == 1) {
+    SoftmaxSpan(a.data(), out.data(), a.numel());
+    return out;
+  }
+  const int64_t rows = a.size(0);
+  const int64_t cols = a.size(1);
+  for (int64_t i = 0; i < rows; ++i) {
+    SoftmaxSpan(a.data() + i * cols, out.data() + i * cols, cols);
+  }
+  return out;
+}
+
+Tensor LogSumExpRows(const Tensor& a) {
+  IMSR_CHECK(a.dim() == 1 || a.dim() == 2);
+  const int64_t rows = a.dim() == 1 ? 1 : a.size(0);
+  const int64_t cols = a.dim() == 1 ? a.numel() : a.size(1);
+  Tensor out({rows});
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* row = a.data() + i * cols;
+    float max_value = row[0];
+    for (int64_t j = 1; j < cols; ++j) max_value = std::max(max_value, row[j]);
+    float total = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) total += std::exp(row[j] - max_value);
+    out.at(i) = max_value + std::log(total);
+  }
+  return out;
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    po[i] = 1.0f / (1.0f + std::exp(-pa[i]));
+  }
+  return out;
+}
+
+Tensor Tanh(const Tensor& a) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i) po[i] = std::tanh(pa[i]);
+  return out;
+}
+
+Tensor Exp(const Tensor& a) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i) po[i] = std::exp(pa[i]);
+  return out;
+}
+
+Tensor SquashRows(const Tensor& a) {
+  IMSR_CHECK(a.dim() == 1 || a.dim() == 2);
+  const int64_t rows = a.dim() == 1 ? 1 : a.size(0);
+  const int64_t cols = a.dim() == 1 ? a.numel() : a.size(1);
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* in = a.data() + i * cols;
+    float* po = out.data() + i * cols;
+    float ss = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) ss += in[j] * in[j];
+    const float norm = std::sqrt(ss);
+    // squash(v) = |v|^2/(1+|v|^2) * v/|v|; zero rows map to zero.
+    const float coeff = norm > 0.0f ? ss / (1.0f + ss) / norm : 0.0f;
+    for (int64_t j = 0; j < cols; ++j) po[j] = coeff * in[j];
+  }
+  return out;
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  IMSR_CHECK(!parts.empty());
+  int64_t rows = 0;
+  const int64_t cols = parts[0].dim() == 2 ? parts[0].size(1)
+                                           : parts[0].numel();
+  for (const Tensor& part : parts) {
+    IMSR_CHECK(part.dim() == 1 || part.dim() == 2);
+    const int64_t part_cols =
+        part.dim() == 2 ? part.size(1) : part.numel();
+    IMSR_CHECK_EQ(part_cols, cols);
+    rows += part.dim() == 2 ? part.size(0) : 1;
+  }
+  Tensor out({rows, cols});
+  int64_t row = 0;
+  for (const Tensor& part : parts) {
+    const int64_t part_rows = part.dim() == 2 ? part.size(0) : 1;
+    std::copy_n(part.data(), static_cast<size_t>(part_rows * cols),
+                out.data() + row * cols);
+    row += part_rows;
+  }
+  return out;
+}
+
+Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& indices) {
+  IMSR_CHECK_EQ(table.dim(), 2);
+  IMSR_CHECK(!indices.empty());
+  const int64_t cols = table.size(1);
+  Tensor out({static_cast<int64_t>(indices.size()), cols});
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t row = indices[i];
+    IMSR_CHECK(row >= 0 && row < table.size(0))
+        << "gather index " << row << " out of range " << table.size(0);
+    std::copy_n(table.data() + row * cols, static_cast<size_t>(cols),
+                out.data() + static_cast<int64_t>(i) * cols);
+  }
+  return out;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  IMSR_CHECK(SameShape(a, b));
+  float worst = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    worst = std::max(worst, std::fabs(pa[i] - pb[i]));
+  }
+  return worst;
+}
+
+}  // namespace imsr::nn

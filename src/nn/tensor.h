@@ -1,0 +1,153 @@
+// Dense row-major float tensor. This is the numeric substrate replacing
+// PyTorch in the reproduction: contiguous storage, up to 3 dimensions
+// (everything in the paper is a vector, a matrix, or a small batch of
+// matrices), and the op set needed by the MSR models.
+#ifndef IMSR_NN_TENSOR_H_
+#define IMSR_NN_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace imsr::nn {
+
+class Tensor {
+ public:
+  // Empty 0-element tensor.
+  Tensor() = default;
+
+  // Zero-filled tensor of the given shape. Each extent must be positive.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  // Tensor of the given shape with explicit contents (size must match).
+  Tensor(std::vector<int64_t> shape, std::vector<float> values);
+
+  static Tensor Zeros(std::vector<int64_t> shape);
+  static Tensor Ones(std::vector<int64_t> shape);
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  // I.i.d. N(mean, stddev^2) entries.
+  static Tensor Randn(std::vector<int64_t> shape, util::Rng& rng,
+                      float mean = 0.0f, float stddev = 1.0f);
+  // I.i.d. U[lo, hi) entries.
+  static Tensor RandUniform(std::vector<int64_t> shape, util::Rng& rng,
+                            float lo, float hi);
+  // d x d identity.
+  static Tensor Identity(int64_t d);
+  // 1-D tensor from values.
+  static Tensor FromVector(const std::vector<float>& values);
+
+  bool defined() const { return !shape_.empty(); }
+  int64_t dim() const { return static_cast<int64_t>(shape_.size()); }
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t size(int64_t axis) const;
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  // Element access (checked in debug builds).
+  float& at(int64_t i);
+  float at(int64_t i) const;
+  float& at(int64_t i, int64_t j);
+  float at(int64_t i, int64_t j) const;
+  float& at(int64_t i, int64_t j, int64_t k);
+  float at(int64_t i, int64_t j, int64_t k) const;
+
+  // Scalar value of a 1-element tensor.
+  float item() const;
+
+  // Same data, new shape (numel must match).
+  Tensor Reshape(std::vector<int64_t> new_shape) const;
+
+  // Deep copy (Tensor is value-semantic already; Clone is for emphasis at
+  // call sites that would otherwise look like aliasing).
+  Tensor Clone() const { return *this; }
+
+  // ---- In-place mutators ----
+  void Fill(float value);
+  void AddInPlace(const Tensor& other);           // this += other
+  void AddScaledInPlace(const Tensor& other, float alpha);  // this += a*other
+  void ScaleInPlace(float alpha);                 // this *= alpha
+
+  // ---- Shape helpers ----
+  // Row i of a 2-D tensor as a 1-D tensor (copy).
+  Tensor Row(int64_t i) const;
+  // Sets row i of a 2-D tensor from a 1-D tensor.
+  void SetRow(int64_t i, const Tensor& row);
+  // Rows [begin, end) of a 2-D tensor (copy).
+  Tensor RowSlice(int64_t begin, int64_t end) const;
+
+  std::string ShapeString() const;
+  std::string ToString(int max_entries = 32) const;
+
+ private:
+  int64_t Offset(int64_t i, int64_t j) const {
+    IMSR_DCHECK(dim() == 2);
+    IMSR_DCHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1]);
+    return i * shape_[1] + j;
+  }
+  int64_t Offset(int64_t i, int64_t j, int64_t k) const {
+    IMSR_DCHECK(dim() == 3);
+    IMSR_DCHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
+                k < shape_[2]);
+    return (i * shape_[1] + j) * shape_[2] + k;
+  }
+
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+// ---- Free-function tensor ops (no autograd; used by both the autograd
+// layer's forward/backward passes and by no-grad model code) ----
+
+// Elementwise; shapes must match exactly.
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Scale(const Tensor& a, float alpha);
+
+// Matrix product of 2-D tensors: (m x k) * (k x n) -> (m x n).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+// 2-D transpose.
+Tensor Transpose(const Tensor& a);
+// Matrix-vector: (m x k) * (k) -> (m).
+Tensor MatVec(const Tensor& a, const Tensor& x);
+
+// Dot product of equally sized tensors (flattened).
+float DotFlat(const Tensor& a, const Tensor& b);
+// Euclidean norm of the flattened tensor.
+float L2NormFlat(const Tensor& a);
+
+// Row-wise softmax of a 2-D tensor (or softmax of a 1-D tensor).
+Tensor Softmax(const Tensor& a);
+// Row-wise logsumexp of a 2-D tensor -> 1-D of length rows (or scalar for
+// 1-D input, returned as a 1-element tensor).
+Tensor LogSumExpRows(const Tensor& a);
+
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Exp(const Tensor& a);
+
+// Capsule squash applied per row of a 2-D tensor (or to a 1-D vector):
+// squash(v) = (|v|^2 / (1 + |v|^2)) * v / |v|.
+Tensor SquashRows(const Tensor& a);
+
+// Concatenates 2-D tensors along rows (equal column counts).
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+
+// Gathers rows of a 2-D table into a new 2-D tensor.
+Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& indices);
+
+// Max |a - b| over all elements; shapes must match.
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+bool SameShape(const Tensor& a, const Tensor& b);
+
+}  // namespace imsr::nn
+
+#endif  // IMSR_NN_TENSOR_H_

@@ -1,0 +1,102 @@
+#include "nn/variable.h"
+
+#include <unordered_set>
+
+namespace imsr::nn {
+
+void VarNode::AccumulateGrad(const Tensor& delta) {
+  if (!grad.defined()) {
+    grad = Tensor::Zeros(value.shape());
+  }
+  grad.AddInPlace(delta);
+}
+
+Var::Var(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<VarNode>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Var::value() const {
+  IMSR_CHECK(defined());
+  return node_->value;
+}
+
+Tensor& Var::mutable_value() {
+  IMSR_CHECK(defined());
+  return node_->value;
+}
+
+bool Var::requires_grad() const {
+  IMSR_CHECK(defined());
+  return node_->requires_grad;
+}
+
+bool Var::has_grad() const {
+  IMSR_CHECK(defined());
+  return node_->grad.defined();
+}
+
+const Tensor& Var::grad() const {
+  IMSR_CHECK(defined());
+  IMSR_CHECK(node_->grad.defined()) << "no gradient accumulated";
+  return node_->grad;
+}
+
+void Var::ZeroGrad() {
+  IMSR_CHECK(defined());
+  node_->grad = Tensor();
+}
+
+Var Var::MakeNode(Tensor value, std::vector<Var> parents,
+                  std::function<void(VarNode&)> backward_fn) {
+  Var out(std::move(value));
+  for (const Var& parent : parents) {
+    IMSR_CHECK(parent.defined());
+    out.node_->parents.push_back(parent.node());
+    if (parent.requires_grad()) out.node_->requires_grad = true;
+  }
+  if (out.node_->requires_grad) {
+    out.node_->backward_fn = std::move(backward_fn);
+  }
+  return out;
+}
+
+void Var::Backward() {
+  IMSR_CHECK(defined());
+  IMSR_CHECK_EQ(node_->value.numel(), 1)
+      << "Backward() requires a scalar loss";
+
+  // Iterative post-order DFS producing a topological order (parents before
+  // children in `order`; we traverse it in reverse).
+  std::vector<VarNode*> order;
+  std::unordered_set<VarNode*> visited;
+  std::vector<std::pair<VarNode*, size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [current, next_parent] = stack.back();
+    if (next_parent < current->parents.size()) {
+      VarNode* parent = current->parents[next_parent].get();
+      ++next_parent;
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(current);
+      stack.pop_back();
+    }
+  }
+
+  node_->AccumulateGrad(Tensor::Ones(node_->value.shape()));
+  // `order` is post-order: parents appear before children, so iterate from
+  // the back (the root) towards the leaves.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    VarNode* current = *it;
+    if (current->backward_fn && current->grad.defined()) {
+      current->backward_fn(*current);
+    }
+  }
+}
+
+}  // namespace imsr::nn

@@ -1,0 +1,69 @@
+// Reverse-mode automatic differentiation over Tensor. A Var is a handle to
+// a node in a dynamically built computation graph; free functions in
+// nn/ops.h build the graph and Var::Backward() runs the reverse sweep.
+//
+// Constants participate as Vars with requires_grad == false: the backward
+// sweep never allocates gradients for them, so wrapping a Tensor in a Var
+// is cheap and uniform.
+#ifndef IMSR_NN_VARIABLE_H_
+#define IMSR_NN_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace imsr::nn {
+
+struct VarNode {
+  Tensor value;
+  Tensor grad;  // allocated lazily on first accumulation
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<VarNode>> parents;
+  // Distributes this node's grad into parents' grads. Null for leaves.
+  std::function<void(VarNode&)> backward_fn;
+
+  // Accumulates `delta` into grad, allocating a zero tensor on first use.
+  void AccumulateGrad(const Tensor& delta);
+};
+
+class Var {
+ public:
+  // Undefined handle.
+  Var() = default;
+
+  // Leaf node. Parameters pass requires_grad = true; constants use the
+  // default false.
+  explicit Var(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const;
+  Tensor& mutable_value();
+  bool requires_grad() const;
+
+  // Gradient of the last Backward() call. Zero-shaped until the node has
+  // received any gradient. has_grad() distinguishes "no flow" from zeros.
+  bool has_grad() const;
+  const Tensor& grad() const;
+
+  // Clears the accumulated gradient (parameters call this between steps).
+  void ZeroGrad();
+
+  // Reverse sweep from this (scalar) node: seeds d(self)/d(self) = 1 and
+  // propagates to every reachable node with requires_grad.
+  void Backward();
+
+  std::shared_ptr<VarNode> node() const { return node_; }
+
+  // Internal: builds an interior node (used by ops).
+  static Var MakeNode(Tensor value, std::vector<Var> parents,
+                      std::function<void(VarNode&)> backward_fn);
+
+ private:
+  std::shared_ptr<VarNode> node_;
+};
+
+}  // namespace imsr::nn
+
+#endif  // IMSR_NN_VARIABLE_H_

@@ -1,0 +1,74 @@
+// Contract-checking macros. The project builds without exceptions in hot
+// paths; programming errors abort with a diagnostic instead.
+#ifndef IMSR_UTIL_CHECK_H_
+#define IMSR_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace imsr::util {
+
+// Aborts the process after printing `message` with source location.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "IMSR_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, message.empty() ? "" : " — ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Stream collector so call sites can write IMSR_CHECK(x) << "context".
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace imsr::util
+
+// Always-on invariant check. Evaluates `condition` exactly once.
+#define IMSR_CHECK(condition)                                       \
+  if (condition) {                                                  \
+  } else /* NOLINT */                                               \
+    ::imsr::util::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define IMSR_CHECK_EQ(a, b) IMSR_CHECK((a) == (b))
+#define IMSR_CHECK_NE(a, b) IMSR_CHECK((a) != (b))
+#define IMSR_CHECK_LT(a, b) IMSR_CHECK((a) < (b))
+#define IMSR_CHECK_LE(a, b) IMSR_CHECK((a) <= (b))
+#define IMSR_CHECK_GT(a, b) IMSR_CHECK((a) > (b))
+#define IMSR_CHECK_GE(a, b) IMSR_CHECK((a) >= (b))
+
+// Debug-only check, compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define IMSR_DCHECK(condition) \
+  if (true) {                  \
+  } else /* NOLINT */          \
+    ::imsr::util::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+#else
+#define IMSR_DCHECK(condition) IMSR_CHECK(condition)
+#endif
+
+#endif  // IMSR_UTIL_CHECK_H_

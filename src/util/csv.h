@@ -1,0 +1,47 @@
+// CSV writing and fixed-width console table rendering used by the bench
+// harnesses to print paper-style tables.
+#ifndef IMSR_UTIL_CSV_H_
+#define IMSR_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+namespace imsr::util {
+
+// Accumulates rows and renders them either as CSV or as an aligned console
+// table. All cells are strings; numeric formatting helpers are provided.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends one row; must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(size_t i) const { return rows_[i]; }
+
+  // Renders an aligned, pipe-separated console table.
+  std::string ToPrettyString() const;
+
+  // Renders RFC-4180-ish CSV (quotes cells containing separators).
+  std::string ToCsv() const;
+
+  // Writes ToCsv() to `path`; returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats `value` with `digits` decimal places.
+std::string FormatDouble(double value, int digits = 2);
+
+// Formats a ratio as a percentage with `digits` decimals (no '%' sign, to
+// match the paper's "numbers are percentages with % omitted" style).
+std::string FormatPercent(double ratio, int digits = 2);
+
+}  // namespace imsr::util
+
+#endif  // IMSR_UTIL_CSV_H_

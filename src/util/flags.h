@@ -1,0 +1,31 @@
+// Tiny --key=value command-line flag parser for the bench and example
+// binaries. Not a general-purpose flag library; just enough to override
+// experiment scale and hyperparameters from the shell.
+#ifndef IMSR_UTIL_FLAGS_H_
+#define IMSR_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+
+namespace imsr::util {
+
+class Flags {
+ public:
+  // Parses argv entries of the form --name=value or --name (value "true").
+  // Unrecognised positional arguments abort with a usage message.
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace imsr::util
+
+#endif  // IMSR_UTIL_FLAGS_H_

@@ -1,0 +1,50 @@
+// Minimal leveled logger used across the library and the bench harnesses.
+#ifndef IMSR_UTIL_LOGGING_H_
+#define IMSR_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace imsr::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Writes one formatted log line to stderr (thread-safe via stdio locking).
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+// Internal stream adapter behind the IMSR_LOG macro.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace imsr::util
+
+#define IMSR_LOG(level)                                          \
+  ::imsr::util::LogStream(::imsr::util::LogLevel::k##level,      \
+                          __FILE__, __LINE__)
+
+#endif  // IMSR_UTIL_LOGGING_H_

@@ -1,0 +1,36 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace imsr::util {
+
+void ParallelChunks(int64_t count, int threads,
+                    const std::function<void(int64_t, int64_t)>& fn) {
+  if (count <= 0) return;
+  const int workers = std::max(
+      1, std::min<int>(threads, static_cast<int>(count)));
+  if (workers == 1) {
+    fn(0, count);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers - 1));
+  const int64_t chunk = (count + workers - 1) / workers;
+  for (int w = 1; w < workers; ++w) {
+    const int64_t begin = w * chunk;
+    const int64_t end = std::min(count, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  fn(0, std::min(count, chunk));
+  for (std::thread& worker : pool) worker.join();
+}
+
+int DefaultThreadCount() {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+}  // namespace imsr::util

@@ -1,0 +1,23 @@
+// Minimal data-parallel helper: splits an index range over a fixed number
+// of threads. Used by the evaluator for full-corpus ranking (each user's
+// ranking is independent).
+#ifndef IMSR_UTIL_PARALLEL_H_
+#define IMSR_UTIL_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace imsr::util {
+
+// Invokes fn(begin, end) on `threads` contiguous chunks of [0, count).
+// With threads <= 1 (or count small) everything runs on the calling
+// thread. fn must be safe to call concurrently on disjoint ranges.
+void ParallelChunks(int64_t count, int threads,
+                    const std::function<void(int64_t, int64_t)>& fn);
+
+// Hardware concurrency, at least 1.
+int DefaultThreadCount();
+
+}  // namespace imsr::util
+
+#endif  // IMSR_UTIL_PARALLEL_H_

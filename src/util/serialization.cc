@@ -1,0 +1,94 @@
+#include "util/serialization.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace imsr::util {
+
+void BinaryWriter::Append(const void* data, size_t size) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  buffer_.insert(buffer_.end(), bytes, bytes + size);
+}
+
+void BinaryWriter::WriteInt64(int64_t value) { Append(&value, sizeof(value)); }
+
+void BinaryWriter::WriteDouble(double value) { Append(&value, sizeof(value)); }
+
+void BinaryWriter::WriteFloat(float value) { Append(&value, sizeof(value)); }
+
+void BinaryWriter::WriteString(const std::string& value) {
+  WriteInt64(static_cast<int64_t>(value.size()));
+  Append(value.data(), value.size());
+}
+
+void BinaryWriter::WriteFloatArray(const float* data, size_t count) {
+  WriteInt64(static_cast<int64_t>(count));
+  Append(data, count * sizeof(float));
+}
+
+bool BinaryWriter::WriteToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(buffer_.data()),
+            static_cast<std::streamsize>(buffer_.size()));
+  return static_cast<bool>(out);
+}
+
+BinaryReader::BinaryReader(std::vector<uint8_t> buffer)
+    : buffer_(std::move(buffer)) {}
+
+bool BinaryReader::ReadFromFile(const std::string& path,
+                                BinaryReader* reader) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return false;
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> buffer(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(buffer.data()), size);
+  if (!in) return false;
+  *reader = BinaryReader(std::move(buffer));
+  return true;
+}
+
+void BinaryReader::Consume(void* out, size_t size) {
+  IMSR_CHECK_LE(position_ + size, buffer_.size()) << "truncated buffer";
+  std::memcpy(out, buffer_.data() + position_, size);
+  position_ += size;
+}
+
+int64_t BinaryReader::ReadInt64() {
+  int64_t value = 0;
+  Consume(&value, sizeof(value));
+  return value;
+}
+
+double BinaryReader::ReadDouble() {
+  double value = 0;
+  Consume(&value, sizeof(value));
+  return value;
+}
+
+float BinaryReader::ReadFloat() {
+  float value = 0;
+  Consume(&value, sizeof(value));
+  return value;
+}
+
+std::string BinaryReader::ReadString() {
+  const int64_t size = ReadInt64();
+  IMSR_CHECK_GE(size, 0);
+  std::string value(static_cast<size_t>(size), '\0');
+  Consume(value.data(), value.size());
+  return value;
+}
+
+void BinaryReader::ReadFloatArray(float* data, size_t count) {
+  const int64_t stored = ReadInt64();
+  IMSR_CHECK_EQ(static_cast<size_t>(stored), count)
+      << "float array size mismatch";
+  Consume(data, count * sizeof(float));
+}
+
+}  // namespace imsr::util

@@ -1,0 +1,55 @@
+// Binary (de)serialization for model checkpoints. Little-endian host
+// assumed (x86/ARM); a magic header with a version guards format drift.
+#ifndef IMSR_UTIL_SERIALIZATION_H_
+#define IMSR_UTIL_SERIALIZATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace imsr::util {
+
+// Append-only binary buffer writer.
+class BinaryWriter {
+ public:
+  void WriteInt64(int64_t value);
+  void WriteDouble(double value);
+  void WriteFloat(float value);
+  void WriteString(const std::string& value);
+  void WriteFloatArray(const float* data, size_t count);
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+
+  // Writes the buffer to a file; returns false on I/O failure.
+  bool WriteToFile(const std::string& path) const;
+
+ private:
+  void Append(const void* data, size_t size);
+  std::vector<uint8_t> buffer_;
+};
+
+// Sequential reader over a byte buffer. Out-of-bounds reads abort (checked).
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::vector<uint8_t> buffer);
+
+  // Loads a file into a reader; returns false on I/O failure.
+  static bool ReadFromFile(const std::string& path, BinaryReader* reader);
+
+  int64_t ReadInt64();
+  double ReadDouble();
+  float ReadFloat();
+  std::string ReadString();
+  void ReadFloatArray(float* data, size_t count);
+
+  bool AtEnd() const { return position_ == buffer_.size(); }
+
+ private:
+  void Consume(void* out, size_t size);
+  std::vector<uint8_t> buffer_;
+  size_t position_ = 0;
+};
+
+}  // namespace imsr::util
+
+#endif  // IMSR_UTIL_SERIALIZATION_H_

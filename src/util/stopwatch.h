@@ -1,0 +1,29 @@
+// Wall-clock timing helper for the speed-up experiments (Table V).
+#ifndef IMSR_UTIL_STOPWATCH_H_
+#define IMSR_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace imsr::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace imsr::util
+
+#endif  // IMSR_UTIL_STOPWATCH_H_

@@ -1,0 +1,196 @@
+// Tests for the interest-analysis toolkit, the multi-cutoff metrics and
+// the online serving-time updater.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/online_update.h"
+#include "eval/interest_analysis.h"
+#include "eval/metrics.h"
+
+namespace imsr {
+namespace {
+
+// ---- Multi-cutoff metrics ----
+
+TEST(MultiCutoffTest, TracksEveryCutoffAndMrr) {
+  eval::MultiCutoffAccumulator accumulator({5, 10, 20});
+  accumulator.AddRank(1);   // inside all cutoffs
+  accumulator.AddRank(7);   // inside 10, 20
+  accumulator.AddRank(50);  // outside all
+  const eval::MultiCutoffMetrics metrics = accumulator.Finalize();
+  ASSERT_EQ(metrics.cutoffs, (std::vector<int>{5, 10, 20}));
+  EXPECT_NEAR(metrics.hit_ratio[0], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(metrics.hit_ratio[1], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(metrics.hit_ratio[2], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(metrics.mrr, (1.0 + 1.0 / 7.0 + 1.0 / 50.0) / 3.0, 1e-12);
+  EXPECT_EQ(metrics.users, 3);
+  // NDCG at larger cutoffs dominates smaller ones.
+  EXPECT_GE(metrics.ndcg[2], metrics.ndcg[0]);
+}
+
+TEST(MultiCutoffTest, ConsistentWithSingleCutoffAccumulator) {
+  eval::MetricsAccumulator single(20);
+  eval::MultiCutoffAccumulator multi({20});
+  for (int64_t rank : {1, 3, 8, 25, 100, 2}) {
+    single.AddRank(rank);
+    multi.AddRank(rank);
+  }
+  const eval::TopNMetrics a = single.Finalize();
+  const eval::MultiCutoffMetrics b = multi.Finalize();
+  EXPECT_NEAR(a.hit_ratio, b.hit_ratio[0], 1e-12);
+  EXPECT_NEAR(a.ndcg, b.ndcg[0], 1e-12);
+}
+
+TEST(MultiCutoffTest, EmptyIsZero) {
+  eval::MultiCutoffAccumulator accumulator({10});
+  const eval::MultiCutoffMetrics metrics = accumulator.Finalize();
+  EXPECT_EQ(metrics.users, 0);
+  EXPECT_EQ(metrics.mrr, 0.0);
+}
+
+// ---- Interest analysis ----
+
+struct AnalysisFixture {
+  AnalysisFixture() : items({6, 4}), interests({3, 4}) {
+    // Items on two axes.
+    for (int64_t i = 0; i < 3; ++i) items.at(i, 0) = 1.0f + 0.1f * i;
+    for (int64_t i = 3; i < 6; ++i) items.at(i, 1) = 1.0f + 0.1f * i;
+    interests.at(0, 0) = 1.0f;   // axis-0 interest
+    interests.at(1, 1) = 1.0f;   // axis-1 interest
+    interests.at(2, 0) = 0.9f;   // redundant copy of interest 0
+  }
+  nn::Tensor items;
+  nn::Tensor interests;
+};
+
+TEST(InterestAnalysisTest, ProfilesHaveExpectedShape) {
+  AnalysisFixture f;
+  const auto profiles =
+      eval::InterestItemProfiles(f.interests, f.items);
+  ASSERT_EQ(profiles.size(), 3u);
+  ASSERT_EQ(profiles[0].size(), 6u);
+  EXPECT_GT(profiles[0][0], profiles[0][3]);  // axis-0 interest scores
+}
+
+TEST(InterestAnalysisTest, CorrelationMatrixSymmetricWithUnitDiagonal) {
+  AnalysisFixture f;
+  const auto matrix =
+      eval::ProfileCorrelationMatrix(f.interests, f.items);
+  for (size_t i = 0; i < matrix.size(); ++i) {
+    EXPECT_DOUBLE_EQ(matrix[i][i], 1.0);
+    for (size_t j = 0; j < matrix.size(); ++j) {
+      EXPECT_DOUBLE_EQ(matrix[i][j], matrix[j][i]);
+    }
+  }
+  // The redundant interest correlates perfectly with interest 0 and
+  // negatively with interest 1.
+  EXPECT_NEAR(matrix[0][2], 1.0, 1e-9);
+  EXPECT_LT(matrix[1][2], 0.0);
+}
+
+TEST(InterestAnalysisTest, MaxCorrelationFlagsRedundantNewInterest) {
+  AnalysisFixture f;
+  const std::vector<double> corr =
+      eval::MaxCorrelationAgainstExisting(f.interests, f.items, 2);
+  ASSERT_EQ(corr.size(), 1u);  // one "new" interest (row 2)
+  EXPECT_NEAR(corr[0], 1.0, 1e-9);
+}
+
+TEST(InterestAnalysisTest, NormsAndDrift) {
+  AnalysisFixture f;
+  const std::vector<double> norms = eval::InterestNorms(f.interests);
+  EXPECT_NEAR(norms[0], 1.0, 1e-6);
+  EXPECT_NEAR(norms[2], 0.9, 1e-6);
+
+  nn::Tensor moved = f.interests;
+  moved.at(0, 2) += 0.5f;  // move interest 0 only
+  EXPECT_NEAR(eval::InheritedDrift(f.interests, moved), 0.5 / 3.0, 1e-6);
+  // Snapshots of different K compare the shared prefix.
+  const nn::Tensor grown =
+      nn::ConcatRows({f.interests, nn::Tensor::Full({1, 4}, 2.0f)});
+  EXPECT_NEAR(eval::InheritedDrift(f.interests, grown), 0.0, 1e-9);
+}
+
+TEST(InterestAnalysisTest, DistanceToNearestExisting) {
+  AnalysisFixture f;
+  const std::vector<double> distances =
+      eval::DistanceToNearestExisting(f.interests, 2);
+  ASSERT_EQ(distances.size(), 1u);
+  // Row 2 = 0.9 * row 0 -> distance 0.1 to row 0.
+  EXPECT_NEAR(distances[0], 0.1, 1e-6);
+}
+
+// ---- Online updating ----
+
+TEST(OnlineUpdateTest, PullsBestMatchingInterestTowardItem) {
+  util::Rng rng(1);
+  models::EmbeddingTable table(10, 4, rng);
+  // Item 3 along axis 0.
+  nn::Tensor& embeddings = table.parameter().mutable_value();
+  embeddings.Fill(0.0f);
+  embeddings.at(3, 0) = 2.0f;
+  embeddings.at(4, 1) = 2.0f;
+
+  core::InterestStore store;
+  store.Initialize(0, 2, 4, 0, rng);
+  nn::Tensor interests({2, 4});
+  interests.at(0, 0) = 0.5f;
+  interests.at(0, 1) = 0.3f;  // mostly axis 0
+  interests.at(1, 1) = 0.6f;  // axis 1
+  store.SetInterests(0, interests);
+
+  core::OnlineUpdateConfig config;
+  config.rate = 0.5f;
+  config.temperature = 0.1f;
+  core::OnlineUpdater updater(&store, &table, config);
+  updater.Absorb(0, 3);
+  EXPECT_EQ(updater.updates_applied(), 1);
+
+  const nn::Tensor& updated = store.Interests(0);
+  // Interest 0 rotated further towards axis 0; interest 1 barely moved.
+  const double cos0_before = 0.5 / std::sqrt(0.25 + 0.09);
+  const double cos0_after =
+      updated.at(0, 0) / nn::L2NormFlat(updated.Row(0));
+  EXPECT_GT(cos0_after, cos0_before + 1e-3);
+  EXPECT_NEAR(updated.at(1, 1), 0.6f, 0.05f);
+}
+
+TEST(OnlineUpdateTest, PreservesInterestNorms) {
+  util::Rng rng(2);
+  models::EmbeddingTable table(20, 8, rng);
+  core::InterestStore store;
+  store.Initialize(1, 3, 8, 0, rng);
+  const std::vector<double> before =
+      eval::InterestNorms(store.Interests(1));
+  core::OnlineUpdater updater(&store, &table, {});
+  updater.AbsorbSequence(1, {2, 5, 9, 14});
+  const std::vector<double> after =
+      eval::InterestNorms(store.Interests(1));
+  for (size_t k = 0; k < before.size(); ++k) {
+    // The pull mixes two vectors of equal length: norms shrink at most
+    // modestly and never grow beyond the original.
+    EXPECT_LE(after[k], before[k] * 1.01);
+    EXPECT_GE(after[k], before[k] * 0.5);
+  }
+}
+
+TEST(OnlineUpdateTest, NoOpForUnknownUserOrZeroRate) {
+  util::Rng rng(3);
+  models::EmbeddingTable table(10, 4, rng);
+  core::InterestStore store;
+  core::OnlineUpdater updater(&store, &table, {});
+  updater.Absorb(42, 1);  // user unknown
+  EXPECT_EQ(updater.updates_applied(), 0);
+
+  store.Initialize(42, 2, 4, 0, rng);
+  core::OnlineUpdateConfig disabled;
+  disabled.rate = 0.0f;
+  core::OnlineUpdater frozen(&store, &table, disabled);
+  const nn::Tensor before = store.Interests(42);
+  frozen.Absorb(42, 1);
+  EXPECT_LT(nn::MaxAbsDiff(before, store.Interests(42)), 1e-12f);
+}
+
+}  // namespace
+}  // namespace imsr

@@ -1,0 +1,43 @@
+#!/bin/sh
+# End-to-end test of the imsr_cli workflow: generate -> stats -> pretrain
+# -> train-span -> evaluate -> recommend. First argument: path to the
+# imsr_cli binary.
+set -e
+
+CLI="$1"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+LOG="$WORKDIR/log.csv"
+CKPT="$WORKDIR/ckpt.bin"
+
+"$CLI" generate --preset=electronics --scale=0.12 --out="$LOG" >/dev/null
+test -s "$LOG"
+
+"$CLI" stats --log="$LOG" --min_interactions=5 | grep -q "users (kept)"
+
+"$CLI" pretrain --log="$LOG" --min_interactions=5 --checkpoint="$CKPT" \
+    --pretrain_epochs=2 >/dev/null
+test -s "$CKPT"
+
+"$CLI" train-span --log="$LOG" --min_interactions=5 \
+    --checkpoint="$CKPT" --span=1 --epochs=1 | grep -q "trained span 1"
+
+"$CLI" evaluate --log="$LOG" --min_interactions=5 --checkpoint="$CKPT" \
+    --test_span=2 | grep -q "HR@20"
+
+"$CLI" recommend --log="$LOG" --min_interactions=5 --checkpoint="$CKPT" \
+    --user=0 --top_n=5 | grep -q "item"
+
+# Error paths exit non-zero.
+if "$CLI" evaluate --log=/nonexistent.csv --checkpoint="$CKPT" \
+    2>/dev/null; then
+  echo "expected failure on missing log" >&2
+  exit 1
+fi
+if "$CLI" bogus-subcommand 2>/dev/null; then
+  echo "expected failure on unknown subcommand" >&2
+  exit 1
+fi
+
+echo "cli_test OK"

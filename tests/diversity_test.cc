@@ -1,0 +1,121 @@
+// Tests for the controllable diversity re-ranking module and the
+// parallel evaluation helper.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "models/diversity.h"
+#include "util/parallel.h"
+
+namespace imsr {
+namespace {
+
+using Candidates = std::vector<std::pair<data::ItemId, float>>;
+
+TEST(DiversityTest, LambdaZeroKeepsScoreOrder) {
+  const Candidates candidates = {{0, 5.0f}, {1, 4.0f}, {2, 3.0f},
+                                 {3, 2.0f}};
+  const std::vector<int> categories = {0, 0, 0, 0};
+  models::DiversityConfig config;
+  config.lambda = 0.0;
+  config.top_n = 3;
+  const Candidates picked =
+      models::ControllableRerank(candidates, categories, config);
+  ASSERT_EQ(picked.size(), 3u);
+  EXPECT_EQ(picked[0].first, 0);
+  EXPECT_EQ(picked[1].first, 1);
+  EXPECT_EQ(picked[2].first, 2);
+}
+
+TEST(DiversityTest, LambdaPromotesNewCategories) {
+  // Items 0,1 share category 0; item 2 is category 1 with a lower score.
+  const Candidates candidates = {{0, 5.0f}, {1, 4.9f}, {2, 4.5f}};
+  const std::vector<int> categories = {0, 0, 1};
+  models::DiversityConfig config;
+  config.lambda = 1.0;  // category bonus outweighs the 0.4 score gap
+  config.top_n = 2;
+  const Candidates picked =
+      models::ControllableRerank(candidates, categories, config);
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked[0].first, 0);
+  EXPECT_EQ(picked[1].first, 2);  // jumps ahead of item 1
+}
+
+TEST(DiversityTest, DiversityIncreasesWithLambda) {
+  // Many near-tied items across 4 categories.
+  Candidates candidates;
+  std::vector<int> categories;
+  for (int i = 0; i < 20; ++i) {
+    candidates.push_back(
+        {i, 5.0f - 0.01f * static_cast<float>(i % 5)});
+    categories.push_back(i < 12 ? 0 : i % 4);
+  }
+  models::DiversityConfig plain;
+  plain.lambda = 0.0;
+  plain.top_n = 8;
+  models::DiversityConfig diverse;
+  diverse.lambda = 0.5;
+  diverse.top_n = 8;
+  const double d0 = models::ListDiversity(
+      models::ControllableRerank(candidates, categories, plain),
+      categories);
+  const double d1 = models::ListDiversity(
+      models::ControllableRerank(candidates, categories, diverse),
+      categories);
+  EXPECT_GE(d1, d0);
+}
+
+TEST(DiversityTest, HandlesShortCandidateLists) {
+  const Candidates candidates = {{0, 1.0f}};
+  const std::vector<int> categories = {0};
+  models::DiversityConfig config;
+  config.top_n = 10;
+  const Candidates picked =
+      models::ControllableRerank(candidates, categories, config);
+  EXPECT_EQ(picked.size(), 1u);
+  EXPECT_EQ(models::ListDiversity(picked, categories), 0.0);
+}
+
+TEST(DiversityTest, ListDiversityValues) {
+  const std::vector<int> categories = {0, 0, 1, 2};
+  const Candidates all_same = {{0, 1.0f}, {1, 1.0f}};
+  EXPECT_EQ(models::ListDiversity(all_same, categories), 0.0);
+  const Candidates all_diff = {{1, 1.0f}, {2, 1.0f}, {3, 1.0f}};
+  EXPECT_EQ(models::ListDiversity(all_diff, categories), 1.0);
+}
+
+TEST(ParallelTest, CoversRangeExactlyOnce) {
+  for (int threads : {1, 2, 7}) {
+    std::vector<std::atomic<int>> hits(100);
+    util::ParallelChunks(100, threads, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        hits[static_cast<size_t>(i)].fetch_add(1);
+      }
+    });
+    for (const auto& hit : hits) {
+      EXPECT_EQ(hit.load(), 1) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelTest, EmptyRangeIsNoop) {
+  bool called = false;
+  util::ParallelChunks(0, 4, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelTest, MoreThreadsThanWork) {
+  std::atomic<int> total{0};
+  util::ParallelChunks(3, 16, [&](int64_t begin, int64_t end) {
+    total.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ParallelTest, DefaultThreadCountPositive) {
+  EXPECT_GE(util::DefaultThreadCount(), 1);
+}
+
+}  // namespace
+}  // namespace imsr

@@ -1,0 +1,193 @@
+// Edge-case and cross-cutting tests: logging levels, threaded evaluation
+// consistency, expansion accounting, checkpoint round-trips per extractor
+// kind, dataset boundary conditions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/checkpoint.h"
+#include "core/imsr_trainer.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "util/logging.h"
+
+namespace imsr {
+namespace {
+
+TEST(LoggingTest, LevelFilteringAndFormat) {
+  const util::LogLevel previous = util::GetLogLevel();
+  util::SetLogLevel(util::LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  IMSR_LOG(Info) << "should be filtered";
+  IMSR_LOG(Warning) << "should appear " << 42;
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  util::SetLogLevel(previous);
+  EXPECT_EQ(output.find("should be filtered"), std::string::npos);
+  EXPECT_NE(output.find("should appear 42"), std::string::npos);
+  EXPECT_NE(output.find("[WARN"), std::string::npos);
+}
+
+TEST(LoggingTest, DebugBelowDefaultInfo) {
+  const util::LogLevel previous = util::GetLogLevel();
+  util::SetLogLevel(util::LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  IMSR_LOG(Debug) << "hidden";
+  IMSR_LOG(Error) << "visible";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  util::SetLogLevel(previous);
+  EXPECT_EQ(output.find("hidden"), std::string::npos);
+  EXPECT_NE(output.find("visible"), std::string::npos);
+}
+
+data::SyntheticDataset SmallData() {
+  data::SyntheticConfig config;
+  config.num_users = 30;
+  config.num_items = 150;
+  config.num_categories = 8;
+  config.num_incremental_spans = 3;
+  config.pretrain_interactions_per_user = 20;
+  config.span_interactions_per_user = 8;
+  config.min_interactions = 5;
+  config.seed = 41;
+  return data::GenerateSynthetic(config);
+}
+
+TEST(ThreadedEvalTest, ThreadCountDoesNotChangeMetrics) {
+  const data::SyntheticDataset synthetic = SmallData();
+  const data::Dataset& dataset = *synthetic.dataset;
+  models::ModelConfig model_config;
+  model_config.kind = models::ExtractorKind::kComiRecDr;
+  model_config.embedding_dim = 16;
+  models::MsrModel model(model_config, dataset.num_items(), 3);
+  core::InterestStore store;
+  core::TrainConfig train;
+  train.pretrain_epochs = 2;
+  core::ImsrTrainer trainer(&model, &store, train);
+  trainer.Pretrain(dataset);
+
+  eval::EvalConfig serial;
+  serial.threads = 1;
+  eval::EvalConfig threaded;
+  threaded.threads = 4;
+  const eval::EvalResult a =
+      eval::EvaluateSpan(model.embeddings().parameter().value(), store,
+                         dataset, 1, serial);
+  const eval::EvalResult b =
+      eval::EvaluateSpan(model.embeddings().parameter().value(), store,
+                         dataset, 1, threaded);
+  EXPECT_DOUBLE_EQ(a.metrics.hit_ratio, b.metrics.hit_ratio);
+  EXPECT_DOUBLE_EQ(a.metrics.ndcg, b.metrics.ndcg);
+  EXPECT_EQ(a.metrics.users, b.metrics.users);
+}
+
+TEST(ExpansionAccountingTest, AddedPlusTrimmedEqualsAllocated) {
+  const data::SyntheticDataset synthetic = SmallData();
+  const data::Dataset& dataset = *synthetic.dataset;
+  models::ModelConfig model_config;
+  model_config.kind = models::ExtractorKind::kComiRecDr;
+  model_config.embedding_dim = 16;
+  models::MsrModel model(model_config, dataset.num_items(), 4);
+  core::InterestStore store;
+  core::TrainConfig train;
+  train.pretrain_epochs = 1;
+  train.epochs = 1;
+  train.expansion.nid.c1 = 10.0;  // always fire
+  train.expansion.delta_k = 3;
+  core::ImsrTrainer trainer(&model, &store, train);
+  trainer.Pretrain(dataset);
+  trainer.TrainSpan(dataset, 1);
+  const core::ExpansionOutcome& totals = trainer.expansion_totals();
+  EXPECT_EQ(totals.interests_added + totals.interests_trimmed,
+            totals.users_expanded * train.expansion.delta_k);
+  EXPECT_LE(totals.users_expanded, totals.users_considered);
+}
+
+TEST(CheckpointPerExtractorTest, RoundTripsForEveryKind) {
+  const data::SyntheticDataset synthetic = SmallData();
+  const data::Dataset& dataset = *synthetic.dataset;
+  for (models::ExtractorKind kind :
+       {models::ExtractorKind::kMind, models::ExtractorKind::kComiRecDr,
+        models::ExtractorKind::kComiRecSa}) {
+    models::ModelConfig model_config;
+    model_config.kind = kind;
+    model_config.embedding_dim = 16;
+    model_config.attention_dim = 12;
+    models::MsrModel model(model_config, dataset.num_items(), 5);
+    core::InterestStore store;
+    core::TrainConfig train;
+    train.pretrain_epochs = 1;
+    core::ImsrTrainer trainer(&model, &store, train);
+    trainer.Pretrain(dataset);
+
+    const std::string path = "/tmp/imsr_edge_ckpt_test.bin";
+    ASSERT_TRUE(SaveCheckpoint(path, model, store, {0, "edge"}));
+    models::MsrModel restored(model_config, dataset.num_items(), 77);
+    core::InterestStore restored_store;
+    std::string error;
+    ASSERT_TRUE(LoadCheckpoint(path, &restored, &restored_store, nullptr,
+                               &error))
+        << models::ExtractorKindName(kind) << ": " << error;
+    const data::UserId user = dataset.active_users(0)[0];
+    EXPECT_LT(nn::MaxAbsDiff(store.Interests(user),
+                             restored_store.Interests(user)),
+              1e-12f)
+        << models::ExtractorKindName(kind);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(DatasetBoundaryTest, ExtremeAlphaValues) {
+  std::vector<data::Interaction> log;
+  for (int i = 0; i < 40; ++i) {
+    log.push_back({0, i % 6, i * 10});
+  }
+  // Nearly everything in pre-training.
+  data::Dataset mostly_pretrain(1, 6, log, 2, 0.95, 1);
+  EXPECT_GT(mostly_pretrain.span_interactions(0), 30);
+  // Nearly everything incremental.
+  data::Dataset mostly_incremental(1, 6, log, 2, 0.05, 1);
+  EXPECT_LT(mostly_incremental.span_interactions(0), 10);
+  int64_t total = 0;
+  for (int span = 0; span < mostly_incremental.num_spans(); ++span) {
+    total += mostly_incremental.span_interactions(span);
+  }
+  EXPECT_EQ(total, 40);
+}
+
+TEST(DatasetBoundaryTest, SingleInteractionUserHandled) {
+  std::vector<data::Interaction> log = {{0, 1, 10},
+                                        {1, 2, 20}, {1, 3, 60},
+                                        {1, 4, 80}, {1, 5, 90}};
+  data::Dataset dataset(2, 6, log, 2, 0.5, 1);
+  const data::UserSpanData& lonely = dataset.user_span(0, 0);
+  EXPECT_EQ(lonely.all.size(), 1u);
+  EXPECT_EQ(lonely.test, -1);  // no held-out item from one interaction
+  EXPECT_EQ(lonely.train.size(), 1u);
+}
+
+TEST(SyntheticBoundaryTest, TinyScaleClampsToMinimumSizes) {
+  const data::SyntheticConfig config =
+      data::SyntheticConfig::Taobao(1e-6);
+  EXPECT_GE(config.num_users, 20);
+  EXPECT_GE(config.num_items, 100);
+  const data::SyntheticDataset synthetic = GenerateSynthetic(config);
+  EXPECT_GT(synthetic.dataset->num_kept_users(), 0);
+}
+
+TEST(SyntheticBoundaryTest, SingleCategoryDegenerateCase) {
+  data::SyntheticConfig config;
+  config.num_users = 10;
+  config.num_items = 30;
+  config.num_categories = 1;  // every item in one category
+  config.initial_interests_per_user = 1;
+  config.new_interest_prob = 0.9;  // cannot add: all owned already
+  config.min_interactions = 3;
+  config.seed = 9;
+  const data::SyntheticDataset synthetic = GenerateSynthetic(config);
+  for (const auto& interests : synthetic.truth.user_interests) {
+    EXPECT_EQ(interests.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace imsr

@@ -1,0 +1,198 @@
+// Tests for the evaluation harness: metrics, ranker and per-span driver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "core/interest_store.h"
+#include "data/dataset.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "eval/ranker.h"
+
+namespace imsr::eval {
+namespace {
+
+TEST(MetricsTest, NdcgAtRankValues) {
+  EXPECT_DOUBLE_EQ(NdcgAtRank(1, 20), 1.0);
+  EXPECT_NEAR(NdcgAtRank(2, 20), 1.0 / std::log2(3.0), 1e-12);
+  EXPECT_EQ(NdcgAtRank(21, 20), 0.0);
+}
+
+TEST(MetricsTest, AccumulatorAggregates) {
+  MetricsAccumulator accumulator(2);
+  accumulator.AddRank(1);   // hit, ndcg 1
+  accumulator.AddRank(2);   // hit, ndcg 1/log2(3)
+  accumulator.AddRank(10);  // miss
+  const TopNMetrics metrics = accumulator.Finalize();
+  EXPECT_EQ(metrics.users, 3);
+  EXPECT_NEAR(metrics.hit_ratio, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(metrics.ndcg, (1.0 + 1.0 / std::log2(3.0)) / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, EmptyAccumulator) {
+  MetricsAccumulator accumulator(20);
+  const TopNMetrics metrics = accumulator.Finalize();
+  EXPECT_EQ(metrics.users, 0);
+  EXPECT_EQ(metrics.hit_ratio, 0.0);
+}
+
+// A fixture with items on coordinate axes and interests aligned to them.
+struct RankerFixture {
+  RankerFixture() : items({4, 4}), interests({2, 4}) {
+    // Item i has embedding e_i = unit vector along axis i (scaled).
+    for (int64_t i = 0; i < 4; ++i) items.at(i, i) = 1.0f + 0.1f * i;
+    interests.at(0, 0) = 1.0f;  // interest 0 -> item 0
+    interests.at(1, 2) = 1.0f;  // interest 1 -> item 2
+  }
+  nn::Tensor items;
+  nn::Tensor interests;
+};
+
+TEST(RankerTest, ScoresFavourAlignedItems) {
+  RankerFixture f;
+  const std::vector<float> scores =
+      ScoreAllItems(f.interests, f.items, ScoreRule::kMaxInterest);
+  EXPECT_GT(scores[0], scores[1]);
+  EXPECT_GT(scores[2], scores[3]);
+  EXPECT_GT(scores[2], scores[1]);
+}
+
+TEST(RankerTest, AttentiveAndMaxAgreeOnClearWinner) {
+  RankerFixture f;
+  const std::vector<float> attentive =
+      ScoreAllItems(f.interests, f.items, ScoreRule::kAttentive);
+  const std::vector<float> maxed =
+      ScoreAllItems(f.interests, f.items, ScoreRule::kMaxInterest);
+  // Item 2 (aligned, higher norm) wins under both rules.
+  for (int64_t i = 0; i < 4; ++i) {
+    if (i == 2) continue;
+    EXPECT_GT(attentive[2], attentive[i]);
+    EXPECT_GT(maxed[2], maxed[i]);
+  }
+}
+
+TEST(RankerTest, TargetRankConsistentWithScores) {
+  RankerFixture f;
+  EXPECT_EQ(TargetRank(f.interests, f.items, 2, ScoreRule::kMaxInterest),
+            1);
+  // Item 1 is orthogonal to both interests: ranks behind 0 and 2.
+  const int64_t rank1 =
+      TargetRank(f.interests, f.items, 1, ScoreRule::kMaxInterest);
+  EXPECT_GE(rank1, 3);
+}
+
+TEST(RankerTest, TopNItemsOrderedAndSized) {
+  RankerFixture f;
+  const auto top = TopNItems(f.interests, f.items, 3,
+                             ScoreRule::kMaxInterest);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 2);
+  EXPECT_GE(top[0].second, top[1].second);
+  EXPECT_GE(top[1].second, top[2].second);
+}
+
+TEST(RankerTest, TopNClampsToCorpus) {
+  RankerFixture f;
+  EXPECT_EQ(TopNItems(f.interests, f.items, 100,
+                      ScoreRule::kAttentive).size(),
+            4u);
+}
+
+// ---- EvaluateSpan over a handcrafted dataset ----
+
+data::Dataset MakeEvalDataset() {
+  // 2 users, 4 items; pretrain [0,50), span1 [50,75), span2 [75,100).
+  std::vector<data::Interaction> log = {
+      {0, 0, 10}, {0, 1, 20}, {0, 2, 30},  // user 0 pretrain
+      {0, 0, 55}, {0, 1, 60},              // user 0 span 1
+      {0, 2, 80}, {0, 0, 95},              // user 0 span 2, test item 0
+      {1, 3, 15}, {1, 2, 25}, {1, 3, 35},  // user 1 pretrain
+      {1, 3, 85}, {1, 3, 90},              // user 1 span 2, test item 3
+  };
+  return data::Dataset(2, 4, log, 2, 0.5, 1);
+}
+
+TEST(EvaluatorTest, EvaluatesUsersWithInterestsAndTestItems) {
+  const data::Dataset dataset = MakeEvalDataset();
+  core::InterestStore store;
+  util::Rng rng(1);
+  // User 0's interest points at item 0's axis; user 1 absent from store.
+  store.Initialize(0, 1, 4, 0, rng);
+  nn::Tensor interest({1, 4});
+  interest.at(0, 0) = 1.0f;
+  store.SetInterests(0, interest);
+
+  nn::Tensor items({4, 4});
+  for (int64_t i = 0; i < 4; ++i) items.at(i, i) = 1.0f;
+
+  EvalConfig config;
+  config.top_n = 1;
+  config.rule = ScoreRule::kMaxInterest;
+  const EvalResult result =
+      EvaluateSpan(items, store, dataset, /*test_span=*/2, config);
+  // Only user 0 evaluable (store has no user 1); target item 0 ranks 1st.
+  EXPECT_EQ(result.metrics.users, 1);
+  EXPECT_DOUBLE_EQ(result.metrics.hit_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(result.metrics.ndcg, 1.0);
+}
+
+TEST(EvaluatorTest, ItemFilterSplitsExistingAndNew) {
+  const data::Dataset dataset = MakeEvalDataset();
+  core::InterestStore store;
+  util::Rng rng(2);
+  store.Initialize(0, 1, 4, 0, rng);
+  store.Initialize(1, 1, 4, 0, rng);
+
+  nn::Tensor items({4, 4});
+  for (int64_t i = 0; i < 4; ++i) items.at(i, i) = 1.0f;
+
+  EvalConfig config;
+  config.top_n = 4;
+  // User 0's span-2 test item 0 appeared before span 2 -> "existing".
+  // User 1's span-2 test item 3 also appeared in pretrain -> "existing".
+  const EvalResult existing =
+      EvaluateSpan(items, store, dataset, 2, config,
+                   ItemFilter::kExistingOnly, /*history_span=*/1);
+  const EvalResult fresh =
+      EvaluateSpan(items, store, dataset, 2, config, ItemFilter::kNewOnly,
+                   /*history_span=*/1);
+  EXPECT_EQ(existing.metrics.users + fresh.metrics.users, 2);
+  EXPECT_EQ(existing.metrics.users, 2);
+}
+
+TEST(EvaluatorTest, PerfectInterestsBeatRandomOnes) {
+  const data::Dataset dataset = MakeEvalDataset();
+  nn::Tensor items({4, 4});
+  for (int64_t i = 0; i < 4; ++i) items.at(i, i) = 1.0f;
+
+  util::Rng rng(3);
+  core::InterestStore oracle;
+  oracle.Initialize(0, 1, 4, 0, rng);
+  oracle.Initialize(1, 1, 4, 0, rng);
+  nn::Tensor i0({1, 4});
+  i0.at(0, 0) = 1.0f;
+  oracle.SetInterests(0, i0);
+  nn::Tensor i1({1, 4});
+  i1.at(0, 3) = 1.0f;
+  oracle.SetInterests(1, i1);
+
+  core::InterestStore adversary;
+  adversary.Initialize(0, 1, 4, 0, rng);
+  adversary.Initialize(1, 1, 4, 0, rng);
+  nn::Tensor wrong({1, 4});
+  wrong.at(0, 1) = 1.0f;  // neither user's test item
+  adversary.SetInterests(0, wrong);
+  adversary.SetInterests(1, wrong);
+
+  EvalConfig config;
+  config.top_n = 1;
+  const double hr_oracle =
+      EvaluateSpan(items, oracle, dataset, 2, config).metrics.hit_ratio;
+  const double hr_adversary =
+      EvaluateSpan(items, adversary, dataset, 2, config)
+          .metrics.hit_ratio;
+  EXPECT_EQ(hr_oracle, 1.0);
+  EXPECT_EQ(hr_adversary, 0.0);
+}
+
+}  // namespace
+}  // namespace imsr::eval

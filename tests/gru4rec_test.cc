@@ -1,0 +1,178 @@
+// Tests for the GRU4Rec-style single-interest baseline and the 2-D PCA
+// projection utility.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/gru4rec.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/projection.h"
+#include "nn/gradcheck.h"
+#include "nn/ops.h"
+
+namespace imsr {
+namespace {
+
+data::SyntheticDataset SmallData() {
+  data::SyntheticConfig config;
+  config.num_users = 30;
+  config.num_items = 150;
+  config.num_categories = 8;
+  config.pretrain_interactions_per_user = 24;
+  config.span_interactions_per_user = 8;
+  config.min_interactions = 5;
+  config.seed = 61;
+  return data::GenerateSynthetic(config);
+}
+
+baselines::Gru4RecConfig SmallGruConfig() {
+  baselines::Gru4RecConfig config;
+  config.embedding_dim = 12;
+  config.hidden_dim = 12;
+  config.epochs = 2;
+  config.negatives = 5;
+  return config;
+}
+
+TEST(Gru4RecTest, HiddenStateShapeAndDeterminism) {
+  baselines::Gru4RecModel model(SmallGruConfig(), 50);
+  const std::vector<data::ItemId> history = {1, 5, 9, 3};
+  const nn::Tensor a = model.ForwardHidden(history).value();
+  const nn::Tensor b = model.ForwardHidden(history).value();
+  EXPECT_EQ(a.numel(), 12);
+  EXPECT_LT(nn::MaxAbsDiff(a, b), 1e-12f);
+  // Hidden state is bounded by the tanh candidate dynamics.
+  for (int64_t j = 0; j < a.numel(); ++j) {
+    EXPECT_LE(std::fabs(a.at(j)), 1.0f);
+  }
+}
+
+TEST(Gru4RecTest, OrderSensitivity) {
+  // A recurrent model must distinguish item order (unlike bag-of-items).
+  baselines::Gru4RecModel model(SmallGruConfig(), 50);
+  const nn::Tensor forward =
+      model.ForwardHidden({1, 2, 3, 4, 5}).value();
+  const nn::Tensor reversed =
+      model.ForwardHidden({5, 4, 3, 2, 1}).value();
+  EXPECT_GT(nn::MaxAbsDiff(forward, reversed), 1e-5f);
+}
+
+TEST(Gru4RecTest, GradientsFlowToAllParameters) {
+  baselines::Gru4RecModel model(SmallGruConfig(), 50);
+  nn::Var hidden = model.ForwardHidden({2, 7, 11});
+  nn::ops::SumSquares(hidden).Backward();
+  int with_grad = 0;
+  for (nn::Var& parameter : model.Parameters()) {
+    with_grad += parameter.has_grad() ? 1 : 0;
+  }
+  // Embeddings + 9 GRU weights all receive gradient.
+  EXPECT_EQ(with_grad, 10);
+}
+
+TEST(Gru4RecTest, GradCheckThroughShortSequence) {
+  baselines::Gru4RecModel model(SmallGruConfig(), 20);
+  auto parameters = model.Parameters();
+  auto forward = [&] {
+    return nn::ops::SumSquares(model.ForwardHidden({3, 8}));
+  };
+  // Check gradients on the recurrent weights only (embeddings covered by
+  // other tests; the full check would be slow).
+  const nn::GradCheckResult result = nn::CheckGradients(
+      forward, {parameters[1], parameters[4], parameters[7],
+                parameters[3], parameters[6], parameters[9]});
+  EXPECT_TRUE(result.ok) << result.max_rel_error;
+}
+
+TEST(Gru4RecTest, TrainsAboveChanceAndRefreshesStore) {
+  const data::SyntheticDataset synthetic = SmallData();
+  const data::Dataset& dataset = *synthetic.dataset;
+  baselines::Gru4RecConfig config = SmallGruConfig();
+  config.epochs = 4;
+  baselines::Gru4RecModel model(config, dataset.num_items());
+  model.TrainSpan(dataset, 0);
+  model.RefreshRepresentations(dataset, 0);
+  for (data::UserId user : dataset.active_users(0)) {
+    EXPECT_TRUE(model.representations().Has(user));
+    EXPECT_EQ(model.representations().NumInterests(user), 1);
+  }
+  eval::EvalConfig eval_config;
+  const eval::EvalResult result =
+      eval::EvaluateSpan(model.item_embeddings(), model.representations(),
+                         dataset, 1, eval_config);
+  ASSERT_GT(result.metrics.users, 0);
+  // Chance HR@20 over 150 items ~ 0.13.
+  EXPECT_GT(result.metrics.hit_ratio, 0.15);
+}
+
+// ---- PCA projection ----
+
+TEST(PcaTest, RecoversDominantAxis) {
+  // Points spread along axis 0 with small noise on axis 1.
+  nn::Tensor points({6, 3});
+  for (int64_t i = 0; i < 6; ++i) {
+    points.at(i, 0) = static_cast<float>(i) * 2.0f;
+    points.at(i, 1) = (i % 2 == 0) ? 0.1f : -0.1f;
+  }
+  const auto projected = eval::PcaProject2d(points);
+  ASSERT_EQ(projected.size(), 6u);
+  // x coordinates must be strictly ordered (up to sign) along the axis.
+  const double direction = projected[5].first - projected[0].first;
+  for (size_t i = 1; i < projected.size(); ++i) {
+    if (direction > 0) {
+      EXPECT_GT(projected[i].first, projected[i - 1].first);
+    } else {
+      EXPECT_LT(projected[i].first, projected[i - 1].first);
+    }
+  }
+  // Nearly all variance lives in the first component.
+  EXPECT_GT(eval::PcaExplainedVariance(points, 1), 0.98);
+}
+
+TEST(PcaTest, PreservesPairwiseStructureInPlaneData) {
+  // Points already in a 2-D subspace project with distances intact.
+  util::Rng rng(5);
+  nn::Tensor basis = nn::Tensor::Randn({2, 8}, rng);
+  nn::Tensor points({5, 8});
+  std::vector<std::pair<double, double>> coords = {
+      {0, 0}, {1, 0}, {0, 1}, {2, 2}, {-1, 1}};
+  for (int64_t i = 0; i < 5; ++i) {
+    for (int64_t j = 0; j < 8; ++j) {
+      points.at(i, j) = static_cast<float>(
+          coords[static_cast<size_t>(i)].first * basis.at(0, j) +
+          coords[static_cast<size_t>(i)].second * basis.at(1, j));
+    }
+  }
+  EXPECT_GT(eval::PcaExplainedVariance(points, 2), 0.999);
+  const auto projected = eval::PcaProject2d(points);
+  // Pairwise distances in the projection match the original distances.
+  auto original_distance = [&](int64_t a, int64_t b) {
+    return nn::L2NormFlat(nn::Sub(points.Row(a), points.Row(b)));
+  };
+  auto projected_distance = [&](size_t a, size_t b) {
+    const double dx = projected[a].first - projected[b].first;
+    const double dy = projected[a].second - projected[b].second;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  for (int64_t a = 0; a < 5; ++a) {
+    for (int64_t b = a + 1; b < 5; ++b) {
+      EXPECT_NEAR(projected_distance(static_cast<size_t>(a),
+                                     static_cast<size_t>(b)),
+                  original_distance(a, b), 1e-2);
+    }
+  }
+}
+
+TEST(PcaTest, DegenerateInputs) {
+  // Identical points: zero variance, projection at the origin.
+  nn::Tensor constant = nn::Tensor::Full({3, 4}, 2.0f);
+  const auto projected = eval::PcaProject2d(constant);
+  for (const auto& [x, y] : projected) {
+    EXPECT_NEAR(x, 0.0, 1e-6);
+    EXPECT_NEAR(y, 0.0, 1e-6);
+  }
+  EXPECT_DOUBLE_EQ(eval::PcaExplainedVariance(constant, 2), 1.0);
+}
+
+}  // namespace
+}  // namespace imsr

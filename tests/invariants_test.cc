@@ -1,0 +1,151 @@
+// Cross-module behavioural invariants: loss values at known points,
+// ranking tie handling, popularity skew of the generator, reappearance
+// monotonicity, and single-item sequences through every extractor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "data/stats.h"
+#include "data/synthetic.h"
+#include "eval/ranker.h"
+#include "models/msr_model.h"
+#include "models/sampled_softmax.h"
+#include "nn/ops.h"
+
+namespace imsr {
+namespace {
+
+TEST(SampledSoftmaxInvariant, UniformScoresGiveLogCandidates) {
+  // v = 0 makes every candidate score 0: loss = log(1 + N).
+  const int64_t n_negatives = 9;
+  nn::Var v(nn::Tensor({4}));
+  util::Rng rng(1);
+  nn::Var candidates(nn::Tensor::Randn({1 + n_negatives, 4}, rng));
+  const float loss =
+      models::SampledSoftmaxLoss(v, candidates).value().item();
+  EXPECT_NEAR(loss, std::log(10.0f), 1e-5f);
+}
+
+TEST(SampledSoftmaxInvariant, LossIsNonNegative) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    nn::Var v(nn::Tensor::Randn({8}, rng));
+    nn::Var candidates(nn::Tensor::Randn({6, 8}, rng));
+    EXPECT_GE(models::SampledSoftmaxLoss(v, candidates).value().item(),
+              0.0f);
+  }
+}
+
+TEST(RankerInvariant, TiesResolvePessimistically) {
+  // All items identical: the target ranks last among equals.
+  nn::Tensor items = nn::Tensor::Ones({5, 3});
+  nn::Tensor interests = nn::Tensor::Ones({2, 3});
+  EXPECT_EQ(eval::TargetRank(interests, items, 2,
+                             eval::ScoreRule::kMaxInterest),
+            5);
+}
+
+TEST(RankerInvariant, RanksCoverFullRangeOnDistinctScores) {
+  nn::Tensor items({4, 2});
+  for (int64_t i = 0; i < 4; ++i) {
+    items.at(i, 0) = static_cast<float>(i + 1);
+  }
+  nn::Tensor interest({1, 2});
+  interest.at(0, 0) = 1.0f;
+  std::map<int64_t, int> seen;
+  for (data::ItemId item = 0; item < 4; ++item) {
+    ++seen[eval::TargetRank(interest, items, item,
+                            eval::ScoreRule::kMaxInterest)];
+  }
+  ASSERT_EQ(seen.size(), 4u);  // ranks 1..4 each hit once
+  for (const auto& [rank, count] : seen) {
+    EXPECT_EQ(count, 1);
+    EXPECT_GE(rank, 1);
+    EXPECT_LE(rank, 4);
+  }
+}
+
+TEST(SyntheticInvariant, PopularityIsLongTailed) {
+  data::SyntheticConfig config = data::SyntheticConfig::Books(0.15);
+  config.zipf_exponent = 1.2;
+  const data::SyntheticDataset synthetic = GenerateSynthetic(config);
+  const data::Dataset& dataset = *synthetic.dataset;
+  std::vector<int64_t> counts(
+      static_cast<size_t>(dataset.num_items()), 0);
+  for (int span = 0; span < dataset.num_spans(); ++span) {
+    for (data::UserId user : dataset.active_users(span)) {
+      for (data::ItemId item : dataset.user_span(user, span).all) {
+        ++counts[static_cast<size_t>(item)];
+      }
+    }
+  }
+  std::sort(counts.begin(), counts.end(), std::greater<int64_t>());
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  // Top 10% of items draw a disproportionate share of interactions.
+  int64_t head = 0;
+  for (size_t i = 0; i < counts.size() / 10; ++i) head += counts[i];
+  EXPECT_GT(static_cast<double>(head) / static_cast<double>(total), 0.3);
+}
+
+TEST(SyntheticInvariant, ReappearFractionMonotoneInThreshold) {
+  const data::SyntheticDataset synthetic =
+      GenerateSynthetic(data::SyntheticConfig::Clothing(0.15));
+  const double at2 =
+      InterestReappearFraction(*synthetic.dataset, synthetic.truth, 2);
+  const double at3 =
+      InterestReappearFraction(*synthetic.dataset, synthetic.truth, 3);
+  const double at5 =
+      InterestReappearFraction(*synthetic.dataset, synthetic.truth, 5);
+  EXPECT_GE(at2, at3);
+  EXPECT_GE(at3, at5);
+  EXPECT_GT(at2, 0.5);
+}
+
+TEST(ExtractorInvariant, SingleItemSequencesWork) {
+  util::Rng rng(3);
+  const nn::Tensor init = nn::Tensor::Randn({3, 16}, rng);
+  for (models::ExtractorKind kind :
+       {models::ExtractorKind::kMind, models::ExtractorKind::kComiRecDr,
+        models::ExtractorKind::kComiRecSa}) {
+    models::ModelConfig config;
+    config.kind = kind;
+    config.embedding_dim = 16;
+    config.attention_dim = 8;
+    models::MsrModel model(config, 30, 4);
+    model.extractor().EnsureUserCapacity(0, 3, model.rng(), nullptr);
+    const nn::Tensor interests =
+        model.ForwardInterestsNoGrad({5}, init, 0);
+    EXPECT_EQ(interests.size(0), 3) << models::ExtractorKindName(kind);
+    for (int64_t i = 0; i < interests.numel(); ++i) {
+      ASSERT_TRUE(std::isfinite(interests.data()[i]))
+          << models::ExtractorKindName(kind);
+    }
+  }
+}
+
+TEST(ExtractorInvariant, LongerAlignedHistoryStrengthensInterest) {
+  // Routing more items of one direction grows that capsule's norm
+  // (squash is monotone in the input norm).
+  util::Rng rng(5);
+  models::ModelConfig config;
+  config.kind = models::ExtractorKind::kComiRecDr;
+  config.embedding_dim = 8;
+  models::MsrModel model(config, 40, 6);
+  // Force aligned embeddings for items 0..9.
+  nn::Tensor& table = model.embeddings().parameter().mutable_value();
+  table.Fill(0.0f);
+  for (int64_t i = 0; i < 10; ++i) table.at(i, 0) = 1.0f;
+  nn::Tensor init({1, 8});
+  init.at(0, 0) = 1.0f;
+  const nn::Tensor short_run =
+      model.ForwardInterestsNoGrad({0, 1}, init, 0);
+  const nn::Tensor long_run =
+      model.ForwardInterestsNoGrad({0, 1, 2, 3, 4, 5, 6, 7}, init, 0);
+  EXPECT_GT(nn::L2NormFlat(long_run.Row(0)),
+            nn::L2NormFlat(short_run.Row(0)));
+}
+
+}  // namespace
+}  // namespace imsr

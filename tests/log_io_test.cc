@@ -1,0 +1,114 @@
+// Tests for interaction-log CSV I/O and id compaction.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/dataset.h"
+#include "data/log_io.h"
+
+namespace imsr::data {
+namespace {
+
+TEST(LogIoTest, ParsesPlainCsv) {
+  const std::string csv = "3,10,100\n4,11,200\n3,12,150\n";
+  InteractionLog log;
+  std::string error;
+  ASSERT_TRUE(ParseInteractionsCsv(csv, &log, &error)) << error;
+  ASSERT_EQ(log.interactions.size(), 3u);
+  EXPECT_EQ(log.num_users, 5);
+  EXPECT_EQ(log.num_items, 13);
+  EXPECT_EQ(log.interactions[1].user, 4);
+  EXPECT_EQ(log.interactions[1].item, 11);
+  EXPECT_EQ(log.interactions[1].timestamp, 200);
+}
+
+TEST(LogIoTest, SkipsHeaderAndBlankLinesAndCrlf) {
+  const std::string csv =
+      "user,item,timestamp\r\n1,2,3\r\n\r\n4,5,6\r\n";
+  InteractionLog log;
+  ASSERT_TRUE(ParseInteractionsCsv(csv, &log, nullptr));
+  EXPECT_EQ(log.interactions.size(), 2u);
+}
+
+TEST(LogIoTest, ToleratesWhitespaceAroundFields) {
+  InteractionLog log;
+  ASSERT_TRUE(ParseInteractionsCsv(" 1 , 2 , 3 \n", &log, nullptr));
+  EXPECT_EQ(log.interactions[0].item, 2);
+}
+
+TEST(LogIoTest, RejectsMalformedRows) {
+  InteractionLog log;
+  std::string error;
+  EXPECT_FALSE(ParseInteractionsCsv("1,2\n", &log, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(ParseInteractionsCsv("1,2,3,4\n", &log, &error));
+  EXPECT_FALSE(ParseInteractionsCsv("1,2,3\nx,2,3\n", &log, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_FALSE(ParseInteractionsCsv("-1,2,3\n", &log, &error));
+  EXPECT_FALSE(ParseInteractionsCsv("", &log, &error));
+  EXPECT_FALSE(ParseInteractionsCsv("user,item,timestamp\n", &log,
+                                    &error));
+}
+
+TEST(LogIoTest, RoundTripThroughString) {
+  const std::vector<Interaction> interactions = {
+      {0, 5, 10}, {1, 6, 20}, {0, 7, 30}};
+  const std::string csv = InteractionsToCsv(interactions);
+  InteractionLog log;
+  ASSERT_TRUE(ParseInteractionsCsv(csv, &log, nullptr));
+  ASSERT_EQ(log.interactions.size(), 3u);
+  EXPECT_EQ(log.interactions[2].item, 7);
+}
+
+TEST(LogIoTest, RoundTripThroughFile) {
+  const std::string path = "/tmp/imsr_log_io_test.csv";
+  const std::vector<Interaction> interactions = {{2, 3, 4}, {5, 6, 7}};
+  ASSERT_TRUE(WriteInteractionsCsv(path, interactions));
+  InteractionLog log;
+  std::string error;
+  ASSERT_TRUE(ReadInteractionsCsv(path, &log, &error)) << error;
+  EXPECT_EQ(log.interactions.size(), 2u);
+  EXPECT_EQ(log.interactions[1].timestamp, 7);
+  std::remove(path.c_str());
+}
+
+TEST(LogIoTest, ReadMissingFileFails) {
+  InteractionLog log;
+  std::string error;
+  EXPECT_FALSE(ReadInteractionsCsv("/nonexistent/imsr.csv", &log, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(LogIoTest, CompactIdsRemapsDensely) {
+  InteractionLog log;
+  ASSERT_TRUE(ParseInteractionsCsv(
+      "1000,500,1\n2000,600,2\n1000,500,3\n", &log, nullptr));
+  EXPECT_EQ(log.num_users, 2001);
+  const IdCompaction compaction = CompactIds(&log);
+  EXPECT_EQ(log.num_users, 2);
+  EXPECT_EQ(log.num_items, 2);
+  EXPECT_EQ(log.interactions[0].user, 0);
+  EXPECT_EQ(log.interactions[1].user, 1);
+  EXPECT_EQ(log.interactions[2].user, 0);
+  EXPECT_EQ(compaction.user_ids, (std::vector<int32_t>{1000, 2000}));
+  EXPECT_EQ(compaction.item_ids, (std::vector<int32_t>{500, 600}));
+}
+
+TEST(LogIoTest, LoadedLogFeedsDataset) {
+  // The loaded log plugs straight into the span-splitting Dataset.
+  InteractionLog log;
+  std::string csv;
+  for (int i = 0; i < 20; ++i) {
+    csv += "0," + std::to_string(i % 6) + "," + std::to_string(i * 10) +
+           "\n";
+  }
+  ASSERT_TRUE(ParseInteractionsCsv(csv, &log, nullptr));
+  Dataset dataset(log.num_users, log.num_items, log.interactions,
+                  /*num_incremental_spans=*/2, /*alpha=*/0.5,
+                  /*min_interactions=*/1);
+  EXPECT_EQ(dataset.num_kept_users(), 1);
+  EXPECT_GT(dataset.span_interactions(0), 0);
+}
+
+}  // namespace
+}  // namespace imsr::data

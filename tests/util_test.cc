@@ -1,0 +1,252 @@
+// Tests for src/util: rng, math helpers, csv/table, flags, serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+#include "util/serialization.h"
+
+namespace imsr::util {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(99);
+  const int n = 20000;
+  double sum = 0.0;
+  double ss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    ss += v * v;
+  }
+  const double mean = sum / n;
+  const double var = ss / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, NextBelowIsUnbiasedAcrossRange) {
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[rng.NextBelow(10)];
+  }
+  for (int count : counts) {
+    EXPECT_GT(count, 800);
+    EXPECT_LT(count, 1200);
+  }
+}
+
+TEST(RngTest, IntInRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.IntInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(3);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {1.0, 3.0, 0.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[0], 3.0, 0.4);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(1);
+  Rng forked = a.Fork();
+  EXPECT_NE(a.NextUint64(), forked.NextUint64());
+}
+
+TEST(MathTest, LogSumExpMatchesNaive) {
+  const std::vector<double> values = {0.5, -1.0, 2.0, 0.0};
+  double naive = 0.0;
+  for (double v : values) naive += std::exp(v);
+  EXPECT_NEAR(LogSumExp(values), std::log(naive), 1e-12);
+}
+
+TEST(MathTest, LogSumExpStableForLargeInputs) {
+  const std::vector<double> values = {1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(values), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(MathTest, SoftmaxSumsToOne) {
+  std::vector<double> values = {1.0, 2.0, 3.0};
+  SoftmaxInPlace(values);
+  EXPECT_NEAR(values[0] + values[1] + values[2], 1.0, 1e-12);
+  EXPECT_LT(values[0], values[1]);
+  EXPECT_LT(values[1], values[2]);
+}
+
+TEST(MathTest, PearsonPerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  const std::vector<double> z = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+}
+
+TEST(MathTest, PearsonZeroVarianceReturnsZero) {
+  const std::vector<double> x = {1, 1, 1};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(MathTest, CosineSimilarityBasics) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {1, 0}), 1.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {-1, 0}), -1.0, 1e-12);
+  EXPECT_EQ(CosineSimilarity({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(MathTest, MeanAndStdDev) {
+  const std::vector<double> values = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(Mean(values), 5.0, 1e-12);
+  EXPECT_NEAR(StdDev(values), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(MathTest, PairedTTestDetectsDifference) {
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 10; ++i) {
+    a.push_back(1.0 + 0.01 * i);
+    b.push_back(2.0 + 0.01 * i);
+  }
+  EXPECT_LT(PairedTTestPValue(a, b), 0.05);
+  EXPECT_NEAR(PairedTTestPValue(a, a), 1.0, 1e-12);
+}
+
+TEST(TableTest, PrettyAndCsvRendering) {
+  Table table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b,eta", "2"});
+  const std::string pretty = table.ToPrettyString();
+  EXPECT_NE(pretty.find("| alpha"), std::string::npos);
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("\"b,eta\",2"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableTest, WriteCsvRoundTrip) {
+  Table table({"x"});
+  table.AddRow({"42"});
+  const std::string path = "/tmp/imsr_util_test_table.csv";
+  ASSERT_TRUE(table.WriteCsv(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buffer[64] = {};
+  ASSERT_NE(std::fgets(buffer, sizeof(buffer), f), nullptr);
+  EXPECT_EQ(std::string(buffer), "x\n");
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(FormatTest, Doubles) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatPercent(0.1234, 2), "12.34");
+}
+
+TEST(FlagsTest, ParsesTypes) {
+  const char* argv[] = {"prog", "--name=abc", "--count=42",
+                        "--rate=0.5", "--verbose"};
+  Flags flags(5, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.Has("name"));
+  EXPECT_EQ(flags.GetString("name", ""), "abc");
+  EXPECT_EQ(flags.GetInt("count", 0), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 0.0), 0.5);
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_EQ(flags.GetInt("missing", 7), 7);
+}
+
+TEST(SerializationTest, RoundTrip) {
+  BinaryWriter writer;
+  writer.WriteInt64(-5);
+  writer.WriteDouble(2.5);
+  writer.WriteFloat(1.5f);
+  writer.WriteString("hello");
+  const float values[3] = {1.0f, 2.0f, 3.0f};
+  writer.WriteFloatArray(values, 3);
+
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadInt64(), -5);
+  EXPECT_DOUBLE_EQ(reader.ReadDouble(), 2.5);
+  EXPECT_FLOAT_EQ(reader.ReadFloat(), 1.5f);
+  EXPECT_EQ(reader.ReadString(), "hello");
+  float out[3] = {};
+  reader.ReadFloatArray(out, 3);
+  EXPECT_FLOAT_EQ(out[2], 3.0f);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  BinaryWriter writer;
+  writer.WriteString("payload");
+  const std::string path = "/tmp/imsr_util_test_blob.bin";
+  ASSERT_TRUE(writer.WriteToFile(path));
+  BinaryReader reader({});
+  ASSERT_TRUE(BinaryReader::ReadFromFile(path, &reader));
+  EXPECT_EQ(reader.ReadString(), "payload");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace imsr::util
