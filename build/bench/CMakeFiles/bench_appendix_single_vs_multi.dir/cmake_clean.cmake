@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_single_vs_multi.dir/bench_appendix_single_vs_multi.cc.o"
+  "CMakeFiles/bench_appendix_single_vs_multi.dir/bench_appendix_single_vs_multi.cc.o.d"
+  "bench_appendix_single_vs_multi"
+  "bench_appendix_single_vs_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_single_vs_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

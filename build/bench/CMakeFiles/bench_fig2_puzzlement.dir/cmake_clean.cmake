@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_puzzlement.dir/bench_fig2_puzzlement.cc.o"
+  "CMakeFiles/bench_fig2_puzzlement.dir/bench_fig2_puzzlement.cc.o.d"
+  "bench_fig2_puzzlement"
+  "bench_fig2_puzzlement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_puzzlement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

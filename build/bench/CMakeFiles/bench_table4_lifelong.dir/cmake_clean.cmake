@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_lifelong.dir/bench_table4_lifelong.cc.o"
+  "CMakeFiles/bench_table4_lifelong.dir/bench_table4_lifelong.cc.o.d"
+  "bench_table4_lifelong"
+  "bench_table4_lifelong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_lifelong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

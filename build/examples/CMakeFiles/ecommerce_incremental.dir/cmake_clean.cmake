@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_incremental.dir/ecommerce_incremental.cpp.o"
+  "CMakeFiles/ecommerce_incremental.dir/ecommerce_incremental.cpp.o.d"
+  "ecommerce_incremental"
+  "ecommerce_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

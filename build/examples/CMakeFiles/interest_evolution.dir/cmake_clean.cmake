@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interest_evolution.dir/interest_evolution.cpp.o"
+  "CMakeFiles/interest_evolution.dir/interest_evolution.cpp.o.d"
+  "interest_evolution"
+  "interest_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interest_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ader.cc" "src/CMakeFiles/imsr.dir/baselines/ader.cc.o" "gcc" "src/CMakeFiles/imsr.dir/baselines/ader.cc.o.d"
+  "/root/repo/src/baselines/gru4rec.cc" "src/CMakeFiles/imsr.dir/baselines/gru4rec.cc.o" "gcc" "src/CMakeFiles/imsr.dir/baselines/gru4rec.cc.o.d"
+  "/root/repo/src/baselines/limarec.cc" "src/CMakeFiles/imsr.dir/baselines/limarec.cc.o" "gcc" "src/CMakeFiles/imsr.dir/baselines/limarec.cc.o.d"
+  "/root/repo/src/baselines/mimn.cc" "src/CMakeFiles/imsr.dir/baselines/mimn.cc.o" "gcc" "src/CMakeFiles/imsr.dir/baselines/mimn.cc.o.d"
+  "/root/repo/src/baselines/sml.cc" "src/CMakeFiles/imsr.dir/baselines/sml.cc.o" "gcc" "src/CMakeFiles/imsr.dir/baselines/sml.cc.o.d"
+  "/root/repo/src/core/checkpoint.cc" "src/CMakeFiles/imsr.dir/core/checkpoint.cc.o" "gcc" "src/CMakeFiles/imsr.dir/core/checkpoint.cc.o.d"
+  "/root/repo/src/core/eir.cc" "src/CMakeFiles/imsr.dir/core/eir.cc.o" "gcc" "src/CMakeFiles/imsr.dir/core/eir.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/imsr.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/imsr.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/imsr_trainer.cc" "src/CMakeFiles/imsr.dir/core/imsr_trainer.cc.o" "gcc" "src/CMakeFiles/imsr.dir/core/imsr_trainer.cc.o.d"
+  "/root/repo/src/core/interest_store.cc" "src/CMakeFiles/imsr.dir/core/interest_store.cc.o" "gcc" "src/CMakeFiles/imsr.dir/core/interest_store.cc.o.d"
+  "/root/repo/src/core/interests_expansion.cc" "src/CMakeFiles/imsr.dir/core/interests_expansion.cc.o" "gcc" "src/CMakeFiles/imsr.dir/core/interests_expansion.cc.o.d"
+  "/root/repo/src/core/nid.cc" "src/CMakeFiles/imsr.dir/core/nid.cc.o" "gcc" "src/CMakeFiles/imsr.dir/core/nid.cc.o.d"
+  "/root/repo/src/core/online_update.cc" "src/CMakeFiles/imsr.dir/core/online_update.cc.o" "gcc" "src/CMakeFiles/imsr.dir/core/online_update.cc.o.d"
+  "/root/repo/src/core/pit.cc" "src/CMakeFiles/imsr.dir/core/pit.cc.o" "gcc" "src/CMakeFiles/imsr.dir/core/pit.cc.o.d"
+  "/root/repo/src/core/strategies.cc" "src/CMakeFiles/imsr.dir/core/strategies.cc.o" "gcc" "src/CMakeFiles/imsr.dir/core/strategies.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/imsr.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/imsr.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/log_io.cc" "src/CMakeFiles/imsr.dir/data/log_io.cc.o" "gcc" "src/CMakeFiles/imsr.dir/data/log_io.cc.o.d"
+  "/root/repo/src/data/sampler.cc" "src/CMakeFiles/imsr.dir/data/sampler.cc.o" "gcc" "src/CMakeFiles/imsr.dir/data/sampler.cc.o.d"
+  "/root/repo/src/data/stats.cc" "src/CMakeFiles/imsr.dir/data/stats.cc.o" "gcc" "src/CMakeFiles/imsr.dir/data/stats.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/imsr.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/imsr.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/eval/evaluator.cc" "src/CMakeFiles/imsr.dir/eval/evaluator.cc.o" "gcc" "src/CMakeFiles/imsr.dir/eval/evaluator.cc.o.d"
+  "/root/repo/src/eval/interest_analysis.cc" "src/CMakeFiles/imsr.dir/eval/interest_analysis.cc.o" "gcc" "src/CMakeFiles/imsr.dir/eval/interest_analysis.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/imsr.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/imsr.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/projection.cc" "src/CMakeFiles/imsr.dir/eval/projection.cc.o" "gcc" "src/CMakeFiles/imsr.dir/eval/projection.cc.o.d"
+  "/root/repo/src/eval/ranker.cc" "src/CMakeFiles/imsr.dir/eval/ranker.cc.o" "gcc" "src/CMakeFiles/imsr.dir/eval/ranker.cc.o.d"
+  "/root/repo/src/models/aggregator.cc" "src/CMakeFiles/imsr.dir/models/aggregator.cc.o" "gcc" "src/CMakeFiles/imsr.dir/models/aggregator.cc.o.d"
+  "/root/repo/src/models/capsule_routing.cc" "src/CMakeFiles/imsr.dir/models/capsule_routing.cc.o" "gcc" "src/CMakeFiles/imsr.dir/models/capsule_routing.cc.o.d"
+  "/root/repo/src/models/comirec_dr.cc" "src/CMakeFiles/imsr.dir/models/comirec_dr.cc.o" "gcc" "src/CMakeFiles/imsr.dir/models/comirec_dr.cc.o.d"
+  "/root/repo/src/models/comirec_sa.cc" "src/CMakeFiles/imsr.dir/models/comirec_sa.cc.o" "gcc" "src/CMakeFiles/imsr.dir/models/comirec_sa.cc.o.d"
+  "/root/repo/src/models/diversity.cc" "src/CMakeFiles/imsr.dir/models/diversity.cc.o" "gcc" "src/CMakeFiles/imsr.dir/models/diversity.cc.o.d"
+  "/root/repo/src/models/embedding.cc" "src/CMakeFiles/imsr.dir/models/embedding.cc.o" "gcc" "src/CMakeFiles/imsr.dir/models/embedding.cc.o.d"
+  "/root/repo/src/models/mind.cc" "src/CMakeFiles/imsr.dir/models/mind.cc.o" "gcc" "src/CMakeFiles/imsr.dir/models/mind.cc.o.d"
+  "/root/repo/src/models/msr_model.cc" "src/CMakeFiles/imsr.dir/models/msr_model.cc.o" "gcc" "src/CMakeFiles/imsr.dir/models/msr_model.cc.o.d"
+  "/root/repo/src/models/sampled_softmax.cc" "src/CMakeFiles/imsr.dir/models/sampled_softmax.cc.o" "gcc" "src/CMakeFiles/imsr.dir/models/sampled_softmax.cc.o.d"
+  "/root/repo/src/nn/gradcheck.cc" "src/CMakeFiles/imsr.dir/nn/gradcheck.cc.o" "gcc" "src/CMakeFiles/imsr.dir/nn/gradcheck.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/imsr.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/imsr.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/CMakeFiles/imsr.dir/nn/ops.cc.o" "gcc" "src/CMakeFiles/imsr.dir/nn/ops.cc.o.d"
+  "/root/repo/src/nn/optim.cc" "src/CMakeFiles/imsr.dir/nn/optim.cc.o" "gcc" "src/CMakeFiles/imsr.dir/nn/optim.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/CMakeFiles/imsr.dir/nn/tensor.cc.o" "gcc" "src/CMakeFiles/imsr.dir/nn/tensor.cc.o.d"
+  "/root/repo/src/nn/variable.cc" "src/CMakeFiles/imsr.dir/nn/variable.cc.o" "gcc" "src/CMakeFiles/imsr.dir/nn/variable.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/imsr.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/imsr.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/imsr.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/imsr.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/imsr.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/imsr.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/math_util.cc" "src/CMakeFiles/imsr.dir/util/math_util.cc.o" "gcc" "src/CMakeFiles/imsr.dir/util/math_util.cc.o.d"
+  "/root/repo/src/util/parallel.cc" "src/CMakeFiles/imsr.dir/util/parallel.cc.o" "gcc" "src/CMakeFiles/imsr.dir/util/parallel.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/imsr.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/imsr.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/serialization.cc" "src/CMakeFiles/imsr.dir/util/serialization.cc.o" "gcc" "src/CMakeFiles/imsr.dir/util/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

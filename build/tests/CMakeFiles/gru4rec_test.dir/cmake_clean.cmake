@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gru4rec_test.dir/gru4rec_test.cc.o"
+  "CMakeFiles/gru4rec_test.dir/gru4rec_test.cc.o.d"
+  "gru4rec_test"
+  "gru4rec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gru4rec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

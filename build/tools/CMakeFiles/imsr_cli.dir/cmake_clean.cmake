@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imsr_cli.dir/imsr_cli.cc.o"
+  "CMakeFiles/imsr_cli.dir/imsr_cli.cc.o.d"
+  "imsr_cli"
+  "imsr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imsr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
