@@ -4,6 +4,8 @@
 // regressions in the numeric kernels.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/nid.h"
 #include "core/pit.h"
 #include "eval/ranker.h"
@@ -11,6 +13,8 @@
 #include "models/comirec_sa.h"
 #include "nn/ops.h"
 #include "nn/tensor.h"
+#include "util/parallel.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -27,6 +31,36 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_MatMulTransB(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto n = static_cast<int64_t>(state.range(0));
+  const nn::Tensor a = nn::Tensor::Randn({n, 32}, rng);
+  const nn::Tensor b = nn::Tensor::Randn({32, 32}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMulTransB(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MatMulTransB)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ParallelFor_overhead(benchmark::State& state) {
+  // Dispatch cost of the persistent pool: a near-empty body over `count`
+  // elements, chunked with the default grain.
+  const auto count = static_cast<int64_t>(state.range(0));
+  std::vector<float> sink(static_cast<size_t>(count), 0.0f);
+  util::ThreadPool& pool = util::GlobalPool();
+  for (auto _ : state) {
+    pool.ParallelFor(count, 0, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        sink[static_cast<size_t>(i)] += 1.0f;
+      }
+    });
+    benchmark::DoNotOptimize(sink.data());
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_ParallelFor_overhead)->Arg(1)->Arg(1024)->Arg(65536);
 
 void BM_SoftmaxRows(benchmark::State& state) {
   util::Rng rng(2);
@@ -107,6 +141,37 @@ void BM_FullCorpusRanking(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * items);
 }
 BENCHMARK(BM_FullCorpusRanking)->Arg(1000)->Arg(4000);
+
+void BM_RankAllUsers(benchmark::State& state) {
+  // Full-corpus evaluation sweep: every user's interests score the whole
+  // item table (the Table-3/-4 inner loop), batched over the persistent
+  // pool with per-chunk scratch reuse.
+  util::Rng rng(10);
+  constexpr int64_t kUsers = 64;
+  constexpr int64_t kInterests = 6;
+  const auto items = static_cast<int64_t>(state.range(0));
+  const nn::Tensor table = nn::Tensor::Randn({items, 32}, rng);
+  std::vector<nn::Tensor> interests;
+  interests.reserve(kUsers);
+  for (int64_t u = 0; u < kUsers; ++u) {
+    interests.push_back(nn::Tensor::Randn({kInterests, 32}, rng));
+  }
+  std::vector<int64_t> ranks(kUsers, 0);
+  for (auto _ : state) {
+    util::ParallelChunks(kUsers, 0, [&](int64_t begin, int64_t end) {
+      eval::RankScratch scratch;
+      for (int64_t u = begin; u < end; ++u) {
+        eval::ScoreAllItemsInto(interests[static_cast<size_t>(u)], table,
+                                eval::ScoreRule::kAttentive, &scratch);
+        ranks[static_cast<size_t>(u)] =
+            eval::TargetRankFromScores(scratch.scores, u % items);
+      }
+    });
+    benchmark::DoNotOptimize(ranks.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kUsers * items);
+}
+BENCHMARK(BM_RankAllUsers)->Arg(1000)->Arg(4000);
 
 void BM_AutogradTrainingStep(benchmark::State& state) {
   // One representative sample graph: gather -> routing extract -> Eq.5

@@ -12,7 +12,7 @@ namespace {
 // (constant) previous-span interests against the candidate snapshot.
 nn::Tensor TeacherLogits(const nn::Tensor& teacher_interests,
                          const nn::Tensor& candidates) {
-  return nn::MatMul(teacher_interests, nn::Transpose(candidates));
+  return nn::MatMulTransB(teacher_interests, candidates);
 }
 
 // Cosine-normalised teacher logits (KD2 variant).

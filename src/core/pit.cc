@@ -57,7 +57,7 @@ nn::Tensor ProjectOntoRowSpan(const nn::Tensor& basis, const nn::Tensor& h) {
   IMSR_CHECK_EQ(basis.size(1), h.numel());
   const int64_t k = basis.size(0);
   // Gram matrix G = B B^T (+ ridge in the caller when needed).
-  nn::Tensor gram = nn::MatMul(basis, nn::Transpose(basis));
+  nn::Tensor gram = nn::MatMulTransB(basis, basis);
   // Mild ridge keeps near-collinear interest sets solvable.
   for (int64_t i = 0; i < k; ++i) gram.at(i, i) += 1e-6f;
   const nn::Tensor rhs = nn::MatVec(basis, h);      // B h, (K)

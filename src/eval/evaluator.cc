@@ -45,15 +45,21 @@ EvalResult EvaluateSpan(const nn::Tensor& item_embeddings,
 
   util::Stopwatch stopwatch;
   std::vector<int64_t> ranks(instances.size(), 0);
+  // Users are independent; chunks run on the persistent pool. Each chunk
+  // (at most one per worker) reuses one RankScratch so the corpus-sized
+  // logits/score buffers are allocated once, not per user. Ranks land in
+  // disjoint slots, so metrics are bitwise identical for any thread count.
   util::ParallelChunks(
       static_cast<int64_t>(instances.size()), config.threads,
       [&](int64_t begin, int64_t end) {
+        RankScratch scratch;
         for (int64_t i = begin; i < end; ++i) {
           const Instance& instance =
               instances[static_cast<size_t>(i)];
+          ScoreAllItemsInto(store.Interests(instance.user), item_embeddings,
+                            config.rule, &scratch);
           ranks[static_cast<size_t>(i)] =
-              TargetRank(store.Interests(instance.user), item_embeddings,
-                         instance.target, config.rule);
+              TargetRankFromScores(scratch.scores, instance.target);
         }
       });
   const double scoring_seconds = stopwatch.ElapsedSeconds();

@@ -15,6 +15,8 @@ struct EvalConfig {
   int top_n = 20;
   ScoreRule rule = ScoreRule::kAttentive;
   // Worker threads for full-corpus ranking (users are independent).
+  // <= 0 uses the process-wide pool's configured size (see
+  // util/thread_pool.h); metrics are bitwise identical either way.
   int threads = 1;
 };
 

@@ -14,11 +14,12 @@ std::vector<std::vector<double>> InterestItemProfiles(
   IMSR_CHECK_EQ(interests.size(1), item_embeddings.size(1));
   std::vector<std::vector<double>> profiles(
       static_cast<size_t>(interests.size(0)));
+  // One batched matvec: row k holds every item's score under interest k.
+  const nn::Tensor scores = nn::MatVecBatch(item_embeddings, interests);
+  const int64_t num_items = item_embeddings.size(0);
   for (int64_t k = 0; k < interests.size(0); ++k) {
-    const nn::Tensor scores =
-        nn::MatVec(item_embeddings, interests.Row(k));
-    profiles[static_cast<size_t>(k)].assign(
-        scores.data(), scores.data() + scores.numel());
+    const float* row = scores.data() + k * num_items;
+    profiles[static_cast<size_t>(k)].assign(row, row + num_items);
   }
   return profiles;
 }

@@ -6,10 +6,44 @@
 #include "util/check.h"
 
 namespace imsr::eval {
+namespace {
 
-std::vector<float> ScoreAllItems(const nn::Tensor& interests,
-                                 const nn::Tensor& item_embeddings,
-                                 ScoreRule rule) {
+// Fused per-item reduction over the K interest logits: one pass computes
+// either max_k or the softmax-weighted combination (Eq. 5 with the
+// candidate as query), without temporaries.
+void ScoresFromLogits(const float* logits, int64_t num_items, int64_t k,
+                      ScoreRule rule, float* scores) {
+  if (rule == ScoreRule::kMaxInterest) {
+    for (int64_t i = 0; i < num_items; ++i) {
+      const float* row = logits + i * k;
+      float best = row[0];
+      for (int64_t j = 1; j < k; ++j) best = std::max(best, row[j]);
+      scores[i] = best;
+    }
+    return;
+  }
+  for (int64_t i = 0; i < num_items; ++i) {
+    // Attentive: v_u(e_i) . e_i = sum_k softmax(row)_k row_k.
+    const float* row = logits + i * k;
+    float max_logit = row[0];
+    for (int64_t j = 1; j < k; ++j) max_logit = std::max(max_logit, row[j]);
+    float total = 0.0f;
+    float weighted = 0.0f;
+    for (int64_t j = 0; j < k; ++j) {
+      const float w = std::exp(row[j] - max_logit);
+      total += w;
+      weighted += w * row[j];
+    }
+    scores[i] = weighted / total;
+  }
+}
+
+}  // namespace
+
+void ScoreAllItemsInto(const nn::Tensor& interests,
+                       const nn::Tensor& item_embeddings, ScoreRule rule,
+                       RankScratch* scratch) {
+  IMSR_CHECK(scratch != nullptr);
   IMSR_CHECK_EQ(interests.dim(), 2);
   IMSR_CHECK_EQ(item_embeddings.dim(), 2);
   IMSR_CHECK_EQ(interests.size(1), item_embeddings.size(1));
@@ -17,38 +51,24 @@ std::vector<float> ScoreAllItems(const nn::Tensor& interests,
   const int64_t k = interests.size(0);
 
   // logits = E H^T, one row of K interest scores per item.
-  const nn::Tensor logits =
-      nn::MatMul(item_embeddings, nn::Transpose(interests));
-  std::vector<float> scores(static_cast<size_t>(num_items));
-  for (int64_t i = 0; i < num_items; ++i) {
-    const float* row = logits.data() + i * k;
-    if (rule == ScoreRule::kMaxInterest) {
-      float best = row[0];
-      for (int64_t j = 1; j < k; ++j) best = std::max(best, row[j]);
-      scores[static_cast<size_t>(i)] = best;
-    } else {
-      // Attentive: v_u(e_i) . e_i = sum_k softmax(row)_k row_k.
-      float max_logit = row[0];
-      for (int64_t j = 1; j < k; ++j) max_logit = std::max(max_logit, row[j]);
-      float total = 0.0f;
-      float weighted = 0.0f;
-      for (int64_t j = 0; j < k; ++j) {
-        const float w = std::exp(row[j] - max_logit);
-        total += w;
-        weighted += w * row[j];
-      }
-      scores[static_cast<size_t>(i)] = weighted / total;
-    }
-  }
-  return scores;
+  nn::MatMulTransBInto(item_embeddings, interests, &scratch->logits);
+  scratch->scores.resize(static_cast<size_t>(num_items));
+  ScoresFromLogits(scratch->logits.data(), num_items, k, rule,
+                   scratch->scores.data());
 }
 
-int64_t TargetRank(const nn::Tensor& interests,
-                   const nn::Tensor& item_embeddings, data::ItemId target,
-                   ScoreRule rule) {
-  IMSR_CHECK(target >= 0 && target < item_embeddings.size(0));
-  const std::vector<float> scores =
-      ScoreAllItems(interests, item_embeddings, rule);
+std::vector<float> ScoreAllItems(const nn::Tensor& interests,
+                                 const nn::Tensor& item_embeddings,
+                                 ScoreRule rule) {
+  RankScratch scratch;
+  ScoreAllItemsInto(interests, item_embeddings, rule, &scratch);
+  return std::move(scratch.scores);
+}
+
+int64_t TargetRankFromScores(const std::vector<float>& scores,
+                             data::ItemId target) {
+  IMSR_CHECK(target >= 0 &&
+             target < static_cast<data::ItemId>(scores.size()));
   const float target_score = scores[static_cast<size_t>(target)];
   int64_t rank = 1;
   for (size_t i = 0; i < scores.size(); ++i) {
@@ -58,12 +78,9 @@ int64_t TargetRank(const nn::Tensor& interests,
   return rank;
 }
 
-std::vector<std::pair<data::ItemId, float>> TopNItems(
-    const nn::Tensor& interests, const nn::Tensor& item_embeddings, int n,
-    ScoreRule rule) {
+std::vector<std::pair<data::ItemId, float>> TopNFromScores(
+    const std::vector<float>& scores, int n) {
   IMSR_CHECK_GT(n, 0);
-  const std::vector<float> scores =
-      ScoreAllItems(interests, item_embeddings, rule);
   std::vector<data::ItemId> order(scores.size());
   for (size_t i = 0; i < order.size(); ++i) {
     order[i] = static_cast<data::ItemId>(i);
@@ -81,6 +98,20 @@ std::vector<std::pair<data::ItemId, float>> TopNItems(
     top.emplace_back(order[i], scores[static_cast<size_t>(order[i])]);
   }
   return top;
+}
+
+int64_t TargetRank(const nn::Tensor& interests,
+                   const nn::Tensor& item_embeddings, data::ItemId target,
+                   ScoreRule rule) {
+  IMSR_CHECK(target >= 0 && target < item_embeddings.size(0));
+  return TargetRankFromScores(
+      ScoreAllItems(interests, item_embeddings, rule), target);
+}
+
+std::vector<std::pair<data::ItemId, float>> TopNItems(
+    const nn::Tensor& interests, const nn::Tensor& item_embeddings, int n,
+    ScoreRule rule) {
+  return TopNFromScores(ScoreAllItems(interests, item_embeddings, rule), n);
 }
 
 }  // namespace imsr::eval

@@ -2,6 +2,11 @@
 // paper's attentive inference rule (Algorithm 2: v_u built per candidate
 // via Eq. 5, scored by inner product) and ComiRec's max-interest serving
 // rule.
+//
+// The scoring path is allocation-free per user when driven through
+// RankScratch: logits = E H^T come from the blocked MatMulTransB kernel
+// (no materialised Transpose) into a reused buffer, and the per-item
+// attentive/max reduction is fused into a single pass.
 #ifndef IMSR_EVAL_RANKER_H_
 #define IMSR_EVAL_RANKER_H_
 
@@ -15,19 +20,43 @@ namespace imsr::eval {
 
 enum class ScoreRule { kAttentive, kMaxInterest };
 
-// Scores of every item: logits = E H^T (num_items x K), then per item
-// either the softmax-weighted combination (attentive) or the max over K.
+// Reusable buffers for repeated full-corpus scoring (one per worker
+// thread in the evaluator; never shared across threads concurrently).
+struct RankScratch {
+  nn::Tensor logits;          // (num_items x K), reused across users
+  std::vector<float> scores;  // num_items
+};
+
+// Scores every item into scratch->scores (resized to num_items), reusing
+// scratch->logits for the E H^T product.
+void ScoreAllItemsInto(const nn::Tensor& interests,
+                       const nn::Tensor& item_embeddings, ScoreRule rule,
+                       RankScratch* scratch);
+
+// Allocating convenience wrapper around ScoreAllItemsInto.
 std::vector<float> ScoreAllItems(const nn::Tensor& interests,
                                  const nn::Tensor& item_embeddings,
                                  ScoreRule rule);
 
-// 1-based rank of `target` among all items under `rule` (ties resolved
-// pessimistically: equal scores ahead of the target count against it).
+// 1-based rank of `target` among precomputed full-corpus scores (ties
+// resolved pessimistically: equal scores ahead of the target count
+// against it).
+int64_t TargetRankFromScores(const std::vector<float>& scores,
+                             data::ItemId target);
+
+// Top-N (item, score) pairs from precomputed scores, highest first.
+std::vector<std::pair<data::ItemId, float>> TopNFromScores(
+    const std::vector<float>& scores, int n);
+
+// 1-based rank of `target` among all items under `rule`; scores the
+// corpus from scratch. Prefer ScoreAllItemsInto + TargetRankFromScores
+// when several metrics share one user's scores.
 int64_t TargetRank(const nn::Tensor& interests,
                    const nn::Tensor& item_embeddings, data::ItemId target,
                    ScoreRule rule);
 
-// Top-N (item, score) pairs, highest first.
+// Top-N (item, score) pairs, highest first; scores the corpus from
+// scratch (see TargetRank's note about reusing scores).
 std::vector<std::pair<data::ItemId, float>> TopNItems(
     const nn::Tensor& interests, const nn::Tensor& item_embeddings, int n,
     ScoreRule rule);

@@ -17,7 +17,7 @@ nn::Tensor B2IRouting(const nn::Tensor& e_hat,
 
   // Logits seeded by similarity to the stored interests — this is how
   // existing interests persist across spans in the incremental setting.
-  nn::Tensor logits = nn::MatMul(e_hat, nn::Transpose(interest_init));
+  nn::Tensor logits = nn::MatMulTransB(e_hat, interest_init);
   if (config.logit_noise > 0.0f) {
     IMSR_CHECK(rng != nullptr) << "logit noise requires an Rng";
     for (int64_t i = 0; i < logits.numel(); ++i) {
@@ -34,8 +34,8 @@ nn::Tensor B2IRouting(const nn::Tensor& e_hat,
     // Candidate capsules from the current coupling, then logit update
     // b_ik += e_hat_i . h_k.
     const nn::Tensor capsules =
-        nn::SquashRows(nn::MatMul(nn::Transpose(coupling), e_hat));
-    logits.AddInPlace(nn::MatMul(e_hat, nn::Transpose(capsules)));
+        nn::SquashRows(nn::MatMulTransA(coupling, e_hat));
+    logits.AddInPlace(nn::MatMulTransB(e_hat, capsules));
   }
   return coupling;
 }

@@ -32,7 +32,7 @@ nn::Tensor DynamicRoutingExtractor::ForwardNoGrad(
   const nn::Tensor e_hat = nn::MatMul(item_embeddings, transform_.value());
   const nn::Tensor coupling =
       B2IRouting(e_hat, interest_init, routing_config_, &rng_);
-  return nn::SquashRows(nn::MatMul(nn::Transpose(coupling), e_hat));
+  return nn::SquashRows(nn::MatMulTransA(coupling, e_hat));
 }
 
 void DynamicRoutingExtractor::Reset(util::Rng& rng) {

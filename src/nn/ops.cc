@@ -115,14 +115,13 @@ Var ScaleRows(const Var& a, const Var& scale) {
 Var MatMul(const Var& a, const Var& b) {
   Tensor out = nn::MatMul(a.value(), b.value());
   return Var::MakeNode(std::move(out), {a, b}, [a, b](VarNode& node) {
-    // dL/dA = G B^T ; dL/dB = A^T G.
+    // dL/dA = G B^T ; dL/dB = A^T G — via the transposed-operand kernels,
+    // no materialised Transpose.
     if (Wants(a)) {
-      a.node()->AccumulateGrad(
-          nn::MatMul(node.grad, nn::Transpose(b.value())));
+      a.node()->AccumulateGrad(nn::MatMulTransB(node.grad, b.value()));
     }
     if (Wants(b)) {
-      b.node()->AccumulateGrad(
-          nn::MatMul(nn::Transpose(a.value()), node.grad));
+      b.node()->AccumulateGrad(nn::MatMulTransA(a.value(), node.grad));
     }
   });
 }

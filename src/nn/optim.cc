@@ -2,7 +2,26 @@
 
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace imsr::nn {
+namespace {
+
+// Elementwise updates below this size run inline; above it (embedding
+// tables) the range goes through the pool. Disjoint element ranges keep
+// the update bitwise identical for any thread count.
+constexpr int64_t kParallelElements = 1 << 15;
+
+void ParallelElementwise(int64_t count,
+                         const std::function<void(int64_t, int64_t)>& fn) {
+  if (count >= kParallelElements) {
+    util::GlobalPool().ParallelFor(count, /*grain=*/0, fn);
+  } else {
+    fn(0, count);
+  }
+}
+
+}  // namespace
 
 void Optimizer::Register(const Var& parameter) {
   IMSR_CHECK(parameter.defined());
@@ -34,8 +53,13 @@ void Optimizer::ZeroGradAll() {
 void Sgd::Step() {
   for (Var& parameter : parameters_) {
     if (!parameter.has_grad()) continue;
-    parameter.mutable_value().AddScaledInPlace(parameter.grad(),
-                                               -learning_rate_);
+    float* value = parameter.mutable_value().data();
+    const float* g = parameter.grad().data();
+    const float lr = learning_rate_;
+    ParallelElementwise(
+        parameter.value().numel(), [&](int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) value[i] -= lr * g[i];
+        });
   }
 }
 
@@ -65,13 +89,16 @@ void Adam::Step() {
     const float bias2 =
         1.0f - std::pow(b2, static_cast<float>(state.step));
     const float lr = config_.learning_rate;
-    for (int64_t i = 0; i < grad.numel(); ++i) {
-      m[i] = b1 * m[i] + (1.0f - b1) * g[i];
-      v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
-      const float m_hat = m[i] / bias1;
-      const float v_hat = v[i] / bias2;
-      value[i] -= lr * m_hat / (std::sqrt(v_hat) + config_.epsilon);
-    }
+    const float eps = config_.epsilon;
+    ParallelElementwise(grad.numel(), [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+        v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
+        const float m_hat = m[i] / bias1;
+        const float v_hat = v[i] / bias2;
+        value[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+      }
+    });
   }
 }
 

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "util/thread_pool.h"
+
 namespace imsr::nn {
 namespace {
 
@@ -217,6 +219,147 @@ Tensor Scale(const Tensor& a, float alpha) {
   return out;
 }
 
+namespace {
+
+// Work (multiply-adds) below which a kernel is not worth routing through
+// the thread pool: dispatch costs a wakeup (~µs); the crossover sits
+// around a few hundred k flops.
+constexpr int64_t kParallelWorkThreshold = 1 << 18;
+
+// Rows-per-chunk for row-parallel kernels: every output row is computed
+// independently and in a fixed accumulation order, so chunk boundaries
+// (and hence thread count) cannot change the result bitwise.
+int64_t RowGrain(int64_t rows, int64_t work_per_row) {
+  const int64_t min_rows =
+      std::max<int64_t>(1, kParallelWorkThreshold / (4 * work_per_row + 1));
+  const int64_t per_thread = std::max<int64_t>(
+      1, rows / (4 * util::GlobalPool().thread_count()));
+  return std::max(min_rows, per_thread);
+}
+
+// Dense saxpy core over output rows [i_begin, i_end): ikj order streaming
+// b and out rows contiguously, with 4-row panels so each loaded b row is
+// reused four times from registers. Per-(i, j) accumulation order is the
+// plain sequential kk order in both the panel and the remainder path.
+//
+// The j loops here are pure elementwise saxpy — GCC's -O2 cost model
+// refuses to vectorize them, so this kernel alone is compiled at -O3
+// (strict IEEE still; no -ffast-math, results stay deterministic). The
+// dot-product kernels below are left at -O2 on purpose: their register
+// tiles are already the fast shape and -O3's peeling slows them down.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC push_options
+#pragma GCC optimize("O3")
+#endif
+void MatMulRows(const float* __restrict__ pa, const float* __restrict__ pb,
+                float* __restrict__ po, int64_t i_begin, int64_t i_end,
+                int64_t k, int64_t n) {
+  int64_t i = i_begin;
+  for (; i + 4 <= i_end; i += 4) {
+    const float* __restrict__ a0 = pa + (i + 0) * k;
+    const float* __restrict__ a1 = pa + (i + 1) * k;
+    const float* __restrict__ a2 = pa + (i + 2) * k;
+    const float* __restrict__ a3 = pa + (i + 3) * k;
+    float* __restrict__ o0 = po + (i + 0) * n;
+    float* __restrict__ o1 = po + (i + 1) * n;
+    float* __restrict__ o2 = po + (i + 2) * n;
+    float* __restrict__ o3 = po + (i + 3) * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float a0k = a0[kk];
+      const float a1k = a1[kk];
+      const float a2k = a2[kk];
+      const float a3k = a3[kk];
+      const float* __restrict__ brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) {
+        o0[j] += a0k * brow[j];
+        o1[j] += a1k * brow[j];
+        o2[j] += a2k * brow[j];
+        o3[j] += a3k * brow[j];
+      }
+    }
+  }
+  for (; i < i_end; ++i) {
+    const float* __restrict__ arow = pa + i * k;
+    float* __restrict__ orow = po + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      const float* __restrict__ brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC pop_options
+#endif
+
+// Dot-product core for A * B^T over output rows [i_begin, i_end): 2x4
+// register tiles (8 independent accumulator chains) with every lane using
+// the same sequential kk order, so tile/remainder placement cannot change
+// a result bitwise.
+void MatMulTransBRows(const float* __restrict__ pa,
+                      const float* __restrict__ pb, float* __restrict__ po,
+                      int64_t i_begin, int64_t i_end, int64_t k, int64_t n) {
+  int64_t i = i_begin;
+  for (; i + 2 <= i_end; i += 2) {
+    const float* __restrict__ a0 = pa + (i + 0) * k;
+    const float* __restrict__ a1 = pa + (i + 1) * k;
+    float* __restrict__ o0 = po + (i + 0) * n;
+    float* __restrict__ o1 = po + (i + 1) * n;
+    int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* __restrict__ b0 = pb + (j + 0) * k;
+      const float* __restrict__ b1 = pb + (j + 1) * k;
+      const float* __restrict__ b2 = pb + (j + 2) * k;
+      const float* __restrict__ b3 = pb + (j + 3) * k;
+      float acc00 = 0.0f, acc01 = 0.0f, acc02 = 0.0f, acc03 = 0.0f;
+      float acc10 = 0.0f, acc11 = 0.0f, acc12 = 0.0f, acc13 = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float a0k = a0[kk];
+        const float a1k = a1[kk];
+        acc00 += a0k * b0[kk];
+        acc01 += a0k * b1[kk];
+        acc02 += a0k * b2[kk];
+        acc03 += a0k * b3[kk];
+        acc10 += a1k * b0[kk];
+        acc11 += a1k * b1[kk];
+        acc12 += a1k * b2[kk];
+        acc13 += a1k * b3[kk];
+      }
+      o0[j + 0] = acc00;
+      o0[j + 1] = acc01;
+      o0[j + 2] = acc02;
+      o0[j + 3] = acc03;
+      o1[j + 0] = acc10;
+      o1[j + 1] = acc11;
+      o1[j + 2] = acc12;
+      o1[j + 3] = acc13;
+    }
+    for (; j < n; ++j) {
+      const float* __restrict__ brow = pb + j * k;
+      float acc0 = 0.0f;
+      float acc1 = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc0 += a0[kk] * brow[kk];
+        acc1 += a1[kk] * brow[kk];
+      }
+      o0[j] = acc0;
+      o1[j] = acc1;
+    }
+  }
+  for (; i < i_end; ++i) {
+    const float* __restrict__ arow = pa + i * k;
+    float* __restrict__ orow = po + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* __restrict__ brow = pb + j * k;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      orow[j] = acc;
+    }
+  }
+}
+
+}  // namespace
+
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   IMSR_CHECK_EQ(a.dim(), 2);
   IMSR_CHECK_EQ(b.dim(), 2);
@@ -228,7 +371,85 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  // ikj loop order: streams through b and out rows contiguously.
+  if (m * k * n >= kParallelWorkThreshold) {
+    util::GlobalPool().ParallelFor(
+        m, RowGrain(m, k * n), [&](int64_t begin, int64_t end) {
+          MatMulRows(pa, pb, po, begin, end, k, n);
+        });
+  } else {
+    MatMulRows(pa, pb, po, 0, m, k, n);
+  }
+  return out;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  MatMulTransBInto(a, b, &out);
+  return out;
+}
+
+void MatMulTransBInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  IMSR_CHECK(out != nullptr);
+  IMSR_CHECK_EQ(a.dim(), 2);
+  IMSR_CHECK_EQ(b.dim(), 2);
+  IMSR_CHECK_EQ(a.size(1), b.size(1));
+  const int64_t m = a.size(0);
+  const int64_t k = a.size(1);
+  const int64_t n = b.size(0);
+  if (out->dim() != 2 || out->size(0) != m || out->size(1) != n) {
+    *out = Tensor({m, n});
+  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out->data();
+  if (m * k * n >= kParallelWorkThreshold) {
+    util::GlobalPool().ParallelFor(
+        m, RowGrain(m, k * n), [&](int64_t begin, int64_t end) {
+          MatMulTransBRows(pa, pb, po, begin, end, k, n);
+        });
+  } else {
+    MatMulTransBRows(pa, pb, po, 0, m, k, n);
+  }
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  IMSR_CHECK_EQ(a.dim(), 2);
+  IMSR_CHECK_EQ(b.dim(), 2);
+  IMSR_CHECK_EQ(a.size(0), b.size(0));
+  const int64_t r = a.size(0);
+  const int64_t m = a.size(1);
+  const int64_t n = b.size(1);
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // Rank-1 updates: out += a.row(t)^T * b.row(t); all three matrices
+  // stream row-major. Output rows are not independent across t, so this
+  // kernel stays single-threaded (it only backs autograd's backward pass,
+  // whose matrices are small).
+  for (int64_t t = 0; t < r; ++t) {
+    const float* __restrict__ arow = pa + t * m;
+    const float* __restrict__ brow = pb + t * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float ati = arow[i];
+      float* __restrict__ orow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += ati * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulSparse(const Tensor& a, const Tensor& b) {
+  IMSR_CHECK_EQ(a.dim(), 2);
+  IMSR_CHECK_EQ(b.dim(), 2);
+  IMSR_CHECK_EQ(a.size(1), b.size(0));
+  const int64_t m = a.size(0);
+  const int64_t k = a.size(1);
+  const int64_t n = b.size(1);
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
   for (int64_t i = 0; i < m; ++i) {
     for (int64_t kk = 0; kk < k; ++kk) {
       const float aik = pa[i * k + kk];
@@ -268,6 +489,14 @@ Tensor MatVec(const Tensor& a, const Tensor& x) {
     out.at(i) = acc;
   }
   return out;
+}
+
+Tensor MatVecBatch(const Tensor& a, const Tensor& xs) {
+  IMSR_CHECK_EQ(a.dim(), 2);
+  IMSR_CHECK_EQ(xs.dim(), 2);
+  IMSR_CHECK_EQ(a.size(1), xs.size(1));
+  // out[r][i] = dot(xs.row(r), a.row(i)) — exactly A * xs^T transposed.
+  return MatMulTransB(xs, a);
 }
 
 float DotFlat(const Tensor& a, const Tensor& b) {
@@ -310,10 +539,37 @@ Tensor Softmax(const Tensor& a) {
   }
   const int64_t rows = a.size(0);
   const int64_t cols = a.size(1);
-  for (int64_t i = 0; i < rows; ++i) {
-    SoftmaxSpan(a.data() + i * cols, out.data() + i * cols, cols);
+  const float* pa = a.data();
+  float* po = out.data();
+  const auto span_rows = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      SoftmaxSpan(pa + i * cols, po + i * cols, cols);
+    }
+  };
+  if (rows * cols >= kParallelWorkThreshold) {
+    util::GlobalPool().ParallelFor(rows, RowGrain(rows, cols), span_rows);
+  } else {
+    span_rows(0, rows);
   }
   return out;
+}
+
+void SoftmaxRowsInPlace(Tensor* a) {
+  IMSR_CHECK(a != nullptr);
+  IMSR_CHECK(a->dim() == 1 || a->dim() == 2);
+  const int64_t rows = a->dim() == 1 ? 1 : a->size(0);
+  const int64_t cols = a->dim() == 1 ? a->numel() : a->size(1);
+  float* pa = a->data();
+  const auto span_rows = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      SoftmaxSpan(pa + i * cols, pa + i * cols, cols);
+    }
+  };
+  if (rows * cols >= kParallelWorkThreshold) {
+    util::GlobalPool().ParallelFor(rows, RowGrain(rows, cols), span_rows);
+  } else {
+    span_rows(0, rows);
+  }
 }
 
 Tensor LogSumExpRows(const Tensor& a) {
@@ -403,13 +659,21 @@ Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& indices) {
   IMSR_CHECK_EQ(table.dim(), 2);
   IMSR_CHECK(!indices.empty());
   const int64_t cols = table.size(1);
-  Tensor out({static_cast<int64_t>(indices.size()), cols});
-  for (size_t i = 0; i < indices.size(); ++i) {
-    const int64_t row = indices[i];
-    IMSR_CHECK(row >= 0 && row < table.size(0))
-        << "gather index " << row << " out of range " << table.size(0);
-    std::copy_n(table.data() + row * cols, static_cast<size_t>(cols),
-                out.data() + static_cast<int64_t>(i) * cols);
+  const int64_t rows = static_cast<int64_t>(indices.size());
+  Tensor out({rows, cols});
+  const auto gather_rows = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const int64_t row = indices[static_cast<size_t>(i)];
+      IMSR_CHECK(row >= 0 && row < table.size(0))
+          << "gather index " << row << " out of range " << table.size(0);
+      std::copy_n(table.data() + row * cols, static_cast<size_t>(cols),
+                  out.data() + i * cols);
+    }
+  };
+  if (rows * cols >= kParallelWorkThreshold) {
+    util::GlobalPool().ParallelFor(rows, RowGrain(rows, cols), gather_rows);
+  } else {
+    gather_rows(0, rows);
   }
   return out;
 }

@@ -111,12 +111,32 @@ Tensor Sub(const Tensor& a, const Tensor& b);
 Tensor Mul(const Tensor& a, const Tensor& b);
 Tensor Scale(const Tensor& a, float alpha);
 
-// Matrix product of 2-D tensors: (m x k) * (k x n) -> (m x n).
+// Matrix product of 2-D tensors: (m x k) * (k x n) -> (m x n). Blocked
+// (4-row panels) and dispatched over the process-wide thread pool for
+// large shapes; bitwise-deterministic for any thread count.
 Tensor MatMul(const Tensor& a, const Tensor& b);
+// Matrix product with the second operand transposed:
+// (m x k) * (n x k)^T -> (m x n), i.e. out[i][j] = dot(a.row(i), b.row(j)).
+// Both operands stream row-major — use this instead of
+// MatMul(a, Transpose(b)); nothing is materialised.
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+// MatMulTransB writing into `out` (reallocated only on shape mismatch) so
+// per-user ranking loops can reuse one scratch buffer.
+void MatMulTransBInto(const Tensor& a, const Tensor& b, Tensor* out);
+// Matrix product with the first operand transposed:
+// (r x m)^T * (r x n) -> (m x n). Used by autograd's MatMul backward.
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+// Sparsity-aware MatMul that skips zero entries of `a`. Only worth it when
+// `a` is mostly zeros (e.g. masked couplings); the dense MatMul path does
+// not branch.
+Tensor MatMulSparse(const Tensor& a, const Tensor& b);
 // 2-D transpose.
 Tensor Transpose(const Tensor& a);
 // Matrix-vector: (m x k) * (k) -> (m).
 Tensor MatVec(const Tensor& a, const Tensor& x);
+// Batched matrix-vector: applies `a` to every row of xs (batch x k),
+// returning (batch x m) with out.row(r) == MatVec(a, xs.row(r)).
+Tensor MatVecBatch(const Tensor& a, const Tensor& xs);
 
 // Dot product of equally sized tensors (flattened).
 float DotFlat(const Tensor& a, const Tensor& b);
@@ -125,6 +145,8 @@ float L2NormFlat(const Tensor& a);
 
 // Row-wise softmax of a 2-D tensor (or softmax of a 1-D tensor).
 Tensor Softmax(const Tensor& a);
+// In-place row-wise softmax (fused max/exp/normalise, no allocation).
+void SoftmaxRowsInPlace(Tensor* a);
 // Row-wise logsumexp of a 2-D tensor -> 1-D of length rows (or scalar for
 // 1-D input, returned as a 1-element tensor).
 Tensor LogSumExpRows(const Tensor& a);

@@ -2,30 +2,26 @@
 
 #include <algorithm>
 #include <thread>
-#include <vector>
+
+#include "util/thread_pool.h"
 
 namespace imsr::util {
 
 void ParallelChunks(int64_t count, int threads,
                     const std::function<void(int64_t, int64_t)>& fn) {
   if (count <= 0) return;
+  if (threads <= 0) threads = GlobalThreadCount();
   const int workers = std::max(
       1, std::min<int>(threads, static_cast<int>(count)));
   if (workers == 1) {
     fn(0, count);
     return;
   }
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(workers - 1));
+  // Same chunk boundaries as the historical per-call-thread version —
+  // ceil(count / workers)-sized contiguous ranges — but executed on the
+  // persistent process-wide pool instead of freshly spawned threads.
   const int64_t chunk = (count + workers - 1) / workers;
-  for (int w = 1; w < workers; ++w) {
-    const int64_t begin = w * chunk;
-    const int64_t end = std::min(count, begin + chunk);
-    if (begin >= end) break;
-    pool.emplace_back([&fn, begin, end] { fn(begin, end); });
-  }
-  fn(0, std::min(count, chunk));
-  for (std::thread& worker : pool) worker.join();
+  GlobalPool().ParallelFor(count, chunk, fn);
 }
 
 int DefaultThreadCount() {

@@ -1,6 +1,7 @@
 // Minimal data-parallel helper: splits an index range over a fixed number
 // of threads. Used by the evaluator for full-corpus ranking (each user's
-// ranking is independent).
+// ranking is independent). Backed by the persistent util::ThreadPool
+// (see thread_pool.h) — no threads are spawned per call.
 #ifndef IMSR_UTIL_PARALLEL_H_
 #define IMSR_UTIL_PARALLEL_H_
 
@@ -9,9 +10,10 @@
 
 namespace imsr::util {
 
-// Invokes fn(begin, end) on `threads` contiguous chunks of [0, count).
-// With threads <= 1 (or count small) everything runs on the calling
-// thread. fn must be safe to call concurrently on disjoint ranges.
+// Invokes fn(begin, end) on at most `threads` contiguous chunks of
+// [0, count), executed on the process-wide pool. threads <= 0 means "use
+// the pool's configured size"; threads == 1 (or count == 1) runs inline.
+// fn must be safe to call concurrently on disjoint ranges.
 void ParallelChunks(int64_t count, int threads,
                     const std::function<void(int64_t, int64_t)>& fn);
 

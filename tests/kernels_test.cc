@@ -1,0 +1,205 @@
+// Equivalence and determinism properties of the blocked nn kernels: every
+// fast path must match a naive reference within 1e-5 and produce bitwise
+// identical results regardless of the pool's thread count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/ranker.h"
+#include "nn/optim.h"
+#include "nn/tensor.h"
+#include "nn/variable.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace imsr {
+namespace {
+
+// Naive jki reference matmul, independent of the production kernel.
+nn::Tensor ReferenceMatMul(const nn::Tensor& a, const nn::Tensor& b) {
+  const int64_t m = a.size(0);
+  const int64_t k = a.size(1);
+  const int64_t n = b.size(1);
+  nn::Tensor out({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += a.at(i, kk) * b.at(kk, j);
+      }
+      out.at(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+const std::vector<std::vector<int64_t>> kShapes = {
+    // {m, k, n} — odd sizes exercise every panel-remainder path.
+    {1, 1, 1}, {1, 5, 1},  {2, 3, 4},  {3, 7, 5},   {4, 4, 4},
+    {5, 2, 9}, {7, 17, 3}, {8, 32, 6}, {33, 13, 21}, {64, 32, 32},
+};
+
+TEST(KernelsTest, MatMulMatchesNaiveReference) {
+  util::Rng rng(101);
+  for (const auto& shape : kShapes) {
+    const nn::Tensor a = nn::Tensor::Randn({shape[0], shape[1]}, rng);
+    const nn::Tensor b = nn::Tensor::Randn({shape[1], shape[2]}, rng);
+    EXPECT_LE(nn::MaxAbsDiff(nn::MatMul(a, b), ReferenceMatMul(a, b)),
+              1e-5f)
+        << shape[0] << "x" << shape[1] << "x" << shape[2];
+  }
+}
+
+TEST(KernelsTest, MatMulTransBMatchesMaterialisedTranspose) {
+  util::Rng rng(102);
+  for (const auto& shape : kShapes) {
+    const nn::Tensor a = nn::Tensor::Randn({shape[0], shape[1]}, rng);
+    const nn::Tensor b = nn::Tensor::Randn({shape[2], shape[1]}, rng);
+    EXPECT_LE(nn::MaxAbsDiff(nn::MatMulTransB(a, b),
+                             ReferenceMatMul(a, nn::Transpose(b))),
+              1e-5f)
+        << shape[0] << "x" << shape[1] << "x" << shape[2];
+  }
+}
+
+TEST(KernelsTest, MatMulTransAMatchesMaterialisedTranspose) {
+  util::Rng rng(103);
+  for (const auto& shape : kShapes) {
+    const nn::Tensor a = nn::Tensor::Randn({shape[1], shape[0]}, rng);
+    const nn::Tensor b = nn::Tensor::Randn({shape[1], shape[2]}, rng);
+    EXPECT_LE(nn::MaxAbsDiff(nn::MatMulTransA(a, b),
+                             ReferenceMatMul(nn::Transpose(a), b)),
+              1e-5f)
+        << shape[0] << "x" << shape[1] << "x" << shape[2];
+  }
+}
+
+TEST(KernelsTest, MatMulTransBIntoReusesBuffer) {
+  util::Rng rng(104);
+  const nn::Tensor a1 = nn::Tensor::Randn({9, 8}, rng);
+  const nn::Tensor b1 = nn::Tensor::Randn({5, 8}, rng);
+  const nn::Tensor a2 = nn::Tensor::Randn({9, 8}, rng);
+  nn::Tensor out;
+  nn::MatMulTransBInto(a1, b1, &out);
+  EXPECT_LE(nn::MaxAbsDiff(out, nn::MatMulTransB(a1, b1)), 0.0f);
+  const float* storage = out.data();
+  nn::MatMulTransBInto(a2, b1, &out);  // same shape: buffer reused
+  EXPECT_EQ(out.data(), storage);
+  EXPECT_LE(nn::MaxAbsDiff(out, nn::MatMulTransB(a2, b1)), 0.0f);
+}
+
+TEST(KernelsTest, MatMulSparseSkipsZerosWithoutChangingResults) {
+  util::Rng rng(105);
+  nn::Tensor a = nn::Tensor::Randn({12, 16}, rng);
+  // Zero out ~2/3 of `a` to hit the skip path.
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    if (i % 3 != 0) a.data()[i] = 0.0f;
+  }
+  const nn::Tensor b = nn::Tensor::Randn({16, 10}, rng);
+  EXPECT_LE(nn::MaxAbsDiff(nn::MatMulSparse(a, b), ReferenceMatMul(a, b)),
+            1e-5f);
+}
+
+TEST(KernelsTest, MatVecBatchMatchesPerRowMatVec) {
+  util::Rng rng(106);
+  const nn::Tensor a = nn::Tensor::Randn({19, 11}, rng);
+  const nn::Tensor xs = nn::Tensor::Randn({7, 11}, rng);
+  const nn::Tensor batched = nn::MatVecBatch(a, xs);
+  ASSERT_EQ(batched.size(0), 7);
+  ASSERT_EQ(batched.size(1), 19);
+  for (int64_t r = 0; r < xs.size(0); ++r) {
+    const nn::Tensor single = nn::MatVec(a, xs.Row(r));
+    EXPECT_LE(nn::MaxAbsDiff(batched.Row(r), single), 1e-5f) << "row " << r;
+  }
+}
+
+TEST(KernelsTest, SoftmaxRowsInPlaceMatchesSoftmax) {
+  util::Rng rng(107);
+  for (int64_t rows : {1, 3, 64}) {
+    for (int64_t cols : {1, 2, 9, 33}) {
+      const nn::Tensor a = nn::Tensor::Randn({rows, cols}, rng);
+      nn::Tensor in_place = a;
+      nn::SoftmaxRowsInPlace(&in_place);
+      EXPECT_LE(nn::MaxAbsDiff(in_place, nn::Softmax(a)), 0.0f)
+          << rows << "x" << cols;
+    }
+  }
+}
+
+// Kernels dispatched over the pool must be bitwise identical for 1 and N
+// threads (row-partitioned work, fixed per-row accumulation order).
+TEST(KernelsTest, LargeKernelsBitwiseIdenticalAcrossThreadCounts) {
+  util::Rng rng(108);
+  // Big enough to cross the pool-dispatch threshold.
+  const nn::Tensor a = nn::Tensor::Randn({257, 65}, rng);
+  const nn::Tensor b = nn::Tensor::Randn({65, 63}, rng);
+  const nn::Tensor bt = nn::Tensor::Randn({63, 65}, rng);
+  const nn::Tensor wide = nn::Tensor::Randn({3000, 100}, rng);
+
+  util::SetGlobalThreadCount(1);
+  const nn::Tensor mm1 = nn::MatMul(a, b);
+  const nn::Tensor tb1 = nn::MatMulTransB(a, bt);
+  const nn::Tensor sm1 = nn::Softmax(wide);
+
+  for (int threads : {2, 5}) {
+    util::SetGlobalThreadCount(threads);
+    EXPECT_EQ(mm1.storage(), nn::MatMul(a, b).storage())
+        << "threads=" << threads;
+    EXPECT_EQ(tb1.storage(), nn::MatMulTransB(a, bt).storage())
+        << "threads=" << threads;
+    EXPECT_EQ(sm1.storage(), nn::Softmax(wide).storage())
+        << "threads=" << threads;
+  }
+  util::SetGlobalThreadCount(1);
+}
+
+TEST(KernelsTest, AdamStepBitwiseIdenticalAcrossThreadCounts) {
+  auto run = [](int threads) {
+    util::SetGlobalThreadCount(threads);
+    util::Rng rng(109);
+    nn::Var parameter(nn::Tensor::Randn({1200, 32}, rng), true);
+    nn::Adam adam(nn::Adam::Config{});
+    adam.Register(parameter);
+    for (int step = 0; step < 3; ++step) {
+      parameter.ZeroGrad();
+      parameter.node()->AccumulateGrad(
+          nn::Tensor::Randn(parameter.value().shape(), rng));
+      adam.Step();
+    }
+    return parameter.value().storage();
+  };
+  const std::vector<float> serial = run(1);
+  EXPECT_EQ(serial, run(4));
+  util::SetGlobalThreadCount(1);
+}
+
+TEST(KernelsTest, RankerPrecomputedScoresMatchFromScratchPaths) {
+  util::Rng rng(110);
+  const nn::Tensor items = nn::Tensor::Randn({120, 16}, rng);
+  const nn::Tensor interests_a = nn::Tensor::Randn({4, 16}, rng);
+  const nn::Tensor interests_b = nn::Tensor::Randn({6, 16}, rng);
+
+  for (auto rule : {eval::ScoreRule::kAttentive,
+                    eval::ScoreRule::kMaxInterest}) {
+    eval::RankScratch scratch;
+    // Scratch reuse across users with different K must not leak state.
+    for (const nn::Tensor* interests : {&interests_a, &interests_b}) {
+      eval::ScoreAllItemsInto(*interests, items, rule, &scratch);
+      const std::vector<float> fresh =
+          eval::ScoreAllItems(*interests, items, rule);
+      ASSERT_EQ(scratch.scores.size(), fresh.size());
+      EXPECT_EQ(scratch.scores, fresh);
+
+      for (data::ItemId target : {0, 7, 119}) {
+        EXPECT_EQ(eval::TargetRankFromScores(scratch.scores, target),
+                  eval::TargetRank(*interests, items, target, rule));
+      }
+      EXPECT_EQ(eval::TopNFromScores(scratch.scores, 10),
+                eval::TopNItems(*interests, items, 10, rule));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace imsr

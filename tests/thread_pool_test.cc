@@ -1,0 +1,186 @@
+// ThreadPool contract: exact coverage of [0, count) for any pool size /
+// grain, inline nested regions, exception propagation, reuse across many
+// dispatches, and thread-count-independent results.
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace imsr::util {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    ThreadPool pool(threads);
+    for (int64_t count : {1, 2, 3, 31, 100, 1000}) {
+      for (int64_t grain : {0, 1, 7, 64, 5000}) {
+        std::vector<std::atomic<int>> hits(static_cast<size_t>(count));
+        for (auto& h : hits) h.store(0);
+        pool.ParallelFor(count, grain, [&](int64_t begin, int64_t end) {
+          ASSERT_LE(0, begin);
+          ASSERT_LT(begin, end);
+          ASSERT_LE(end, count);
+          for (int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+        });
+        for (int64_t i = 0; i < count; ++i) {
+          EXPECT_EQ(hits[i].load(), 1)
+              << "threads=" << threads << " count=" << count
+              << " grain=" << grain << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokes) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(0, 8, [&](int64_t, int64_t) { called = true; });
+  pool.ParallelFor(-5, 8, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SingleElementRunsInline) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  pool.ParallelFor(1, 0, [&](int64_t begin, int64_t end) {
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 1);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineAndCovers) {
+  ThreadPool pool(4);
+  constexpr int64_t kOuter = 16;
+  constexpr int64_t kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(kOuter, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t o = begin; o < end; ++o) {
+      // Nested region: must not deadlock; runs inline on this worker.
+      pool.ParallelFor(kInner, 8, [&](int64_t ib, int64_t ie) {
+        for (int64_t i = ib; i < ie; ++i) {
+          hits[static_cast<size_t>(o * kInner + i)].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100, 1,
+                       [&](int64_t begin, int64_t) {
+                         if (begin == 42) {
+                           throw std::runtime_error("chunk failure");
+                         }
+                       }),
+      std::runtime_error);
+  // The pool must still be usable after a failed region.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(10, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, ResultsIdenticalAcrossThreadCounts) {
+  constexpr int64_t kCount = 4096;
+  auto run = [&](int threads) {
+    ThreadPool pool(threads);
+    std::vector<double> out(kCount, 0.0);
+    pool.ParallelFor(kCount, 128, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        out[static_cast<size_t>(i)] =
+            static_cast<double>(i) * 0.5 + 1.25;
+      }
+    });
+    return out;
+  };
+  const std::vector<double> serial = run(1);
+  for (int threads : {2, 4, 8}) {
+    EXPECT_EQ(serial, run(threads)) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, ManySmallDispatchesReuseWorkers) {
+  ThreadPool pool(4);
+  int64_t total = 0;
+  for (int round = 0; round < 2000; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(64, 8, [&](int64_t begin, int64_t end) {
+      int64_t local = 0;
+      for (int64_t i = begin; i < end; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    total += sum.load();
+  }
+  EXPECT_EQ(total, 2000 * (64 * 63 / 2));
+}
+
+TEST(ThreadPoolTest, ConcurrentExternalCallersSerialize) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(2 * 512);
+  for (auto& h : hits) h.store(0);
+  auto caller = [&](int64_t offset) {
+    for (int round = 0; round < 50; ++round) {
+      pool.ParallelFor(512, 32, [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          hits[static_cast<size_t>(offset + i)].fetch_add(1);
+        }
+      });
+    }
+  };
+  std::thread other([&] { caller(512); });
+  caller(0);
+  other.join();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 50);
+}
+
+TEST(ThreadPoolTest, GlobalPoolResizeRoundTrip) {
+  const int original = GlobalThreadCount();
+  SetGlobalThreadCount(3);
+  EXPECT_EQ(GlobalThreadCount(), 3);
+  EXPECT_EQ(GlobalPool().thread_count(), 3);
+  std::atomic<int64_t> sum{0};
+  GlobalPool().ParallelFor(100, 10, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) sum.fetch_add(1);
+  });
+  EXPECT_EQ(sum.load(), 100);
+  SetGlobalThreadCount(original > 0 ? original : 1);
+}
+
+TEST(ThreadPoolTest, ParallelChunksKeepsContiguousCoverage) {
+  SetGlobalThreadCount(4);
+  for (int threads : {1, 2, 4, 16}) {
+    for (int64_t count : {1, 3, 7, 100}) {
+      std::vector<std::atomic<int>> hits(static_cast<size_t>(count));
+      for (auto& h : hits) h.store(0);
+      ParallelChunks(count, threads, [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+      for (int64_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[i].load(), 1)
+            << "threads=" << threads << " count=" << count;
+      }
+    }
+  }
+  SetGlobalThreadCount(1);
+}
+
+}  // namespace
+}  // namespace imsr::util

@@ -29,6 +29,7 @@
 #include "eval/ranker.h"
 #include "util/csv.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -252,7 +253,8 @@ int CmdEvaluate(const util::Flags& flags) {
   }
   eval::EvalConfig config;
   config.top_n = static_cast<int>(flags.GetInt("top_n", 20));
-  config.threads = static_cast<int>(flags.GetInt("threads", 1));
+  // <= 0 defers to the process-wide pool size (--threads / IMSR_THREADS).
+  config.threads = static_cast<int>(flags.GetInt("threads", 0));
   const int test_span = static_cast<int>(flags.GetInt(
       "test_span", metadata.trained_through_span + 1));
   const eval::EvalResult result =
@@ -309,6 +311,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   util::Flags flags(argc - 1, argv + 1);
+  util::ApplyThreadFlag(flags);  // --threads=N sizes the process-wide pool
   if (command == "generate") return CmdGenerate(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "pretrain") return CmdPretrain(flags);
