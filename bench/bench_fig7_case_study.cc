@@ -84,11 +84,13 @@ int main(int argc, char** argv) {
         util::BinaryWriter writer;
         model.Save(&writer);
         util::BinaryReader reader(writer.buffer());
-        imsr_model.Load(&reader);
+        std::string copy_error;
+        IMSR_CHECK(imsr_model.Load(&reader, &copy_error)) << copy_error;
         util::BinaryWriter store_writer;
         store.Save(&store_writer);
         util::BinaryReader store_reader(store_writer.buffer());
-        imsr_store.Load(&store_reader);
+        IMSR_CHECK(imsr_store.Load(&store_reader, &copy_error))
+            << copy_error;
       }
     }
   }

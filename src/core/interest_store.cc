@@ -108,23 +108,62 @@ void InterestStore::Save(util::BinaryWriter* writer) const {
   }
 }
 
-void InterestStore::Load(util::BinaryReader* reader) {
-  entries_.clear();
-  const int64_t count = reader->ReadInt64();
+bool InterestStore::Load(util::BinaryReader* reader, std::string* error,
+                         int64_t expected_dim) {
+  auto propagate = [&] {
+    *error = reader->error();
+    return false;
+  };
+  int64_t count = 0;
+  if (!reader->TryReadInt64(&count)) return propagate();
+  // Each user entry needs at least 3 int64s before any payload.
+  if (count < 0 || static_cast<uint64_t>(count) >
+                       reader->remaining() / (3 * sizeof(int64_t))) {
+    *error = "corrupt interest-store user count " + std::to_string(count);
+    return false;
+  }
+  std::unordered_map<data::UserId, Entry> entries;
+  entries.reserve(static_cast<size_t>(count));
   for (int64_t i = 0; i < count; ++i) {
-    const auto user = static_cast<data::UserId>(reader->ReadInt64());
-    const int64_t k = reader->ReadInt64();
-    const int64_t dim = reader->ReadInt64();
+    int64_t user = 0;
+    int64_t k = 0;
+    int64_t dim = 0;
+    if (!reader->TryReadInt64(&user) || !reader->TryReadInt64(&k) ||
+        !reader->TryReadInt64(&dim)) {
+      return propagate();
+    }
+    // A valid entry always has >= 1 interest row; bound k and dim so the
+    // (k x dim) allocation cannot exceed the bytes actually present.
+    if (k <= 0 || dim <= 0 ||
+        static_cast<uint64_t>(k) > reader->remaining() / sizeof(float) /
+                                       static_cast<uint64_t>(dim)) {
+      *error = "corrupt interest shape (" + std::to_string(k) + " x " +
+               std::to_string(dim) + ") for user " + std::to_string(user);
+      return false;
+    }
+    if (expected_dim > 0 && dim != expected_dim) {
+      *error = "interest dim mismatch for user " + std::to_string(user) +
+               ": checkpoint has " + std::to_string(dim) +
+               ", model expects " + std::to_string(expected_dim);
+      return false;
+    }
     Entry entry;
     entry.interests = nn::Tensor({k, dim});
-    reader->ReadFloatArray(entry.interests.data(),
-                           static_cast<size_t>(entry.interests.numel()));
+    if (!reader->TryReadFloatArray(
+            entry.interests.data(),
+            static_cast<size_t>(entry.interests.numel()))) {
+      return propagate();
+    }
     entry.birth_spans.reserve(static_cast<size_t>(k));
     for (int64_t r = 0; r < k; ++r) {
-      entry.birth_spans.push_back(static_cast<int>(reader->ReadInt64()));
+      int64_t span = 0;
+      if (!reader->TryReadInt64(&span)) return propagate();
+      entry.birth_spans.push_back(static_cast<int>(span));
     }
-    entries_[user] = std::move(entry);
+    entries[static_cast<data::UserId>(user)] = std::move(entry);
   }
+  entries_ = std::move(entries);
+  return true;
 }
 
 }  // namespace imsr::core

@@ -47,7 +47,11 @@ class InterestStore {
   size_t num_users() const { return entries_.size(); }
 
   void Save(util::BinaryWriter* writer) const;
-  void Load(util::BinaryReader* reader);
+  // Fallible restore; returns false with a description on corrupt input,
+  // leaving the store unchanged (all-or-nothing). When `expected_dim` is
+  // positive, every user's interest width must match it.
+  bool Load(util::BinaryReader* reader, std::string* error,
+            int64_t expected_dim = -1);
 
  private:
   struct Entry {

@@ -5,6 +5,7 @@
 #include <cctype>
 #include <charconv>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <unordered_map>
 
@@ -70,8 +71,14 @@ bool ParseInteractionsCsv(const std::string& content, InteractionLog* log,
     int64_t item = 0;
     int64_t timestamp = 0;
     if (!ParseField(fields[0], &user)) {
-      // Permit a single header line.
-      if (line_number == 1) continue;
+      // Permit a single header line — but only when the whole row is
+      // non-numeric; a data row with just a garbled user id must be
+      // reported, not silently swallowed.
+      int64_t probe = 0;
+      if (line_number == 1 && !ParseField(fields[1], &probe) &&
+          !ParseField(fields[2], &probe)) {
+        continue;
+      }
       SetError(error, line_number, "bad user id '" + fields[0] + "'");
       return false;
     }
@@ -82,6 +89,17 @@ bool ParseInteractionsCsv(const std::string& content, InteractionLog* log,
     }
     if (user < 0 || item < 0) {
       SetError(error, line_number, "negative ids are not allowed");
+      return false;
+    }
+    // Ids are stored as int32 and num_users/num_items as max id + 1, so
+    // anything >= INT32_MAX would truncate (possibly to negative) in the
+    // casts below.
+    constexpr int64_t kMaxId =
+        static_cast<int64_t>(std::numeric_limits<int32_t>::max()) - 1;
+    if (user > kMaxId || item > kMaxId) {
+      SetError(error, line_number,
+               "id exceeds the 32-bit range: " +
+                   std::to_string(user > kMaxId ? user : item));
       return false;
     }
     Interaction record;

@@ -47,10 +47,34 @@ void DynamicRoutingExtractor::Save(util::BinaryWriter* writer) const {
                           static_cast<size_t>(transform_.value().numel()));
 }
 
-void DynamicRoutingExtractor::Load(util::BinaryReader* reader) {
-  IMSR_CHECK_EQ(reader->ReadInt64(), embedding_dim_);
-  reader->ReadFloatArray(transform_.mutable_value().data(),
-                         static_cast<size_t>(transform_.value().numel()));
+bool DynamicRoutingExtractor::Load(util::BinaryReader* reader,
+                                   std::string* error) {
+  int64_t dim = 0;
+  if (!reader->TryReadInt64(&dim)) {
+    *error = reader->error();
+    return false;
+  }
+  if (dim != embedding_dim_) {
+    *error = "extractor dim mismatch: checkpoint has " +
+             std::to_string(dim) + ", model expects " +
+             std::to_string(embedding_dim_);
+    return false;
+  }
+  nn::Tensor transform({embedding_dim_, embedding_dim_});
+  if (!reader->TryReadFloatArray(transform.data(),
+                                 static_cast<size_t>(transform.numel()))) {
+    *error = reader->error();
+    return false;
+  }
+  transform_.mutable_value() = std::move(transform);
+  return true;
+}
+
+void DynamicRoutingExtractor::CopyStateFrom(
+    const MultiInterestExtractor& other) {
+  const auto& source = dynamic_cast<const DynamicRoutingExtractor&>(other);
+  IMSR_CHECK_EQ(source.embedding_dim_, embedding_dim_);
+  transform_.mutable_value() = source.transform_.value();
 }
 
 }  // namespace imsr::models

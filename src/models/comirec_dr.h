@@ -33,7 +33,8 @@ class DynamicRoutingExtractor : public MultiInterestExtractor {
   void Reset(util::Rng& rng) override;
 
   void Save(util::BinaryWriter* writer) const override;
-  void Load(util::BinaryReader* reader) override;
+  bool Load(util::BinaryReader* reader, std::string* error) override;
+  void CopyStateFrom(const MultiInterestExtractor& other) override;
 
   const nn::Var& transform() const { return transform_; }
 

@@ -133,20 +133,78 @@ void SelfAttentionExtractor::Save(util::BinaryWriter* writer) const {
   }
 }
 
-void SelfAttentionExtractor::Load(util::BinaryReader* reader) {
-  IMSR_CHECK_EQ(reader->ReadInt64(), embedding_dim_);
-  IMSR_CHECK_EQ(reader->ReadInt64(), attention_dim_);
-  reader->ReadFloatArray(w1_.mutable_value().data(),
-                         static_cast<size_t>(w1_.value().numel()));
-  user_query_.clear();
-  const int64_t count = reader->ReadInt64();
+bool SelfAttentionExtractor::Load(util::BinaryReader* reader,
+                                  std::string* error) {
+  auto propagate = [&] {
+    *error = reader->error();
+    return false;
+  };
+  int64_t embedding_dim = 0;
+  int64_t attention_dim = 0;
+  if (!reader->TryReadInt64(&embedding_dim) ||
+      !reader->TryReadInt64(&attention_dim)) {
+    return propagate();
+  }
+  if (embedding_dim != embedding_dim_ || attention_dim != attention_dim_) {
+    *error = "extractor dims mismatch: checkpoint has (" +
+             std::to_string(embedding_dim) + ", " +
+             std::to_string(attention_dim) + "), model expects (" +
+             std::to_string(embedding_dim_) + ", " +
+             std::to_string(attention_dim_) + ")";
+    return false;
+  }
+  nn::Tensor w1({embedding_dim_, attention_dim_});
+  if (!reader->TryReadFloatArray(w1.data(),
+                                 static_cast<size_t>(w1.numel()))) {
+    return propagate();
+  }
+  int64_t count = 0;
+  if (!reader->TryReadInt64(&count)) return propagate();
+  if (count < 0 ||
+      static_cast<uint64_t>(count) > reader->remaining() / sizeof(int64_t)) {
+    *error = "corrupt user-query count " + std::to_string(count);
+    return false;
+  }
+  std::unordered_map<data::UserId, nn::Var> queries;
+  queries.reserve(static_cast<size_t>(count));
   for (int64_t i = 0; i < count; ++i) {
-    const auto user = static_cast<data::UserId>(reader->ReadInt64());
-    const int64_t columns = reader->ReadInt64();
+    int64_t user = 0;
+    int64_t columns = 0;
+    if (!reader->TryReadInt64(&user) || !reader->TryReadInt64(&columns)) {
+      return propagate();
+    }
+    // Bound the width so the (attention_dim x columns) allocation cannot
+    // exceed the bytes actually present in the buffer.
+    if (columns <= 0 ||
+        static_cast<uint64_t>(columns) >
+            reader->remaining() / sizeof(float) /
+                static_cast<uint64_t>(attention_dim_)) {
+      *error = "corrupt query width " + std::to_string(columns) +
+               " for user " + std::to_string(user);
+      return false;
+    }
     nn::Tensor query({attention_dim_, columns});
-    reader->ReadFloatArray(query.data(),
-                           static_cast<size_t>(query.numel()));
-    user_query_.emplace(user, nn::Var(std::move(query),
+    if (!reader->TryReadFloatArray(query.data(),
+                                   static_cast<size_t>(query.numel()))) {
+      return propagate();
+    }
+    queries.emplace(static_cast<data::UserId>(user),
+                    nn::Var(std::move(query), /*requires_grad=*/true));
+  }
+  w1_.mutable_value() = std::move(w1);
+  user_query_ = std::move(queries);
+  return true;
+}
+
+void SelfAttentionExtractor::CopyStateFrom(
+    const MultiInterestExtractor& other) {
+  const auto& source = dynamic_cast<const SelfAttentionExtractor&>(other);
+  IMSR_CHECK_EQ(source.embedding_dim_, embedding_dim_);
+  IMSR_CHECK_EQ(source.attention_dim_, attention_dim_);
+  w1_.mutable_value() = source.w1_.value();
+  user_query_.clear();
+  for (const auto& [user, query] : source.user_query_) {
+    user_query_.emplace(user, nn::Var(query.value().Clone(),
                                       /*requires_grad=*/true));
   }
 }

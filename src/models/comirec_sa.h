@@ -37,7 +37,8 @@ class SelfAttentionExtractor : public MultiInterestExtractor {
   void Reset(util::Rng& rng) override;
 
   void Save(util::BinaryWriter* writer) const override;
-  void Load(util::BinaryReader* reader) override;
+  bool Load(util::BinaryReader* reader, std::string* error) override;
+  void CopyStateFrom(const MultiInterestExtractor& other) override;
 
   // Interest-head count currently allocated for `user` (0 when absent).
   int64_t UserCapacity(data::UserId user) const;

@@ -50,13 +50,34 @@ void EmbeddingTable::Save(util::BinaryWriter* writer) const {
                           static_cast<size_t>(table_.value().numel()));
 }
 
-void EmbeddingTable::Load(util::BinaryReader* reader) {
-  const int64_t rows = reader->ReadInt64();
-  const int64_t dim = reader->ReadInt64();
-  IMSR_CHECK_EQ(rows, num_items_);
-  IMSR_CHECK_EQ(dim, dim_);
-  reader->ReadFloatArray(table_.mutable_value().data(),
-                         static_cast<size_t>(table_.value().numel()));
+bool EmbeddingTable::Load(util::BinaryReader* reader, std::string* error) {
+  int64_t rows = 0;
+  int64_t dim = 0;
+  if (!reader->TryReadInt64(&rows) || !reader->TryReadInt64(&dim)) {
+    *error = reader->error();
+    return false;
+  }
+  if (rows != num_items_ || dim != dim_) {
+    *error = "embedding table shape mismatch: checkpoint has (" +
+             std::to_string(rows) + " x " + std::to_string(dim) +
+             "), model expects (" + std::to_string(num_items_) + " x " +
+             std::to_string(dim_) + ")";
+    return false;
+  }
+  nn::Tensor table({num_items_, dim_});
+  if (!reader->TryReadFloatArray(table.data(),
+                                 static_cast<size_t>(table.numel()))) {
+    *error = reader->error();
+    return false;
+  }
+  table_.mutable_value() = std::move(table);
+  return true;
+}
+
+void EmbeddingTable::CopyFrom(const EmbeddingTable& other) {
+  IMSR_CHECK_EQ(other.num_items_, num_items_);
+  IMSR_CHECK_EQ(other.dim_, dim_);
+  table_.mutable_value() = other.table_.value();
 }
 
 }  // namespace imsr::models

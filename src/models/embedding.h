@@ -34,7 +34,12 @@ class EmbeddingTable {
   void Reset(util::Rng& rng);
 
   void Save(util::BinaryWriter* writer) const;
-  void Load(util::BinaryReader* reader);
+  // Fallible restore; returns false with a description on corrupt input or
+  // shape mismatch, leaving the table unchanged.
+  bool Load(util::BinaryReader* reader, std::string* error);
+  // Copies the table values from `other` (same shape, checked) without
+  // replacing the parameter handle.
+  void CopyFrom(const EmbeddingTable& other);
 
  private:
   int64_t num_items_;

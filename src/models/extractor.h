@@ -63,7 +63,13 @@ class MultiInterestExtractor {
   virtual void Reset(util::Rng& rng) = 0;
 
   virtual void Save(util::BinaryWriter* writer) const = 0;
-  virtual void Load(util::BinaryReader* reader) = 0;
+  // Fallible restore: on corrupt input returns false with a description in
+  // `error` (the extractor may be partially overwritten — callers wanting
+  // all-or-nothing load into a staging extractor and CopyStateFrom it).
+  virtual bool Load(util::BinaryReader* reader, std::string* error) = 0;
+  // Copies all learned state from `other`, which must be the same kind and
+  // dimensions (checked).
+  virtual void CopyStateFrom(const MultiInterestExtractor& other) = 0;
 };
 
 }  // namespace imsr::models

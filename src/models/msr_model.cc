@@ -71,12 +71,30 @@ void MsrModel::Save(util::BinaryWriter* writer) const {
   extractor_->Save(writer);
 }
 
-void MsrModel::Load(util::BinaryReader* reader) {
-  IMSR_CHECK_EQ(reader->ReadString(), std::string("imsr-msr-model-v1"));
-  IMSR_CHECK_EQ(reader->ReadString(),
-                std::string(ExtractorKindName(config_.kind)));
-  embeddings_.Load(reader);
-  extractor_->Load(reader);
+bool MsrModel::Load(util::BinaryReader* reader, std::string* error) {
+  std::string magic;
+  std::string kind;
+  if (!reader->TryReadString(&magic) || !reader->TryReadString(&kind)) {
+    *error = reader->error();
+    return false;
+  }
+  if (magic != "imsr-msr-model-v1") {
+    *error = "bad model section magic '" + magic + "'";
+    return false;
+  }
+  if (kind != ExtractorKindName(config_.kind)) {
+    *error = "extractor kind mismatch: checkpoint has '" + kind +
+             "', model expects '" + ExtractorKindName(config_.kind) + "'";
+    return false;
+  }
+  return embeddings_.Load(reader, error) && extractor_->Load(reader, error);
+}
+
+void MsrModel::CopyStateFrom(const MsrModel& other) {
+  IMSR_CHECK(other.config_.kind == config_.kind);
+  IMSR_CHECK_EQ(other.config_.embedding_dim, config_.embedding_dim);
+  embeddings_.CopyFrom(other.embeddings_);
+  extractor_->CopyStateFrom(*other.extractor_);
 }
 
 }  // namespace imsr::models

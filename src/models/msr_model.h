@@ -52,7 +52,15 @@ class MsrModel {
   void Reset(uint64_t seed);
 
   void Save(util::BinaryWriter* writer) const;
-  void Load(util::BinaryReader* reader);
+  // Fallible restore; returns false with a description on corrupt input or
+  // configuration mismatch. The model may be partially overwritten on
+  // failure — for all-or-nothing semantics load into a staging model and
+  // CopyStateFrom it on success (what core::LoadCheckpoint does).
+  bool Load(util::BinaryReader* reader, std::string* error);
+  // Copies all learned state (embeddings + extractor) from `other`, which
+  // must have the same configuration and item count (checked). Parameter
+  // handles are preserved, so optimizer registrations stay valid.
+  void CopyStateFrom(const MsrModel& other);
 
   util::Rng& rng() { return rng_; }
 

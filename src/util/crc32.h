@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) used to checksum checkpoint
+// payloads so truncation and bit-flips are detected before deserialization.
+#ifndef IMSR_UTIL_CRC32_H_
+#define IMSR_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace imsr::util {
+
+// CRC of `size` bytes at `data`. Pass a previous result as `seed` to
+// checksum a stream incrementally; the default seed starts a fresh CRC.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace imsr::util
+
+#endif  // IMSR_UTIL_CRC32_H_

@@ -1,5 +1,7 @@
 #include "util/flags.h"
 
+#include <cerrno>
+#include <charconv>
 #include <cstdlib>
 
 #include "util/check.h"
@@ -34,13 +36,26 @@ std::string Flags::GetString(const std::string& name,
 int64_t Flags::GetInt(const std::string& name, int64_t default_value) const {
   auto it = values_.find(name);
   if (it == values_.end()) return default_value;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const std::string& text = it->second;
+  int64_t value = 0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  IMSR_CHECK(ec == std::errc() && ptr == end)
+      << "flag --" << name << " expects an integer, got '" << text << "'";
+  return value;
 }
 
 double Flags::GetDouble(const std::string& name, double default_value) const {
   auto it = values_.find(name);
   if (it == values_.end()) return default_value;
-  return std::strtod(it->second.c_str(), nullptr);
+  const std::string& text = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  IMSR_CHECK(!text.empty() && end == text.c_str() + text.size() &&
+             errno != ERANGE)
+      << "flag --" << name << " expects a number, got '" << text << "'";
+  return value;
 }
 
 bool Flags::GetBool(const std::string& name, bool default_value) const {

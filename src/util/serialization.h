@@ -1,5 +1,12 @@
 // Binary (de)serialization for model checkpoints. Little-endian host
 // assumed (x86/ARM); a magic header with a version guards format drift.
+//
+// Readers come in two flavours:
+//   * TryRead* — fallible: returns false and records a descriptive error
+//     (sticky; every later read also fails) instead of aborting. All code
+//     that parses *external* bytes (checkpoint files) must use these.
+//   * Read*    — contract-checked: aborts via IMSR_CHECK on malformed
+//     input. Only for buffers the process itself just produced.
 #ifndef IMSR_UTIL_SERIALIZATION_H_
 #define IMSR_UTIL_SERIALIZATION_H_
 
@@ -17,18 +24,26 @@ class BinaryWriter {
   void WriteFloat(float value);
   void WriteString(const std::string& value);
   void WriteFloatArray(const float* data, size_t count);
+  void WriteBytes(const void* data, size_t size);
 
   const std::vector<uint8_t>& buffer() const { return buffer_; }
 
   // Writes the buffer to a file; returns false on I/O failure.
   bool WriteToFile(const std::string& path) const;
 
+  // Durable atomic replace: writes to `path` + ".tmp", flushes and fsyncs,
+  // then renames over `path`, so a crash at any point leaves either the
+  // previous file or the new one — never a truncated mix. Returns false on
+  // I/O failure; `error` (optional) receives a description.
+  bool WriteToFileAtomic(const std::string& path,
+                         std::string* error = nullptr) const;
+
  private:
   void Append(const void* data, size_t size);
   std::vector<uint8_t> buffer_;
 };
 
-// Sequential reader over a byte buffer. Out-of-bounds reads abort (checked).
+// Sequential reader over a byte buffer.
 class BinaryReader {
  public:
   explicit BinaryReader(std::vector<uint8_t> buffer);
@@ -36,18 +51,45 @@ class BinaryReader {
   // Loads a file into a reader; returns false on I/O failure.
   static bool ReadFromFile(const std::string& path, BinaryReader* reader);
 
+  // Contract-checked reads: abort on truncated or malformed input.
   int64_t ReadInt64();
   double ReadDouble();
   float ReadFloat();
   std::string ReadString();
   void ReadFloatArray(float* data, size_t count);
 
+  // Fallible reads: on truncation, a garbage length prefix, or a count
+  // mismatch they record an error and return false without touching `out`
+  // beyond what was already written. The error is sticky — after the first
+  // failure every subsequent TryRead* fails too, so a parsing sequence can
+  // check `ok()` once at the end.
+  bool TryReadInt64(int64_t* out);
+  bool TryReadDouble(double* out);
+  bool TryReadFloat(float* out);
+  bool TryReadString(std::string* out);
+  bool TryReadFloatArray(float* data, size_t count);
+  bool TryReadBytes(void* out, size_t size);
+  // Advances past `size` bytes (e.g. an unknown section); fallible.
+  bool TrySkip(size_t size);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  size_t position() const { return position_; }
+  size_t remaining() const { return buffer_.size() - position_; }
   bool AtEnd() const { return position_ == buffer_.size(); }
 
+  // The bytes at the current position (bounds already guaranteed by
+  // `remaining()`); used to checksum a region before parsing it.
+  const uint8_t* current() const { return buffer_.data() + position_; }
+
  private:
-  void Consume(void* out, size_t size);
+  // Records the first error and returns false.
+  bool Fail(const std::string& message);
+
   std::vector<uint8_t> buffer_;
   size_t position_ = 0;
+  std::string error_;
 };
 
 }  // namespace imsr::util

@@ -74,7 +74,8 @@ TEST(InterestStoreTest, SaveLoadRoundTrip) {
 
   InterestStore loaded;
   util::BinaryReader reader(writer.buffer());
-  loaded.Load(&reader);
+  std::string error;
+  ASSERT_TRUE(loaded.Load(&reader, &error)) << error;
   EXPECT_EQ(loaded.NumInterests(3), 3);
   EXPECT_EQ(loaded.BirthSpans(3), (std::vector<int>{0, 0, 2}));
   EXPECT_LT(nn::MaxAbsDiff(loaded.Interests(3), store.Interests(3)),

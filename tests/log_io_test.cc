@@ -50,6 +50,38 @@ TEST(LogIoTest, RejectsMalformedRows) {
                                     &error));
 }
 
+TEST(LogIoTest, RejectsIdsAboveInt32Range) {
+  InteractionLog log;
+  std::string error;
+  // Above INT32_MAX these used to pass the `user < 0` check and then
+  // truncate (possibly to negative) in the cast to the 32-bit id type.
+  EXPECT_FALSE(ParseInteractionsCsv("3000000000,2,3\n", &log, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_NE(error.find("32-bit"), std::string::npos);
+  error.clear();
+  EXPECT_FALSE(ParseInteractionsCsv("1,3000000000,3\n", &log, &error));
+  EXPECT_NE(error.find("32-bit"), std::string::npos);
+  // INT32_MAX itself is rejected too: num_users = max id + 1 must fit.
+  EXPECT_FALSE(ParseInteractionsCsv("2147483647,2,3\n", &log, &error));
+  // The largest representable id still parses.
+  EXPECT_TRUE(ParseInteractionsCsv("2147483646,2,3\n", &log, nullptr));
+  EXPECT_EQ(log.interactions[0].user, 2147483646);
+}
+
+TEST(LogIoTest, MalformedFirstDataRowIsNotSwallowedAsHeader) {
+  InteractionLog log;
+  std::string error;
+  // Line 1 with a garbled user id but numeric item/timestamp is a broken
+  // data row, not a header — it must be reported, not skipped.
+  EXPECT_FALSE(ParseInteractionsCsv("12x,5,100\n1,2,3\n", &log, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_NE(error.find("bad user id"), std::string::npos);
+  // A real header (no numeric fields at all) is still tolerated.
+  EXPECT_TRUE(
+      ParseInteractionsCsv("user,item,timestamp\n1,2,3\n", &log, nullptr));
+  EXPECT_EQ(log.interactions.size(), 1u);
+}
+
 TEST(LogIoTest, RoundTripThroughString) {
   const std::vector<Interaction> interactions = {
       {0, 5, 10}, {1, 6, 20}, {0, 7, 30}};

@@ -49,7 +49,8 @@ TEST(EmbeddingTest, SaveLoadRoundTrip) {
   table.Save(&writer);
   EmbeddingTable other(5, 4, rng);
   util::BinaryReader reader(writer.buffer());
-  other.Load(&reader);
+  std::string error;
+  ASSERT_TRUE(other.Load(&reader, &error)) << error;
   EXPECT_LT(nn::MaxAbsDiff(table.parameter().value(),
                            other.parameter().value()),
             1e-12f);
@@ -150,7 +151,8 @@ TEST(DynamicRoutingExtractorTest, SaveLoadResetBehaviour) {
   extractor.Reset(rng);
   EXPECT_GT(nn::MaxAbsDiff(before, extractor.transform().value()), 1e-4f);
   util::BinaryReader reader(writer.buffer());
-  extractor.Load(&reader);
+  std::string error;
+  ASSERT_TRUE(extractor.Load(&reader, &error)) << error;
   EXPECT_LT(nn::MaxAbsDiff(before, extractor.transform().value()), 1e-12f);
 }
 
@@ -237,7 +239,8 @@ TEST(SelfAttentionExtractorTest, SaveLoadRoundTrip) {
   extractor.Save(&writer);
   SelfAttentionExtractor other(4, 3, rng);
   util::BinaryReader reader(writer.buffer());
-  other.Load(&reader);
+  std::string error;
+  ASSERT_TRUE(other.Load(&reader, &error)) << error;
   EXPECT_EQ(other.UserCapacity(7), 2);
   EXPECT_LT(nn::MaxAbsDiff(other.UserQuery(7).value(),
                            extractor.UserQuery(7).value()),
@@ -357,7 +360,8 @@ TEST(MsrModelTest, SaveLoadRoundTrip) {
 
   MsrModel other(config, 15, 99);
   util::BinaryReader reader(writer.buffer());
-  other.Load(&reader);
+  std::string error;
+  ASSERT_TRUE(other.Load(&reader, &error)) << error;
   EXPECT_LT(nn::MaxAbsDiff(model.embeddings().parameter().value(),
                            other.embeddings().parameter().value()),
             1e-12f);

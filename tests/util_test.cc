@@ -217,6 +217,24 @@ TEST(FlagsTest, ParsesTypes) {
   EXPECT_EQ(flags.GetInt("missing", 7), 7);
 }
 
+TEST(FlagsTest, RejectsNonNumericValues) {
+  const char* argv[] = {"prog", "--threads=abc", "--rate=0.5x",
+                        "--big=99999999999999999999"};
+  Flags flags(4, const_cast<char**>(argv));
+  EXPECT_DEATH(flags.GetInt("threads", 0), "expects an integer");
+  EXPECT_DEATH(flags.GetDouble("rate", 0.0), "expects a number");
+  EXPECT_DEATH(flags.GetInt("big", 0), "expects an integer");
+}
+
+TEST(FlagsTest, AcceptsNegativeAndBoundaryValues) {
+  const char* argv[] = {"prog", "--delta=-12", "--zero=0",
+                        "--exp=-1.5e3"};
+  Flags flags(4, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("delta", 0), -12);
+  EXPECT_EQ(flags.GetInt("zero", 7), 0);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("exp", 0.0), -1500.0);
+}
+
 TEST(SerializationTest, RoundTrip) {
   BinaryWriter writer;
   writer.WriteInt64(-5);
@@ -246,6 +264,90 @@ TEST(SerializationTest, FileRoundTrip) {
   ASSERT_TRUE(BinaryReader::ReadFromFile(path, &reader));
   EXPECT_EQ(reader.ReadString(), "payload");
   std::remove(path.c_str());
+}
+
+TEST(SerializationTest, TryReadsFailOnTruncationAndStickError) {
+  BinaryWriter writer;
+  writer.WriteInt64(42);
+  BinaryReader reader(writer.buffer());
+  int64_t value = 0;
+  ASSERT_TRUE(reader.TryReadInt64(&value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_FALSE(reader.TryReadInt64(&value));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("truncated"), std::string::npos);
+  // Sticky: even a read that would fit keeps failing.
+  float f = 0.0f;
+  EXPECT_FALSE(reader.TryReadFloat(&f));
+}
+
+TEST(SerializationTest, TryReadStringRejectsGarbageLengths) {
+  {
+    BinaryWriter writer;
+    writer.WriteInt64(-1);
+    BinaryReader reader(writer.buffer());
+    std::string out;
+    EXPECT_FALSE(reader.TryReadString(&out));
+    EXPECT_NE(reader.error().find("corrupt string length"),
+              std::string::npos);
+  }
+  {
+    // A length near SIZE_MAX used to wrap the `position_ + size` bounds
+    // check and memcpy out of bounds; it must fail before allocating.
+    BinaryWriter writer;
+    writer.WriteInt64(INT64_MAX - 7);
+    writer.WriteInt64(0);
+    BinaryReader reader(writer.buffer());
+    std::string out;
+    EXPECT_FALSE(reader.TryReadString(&out));
+    EXPECT_TRUE(out.empty());
+  }
+}
+
+TEST(SerializationTest, TryReadFloatArrayRejectsCountMismatch) {
+  BinaryWriter writer;
+  const float values[2] = {1.0f, 2.0f};
+  writer.WriteFloatArray(values, 2);
+  BinaryReader reader(writer.buffer());
+  float out[3] = {};
+  EXPECT_FALSE(reader.TryReadFloatArray(out, 3));
+  EXPECT_NE(reader.error().find("size mismatch"), std::string::npos);
+}
+
+TEST(SerializationTest, TryReadFloatArrayRejectsTruncatedPayload) {
+  BinaryWriter writer;
+  writer.WriteInt64(1'000'000);  // claims a million floats, provides none
+  BinaryReader reader(writer.buffer());
+  std::vector<float> out(1'000'000);
+  EXPECT_FALSE(reader.TryReadFloatArray(out.data(), out.size()));
+  EXPECT_NE(reader.error().find("truncated"), std::string::npos);
+}
+
+TEST(SerializationTest, ReadFromFileRejectsDirectories) {
+  // tellg() returns -1 for a directory; this used to become a
+  // near-SIZE_MAX allocation.
+  BinaryReader reader({});
+  EXPECT_FALSE(BinaryReader::ReadFromFile("/tmp", &reader));
+  EXPECT_FALSE(BinaryReader::ReadFromFile("/nonexistent/blob", &reader));
+}
+
+TEST(SerializationTest, AtomicWriteRoundTripAndFailure) {
+  BinaryWriter writer;
+  writer.WriteString("durable");
+  const std::string path = "/tmp/imsr_util_test_atomic.bin";
+  std::string error;
+  ASSERT_TRUE(writer.WriteToFileAtomic(path, &error)) << error;
+  // No tmp file survives a successful save.
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "r");
+  EXPECT_EQ(tmp, nullptr);
+  BinaryReader reader({});
+  ASSERT_TRUE(BinaryReader::ReadFromFile(path, &reader));
+  EXPECT_EQ(reader.ReadString(), "durable");
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(writer.WriteToFileAtomic("/nonexistent-dir/blob", &error));
+  EXPECT_FALSE(error.empty());
 }
 
 }  // namespace

@@ -9,6 +9,11 @@
 //              train on the pre-training span, write a checkpoint
 //   train-span --log=log.csv --checkpoint=ckpt.bin --span=1
 //              one incremental IMSR update (EIR+NID+PIT), checkpoint back
+//
+// Checkpoint-writing commands accept --keep_checkpoints=N to rotate the
+// previous checkpoint to ckpt.bin.1 … ckpt.bin.N before saving, so span-t
+// state survives even a failed span-t+1 save (saves are additionally
+// atomic: tmp file + fsync + rename).
 //   evaluate   --log=log.csv --checkpoint=ckpt.bin --test-span=2
 //              HR@N / NDCG@N of the stored interests on a span's test items
 //   recommend  --log=log.csv --checkpoint=ckpt.bin --user=5 [--top-n=10]
@@ -181,8 +186,11 @@ int CmdPretrain(const util::Flags& flags) {
   core::CheckpointMetadata metadata;
   metadata.trained_through_span = 0;
   metadata.note = "imsr_cli pretrain";
-  if (!SaveCheckpoint(checkpoint, model, store, metadata)) {
-    std::fprintf(stderr, "error: cannot write %s\n", checkpoint.c_str());
+  core::RotateCheckpoints(
+      checkpoint, static_cast<int>(flags.GetInt("keep_checkpoints", 0)));
+  std::string error;
+  if (!SaveCheckpoint(checkpoint, model, store, metadata, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
   std::printf("pretrained on span 0 (%lld users with interests); wrote %s\n",
@@ -220,8 +228,10 @@ int CmdTrainSpan(const util::Flags& flags) {
   trainer.TrainSpan(*dataset, span);
   metadata.trained_through_span = span;
   metadata.note = "imsr_cli train-span";
-  if (!SaveCheckpoint(checkpoint, model, store, metadata)) {
-    std::fprintf(stderr, "error: cannot write %s\n", checkpoint.c_str());
+  core::RotateCheckpoints(
+      checkpoint, static_cast<int>(flags.GetInt("keep_checkpoints", 0)));
+  if (!SaveCheckpoint(checkpoint, model, store, metadata, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
   std::printf(
