@@ -6,7 +6,9 @@
 #include "models/aggregator.h"
 #include "models/sampled_softmax.h"
 #include "nn/ops.h"
+#include "obs/obs.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace imsr::core {
 
@@ -75,6 +77,10 @@ nn::Var ImsrTrainer::SampleLoss(const data::TrainingSample& sample,
       nn::Var retention =
           RetentionLoss(config_.eir, interests, it->second,
                         candidate_embeddings, teacher_candidates);
+      IMSR_HISTOGRAM_RECORD_WITH("trainer/kd_loss",
+                                 obs::Histogram::LossBounds(),
+                                 retention.value().item());
+      IMSR_COUNTER_ADD("trainer/kd_samples", 1);
       loss = nn::ops::Add(
           loss, nn::ops::Scale(retention, config_.eir.coefficient));
     }
@@ -82,16 +88,19 @@ nn::Var ImsrTrainer::SampleLoss(const data::TrainingSample& sample,
   return loss;
 }
 
-void ImsrTrainer::TrainEpoch(
+double ImsrTrainer::TrainEpoch(
     const std::vector<data::TrainingSample>& samples,
     const TeacherSnapshot* teacher) {
-  if (samples.empty()) return;
+  if (samples.empty()) return 0.0;
+  IMSR_TRACE_SPAN("trainer/epoch");
   std::vector<size_t> order(samples.size());
   std::iota(order.begin(), order.end(), 0);
   rng_.Shuffle(order);
 
+  double epoch_loss = 0.0;
   for (size_t begin = 0; begin < order.size();
        begin += static_cast<size_t>(config_.batch_size)) {
+    IMSR_OBS_ONLY(util::Stopwatch step_timer;)
     const size_t end = std::min(
         order.size(), begin + static_cast<size_t>(config_.batch_size));
     nn::Var batch_loss;
@@ -105,7 +114,16 @@ void ImsrTrainer::TrainEpoch(
     batch_loss.Backward();
     optimizer_.Step();
     optimizer_.ZeroGradAll();
+    epoch_loss += static_cast<double>(batch_loss.value().item()) *
+                  static_cast<double>(end - begin);
+    IMSR_COUNTER_ADD("trainer/steps", 1);
+    IMSR_HISTOGRAM_RECORD("trainer/step_latency_ms",
+                          step_timer.ElapsedMillis());
   }
+  const double mean_loss =
+      epoch_loss / static_cast<double>(samples.size());
+  IMSR_GAUGE_SET("trainer/epoch_loss", mean_loss);
+  return mean_loss;
 }
 
 double ImsrTrainer::ValidationLoss(const data::Dataset& dataset,
@@ -159,13 +177,18 @@ class EarlyStopper {
 }  // namespace
 
 void ImsrTrainer::Pretrain(const data::Dataset& dataset) {
+  IMSR_TRACE_SPAN("trainer/pretrain");
   EnsureUserState(dataset, /*span=*/0);
   const std::vector<data::TrainingSample> samples =
       data::BuildSpanSamples(dataset, /*span=*/0, config_.max_history);
   EarlyStopper stopper(config_.early_stopping,
                        config_.early_stopping_patience);
   for (int epoch = 0; epoch < config_.pretrain_epochs; ++epoch) {
-    TrainEpoch(samples, /*teacher=*/nullptr);
+    // Train unconditionally; obs macros must never carry side effects
+    // (they compile out under -DIMSR_OBS=OFF).
+    [[maybe_unused]] const double epoch_loss =
+        TrainEpoch(samples, /*teacher=*/nullptr);
+    IMSR_GAUGE_SET("trainer/pretrain_loss", epoch_loss);
     if (config_.early_stopping &&
         stopper.ShouldStop(ValidationLoss(dataset, 0))) {
       break;
@@ -178,6 +201,8 @@ void ImsrTrainer::TrainSpan(
     const data::Dataset& dataset, int span,
     const std::vector<data::TrainingSample>* extra_samples) {
   IMSR_CHECK_GE(span, 1);
+  IMSR_TRACE_SPAN("trainer/span");
+  IMSR_GAUGE_SET("trainer/current_span", static_cast<double>(span));
   // Snapshot the teacher before EnsureUserState so first-seen users (whose
   // interests are still random) are not anchored to noise.
   TeacherSnapshot teacher;
@@ -208,7 +233,9 @@ void ImsrTrainer::TrainSpan(
       expansion_totals_.interests_added += outcome.interests_added;
       expansion_totals_.interests_trimmed += outcome.interests_trimmed;
     }
-    TrainEpoch(samples, teacher_ptr);
+    [[maybe_unused]] const double epoch_loss =
+        TrainEpoch(samples, teacher_ptr);
+    IMSR_GAUGE_SET("trainer/span_loss", epoch_loss);
     if (config_.early_stopping &&
         stopper.ShouldStop(ValidationLoss(dataset, span))) {
       break;
@@ -218,6 +245,7 @@ void ImsrTrainer::TrainSpan(
 }
 
 void ImsrTrainer::RefreshInterests(const data::Dataset& dataset, int span) {
+  IMSR_TRACE_SPAN("trainer/refresh_interests");
   for (data::UserId user : dataset.active_users(span)) {
     const data::UserSpanData& span_data = dataset.user_span(user, span);
     std::vector<data::ItemId> items = span_data.all;

@@ -83,9 +83,10 @@ class ImsrTrainer {
                      nullptr);
 
   // One supervised epoch over `samples`; `teacher` (nullable) enables the
-  // retention loss for users it covers.
-  void TrainEpoch(const std::vector<data::TrainingSample>& samples,
-                  const TeacherSnapshot* teacher);
+  // retention loss for users it covers. Returns the mean per-sample
+  // training loss over the epoch (0 when `samples` is empty).
+  double TrainEpoch(const std::vector<data::TrainingSample>& samples,
+                    const TeacherSnapshot* teacher);
 
   // Creates store entries (K^0 random interests) and per-user extractor
   // capacity for every user active in `span` that lacks them.

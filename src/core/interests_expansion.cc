@@ -1,5 +1,6 @@
 #include "core/interests_expansion.h"
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace imsr::core {
@@ -15,6 +16,7 @@ ExpansionOutcome RunInterestsExpansion(models::MsrModel* model,
   IMSR_CHECK(store != nullptr);
   IMSR_CHECK_GE(config.delta_k, 1);
 
+  IMSR_TRACE_SPAN("expansion/run");
   ExpansionOutcome outcome;
   const int64_t dim = model->config().embedding_dim;
 
@@ -26,6 +28,7 @@ ExpansionOutcome RunInterestsExpansion(models::MsrModel* model,
     IMSR_CHECK(store->Has(user))
         << "expansion requires an initialised store entry for user " << user;
     ++outcome.users_considered;
+    IMSR_COUNTER_ADD("nid/users_considered", 1);
 
     const int64_t k_prev = store->NumInterests(user);
     if (k_prev + config.delta_k > config.max_interests) continue;
@@ -38,6 +41,7 @@ ExpansionOutcome RunInterestsExpansion(models::MsrModel* model,
       continue;
     }
     ++outcome.users_expanded;
+    IMSR_COUNTER_ADD("nid/users_expanded", 1);
 
     // --- allocate delta-K fresh vectors (Alg. 1 lines 7-11) ---
     const nn::Tensor stored_existing = store->Interests(user);
@@ -64,6 +68,9 @@ ExpansionOutcome RunInterestsExpansion(models::MsrModel* model,
         static_cast<int>(trimmed.kept.size()) - static_cast<int>(k_prev);
     outcome.interests_added += kept_new;
     outcome.interests_trimmed += config.delta_k - kept_new;
+    IMSR_COUNTER_ADD("pit/interests_allocated", config.delta_k);
+    IMSR_COUNTER_ADD("pit/interests_added", kept_new);
+    IMSR_COUNTER_ADD("pit/interests_trimmed", config.delta_k - kept_new);
 
     store->Keep(user, trimmed.kept);
     store->SetInterests(user, trimmed.interests);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/math_util.h"
 
@@ -74,7 +75,12 @@ double MeanAssignmentKl(const nn::Tensor& item_embeddings,
 bool DetectNewInterests(const nn::Tensor& item_embeddings,
                         const nn::Tensor& interests,
                         const NidConfig& config) {
-  return MeanAssignmentKl(item_embeddings, interests) < config.c1;
+  const double mean_kl = MeanAssignmentKl(item_embeddings, interests);
+  // Per-user mean KL distribution (Fig. 2's signal): low KL == puzzled.
+  IMSR_HISTOGRAM_RECORD_WITH("nid/puzzlement",
+                             obs::Histogram::PuzzlementBounds(), mean_kl);
+  IMSR_COUNTER_ADD("nid/detections", 1);
+  return mean_kl < config.c1;
 }
 
 std::vector<int> CountAssignedItems(const nn::Tensor& item_embeddings,

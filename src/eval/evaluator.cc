@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
@@ -13,6 +14,7 @@ EvalResult EvaluateSpan(const nn::Tensor& item_embeddings,
                         const data::Dataset& dataset, int test_span,
                         const EvalConfig& config, ItemFilter filter,
                         int history_span) {
+  IMSR_TRACE_SPAN("eval/span");
   IMSR_CHECK(test_span >= 0 && test_span < dataset.num_spans());
   if (filter != ItemFilter::kAll) {
     IMSR_CHECK_GE(history_span, 0)
@@ -52,6 +54,8 @@ EvalResult EvaluateSpan(const nn::Tensor& item_embeddings,
   util::ParallelChunks(
       static_cast<int64_t>(instances.size()), config.threads,
       [&](int64_t begin, int64_t end) {
+        IMSR_TRACE_SPAN("eval/rank_chunk");
+        IMSR_OBS_ONLY(util::Stopwatch chunk_timer;)
         RankScratch scratch;
         for (int64_t i = begin; i < end; ++i) {
           const Instance& instance =
@@ -61,6 +65,9 @@ EvalResult EvaluateSpan(const nn::Tensor& item_embeddings,
           ranks[static_cast<size_t>(i)] =
               TargetRankFromScores(scratch.scores, instance.target);
         }
+        IMSR_HISTOGRAM_RECORD("eval/rank_latency_ms",
+                              chunk_timer.ElapsedMillis());
+        IMSR_COUNTER_ADD("eval/users_ranked", end - begin);
       });
   const double scoring_seconds = stopwatch.ElapsedSeconds();
 

@@ -1,5 +1,6 @@
 #include "models/capsule_routing.h"
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace imsr::models {
@@ -7,6 +8,7 @@ namespace imsr::models {
 nn::Tensor B2IRouting(const nn::Tensor& e_hat,
                       const nn::Tensor& interest_init,
                       const RoutingConfig& config, util::Rng* rng) {
+  IMSR_TRACE_SPAN("model/b2i_routing");
   IMSR_CHECK_EQ(e_hat.dim(), 2);
   IMSR_CHECK_EQ(interest_init.dim(), 2);
   IMSR_CHECK_EQ(e_hat.size(1), interest_init.size(1));

@@ -1,11 +1,13 @@
 #include "models/sampled_softmax.h"
 
 #include "nn/ops.h"
+#include "obs/obs.h"
 
 namespace imsr::models {
 
 nn::Var SampledSoftmaxLoss(const nn::Var& user_repr,
                            const nn::Var& candidates) {
+  IMSR_TRACE_SPAN("model/sampled_softmax");
   nn::Var scores = nn::ops::MatVec(candidates, user_repr);
   return nn::ops::NegLogSoftmax(scores, /*target=*/0);
 }

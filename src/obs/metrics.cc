@@ -1,0 +1,284 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace imsr::obs {
+namespace {
+
+// Lock-free running min/max over an atomic<double>.
+void AtomicMin(std::atomic<double>* slot, double v) {
+  double current = slot->load(std::memory_order_relaxed);
+  while (v < current &&
+         !slot->compare_exchange_weak(current, v,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* slot, double v) {
+  double current = slot->load(std::memory_order_relaxed);
+  while (v > current &&
+         !slot->compare_exchange_weak(current, v,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+// JSON-safe number rendering: finite shortest-round-trip-ish decimal,
+// non-finite values clamp to 0 (JSON has no inf/nan).
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+  return buffer;
+}
+
+std::string JoinDoubles(const std::vector<double>& values) {
+  std::string out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ';';
+    out += JsonNumber(values[i]);
+  }
+  return out;
+}
+
+std::string JoinInts(const std::vector<int64_t>& values) {
+  std::string out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ';';
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() >= 2 ? bounds_.size() - 1 : 0),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  IMSR_CHECK_GE(bounds_.size(), 2u)
+      << "histogram needs at least two bucket edges";
+  IMSR_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bucket edges must be ascending";
+}
+
+void Histogram::Record(double v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  AtomicMin(&min_, v);
+  AtomicMax(&max_, v);
+  if (v < bounds_.front()) {
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (v >= bounds_.back()) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // First edge above v; the preceding interval [bounds_[i], bounds_[i+1])
+  // is the bucket.
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin()) - 1;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  underflow_.store(0, std::memory_order_relaxed);
+  overflow_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+double Histogram::min() const {
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+double Histogram::max() const {
+  const double v = max_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+std::vector<double> Histogram::LatencyBoundsMs() {
+  return {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,  0.25,
+          0.5,   1.0,    2.5,   5.0,  10.0,  25.0, 50.0, 100.0,
+          250.0, 500.0,  1000.0, 2500.0, 10000.0};
+}
+
+std::vector<double> Histogram::PuzzlementBounds() {
+  return {0.0, 0.01, 0.02, 0.04, 0.06, 0.08, 0.1, 0.15,
+          0.2, 0.3,  0.4,  0.6,  0.8,  1.0,  1.5, 2.0};
+}
+
+std::vector<double> Histogram::LossBounds() {
+  return {0.0, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0,
+          6.0, 8.0,  12.0, 16.0, 24.0, 50.0};
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.bounds = histogram->bounds();
+    h.buckets.resize(histogram->num_buckets());
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      h.buckets[i] = histogram->bucket(i);
+    }
+    h.underflow = histogram->underflow();
+    h.overflow = histogram->overflow();
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    h.min = histogram->min();
+    h.max = histogram->max();
+    snapshot.histograms.push_back(std::move(h));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry& Registry() {
+  // Leaked on purpose: pool workers and the obs flusher may record during
+  // static teardown, so the registry must outlive every other static.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":[";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const CounterSnapshot& c = snapshot.counters[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":\"" + c.name +
+           "\",\"value\":" + std::to_string(c.value) + "}";
+  }
+  out += "],\"gauges\":[";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const GaugeSnapshot& g = snapshot.gauges[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":\"" + g.name + "\",\"value\":" + JsonNumber(g.value) +
+           "}";
+  }
+  out += "],\"histograms\":[";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":\"" + h.name +
+           "\",\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + JsonNumber(h.sum) +
+           ",\"min\":" + JsonNumber(h.min) +
+           ",\"max\":" + JsonNumber(h.max) +
+           ",\"underflow\":" + std::to_string(h.underflow) +
+           ",\"overflow\":" + std::to_string(h.overflow) + ",\"bounds\":[";
+    for (size_t j = 0; j < h.bounds.size(); ++j) {
+      if (j > 0) out += ',';
+      out += JsonNumber(h.bounds[j]);
+    }
+    out += "],\"buckets\":[";
+    for (size_t j = 0; j < h.buckets.size(); ++j) {
+      if (j > 0) out += ',';
+      out += std::to_string(h.buckets[j]);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsToCsv(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "kind,name,value,count,sum,min,max,underflow,overflow,bounds,"
+         "buckets\n";
+  for (const CounterSnapshot& c : snapshot.counters) {
+    out << "counter," << c.name << ',' << c.value << ",,,,,,,,\n";
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    out << "gauge," << g.name << ',' << JsonNumber(g.value)
+        << ",,,,,,,,\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    out << "histogram," << h.name << ",," << h.count << ','
+        << JsonNumber(h.sum) << ',' << JsonNumber(h.min) << ','
+        << JsonNumber(h.max) << ',' << h.underflow << ',' << h.overflow
+        << ',' << JoinDoubles(h.bounds) << ',' << JoinInts(h.buckets)
+        << '\n';
+  }
+  return out.str();
+}
+
+bool WriteMetricsFile(const std::string& path,
+                      const MetricsSnapshot& snapshot, std::string* error) {
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  const std::string body =
+      csv ? MetricsToCsv(snapshot) : MetricsToJson(snapshot);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out || !(out << body) || !out.flush()) {
+      if (error != nullptr) *error = "cannot write " + tmp;
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = "cannot rename " + tmp + " to " + path;
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace imsr::obs

@@ -1,0 +1,178 @@
+// Metrics registry (imsr::obs pillar 1): named counters, gauges and
+// fixed-bucket histograms with atomic hot-path recording. Instrument code
+// through the IMSR_COUNTER_ADD / IMSR_GAUGE_SET / IMSR_HISTOGRAM_RECORD
+// macros in obs/obs.h (they cache the registry lookup in a function-local
+// static, so the steady-state cost is one or two relaxed atomic RMWs) and
+// read results through Snapshot() + the JSON / CSV exporters.
+//
+// Naming scheme: "subsystem/metric" with lowercase snake-case components,
+// e.g. "trainer/step_latency_ms", "nid/puzzlement", "pit/interests_trimmed".
+// Unit suffixes (_ms, _bytes) go on the metric, never the subsystem.
+#ifndef IMSR_OBS_METRICS_H_
+#define IMSR_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace imsr::obs {
+
+// Monotonic event count. Add() is safe from any thread.
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value. Set() is safe from any thread.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram over half-open intervals. `bounds` are the
+// ascending bucket *edges*: bucket i counts bounds[i] <= v < bounds[i+1],
+// values below bounds.front() land in the underflow bucket and values at
+// or above bounds.back() in the overflow bucket (so there are
+// bounds.size()-1 interior buckets). Also tracks count/sum/min/max.
+// Record() is safe from any thread.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Record(double v);
+  void Reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  // 0 when empty.
+  double min() const;
+  double max() const;
+  int64_t underflow() const {
+    return underflow_.load(std::memory_order_relaxed);
+  }
+  int64_t overflow() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+  int64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  size_t num_buckets() const { return buckets_.size(); }
+
+  // Default edges for millisecond-scale latencies: 1 us .. 10 s.
+  static std::vector<double> LatencyBoundsMs();
+  // Default edges for KL / puzzlement values: 0 .. 2 nats.
+  static std::vector<double> PuzzlementBounds();
+  // Default edges for per-sample loss values: 0 .. 50 nats.
+  static std::vector<double> LossBounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;
+  std::atomic<int64_t> underflow_{0};
+  std::atomic<int64_t> overflow_{0};
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+struct CounterSnapshot {
+  std::string name;
+  int64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<int64_t> buckets;
+  int64_t underflow = 0;
+  int64_t overflow = 0;
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+// Point-in-time copy of every registered metric, names ascending within
+// each kind (std::map iteration order), so exports are deterministic.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+// Thread-safe name -> metric registry. Get* registers on first use and
+// returns a reference that stays valid for the registry's lifetime, so
+// call sites may cache it. First registration wins: a histogram's bounds
+// are fixed by whoever names it first.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds =
+                              Histogram::LatencyBoundsMs());
+
+  MetricsSnapshot Snapshot() const;
+  // Zeroes every metric's value; registrations (and cached references)
+  // stay valid.
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Process-wide registry (never destroyed, so worker threads may record
+// during static teardown).
+MetricsRegistry& Registry();
+
+// Compact deterministic JSON:
+// {"counters":[{"name":...,"value":...}],"gauges":[...],"histograms":[...]}
+std::string MetricsToJson(const MetricsSnapshot& snapshot);
+
+// CSV with one row per metric:
+// kind,name,value,count,sum,min,max,underflow,overflow,bounds,buckets
+// (bounds/buckets are ';'-joined so the row count stays fixed).
+std::string MetricsToCsv(const MetricsSnapshot& snapshot);
+
+// Writes JSON or CSV (chosen by a ".csv" suffix on `path`) atomically
+// (tmp + rename), so a reader never sees a half-written file even while
+// a periodic flusher is rewriting it. Returns false and fills `error` on
+// I/O failure.
+bool WriteMetricsFile(const std::string& path,
+                      const MetricsSnapshot& snapshot, std::string* error);
+
+}  // namespace imsr::obs
+
+#endif  // IMSR_OBS_METRICS_H_

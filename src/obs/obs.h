@@ -1,0 +1,87 @@
+// Instrumentation entry points for the imsr::obs subsystem. Production
+// code instruments through these macros only, never the registry/recorder
+// APIs directly, so a -DIMSR_OBS=OFF build (which defines
+// IMSR_OBS_DISABLED) compiles every instrumentation site to nothing —
+// the true zero-cost path verified by the bench_obs / BM_MatMulTransB
+// overhead measurements in DESIGN.md section 8.
+//
+//   IMSR_TRACE_SPAN("trainer/epoch");            // RAII scope timer
+//   IMSR_COUNTER_ADD("trainer/steps", 1);
+//   IMSR_GAUGE_SET("pool/queue_depth", chunks);
+//   IMSR_HISTOGRAM_RECORD("eval/rank_latency_ms", ms);   // latency edges
+//   IMSR_HISTOGRAM_RECORD_WITH("nid/puzzlement",
+//                              imsr::obs::Histogram::PuzzlementBounds(),
+//                              kl);
+//
+// The metric macros cache the registry lookup in a function-local static,
+// so after the first hit a record is one or two relaxed atomic RMWs. Name
+// arguments must therefore be literals: one call site == one metric.
+#ifndef IMSR_OBS_OBS_H_
+#define IMSR_OBS_OBS_H_
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#if defined(IMSR_OBS_DISABLED)
+
+// Statement that exists only for instrumentation (e.g. a Stopwatch feeding
+// a latency histogram): compiled out entirely with the macros.
+#define IMSR_OBS_ONLY(...)
+
+#define IMSR_TRACE_SPAN(name) \
+  do {                        \
+  } while (0)
+#define IMSR_COUNTER_ADD(name, n) \
+  do {                            \
+  } while (0)
+#define IMSR_GAUGE_SET(name, value) \
+  do {                              \
+  } while (0)
+#define IMSR_HISTOGRAM_RECORD(name, value) \
+  do {                                     \
+  } while (0)
+#define IMSR_HISTOGRAM_RECORD_WITH(name, bounds, value) \
+  do {                                                  \
+  } while (0)
+
+#else  // !IMSR_OBS_DISABLED
+
+#define IMSR_OBS_ONLY(...) __VA_ARGS__
+
+#define IMSR_OBS_CONCAT_INNER(a, b) a##b
+#define IMSR_OBS_CONCAT(a, b) IMSR_OBS_CONCAT_INNER(a, b)
+
+#define IMSR_TRACE_SPAN(name)       \
+  ::imsr::obs::ScopedSpan IMSR_OBS_CONCAT(imsr_obs_span_, __LINE__) { name }
+
+#define IMSR_COUNTER_ADD(name, n)                                       \
+  do {                                                                  \
+    static ::imsr::obs::Counter& imsr_obs_counter =                     \
+        ::imsr::obs::Registry().GetCounter(name);                       \
+    imsr_obs_counter.Add(n);                                            \
+  } while (0)
+
+#define IMSR_GAUGE_SET(name, value)                                     \
+  do {                                                                  \
+    static ::imsr::obs::Gauge& imsr_obs_gauge =                         \
+        ::imsr::obs::Registry().GetGauge(name);                         \
+    imsr_obs_gauge.Set(value);                                          \
+  } while (0)
+
+#define IMSR_HISTOGRAM_RECORD(name, value)                              \
+  do {                                                                  \
+    static ::imsr::obs::Histogram& imsr_obs_histogram =                 \
+        ::imsr::obs::Registry().GetHistogram(name);                     \
+    imsr_obs_histogram.Record(value);                                   \
+  } while (0)
+
+#define IMSR_HISTOGRAM_RECORD_WITH(name, bounds, value)                 \
+  do {                                                                  \
+    static ::imsr::obs::Histogram& imsr_obs_histogram =                 \
+        ::imsr::obs::Registry().GetHistogram(name, bounds);             \
+    imsr_obs_histogram.Record(value);                                   \
+  } while (0)
+
+#endif  // IMSR_OBS_DISABLED
+
+#endif  // IMSR_OBS_OBS_H_

@@ -1,0 +1,88 @@
+#include "obs/session.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/csv.h"
+#include "util/flags.h"
+
+namespace imsr::obs {
+
+ObsOptions ObsOptionsFromFlags(const util::Flags& flags) {
+  ObsOptions options;
+  options.metrics_out = flags.GetString("metrics_out", "");
+  options.trace_out = flags.GetString("trace_out", "");
+  options.metrics_interval_seconds = flags.GetDouble("metrics_interval", 0.0);
+  return options;
+}
+
+ObsSession::ObsSession(ObsOptions options) : options_(std::move(options)) {
+  if (!options_.trace_out.empty()) EnableTracing(true);
+  if (!options_.metrics_out.empty() &&
+      options_.metrics_interval_seconds > 0.0) {
+    flusher_ = std::thread([this] {
+      const auto interval = std::chrono::duration<double>(
+          options_.metrics_interval_seconds);
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!stop_cv_.wait_for(lock, interval, [this] { return stop_; })) {
+        lock.unlock();
+        FlushMetrics();
+        lock.lock();
+      }
+    });
+  }
+}
+
+ObsSession::~ObsSession() {
+  if (flusher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    stop_cv_.notify_all();
+    flusher_.join();
+  }
+  if (!options_.active()) return;
+  if (!options_.metrics_out.empty()) FlushMetrics();
+  if (!options_.trace_out.empty()) {
+    std::string error;
+    if (!WriteChromeTrace(options_.trace_out, &error)) {
+      std::fprintf(stderr, "obs: %s\n", error.c_str());
+    }
+    EnableTracing(false);
+  }
+  std::printf("%s", MetricsSummaryTable().c_str());
+}
+
+void ObsSession::FlushMetrics() {
+  std::string error;
+  if (!WriteMetricsFile(options_.metrics_out, Registry().Snapshot(),
+                        &error)) {
+    std::fprintf(stderr, "obs: %s\n", error.c_str());
+  }
+}
+
+std::string MetricsSummaryTable() {
+  const MetricsSnapshot snapshot = Registry().Snapshot();
+  if (snapshot.empty()) return "";
+  util::Table table({"metric", "kind", "value"});
+  for (const CounterSnapshot& c : snapshot.counters) {
+    table.AddRow({c.name, "counter", std::to_string(c.value)});
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    table.AddRow({g.name, "gauge", util::FormatDouble(g.value, 4)});
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    const double mean =
+        h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
+    table.AddRow({h.name, "histogram",
+                  "n=" + std::to_string(h.count) +
+                      " mean=" + util::FormatDouble(mean, 4) +
+                      " max=" + util::FormatDouble(h.max, 4)});
+  }
+  return table.ToPrettyString();
+}
+
+}  // namespace imsr::obs

@@ -1,0 +1,172 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace imsr::obs {
+namespace {
+
+// Hard cap per thread buffer so an always-on trace cannot exhaust memory;
+// 1M events is ~32 MB and far beyond any sane single-run trace.
+constexpr size_t kMaxEventsPerThread = 1 << 20;
+
+struct ThreadBuffer {
+  std::mutex mutex;  // uncontended except during export/clear
+  std::vector<TraceEvent> events;
+  int tid = 0;
+};
+
+struct TraceState {
+  std::atomic<bool> enabled{false};
+  std::atomic<int64_t> dropped{0};
+  std::mutex mutex;  // guards buffers
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+// Leaked on purpose: thread-local buffer owners may unwind after static
+// teardown (pool workers joining at exit).
+TraceState& State() {
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+// The calling thread's buffer, registered with the global state on first
+// use. shared_ptr keeps exported buffers alive even after their thread
+// exits.
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto created = std::make_shared<ThreadBuffer>();
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    created->tid = static_cast<int>(state.buffers.size());
+    state.buffers.push_back(created);
+    return created;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+int64_t TraceNowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              epoch)
+      .count();
+}
+
+bool TracingEnabled() {
+  return State().enabled.load(std::memory_order_relaxed);
+}
+
+void EnableTracing(bool enabled) {
+  State().enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void RecordTraceSpan(const char* name, int64_t start_ns,
+                     int64_t duration_ns) {
+  if (!TracingEnabled()) return;
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    State().dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.events.push_back({name, start_ns, duration_ns, buffer.tid});
+}
+
+size_t TraceEventCount() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  size_t total = 0;
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+size_t TraceThreadCount() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.buffers.size();
+}
+
+int64_t TraceDroppedCount() {
+  return State().dropped.load(std::memory_order_relaxed);
+}
+
+void ClearTrace() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+  state.dropped.store(0, std::memory_order_relaxed);
+}
+
+std::string ExportChromeTrace() {
+  std::vector<TraceEvent> events;
+  {
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    for (const auto& buffer : state.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.start_ns != b.start_ns) {
+                       return a.start_ns < b.start_ns;
+                     }
+                     // Longer spans first so parents precede children.
+                     return a.duration_ns > b.duration_ns;
+                   });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buffer[256];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    // Chrome wants microseconds; keep ns precision with 3 decimals.
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s{\"name\":\"%s\",\"cat\":\"imsr\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d}",
+                  i > 0 ? "," : "", event.name,
+                  static_cast<double>(event.start_ns) / 1e3,
+                  static_cast<double>(event.duration_ns) / 1e3, event.tid);
+    out += buffer;
+  }
+  out += "]}";
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path, std::string* error) {
+  const std::string body = ExportChromeTrace();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out || !(out << body) || !out.flush()) {
+      if (error != nullptr) *error = "cannot write " + tmp;
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = "cannot rename " + tmp + " to " + path;
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace imsr::obs

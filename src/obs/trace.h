@@ -1,0 +1,81 @@
+// Scoped trace spans (imsr::obs pillar 2): IMSR_TRACE_SPAN("routing")
+// records a begin/duration pair against a process-wide monotonic clock
+// into a per-thread buffer; ExportChromeTrace() renders every recorded
+// span as Chrome trace-event JSON ("X" complete events), loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Collection is off by default: a disabled ScopedSpan reads one relaxed
+// atomic and touches nothing else — no clock read, no allocation, no
+// thread-buffer registration. Enable with EnableTracing(true) (the CLI
+// does this when --trace_out= is set). Span names must be string literals
+// (or otherwise outlive the recorder): only the pointer is stored.
+#ifndef IMSR_OBS_TRACE_H_
+#define IMSR_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace imsr::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  int64_t start_ns = 0;  // since the process trace epoch (monotonic)
+  int64_t duration_ns = 0;
+  int tid = 0;  // dense per-thread id in registration order
+};
+
+// Nanoseconds on the monotonic trace clock (steady_clock anchored at the
+// first call, so timestamps start near zero).
+int64_t TraceNowNs();
+
+bool TracingEnabled();
+void EnableTracing(bool enabled);
+
+// Appends one completed span to the calling thread's buffer (no-op when
+// tracing is disabled). Buffers are capped; spans beyond the cap are
+// counted in TraceDroppedCount() instead of recorded.
+void RecordTraceSpan(const char* name, int64_t start_ns,
+                     int64_t duration_ns);
+
+// Total recorded events / registered thread buffers / dropped events.
+size_t TraceEventCount();
+size_t TraceThreadCount();
+int64_t TraceDroppedCount();
+
+// Drops every recorded event (thread registrations persist — a live
+// thread's buffer cannot be torn down from another thread).
+void ClearTrace();
+
+// All recorded events, Chrome trace-event JSON: {"traceEvents":[...]}.
+// Events are sorted by (tid, start) so the export is deterministic for a
+// deterministic run.
+std::string ExportChromeTrace();
+
+// Writes ExportChromeTrace() to `path` atomically (tmp + rename).
+bool WriteChromeTrace(const std::string& path, std::string* error);
+
+// RAII span: times its scope when tracing is enabled at construction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : name_(TracingEnabled() ? name : nullptr),
+        start_ns_(name_ != nullptr ? TraceNowNs() : 0) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      RecordTraceSpan(name_, start_ns_, TraceNowNs() - start_ns_);
+    }
+  }
+
+ private:
+  const char* name_;
+  int64_t start_ns_;
+};
+
+}  // namespace imsr::obs
+
+#endif  // IMSR_OBS_TRACE_H_

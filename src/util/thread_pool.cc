@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/flags.h"
 #include "util/parallel.h"
+#include "util/stopwatch.h"
 
 // CMake plumbs -DIMSR_THREADS=<n> through to this definition; 0 defers to
 // the IMSR_THREADS env var and then hardware concurrency.
@@ -77,6 +79,7 @@ void ThreadPool::RunChunks(Dispatch& dispatch) {
     if (!dispatch.has_error.load(std::memory_order_relaxed)) {
       const int64_t begin = index * dispatch.grain;
       const int64_t end = std::min(dispatch.count, begin + dispatch.grain);
+      IMSR_OBS_ONLY(Stopwatch task_timer;)
       ++g_parallel_depth;
       try {
         (*dispatch.fn)(begin, end);
@@ -86,6 +89,8 @@ void ThreadPool::RunChunks(Dispatch& dispatch) {
         dispatch.has_error.store(true, std::memory_order_relaxed);
       }
       --g_parallel_depth;
+      IMSR_HISTOGRAM_RECORD("pool/task_latency_ms",
+                            task_timer.ElapsedMillis());
     }
     const int64_t done = dispatch.done_chunks.fetch_add(1) + 1;
     if (done == dispatch.num_chunks) {
@@ -115,8 +120,14 @@ void ThreadPool::ParallelFor(int64_t count, int64_t grain,
   }
 
   // One region at a time; a second external caller parks here and keeps
-  // determinism (its own chunk boundaries are unaffected).
+  // determinism (its own chunk boundaries are unaffected). Pool metrics
+  // are recorded only on this dispatched path — the inline fast path
+  // above stays instrumentation-free so single-thread kernel latency is
+  // unperturbed.
   std::lock_guard<std::mutex> caller_lock(caller_mutex_);
+  IMSR_COUNTER_ADD("pool/regions", 1);
+  IMSR_GAUGE_SET("pool/queue_depth", static_cast<double>(num_chunks));
+  IMSR_OBS_ONLY(Stopwatch region_timer;)
   auto dispatch = std::make_shared<Dispatch>();
   dispatch->fn = &fn;
   dispatch->count = count;
@@ -136,6 +147,9 @@ void ThreadPool::ParallelFor(int64_t count, int64_t grain,
     });
     dispatch_ = nullptr;
   }
+  IMSR_HISTOGRAM_RECORD("pool/region_latency_ms",
+                        region_timer.ElapsedMillis());
+  IMSR_GAUGE_SET("pool/queue_depth", 0.0);
   if (dispatch->error) std::rethrow_exception(dispatch->error);
 }
 

@@ -1,43 +1,128 @@
 #!/bin/sh
 # End-to-end test of the imsr_cli workflow: generate -> stats -> pretrain
-# -> train-span -> evaluate -> recommend. First argument: path to the
-# imsr_cli binary.
+# -> train-span (with observability exports) -> evaluate -> recommend,
+# plus failure-path assertions (bad flag values, bad spans, unknown
+# subcommands must exit non-zero with a message on stderr).
+#
+# Note on exit codes: every happy-path invocation is captured into a
+# variable first and grepped afterwards — `cli | grep` would report grep's
+# status and mask a CLI failure.
 set -e
 
 CLI="$1"
+# "obs" (default) or "noobs": whether the binary carries obs
+# instrumentation (-DIMSR_OBS). Export assertions only apply with obs.
+OBS_MODE="${2:-obs}"
 WORKDIR="$(mktemp -d)"
 trap 'rm -rf "$WORKDIR"' EXIT
 
 LOG="$WORKDIR/log.csv"
 CKPT="$WORKDIR/ckpt.bin"
+METRICS="$WORKDIR/metrics.json"
+METRICS_CSV="$WORKDIR/metrics.csv"
+TRACE="$WORKDIR/trace.json"
+
+fail() {
+  echo "cli_test: $1" >&2
+  exit 1
+}
+
+# --- happy path ------------------------------------------------------------
 
 "$CLI" generate --preset=electronics --scale=0.12 --out="$LOG" >/dev/null
 test -s "$LOG"
 
-"$CLI" stats --log="$LOG" --min_interactions=5 | grep -q "users (kept)"
+OUT=$("$CLI" stats --log="$LOG" --min_interactions=5)
+echo "$OUT" | grep -q "users (kept)" || fail "stats output missing table"
 
 "$CLI" pretrain --log="$LOG" --min_interactions=5 --checkpoint="$CKPT" \
     --pretrain_epochs=2 >/dev/null
 test -s "$CKPT"
 
-"$CLI" train-span --log="$LOG" --min_interactions=5 \
-    --checkpoint="$CKPT" --span=1 --epochs=1 | grep -q "trained span 1"
+# train-span with the obs flags: metrics JSON + CSV + chrome trace.
+OUT=$("$CLI" train-span --log="$LOG" --min_interactions=5 \
+    --checkpoint="$CKPT" --span=1 --epochs=1 \
+    --metrics_out="$METRICS" --trace_out="$TRACE")
+echo "$OUT" | grep -q "trained span 1" || fail "train-span output missing"
 
-"$CLI" evaluate --log="$LOG" --min_interactions=5 --checkpoint="$CKPT" \
-    --test_span=2 | grep -q "HR@20"
+if [ "$OBS_MODE" = "obs" ]; then
+  # The exit summary table lists the recorded metrics.
+  echo "$OUT" | grep -q "trainer/span_loss" || fail "summary missing span loss"
 
-"$CLI" recommend --log="$LOG" --min_interactions=5 --checkpoint="$CKPT" \
-    --user=0 --top_n=5 | grep -q "item"
+  test -s "$METRICS" || fail "metrics_out not written"
+  test -s "$TRACE" || fail "trace_out not written"
+  test ! -e "$METRICS.tmp" || fail "stale metrics tmp file"
+  test ! -e "$TRACE.tmp" || fail "stale trace tmp file"
+  # Exported metrics contain the expected series with non-zero counts.
+  grep -Eq '\{"name":"trainer/steps","value":[1-9][0-9]*\}' "$METRICS" \
+      || fail "metrics missing non-zero trainer/steps"
+  grep -q '"name":"trainer/span_loss"' "$METRICS" \
+      || fail "metrics missing trainer/span_loss"
+  grep -q '"name":"nid/puzzlement"' "$METRICS" \
+      || fail "metrics missing nid/puzzlement"
+  grep -q '"name":"pit/interests_trimmed"' "$METRICS" \
+      || fail "metrics missing pit/interests_trimmed"
+  # Chrome trace-event format with recorded spans.
+  grep -q '"traceEvents"' "$TRACE" || fail "trace missing traceEvents"
+  grep -q '"ph":"X"' "$TRACE" || fail "trace missing complete events"
+  grep -q '"name":"trainer/span"' "$TRACE" \
+      || fail "trace missing trainer span"
+fi
 
-# Error paths exit non-zero.
+# CSV metrics variant on evaluate.
+OUT=$("$CLI" evaluate --log="$LOG" --min_interactions=5 \
+    --checkpoint="$CKPT" --test_span=2 --metrics_out="$METRICS_CSV")
+echo "$OUT" | grep -q "HR@20" || fail "evaluate output missing metrics"
+if [ "$OBS_MODE" = "obs" ]; then
+  head -1 "$METRICS_CSV" | grep -q "^kind,name,value" \
+      || fail "metrics CSV missing header"
+  grep -q "^counter,eval/users_ranked," "$METRICS_CSV" \
+      || fail "metrics CSV missing eval counters"
+fi
+
+OUT=$("$CLI" recommend --log="$LOG" --min_interactions=5 \
+    --checkpoint="$CKPT" --user=0 --top_n=5)
+echo "$OUT" | grep -q "item" || fail "recommend output missing items"
+
+# --- failure paths ---------------------------------------------------------
+
+# Missing inputs exit non-zero.
 if "$CLI" evaluate --log=/nonexistent.csv --checkpoint="$CKPT" \
     2>/dev/null; then
-  echo "expected failure on missing log" >&2
-  exit 1
+  fail "expected failure on missing log"
 fi
 if "$CLI" bogus-subcommand 2>/dev/null; then
-  echo "expected failure on unknown subcommand" >&2
-  exit 1
+  fail "expected failure on unknown subcommand"
 fi
+
+# Strict flag parsing: a non-numeric value must exit non-zero AND say why.
+ERR="$WORKDIR/stderr.txt"
+if "$CLI" train-span --log="$LOG" --min_interactions=5 \
+    --checkpoint="$CKPT" --span=1 --epochs=abc >/dev/null 2>"$ERR"; then
+  fail "expected failure on --epochs=abc"
+fi
+grep -q "expects an integer" "$ERR" || fail "bad int flag missing message"
+
+if "$CLI" evaluate --log="$LOG" --min_interactions=5 \
+    --checkpoint="$CKPT" --alpha=half >/dev/null 2>"$ERR"; then
+  fail "expected failure on --alpha=half"
+fi
+grep -q "expects a number" "$ERR" || fail "bad double flag missing message"
+
+# Positional (non --name=value) arguments are rejected.
+if "$CLI" stats "$LOG" >/dev/null 2>"$ERR"; then
+  fail "expected failure on positional argument"
+fi
+grep -q "expected --name=value" "$ERR" || fail "positional arg missing message"
+
+# Out-of-range span exits non-zero with a range message.
+if "$CLI" train-span --log="$LOG" --min_interactions=5 \
+    --checkpoint="$CKPT" --span=99 >/dev/null 2>"$ERR"; then
+  fail "expected failure on out-of-range span"
+fi
+grep -q -- "--span must be in" "$ERR" || fail "bad span missing message"
+
+# A failing subcommand must not have clobbered the checkpoint.
+test -s "$CKPT" || fail "checkpoint lost after failed invocations"
 
 echo "cli_test OK"

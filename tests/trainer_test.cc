@@ -10,6 +10,8 @@
 #include "data/synthetic.h"
 #include "models/comirec_sa.h"
 #include "models/msr_model.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 
 namespace imsr::core {
 namespace {
@@ -292,6 +294,89 @@ TEST(TrainerTest, EarlyStoppingDoesNotBreakPipeline) {
     EXPECT_TRUE(store.Has(user));
   }
 }
+
+TEST(TrainerTest, TrainEpochReturnsMeanLoss) {
+  const data::SyntheticDataset synthetic = SmallData();
+  const data::Dataset& dataset = *synthetic.dataset;
+  models::MsrModel model(
+      SmallModelConfig(models::ExtractorKind::kComiRecDr),
+      dataset.num_items(), 14);
+  InterestStore store;
+  TrainConfig config = SmallTrainConfig();
+  ImsrTrainer trainer(&model, &store, config);
+  trainer.EnsureUserState(dataset, 0);
+  const std::vector<data::TrainingSample> samples =
+      data::BuildSpanSamples(dataset, 0, config.max_history);
+  ASSERT_FALSE(samples.empty());
+  const double first = trainer.TrainEpoch(samples, nullptr);
+  EXPECT_TRUE(std::isfinite(first));
+  EXPECT_GT(first, 0.0);  // -log softmax over 6 candidates starts near ln 6
+  double last = first;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    last = trainer.TrainEpoch(samples, nullptr);
+  }
+  EXPECT_LT(last, first);
+  EXPECT_EQ(trainer.TrainEpoch({}, nullptr), 0.0);
+}
+
+#if !defined(IMSR_OBS_DISABLED)
+// Integration: a 2-span run must leave the paper's diagnostic series in
+// the obs registry — per-span loss, puzzlement distribution, PIT
+// trim/add counts, and step counters consistent with expansion_totals().
+TEST(TrainerTest, ObsMetricsRecordedAcrossTrainingAndExpansion) {
+  obs::Registry().Reset();
+  const data::SyntheticDataset synthetic = SmallData();
+  const data::Dataset& dataset = *synthetic.dataset;
+  models::MsrModel model(
+      SmallModelConfig(models::ExtractorKind::kComiRecDr),
+      dataset.num_items(), 15);
+  InterestStore store;
+  TrainConfig config = SmallTrainConfig();
+  config.expansion.nid.c1 = 10.0;  // detector always fires
+  config.eir.kind = RetentionKind::kSigmoidKd;
+  ImsrTrainer trainer(&model, &store, config);
+  trainer.Pretrain(dataset);
+  trainer.TrainSpan(dataset, 1);
+  trainer.TrainSpan(dataset, 2);
+
+  const obs::MetricsSnapshot snapshot = obs::Registry().Snapshot();
+  auto counter = [&](const std::string& name) -> int64_t {
+    for (const obs::CounterSnapshot& c : snapshot.counters) {
+      if (c.name == name) return c.value;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return -1;
+  };
+  auto has_gauge = [&](const std::string& name) {
+    for (const obs::GaugeSnapshot& g : snapshot.gauges) {
+      if (g.name == name) return true;
+    }
+    return false;
+  };
+  const obs::HistogramSnapshot* puzzlement = nullptr;
+  const obs::HistogramSnapshot* step_latency = nullptr;
+  for (const obs::HistogramSnapshot& h : snapshot.histograms) {
+    if (h.name == "nid/puzzlement") puzzlement = &h;
+    if (h.name == "trainer/step_latency_ms") step_latency = &h;
+  }
+
+  EXPECT_GT(counter("trainer/steps"), 0);
+  EXPECT_GT(counter("trainer/kd_samples"), 0);
+  EXPECT_TRUE(has_gauge("trainer/span_loss"));
+  EXPECT_TRUE(has_gauge("trainer/pretrain_loss"));
+  ASSERT_NE(puzzlement, nullptr);
+  EXPECT_GT(puzzlement->count, 0);
+  ASSERT_NE(step_latency, nullptr);
+  EXPECT_EQ(step_latency->count, counter("trainer/steps"));
+  // PIT counters agree with the trainer's own expansion bookkeeping.
+  EXPECT_EQ(counter("pit/interests_added"),
+            trainer.expansion_totals().interests_added);
+  EXPECT_EQ(counter("pit/interests_trimmed"),
+            trainer.expansion_totals().interests_trimmed);
+  EXPECT_EQ(counter("nid/users_expanded"),
+            trainer.expansion_totals().users_expanded);
+}
+#endif  // !IMSR_OBS_DISABLED
 
 TEST(TrainerTest, DeterministicGivenSeeds) {
   const data::SyntheticDataset synthetic = SmallData();

@@ -22,6 +22,12 @@
 // The model configuration (--model, --dim) must match across commands
 // that share a checkpoint; optimiser state is rebuilt per invocation (the
 // paper's per-span fine-tuning restarts Adam each span as well).
+//
+// Observability (any subcommand): --metrics_out=metrics.json (or .csv)
+// exports the metrics registry at exit, --trace_out=trace.json exports a
+// chrome://tracing-loadable trace, --metrics_interval=SECONDS rewrites
+// the metrics file periodically during long runs. When any of these is
+// set a summary table of all recorded metrics is printed at exit.
 #include <cstdio>
 #include <string>
 
@@ -32,6 +38,8 @@
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
 #include "eval/ranker.h"
+#include "obs/obs.h"
+#include "obs/session.h"
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
@@ -317,11 +325,7 @@ int CmdRecommend(const util::Flags& flags) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string command = argv[1];
-  util::Flags flags(argc - 1, argv + 1);
-  util::ApplyThreadFlag(flags);  // --threads=N sizes the process-wide pool
+int Dispatch(const std::string& command, const util::Flags& flags) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "pretrain") return CmdPretrain(flags);
@@ -329,4 +333,21 @@ int main(int argc, char** argv) {
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "recommend") return CmdRecommend(flags);
   return Usage();
+}
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  util::Flags flags(argc - 1, argv + 1);
+  util::ApplyThreadFlag(flags);  // --threads=N sizes the process-wide pool
+  // The session enables tracing / periodic metric flushing while the
+  // command runs; its destructor (after the command's spans close) writes
+  // the final exports and prints the summary table.
+  obs::ObsSession obs_session(obs::ObsOptionsFromFlags(flags));
+  int status = 0;
+  {
+    IMSR_TRACE_SPAN("cli/command");
+    status = Dispatch(command, flags);
+  }
+  return status;
 }
