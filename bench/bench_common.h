@@ -6,6 +6,7 @@
 #define IMSR_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,19 @@
 #include "util/flags.h"
 
 namespace imsr::bench {
+
+// Parses an extractor name from a flag value; a typo prints the valid
+// names on stderr and exits with a usage error instead of aborting.
+inline models::ExtractorKind ExtractorKindFromNameOrExit(
+    const std::string& name) {
+  models::ExtractorKind kind;
+  std::string error;
+  if (!models::ExtractorKindFromName(name, &kind, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    std::exit(2);
+  }
+  return kind;
+}
 
 // Scale applied to dataset presets when --scale is not given. Chosen so
 // the full bench suite finishes in tens of minutes on a laptop.

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   const bench::BenchSetup setup = bench::ParseBenchFlags(flags);
   const std::string only_data = flags.GetString("data", "");
   const models::ExtractorKind model_kind =
-      models::ExtractorKindFromName(flags.GetString("model", "dr"));
+      bench::ExtractorKindFromNameOrExit(flags.GetString("model", "dr"));
 
   bench::PrintHeader(
       "Figure 4 — HR@20 trend over time spans (ComiRec-DR)",

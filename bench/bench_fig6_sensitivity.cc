@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   const bench::BenchSetup setup = bench::ParseBenchFlags(flags);
   const models::ExtractorKind model_kind =
-      models::ExtractorKindFromName(flags.GetString("model", "dr"));
+      bench::ExtractorKindFromNameOrExit(flags.GetString("model", "dr"));
 
   bench::PrintHeader(
       "Figure 6 — hyperparameter sensitivity (c1, c2, K & delta-K)",

@@ -26,6 +26,12 @@ int main(int argc, char** argv) {
   const bench::BenchSetup setup = bench::ParseBenchFlags(flags);
   const std::string only_data = flags.GetString("data", "");
   const std::string only_model = flags.GetString("model", "");
+  // Validate the filter up front so a typo is a usage error, not a
+  // silently empty report.
+  const bool filter_model = !only_model.empty();
+  const models::ExtractorKind only_model_kind =
+      filter_model ? bench::ExtractorKindFromNameOrExit(only_model)
+                   : models::ExtractorKind::kMind;
 
   bench::PrintHeader(
       "Table III — performance comparison of learning strategies",
@@ -53,8 +59,7 @@ int main(int argc, char** argv) {
                 dataset.num_items());
 
     for (models::ExtractorKind model_kind : base_models) {
-      if (!only_model.empty() &&
-          models::ExtractorKindFromName(only_model) != model_kind) {
+      if (filter_model && only_model_kind != model_kind) {
         continue;
       }
       std::vector<StrategyRow> rows;

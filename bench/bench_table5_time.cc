@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
       GenerateSynthetic(data::SyntheticConfig::Taobao(setup.scale));
   const data::Dataset& dataset = *synthetic.dataset;
   const models::ExtractorKind model_kind =
-      models::ExtractorKindFromName(model_name);
+      bench::ExtractorKindFromNameOrExit(model_name);
 
   const std::vector<core::StrategyKind> strategies = {
       core::StrategyKind::kFullRetrain, core::StrategyKind::kFineTune,

@@ -28,8 +28,15 @@ int main(int argc, char** argv) {
               dataset.num_items());
 
   core::ExperimentConfig config;
-  config.model.kind =
-      models::ExtractorKindFromName(flags.GetString("model", "dr"));
+  {
+    const std::string model_name = flags.GetString("model", "dr");
+    std::string error;
+    if (!models::ExtractorKindFromName(model_name, &config.model.kind,
+                                       &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+  }
   config.model.embedding_dim = flags.GetInt("dim", 32);
   const int repeats = static_cast<int>(flags.GetInt("repeats", 1));
 

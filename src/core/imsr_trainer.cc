@@ -7,6 +7,7 @@
 #include "models/sampled_softmax.h"
 #include "nn/ops.h"
 #include "obs/obs.h"
+#include "serve/registry.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -195,6 +196,12 @@ void ImsrTrainer::Pretrain(const data::Dataset& dataset) {
     }
   }
   RefreshInterests(dataset, /*span=*/0);
+  MaybePublishSnapshot(/*span=*/0);
+}
+
+void ImsrTrainer::MaybePublishSnapshot(int span) {
+  if (registry_ == nullptr) return;
+  registry_->Publish(serve::BuildSnapshot(*model_, *store_, span));
 }
 
 void ImsrTrainer::TrainSpan(
@@ -242,6 +249,7 @@ void ImsrTrainer::TrainSpan(
     }
   }
   RefreshInterests(dataset, span);
+  MaybePublishSnapshot(span);
 }
 
 void ImsrTrainer::RefreshInterests(const data::Dataset& dataset, int span) {

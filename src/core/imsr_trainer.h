@@ -16,6 +16,10 @@
 #include "models/msr_model.h"
 #include "nn/optim.h"
 
+namespace imsr::serve {
+class SnapshotRegistry;
+}  // namespace imsr::serve
+
 namespace imsr::core {
 
 struct TrainConfig {
@@ -123,7 +127,20 @@ class ImsrTrainer {
     return expansion_totals_;
   }
 
+  // Attaches a serving registry (not owned, may be null). When set, a
+  // fresh ServingSnapshot is built and published after Pretrain and after
+  // every TrainSpan — the publish points of Algorithm 2's train-then-serve
+  // loop — so readers always serve the last completed span. (See
+  // serve/registry.h for the swap's memory model.)
+  void set_snapshot_registry(serve::SnapshotRegistry* registry) {
+    registry_ = registry;
+  }
+
  private:
+  // Publishes the current model/store state as span `span` when a
+  // registry is attached.
+  void MaybePublishSnapshot(int span);
+
   models::MsrModel* model_;
   InterestStore* store_;
   TrainConfig config_;
@@ -131,6 +148,7 @@ class ImsrTrainer {
   util::Rng rng_;
   data::NegativeSampler negative_sampler_;
   ExpansionOutcome expansion_totals_;
+  serve::SnapshotRegistry* registry_ = nullptr;  // not owned
 };
 
 }  // namespace imsr::core

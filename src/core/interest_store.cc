@@ -86,6 +86,29 @@ std::vector<data::UserId> InterestStore::Users() const {
   return users;
 }
 
+PackedInterests InterestStore::ExportPacked() const {
+  PackedInterests packed;
+  packed.users = Users();
+  packed.row_begin.reserve(packed.users.size());
+  packed.counts.reserve(packed.users.size());
+  int64_t rows = 0;
+  for (data::UserId user : packed.users) {
+    const nn::Tensor& interests = entries_.at(user).interests;
+    if (packed.dim == 0) packed.dim = interests.size(1);
+    IMSR_CHECK_EQ(interests.size(1), packed.dim);
+    packed.row_begin.push_back(rows);
+    packed.counts.push_back(static_cast<int32_t>(interests.size(0)));
+    rows += interests.size(0);
+  }
+  packed.data.reserve(static_cast<size_t>(rows * packed.dim));
+  for (data::UserId user : packed.users) {
+    const nn::Tensor& interests = entries_.at(user).interests;
+    packed.data.insert(packed.data.end(), interests.data(),
+                       interests.data() + interests.numel());
+  }
+  return packed;
+}
+
 double InterestStore::AverageInterests() const {
   if (entries_.empty()) return 0.0;
   double total = 0.0;

@@ -14,6 +14,18 @@
 
 namespace imsr::core {
 
+// Flat, read-optimised export of every user's interest rows: the storage
+// a ServingSnapshot is built from (see src/serve/snapshot.h). `users` is
+// ascending; user i's (counts[i] x dim) rows live at data[row_begin[i] *
+// dim]. No Tensor/Var machinery — just contiguous floats.
+struct PackedInterests {
+  std::vector<data::UserId> users;  // ascending
+  std::vector<int64_t> row_begin;   // parallel to users, in rows
+  std::vector<int32_t> counts;      // parallel to users (K_u)
+  std::vector<float> data;          // sum(K_u) x dim, row-major
+  int64_t dim = 0;
+};
+
 class InterestStore {
  public:
   bool Has(data::UserId user) const;
@@ -43,6 +55,12 @@ class InterestStore {
   void Clear();
 
   std::vector<data::UserId> Users() const;
+
+  // Copies every user's interest rows into flat packed storage (users
+  // ascending, so the export is deterministic). Empty store -> empty
+  // export with dim 0.
+  PackedInterests ExportPacked() const;
+
   double AverageInterests() const;
   size_t num_users() const { return entries_.size(); }
 

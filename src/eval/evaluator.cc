@@ -8,12 +8,18 @@
 #include "util/stopwatch.h"
 
 namespace imsr::eval {
+namespace {
 
-EvalResult EvaluateSpan(const nn::Tensor& item_embeddings,
-                        const core::InterestStore& store,
-                        const data::Dataset& dataset, int test_span,
-                        const EvalConfig& config, ItemFilter filter,
-                        int history_span) {
+// Shared scoring core. `has(user)` and `interests(user)` abstract over
+// the two storage backends (ServingSnapshot vs live InterestStore); both
+// feed the identical ScoreAllItemsInto kernel, so the backends produce
+// bitwise-identical metrics for equal values.
+template <typename HasFn, typename InterestsFn>
+EvalResult EvaluateSpanImpl(const nn::Tensor& item_embeddings,
+                            const HasFn& has, const InterestsFn& interests,
+                            const data::Dataset& dataset, int test_span,
+                            const EvalConfig& config, ItemFilter filter,
+                            int history_span) {
   IMSR_TRACE_SPAN("eval/span");
   IMSR_CHECK(test_span >= 0 && test_span < dataset.num_spans());
   if (filter != ItemFilter::kAll) {
@@ -32,7 +38,7 @@ EvalResult EvaluateSpan(const nn::Tensor& item_embeddings,
     const data::UserSpanData& span_data =
         dataset.user_span(user, test_span);
     if (span_data.test < 0) continue;
-    if (!store.Has(user)) continue;
+    if (!has(user)) continue;
 
     if (filter != ItemFilter::kAll) {
       const std::vector<data::ItemId> history =
@@ -60,7 +66,7 @@ EvalResult EvaluateSpan(const nn::Tensor& item_embeddings,
         for (int64_t i = begin; i < end; ++i) {
           const Instance& instance =
               instances[static_cast<size_t>(i)];
-          ScoreAllItemsInto(store.Interests(instance.user), item_embeddings,
+          ScoreAllItemsInto(interests(instance.user), item_embeddings,
                             config.rule, &scratch);
           ranks[static_cast<size_t>(i)] =
               TargetRankFromScores(scratch.scores, instance.target);
@@ -78,6 +84,33 @@ EvalResult EvaluateSpan(const nn::Tensor& item_embeddings,
   result.metrics = accumulator.Finalize();
   result.total_seconds = scoring_seconds;
   return result;
+}
+
+}  // namespace
+
+EvalResult EvaluateSpan(const serve::ServingSnapshot& snapshot,
+                        const data::Dataset& dataset, int test_span,
+                        const EvalConfig& config, ItemFilter filter,
+                        int history_span) {
+  return EvaluateSpanImpl(
+      snapshot.item_embeddings(),
+      [&snapshot](data::UserId user) { return snapshot.HasUser(user); },
+      [&snapshot](data::UserId user) { return snapshot.Interests(user); },
+      dataset, test_span, config, filter, history_span);
+}
+
+EvalResult EvaluateSpan(const nn::Tensor& item_embeddings,
+                        const core::InterestStore& store,
+                        const data::Dataset& dataset, int test_span,
+                        const EvalConfig& config, ItemFilter filter,
+                        int history_span) {
+  return EvaluateSpanImpl(
+      item_embeddings,
+      [&store](data::UserId user) { return store.Has(user); },
+      [&store](data::UserId user) {
+        return nn::ViewOf(store.Interests(user));
+      },
+      dataset, test_span, config, filter, history_span);
 }
 
 }  // namespace imsr::eval

@@ -1,6 +1,12 @@
 // Per-span evaluation driver: after training through span t, the stored
 // interests rank the held-out test item of span t+1 (§IV-E's inference
 // procedure and §V-A1's protocol).
+//
+// The primary entry point consumes an immutable serve::ServingSnapshot —
+// the same frozen state the online read path serves from — so offline
+// metrics measure exactly what production would serve. The live-model
+// overload (embedding tensor + InterestStore) is a thin adapter over the
+// same scoring core; for equal values the two are bitwise identical.
 #ifndef IMSR_EVAL_EVALUATOR_H_
 #define IMSR_EVAL_EVALUATOR_H_
 
@@ -8,6 +14,7 @@
 #include "data/dataset.h"
 #include "eval/metrics.h"
 #include "eval/ranker.h"
+#include "serve/snapshot.h"
 
 namespace imsr::eval {
 
@@ -29,10 +36,19 @@ struct EvalResult {
   double total_seconds = 0.0;  // wall time spent scoring
 };
 
-// Evaluates every user that (a) has stored interests and (b) has a test
-// item in `test_span`. `item_embeddings` is the model's (num_items x d)
-// table. With a filter other than kAll, `history_span` bounds the history
-// that defines "existing" items (usually test_span - 1).
+// Evaluates every user that (a) has interests in the snapshot and (b) has
+// a test item in `test_span`. With a filter other than kAll,
+// `history_span` bounds the history that defines "existing" items
+// (usually test_span - 1).
+EvalResult EvaluateSpan(const serve::ServingSnapshot& snapshot,
+                        const data::Dataset& dataset, int test_span,
+                        const EvalConfig& config,
+                        ItemFilter filter = ItemFilter::kAll,
+                        int history_span = -1);
+
+// Live-model adapter: scores straight from the training-side objects
+// (`item_embeddings` is the model's (num_items x d) table). Same scoring
+// core as the snapshot overload, bitwise identical for equal values.
 EvalResult EvaluateSpan(const nn::Tensor& item_embeddings,
                         const core::InterestStore& store,
                         const data::Dataset& dataset, int test_span,

@@ -40,15 +40,50 @@ void ScoresFromLogits(const float* logits, int64_t num_items, int64_t k,
 
 }  // namespace
 
+const char* ScoreRuleName(ScoreRule rule) {
+  switch (rule) {
+    case ScoreRule::kAttentive:
+      return "attentive";
+    case ScoreRule::kMaxInterest:
+      return "max";
+  }
+  return "?";
+}
+
+bool ScoreRuleFromName(const std::string& name, ScoreRule* rule,
+                       std::string* error) {
+  IMSR_CHECK(rule != nullptr);
+  if (name == "attentive") {
+    *rule = ScoreRule::kAttentive;
+    return true;
+  }
+  if (name == "max" || name == "max-interest") {
+    *rule = ScoreRule::kMaxInterest;
+    return true;
+  }
+  if (error != nullptr) {
+    *error = "unknown score rule '" + name +
+             "' (valid: attentive, max)";
+  }
+  return false;
+}
+
 void ScoreAllItemsInto(const nn::Tensor& interests,
                        const nn::Tensor& item_embeddings, ScoreRule rule,
                        RankScratch* scratch) {
-  IMSR_CHECK(scratch != nullptr);
   IMSR_CHECK_EQ(interests.dim(), 2);
+  ScoreAllItemsInto(nn::ViewOf(interests), item_embeddings, rule, scratch);
+}
+
+void ScoreAllItemsInto(nn::ConstMatrixView interests,
+                       const nn::Tensor& item_embeddings, ScoreRule rule,
+                       RankScratch* scratch) {
+  IMSR_CHECK(scratch != nullptr);
+  IMSR_CHECK(interests.data != nullptr);
   IMSR_CHECK_EQ(item_embeddings.dim(), 2);
-  IMSR_CHECK_EQ(interests.size(1), item_embeddings.size(1));
+  IMSR_CHECK_EQ(interests.cols, item_embeddings.size(1));
   const int64_t num_items = item_embeddings.size(0);
-  const int64_t k = interests.size(0);
+  const int64_t k = interests.rows;
 
   // logits = E H^T, one row of K interest scores per item.
   nn::MatMulTransBInto(item_embeddings, interests, &scratch->logits);

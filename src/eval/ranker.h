@@ -10,6 +10,7 @@
 #ifndef IMSR_EVAL_RANKER_H_
 #define IMSR_EVAL_RANKER_H_
 
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -19,6 +20,12 @@
 namespace imsr::eval {
 
 enum class ScoreRule { kAttentive, kMaxInterest };
+
+const char* ScoreRuleName(ScoreRule rule);
+// Fallible parse ("attentive" | "max"); on an unknown name returns false
+// and fills `error` with the valid spellings.
+bool ScoreRuleFromName(const std::string& name, ScoreRule* rule,
+                       std::string* error);
 
 // Reusable buffers for repeated full-corpus scoring (one per worker
 // thread in the evaluator; never shared across threads concurrently).
@@ -30,6 +37,12 @@ struct RankScratch {
 // Scores every item into scratch->scores (resized to num_items), reusing
 // scratch->logits for the E H^T product.
 void ScoreAllItemsInto(const nn::Tensor& interests,
+                       const nn::Tensor& item_embeddings, ScoreRule rule,
+                       RankScratch* scratch);
+// Same, with the (K x d) interests given as a view over packed storage
+// (the ServingSnapshot read path). Shares every kernel with the Tensor
+// overload, so equal values score bitwise identically.
+void ScoreAllItemsInto(nn::ConstMatrixView interests,
                        const nn::Tensor& item_embeddings, ScoreRule rule,
                        RankScratch* scratch);
 

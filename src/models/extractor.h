@@ -17,7 +17,12 @@ namespace imsr::models {
 enum class ExtractorKind { kMind, kComiRecDr, kComiRecSa };
 
 const char* ExtractorKindName(ExtractorKind kind);
-ExtractorKind ExtractorKindFromName(const std::string& name);
+// Fallible parse of a kind name ("MIND"/"mind", "ComiRec-DR"/"dr",
+// "ComiRec-SA"/"sa"). On an unknown name returns false and fills `error`
+// (if non-null) with the valid spellings instead of aborting, so CLI /
+// bench flag typos surface as clean usage errors.
+bool ExtractorKindFromName(const std::string& name, ExtractorKind* kind,
+                           std::string* error);
 
 class MultiInterestExtractor {
  public:

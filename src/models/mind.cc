@@ -16,11 +16,26 @@ const char* ExtractorKindName(ExtractorKind kind) {
   return "?";
 }
 
-ExtractorKind ExtractorKindFromName(const std::string& name) {
-  if (name == "MIND" || name == "mind") return ExtractorKind::kMind;
-  if (name == "ComiRec-DR" || name == "dr") return ExtractorKind::kComiRecDr;
-  if (name == "ComiRec-SA" || name == "sa") return ExtractorKind::kComiRecSa;
-  IMSR_CHECK(false) << "unknown extractor kind '" << name << "'";
+bool ExtractorKindFromName(const std::string& name, ExtractorKind* kind,
+                           std::string* error) {
+  IMSR_CHECK(kind != nullptr);
+  if (name == "MIND" || name == "mind") {
+    *kind = ExtractorKind::kMind;
+    return true;
+  }
+  if (name == "ComiRec-DR" || name == "dr") {
+    *kind = ExtractorKind::kComiRecDr;
+    return true;
+  }
+  if (name == "ComiRec-SA" || name == "sa") {
+    *kind = ExtractorKind::kComiRecSa;
+    return true;
+  }
+  if (error != nullptr) {
+    *error = "unknown extractor kind '" + name +
+             "' (valid: MIND|mind, ComiRec-DR|dr, ComiRec-SA|sa)";
+  }
+  return false;
 }
 
 }  // namespace imsr::models

@@ -42,6 +42,10 @@ std::vector<nn::Var> MsrModel::SharedParameters() {
   return parameters;
 }
 
+nn::Tensor MsrModel::ExportItemEmbeddings() const {
+  return embeddings_.parameter().value().Clone();
+}
+
 nn::Var MsrModel::ForwardInterests(
     const std::vector<data::ItemId>& history,
     const nn::Tensor& interest_init, data::UserId user) {

@@ -39,6 +39,11 @@ class MsrModel {
   // registered separately when created).
   std::vector<nn::Var> SharedParameters();
 
+  // Deep copy of the (num_items x d) item-embedding values, detached from
+  // the Var/autograd machinery — the frozen table a ServingSnapshot is
+  // built from (see src/serve/snapshot.h).
+  nn::Tensor ExportItemEmbeddings() const;
+
   // Graph-building interest extraction for one user history.
   nn::Var ForwardInterests(const std::vector<data::ItemId>& history,
                            const nn::Tensor& interest_init,

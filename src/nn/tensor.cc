@@ -389,18 +389,23 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
 }
 
 void MatMulTransBInto(const Tensor& a, const Tensor& b, Tensor* out) {
-  IMSR_CHECK(out != nullptr);
-  IMSR_CHECK_EQ(a.dim(), 2);
   IMSR_CHECK_EQ(b.dim(), 2);
-  IMSR_CHECK_EQ(a.size(1), b.size(1));
+  MatMulTransBInto(a, ViewOf(b), out);
+}
+
+void MatMulTransBInto(const Tensor& a, ConstMatrixView b, Tensor* out) {
+  IMSR_CHECK(out != nullptr);
+  IMSR_CHECK(b.data != nullptr);
+  IMSR_CHECK_EQ(a.dim(), 2);
+  IMSR_CHECK_EQ(a.size(1), b.cols);
   const int64_t m = a.size(0);
   const int64_t k = a.size(1);
-  const int64_t n = b.size(0);
+  const int64_t n = b.rows;
   if (out->dim() != 2 || out->size(0) != m || out->size(1) != n) {
     *out = Tensor({m, n});
   }
   const float* pa = a.data();
-  const float* pb = b.data();
+  const float* pb = b.data;
   float* po = out->data();
   if (m * k * n >= kParallelWorkThreshold) {
     util::GlobalPool().ParallelFor(

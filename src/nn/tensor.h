@@ -102,6 +102,22 @@ class Tensor {
   std::vector<float> data_;
 };
 
+// Non-owning read-only view of a row-major (rows x cols) float matrix.
+// Used by read paths (serving snapshots) whose storage is packed flat
+// rather than held in per-user Tensors; kernels taking a view run the
+// same code as their Tensor overloads, so results are bitwise identical.
+struct ConstMatrixView {
+  const float* data = nullptr;
+  int64_t rows = 0;
+  int64_t cols = 0;
+};
+
+// View of a whole 2-D tensor.
+inline ConstMatrixView ViewOf(const Tensor& t) {
+  IMSR_DCHECK(t.dim() == 2);
+  return {t.data(), t.size(0), t.size(1)};
+}
+
 // ---- Free-function tensor ops (no autograd; used by both the autograd
 // layer's forward/backward passes and by no-grad model code) ----
 
@@ -123,6 +139,10 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b);
 // MatMulTransB writing into `out` (reallocated only on shape mismatch) so
 // per-user ranking loops can reuse one scratch buffer.
 void MatMulTransBInto(const Tensor& a, const Tensor& b, Tensor* out);
+// Same, with the transposed operand given as a view over packed storage.
+// The Tensor overload delegates here, so for equal values the two produce
+// bitwise-identical results.
+void MatMulTransBInto(const Tensor& a, ConstMatrixView b, Tensor* out);
 // Matrix product with the first operand transposed:
 // (r x m)^T * (r x n) -> (m x n). Used by autograd's MatMul backward.
 Tensor MatMulTransA(const Tensor& a, const Tensor& b);

@@ -1,0 +1,59 @@
+#include "serve/recommend.h"
+
+#include "obs/obs.h"
+#include "util/parallel.h"
+#include "util/stopwatch.h"
+
+namespace imsr::serve {
+
+std::vector<RecommendResponse> Recommend(
+    const ServingSnapshot& snapshot,
+    const std::vector<RecommendRequest>& requests,
+    const ServeConfig& config) {
+  IMSR_TRACE_SPAN("serve/recommend_batch");
+  IMSR_OBS_ONLY(util::Stopwatch timer;)
+  std::vector<RecommendResponse> responses(requests.size());
+  // Responses land in disjoint slots, so the fan-out needs no locking and
+  // the batch result is identical for any thread count.
+  util::ParallelChunks(
+      static_cast<int64_t>(requests.size()), config.threads,
+      [&](int64_t begin, int64_t end) {
+        eval::RankScratch scratch;
+        for (int64_t i = begin; i < end; ++i) {
+          const RecommendRequest& request =
+              requests[static_cast<size_t>(i)];
+          RecommendResponse& response =
+              responses[static_cast<size_t>(i)];
+          response.user = request.user;
+          const int top_n =
+              request.top_n > 0 ? request.top_n : config.default_top_n;
+          if (top_n <= 0) {
+            response.error = "top_n must be positive";
+            continue;
+          }
+          if (!snapshot.HasUser(request.user)) {
+            response.error = "no interests for user " +
+                             std::to_string(request.user);
+            continue;
+          }
+          eval::ScoreAllItemsInto(snapshot.Interests(request.user),
+                                  snapshot.item_embeddings(), config.rule,
+                                  &scratch);
+          response.items = eval::TopNFromScores(scratch.scores, top_n);
+          response.ok = true;
+        }
+      });
+  IMSR_COUNTER_ADD("serve/requests",
+                   static_cast<int64_t>(requests.size()));
+  IMSR_OBS_ONLY({
+    const double seconds = timer.ElapsedSeconds();
+    IMSR_HISTOGRAM_RECORD("serve/batch_latency_ms", seconds * 1e3);
+    if (seconds > 0.0 && !requests.empty()) {
+      IMSR_GAUGE_SET("serve/users_per_sec",
+                     static_cast<double>(requests.size()) / seconds);
+    }
+  })
+  return responses;
+}
+
+}  // namespace imsr::serve

@@ -1,0 +1,54 @@
+// Batch top-N serving over an immutable ServingSnapshot (Algorithm 2's
+// inference procedure, lifted out of the evaluator so it can run against
+// a published snapshot while training mutates the live model).
+//
+// Requests in a batch are independent; the batch fans out over the
+// process-wide thread pool with one RankScratch per worker chunk, so the
+// corpus-sized logits/score buffers are allocated once per worker, not
+// per request. Per-request failures (unknown user, bad top_n) come back
+// as error responses — one bad request never fails the batch.
+#ifndef IMSR_SERVE_RECOMMEND_H_
+#define IMSR_SERVE_RECOMMEND_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/interaction.h"
+#include "eval/ranker.h"
+#include "serve/snapshot.h"
+
+namespace imsr::serve {
+
+struct RecommendRequest {
+  data::UserId user = -1;
+  // <= 0 falls back to ServeConfig::default_top_n.
+  int top_n = 0;
+};
+
+struct RecommendResponse {
+  data::UserId user = -1;
+  // Top-N (item, score), highest first; empty when !ok.
+  std::vector<std::pair<data::ItemId, float>> items;
+  bool ok = false;
+  std::string error;  // set when !ok
+};
+
+struct ServeConfig {
+  int default_top_n = 10;
+  eval::ScoreRule rule = eval::ScoreRule::kAttentive;
+  // Worker threads for the batch fan-out; <= 0 uses the process-wide
+  // pool's configured size. Responses are identical for any thread count.
+  int threads = 0;
+};
+
+// Answers every request against `snapshot`; responses are parallel to
+// `requests`.
+std::vector<RecommendResponse> Recommend(
+    const ServingSnapshot& snapshot,
+    const std::vector<RecommendRequest>& requests,
+    const ServeConfig& config);
+
+}  // namespace imsr::serve
+
+#endif  // IMSR_SERVE_RECOMMEND_H_

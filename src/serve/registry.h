@@ -1,0 +1,52 @@
+// SnapshotRegistry — atomic publication point between the training stack
+// and the read path.
+//
+// Training publishes a freshly built ServingSnapshot after pretraining
+// and after each incremental span; readers grab the current snapshot with
+// one lock-free shared_ptr load and keep scoring against it for as long
+// as they hold the reference, even while the next span trains and
+// publishes. Memory model: Publish() is a release store of the shared_ptr
+// and Current() an acquire load (std::atomic<std::shared_ptr>), so a
+// reader that observes snapshot N also observes every write that built
+// it — readers can never see a half-constructed or half-trained span.
+// The previous snapshot stays alive until its last reader drops the
+// reference; nothing is freed under a reader.
+#ifndef IMSR_SERVE_REGISTRY_H_
+#define IMSR_SERVE_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "serve/snapshot.h"
+
+namespace imsr::serve {
+
+class SnapshotRegistry {
+ public:
+  SnapshotRegistry() = default;
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  // Stamps `snapshot` with the next monotonic version and makes it the
+  // current snapshot (release store). The snapshot must not be shared
+  // with writers after this call — publication freezes it.
+  void Publish(std::shared_ptr<ServingSnapshot> snapshot);
+
+  // The most recently published snapshot (acquire load), or nullptr when
+  // nothing has been published yet. Never blocks.
+  std::shared_ptr<const ServingSnapshot> Current() const;
+
+  // Number of snapshots published so far.
+  uint64_t versions_published() const {
+    return next_version_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const ServingSnapshot>> current_;
+  std::atomic<uint64_t> next_version_{0};
+};
+
+}  // namespace imsr::serve
+
+#endif  // IMSR_SERVE_REGISTRY_H_

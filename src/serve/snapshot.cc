@@ -1,0 +1,86 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+#include "models/msr_model.h"
+#include "obs/obs.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace imsr::serve {
+
+ServingSnapshot::ServingSnapshot(nn::Tensor embeddings,
+                                 core::PackedInterests interests,
+                                 int trained_through_span)
+    : embeddings_(std::move(embeddings)),
+      interests_(std::move(interests)),
+      trained_through_span_(trained_through_span) {
+  IMSR_CHECK_EQ(embeddings_.dim(), 2);
+  IMSR_CHECK(interests_.users.empty() || interests_.dim == dim())
+      << "packed interests dim " << interests_.dim
+      << " != embedding dim " << dim();
+  data::UserId max_user = -1;
+  for (size_t i = 0; i < interests_.users.size(); ++i) {
+    IMSR_CHECK_GE(interests_.users[i], 0);
+    IMSR_CHECK(i == 0 || interests_.users[i - 1] < interests_.users[i])
+        << "packed users must be strictly ascending";
+    max_user = interests_.users[i];
+  }
+  slot_of_user_.assign(static_cast<size_t>(max_user + 1), -1);
+  for (size_t i = 0; i < interests_.users.size(); ++i) {
+    slot_of_user_[static_cast<size_t>(interests_.users[i])] =
+        static_cast<int32_t>(i);
+  }
+}
+
+int64_t ServingSnapshot::bytes() const {
+  return static_cast<int64_t>(
+      embeddings_.numel() * sizeof(float) +
+      interests_.data.size() * sizeof(float) +
+      interests_.users.size() *
+          (sizeof(data::UserId) + sizeof(int64_t) + sizeof(int32_t)) +
+      slot_of_user_.size() * sizeof(int32_t));
+}
+
+int64_t ServingSnapshot::SlotOf(data::UserId user) const {
+  if (user < 0 ||
+      static_cast<size_t>(user) >= slot_of_user_.size()) {
+    return -1;
+  }
+  return slot_of_user_[static_cast<size_t>(user)];
+}
+
+bool ServingSnapshot::HasUser(data::UserId user) const {
+  return SlotOf(user) >= 0;
+}
+
+int64_t ServingSnapshot::NumInterests(data::UserId user) const {
+  const int64_t slot = SlotOf(user);
+  return slot < 0 ? 0 : interests_.counts[static_cast<size_t>(slot)];
+}
+
+nn::ConstMatrixView ServingSnapshot::Interests(data::UserId user) const {
+  const int64_t slot = SlotOf(user);
+  IMSR_CHECK_GE(slot, 0) << "no interests for user " << user;
+  const size_t s = static_cast<size_t>(slot);
+  return {interests_.data.data() + interests_.row_begin[s] * interests_.dim,
+          interests_.counts[s], interests_.dim};
+}
+
+std::shared_ptr<ServingSnapshot> BuildSnapshot(
+    const models::MsrModel& model, const core::InterestStore& store,
+    int trained_through_span) {
+  IMSR_TRACE_SPAN("serve/build_snapshot");
+  IMSR_OBS_ONLY(util::Stopwatch timer;)
+  auto snapshot = std::make_shared<ServingSnapshot>(
+      model.ExportItemEmbeddings(), store.ExportPacked(),
+      trained_through_span);
+  IMSR_HISTOGRAM_RECORD("serve/build_latency_ms", timer.ElapsedMillis());
+  IMSR_GAUGE_SET("serve/snapshot_users",
+                 static_cast<double>(snapshot->num_users()));
+  IMSR_GAUGE_SET("serve/snapshot_bytes",
+                 static_cast<double>(snapshot->bytes()));
+  return snapshot;
+}
+
+}  // namespace imsr::serve

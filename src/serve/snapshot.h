@@ -1,0 +1,90 @@
+// ServingSnapshot — the immutable read-side view of a trained span.
+//
+// The paper's deployment story (§IV, Algorithm 2) is train-then-serve:
+// after pretraining and after each incremental span, the stored interests
+// {H_u^t} and the item-embedding table answer top-N queries until the
+// next span's model is ready. A snapshot freezes exactly that state —
+// a deep copy of the embedding table plus every user's interest rows in
+// flat packed storage — with no Var/autograd machinery, no mutable
+// containers and no locks on the read path. Training keeps mutating
+// MsrModel/InterestStore while readers score against the snapshot they
+// hold; the SnapshotRegistry (registry.h) swaps in the next one
+// atomically.
+#ifndef IMSR_SERVE_SNAPSHOT_H_
+#define IMSR_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/interest_store.h"
+#include "data/interaction.h"
+#include "nn/tensor.h"
+
+namespace imsr::models {
+class MsrModel;
+}  // namespace imsr::models
+
+namespace imsr::serve {
+
+class ServingSnapshot {
+ public:
+  // Freezes `embeddings` (num_items x d) and the packed interests. The
+  // packed export must use the same `dim` as the embedding table (or be
+  // empty). Snapshots are usually built via BuildSnapshot below and
+  // published through a SnapshotRegistry, after which they are immutable.
+  ServingSnapshot(nn::Tensor embeddings, core::PackedInterests interests,
+                  int trained_through_span);
+
+  ServingSnapshot(const ServingSnapshot&) = delete;
+  ServingSnapshot& operator=(const ServingSnapshot&) = delete;
+
+  int64_t num_items() const { return embeddings_.size(0); }
+  int64_t dim() const { return embeddings_.size(1); }
+  int64_t num_users() const {
+    return static_cast<int64_t>(interests_.users.size());
+  }
+  int trained_through_span() const { return trained_through_span_; }
+  // Approximate resident size of the frozen state.
+  int64_t bytes() const;
+
+  // Monotonic publish id; 0 until a SnapshotRegistry stamps it.
+  uint64_t version() const { return version_; }
+
+  const nn::Tensor& item_embeddings() const { return embeddings_; }
+
+  bool HasUser(data::UserId user) const;
+  int64_t NumInterests(data::UserId user) const;
+  // The user's (K x d) interest rows as a view into the packed storage;
+  // aborts when absent (check HasUser first).
+  nn::ConstMatrixView Interests(data::UserId user) const;
+  // All users with interests, ascending.
+  const std::vector<data::UserId>& Users() const { return interests_.users; }
+
+ private:
+  friend class SnapshotRegistry;  // stamps version_ at publish time
+
+  // Dense slot index of `user`, or -1 when absent.
+  int64_t SlotOf(data::UserId user) const;
+
+  nn::Tensor embeddings_;             // frozen (num_items x d)
+  core::PackedInterests interests_;   // flat per-user rows, users ascending
+  // Dense user -> slot map (index into interests_.users); -1 when absent.
+  // User ids are compacted upstream (data::CompactIds), so this stays
+  // proportional to the user count.
+  std::vector<int32_t> slot_of_user_;
+  int trained_through_span_ = -1;
+  uint64_t version_ = 0;
+};
+
+// Exports the model's embedding table and the store's interests into a
+// fresh snapshot (the publish points in Algorithm 2: after pretraining
+// and after each span's Training procedure). Records the export cost in
+// the serve/ metrics when obs is enabled.
+std::shared_ptr<ServingSnapshot> BuildSnapshot(
+    const models::MsrModel& model, const core::InterestStore& store,
+    int trained_through_span);
+
+}  // namespace imsr::serve
+
+#endif  // IMSR_SERVE_SNAPSHOT_H_

@@ -84,6 +84,34 @@ OUT=$("$CLI" recommend --log="$LOG" --min_interactions=5 \
     --checkpoint="$CKPT" --user=0 --top_n=5)
 echo "$OUT" | grep -q "item" || fail "recommend output missing items"
 
+# Batch serving mode: requests file -> published snapshot -> top-N CSV.
+REQS="$WORKDIR/requests.txt"
+TOPN="$WORKDIR/topn.csv"
+SERVE_METRICS="$WORKDIR/serve_metrics.csv"
+{
+  echo "# user[,top_n] - one request per line"
+  echo "0,3"
+  echo ""
+  echo "1"
+  echo "2,5"
+} > "$REQS"
+OUT=$("$CLI" recommend --log="$LOG" --min_interactions=5 \
+    --checkpoint="$CKPT" --recommend_requests="$REQS" \
+    --recommend_out="$TOPN" --top_n=4 --metrics_out="$SERVE_METRICS")
+echo "$OUT" | grep -q "served 3 requests" || fail "batch recommend summary missing"
+echo "$OUT" | grep -q "from snapshot v1" || fail "batch recommend snapshot version missing"
+head -1 "$TOPN" | grep -q "^user,rank,item,score" \
+    || fail "batch recommend CSV missing header"
+grep -q "^0,1," "$TOPN" || fail "batch recommend CSV missing user 0 rank 1"
+# User 1 gave no top_n: the --top_n=4 default applies.
+test "$(grep -c '^1,' "$TOPN")" -eq 4 || fail "default top_n not applied"
+if [ "$OBS_MODE" = "obs" ]; then
+  grep -q "^counter,serve/requests," "$SERVE_METRICS" \
+      || fail "metrics missing serve/requests"
+  grep -q "^counter,serve/publishes," "$SERVE_METRICS" \
+      || fail "metrics missing serve/publishes"
+fi
+
 # --- failure paths ---------------------------------------------------------
 
 # Missing inputs exit non-zero.
@@ -114,6 +142,28 @@ if "$CLI" stats "$LOG" >/dev/null 2>"$ERR"; then
   fail "expected failure on positional argument"
 fi
 grep -q "expected --name=value" "$ERR" || fail "positional arg missing message"
+
+# A malformed request line is a usage error naming the file and line.
+BADREQS="$WORKDIR/bad_requests.txt"
+printf '0,3\nnot-a-user\n' > "$BADREQS"
+if "$CLI" recommend --log="$LOG" --min_interactions=5 \
+    --checkpoint="$CKPT" --recommend_requests="$BADREQS" \
+    --recommend_out="$TOPN" >/dev/null 2>"$ERR"; then
+  fail "expected failure on malformed request line"
+fi
+grep -q "malformed request 'not-a-user'" "$ERR" \
+    || fail "malformed request missing message"
+grep -q ":2:" "$ERR" || fail "malformed request missing line number"
+
+# A --model typo lists the valid names instead of aborting.
+if "$CLI" pretrain --log="$LOG" --min_interactions=5 \
+    --checkpoint="$WORKDIR/typo.bin" --model=cosmic \
+    >/dev/null 2>"$ERR"; then
+  fail "expected failure on --model typo"
+fi
+grep -q "unknown extractor kind 'cosmic'" "$ERR" \
+    || fail "model typo missing message"
+grep -q "MIND" "$ERR" || fail "model typo missing valid names"
 
 # Out-of-range span exits non-zero with a range message.
 if "$CLI" train-span --log="$LOG" --min_interactions=5 \

@@ -375,9 +375,26 @@ TEST(MsrModelTest, SaveLoadRoundTrip) {
 
 TEST(MsrModelTest, ExtractorKindNames) {
   EXPECT_STREQ(ExtractorKindName(ExtractorKind::kMind), "MIND");
-  EXPECT_EQ(ExtractorKindFromName("dr"), ExtractorKind::kComiRecDr);
-  EXPECT_EQ(ExtractorKindFromName("ComiRec-SA"),
-            ExtractorKind::kComiRecSa);
+  ExtractorKind kind;
+  std::string error;
+  EXPECT_TRUE(ExtractorKindFromName("dr", &kind, &error));
+  EXPECT_EQ(kind, ExtractorKind::kComiRecDr);
+  EXPECT_TRUE(ExtractorKindFromName("ComiRec-SA", &kind, &error));
+  EXPECT_EQ(kind, ExtractorKind::kComiRecSa);
+}
+
+TEST(MsrModelTest, ExtractorKindFromNameRejectsTypos) {
+  ExtractorKind kind = ExtractorKind::kMind;
+  std::string error;
+  EXPECT_FALSE(ExtractorKindFromName("cosmic-ray", &kind, &error));
+  // The error lists every valid spelling so a CLI typo is self-correcting.
+  EXPECT_NE(error.find("cosmic-ray"), std::string::npos);
+  EXPECT_NE(error.find("MIND"), std::string::npos);
+  EXPECT_NE(error.find("dr"), std::string::npos);
+  EXPECT_NE(error.find("sa"), std::string::npos);
+  EXPECT_EQ(kind, ExtractorKind::kMind);  // untouched on failure
+  // A null error sink is allowed.
+  EXPECT_FALSE(ExtractorKindFromName("nope", &kind, nullptr));
 }
 
 }  // namespace

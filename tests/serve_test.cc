@@ -1,0 +1,417 @@
+// Tests for the serving subsystem: ServingSnapshot packing/lookup,
+// snapshot-vs-live-model bitwise evaluation equivalence (every ScoreRule
+// x ItemFilter combination, across thread counts), the SnapshotRegistry's
+// atomic publish (including publish-while-reading stress), the batch
+// Recommend API, and the trainer's publish points.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/imsr_trainer.h"
+#include "core/interest_store.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "models/msr_model.h"
+#include "serve/recommend.h"
+#include "serve/registry.h"
+#include "serve/snapshot.h"
+
+namespace imsr::serve {
+namespace {
+
+// 2 users, 4 items; pretrain [0,50), span1 [50,75), span2 [75,100).
+data::Dataset MakeEvalDataset() {
+  std::vector<data::Interaction> log = {
+      {0, 0, 10}, {0, 1, 20}, {0, 2, 30},  // user 0 pretrain
+      {0, 0, 55}, {0, 1, 60},              // user 0 span 1
+      {0, 2, 80}, {0, 0, 95},              // user 0 span 2, test item 0
+      {1, 3, 15}, {1, 2, 25}, {1, 3, 35},  // user 1 pretrain
+      {1, 3, 85}, {1, 3, 90},              // user 1 span 2, test item 3
+  };
+  return data::Dataset(2, 4, log, 2, 0.5, 1);
+}
+
+// A store whose users have different interest counts (user 0: K=2,
+// user 2: K=3, user 5: K=1) so the packed layout is non-trivial.
+core::InterestStore MakeStore(int64_t dim, uint64_t seed) {
+  core::InterestStore store;
+  util::Rng rng(seed);
+  store.Initialize(0, 2, dim, 0, rng);
+  store.Initialize(2, 3, dim, 0, rng);
+  store.Initialize(5, 1, dim, 0, rng);
+  return store;
+}
+
+TEST(PackedInterestsTest, LayoutMatchesStore) {
+  core::InterestStore store = MakeStore(/*dim=*/4, /*seed=*/11);
+  const core::PackedInterests packed = store.ExportPacked();
+  ASSERT_EQ(packed.users.size(), 3u);
+  EXPECT_EQ(packed.users, (std::vector<data::UserId>{0, 2, 5}));
+  EXPECT_EQ(packed.counts, (std::vector<int32_t>{2, 3, 1}));
+  EXPECT_EQ(packed.row_begin, (std::vector<int64_t>{0, 2, 5}));
+  EXPECT_EQ(packed.dim, 4);
+  ASSERT_EQ(packed.data.size(), 6u * 4u);
+  // Every user's rows are a verbatim copy of the store tensor.
+  for (size_t u = 0; u < packed.users.size(); ++u) {
+    const nn::Tensor& interests = store.Interests(packed.users[u]);
+    const float* rows =
+        packed.data.data() + packed.row_begin[u] * packed.dim;
+    for (int64_t i = 0; i < interests.numel(); ++i) {
+      EXPECT_EQ(rows[i], interests.data()[i]);
+    }
+  }
+}
+
+TEST(ServingSnapshotTest, LookupsMatchStore) {
+  core::InterestStore store = MakeStore(/*dim=*/4, /*seed=*/12);
+  util::Rng rng(3);
+  ServingSnapshot snapshot(nn::Tensor::Randn({8, 4}, rng),
+                           store.ExportPacked(),
+                           /*trained_through_span=*/3);
+  EXPECT_EQ(snapshot.num_items(), 8);
+  EXPECT_EQ(snapshot.dim(), 4);
+  EXPECT_EQ(snapshot.num_users(), 3);
+  EXPECT_EQ(snapshot.trained_through_span(), 3);
+  EXPECT_EQ(snapshot.version(), 0u);  // unpublished
+  EXPECT_GT(snapshot.bytes(), 0);
+
+  EXPECT_TRUE(snapshot.HasUser(0));
+  EXPECT_FALSE(snapshot.HasUser(1));
+  EXPECT_TRUE(snapshot.HasUser(2));
+  EXPECT_FALSE(snapshot.HasUser(4));
+  EXPECT_TRUE(snapshot.HasUser(5));
+  EXPECT_FALSE(snapshot.HasUser(6));    // past the dense index
+  EXPECT_FALSE(snapshot.HasUser(-1));
+  EXPECT_EQ(snapshot.NumInterests(2), 3);
+  EXPECT_EQ(snapshot.NumInterests(1), 0);
+
+  for (data::UserId user : snapshot.Users()) {
+    const nn::ConstMatrixView view = snapshot.Interests(user);
+    const nn::Tensor& expected = store.Interests(user);
+    ASSERT_EQ(view.rows, expected.size(0));
+    ASSERT_EQ(view.cols, expected.size(1));
+    for (int64_t i = 0; i < expected.numel(); ++i) {
+      EXPECT_EQ(view.data[i], expected.data()[i]);
+    }
+  }
+}
+
+// The acceptance bar of the refactor: for every ScoreRule x ItemFilter
+// combination and several thread counts, evaluating over a published
+// snapshot reproduces the live-model metrics *bitwise* (EXPECT_EQ on the
+// doubles, no tolerance).
+TEST(ServingSnapshotTest, EvaluationBitwiseMatchesLiveModel) {
+  const data::Dataset dataset = MakeEvalDataset();
+  models::ModelConfig model_config;
+  model_config.embedding_dim = 8;
+  models::MsrModel model(model_config, dataset.num_items(), /*seed=*/21);
+  core::InterestStore store;
+  util::Rng rng(9);
+  store.Initialize(0, 2, 8, 0, rng);
+  store.Initialize(1, 3, 8, 0, rng);
+
+  SnapshotRegistry registry;
+  registry.Publish(BuildSnapshot(model, store, /*span=*/1));
+  const std::shared_ptr<const ServingSnapshot> snapshot =
+      registry.Current();
+  ASSERT_NE(snapshot, nullptr);
+
+  const nn::Tensor& live_embeddings =
+      model.embeddings().parameter().value();
+  for (eval::ScoreRule rule :
+       {eval::ScoreRule::kAttentive, eval::ScoreRule::kMaxInterest}) {
+    for (eval::ItemFilter filter :
+         {eval::ItemFilter::kAll, eval::ItemFilter::kExistingOnly,
+          eval::ItemFilter::kNewOnly}) {
+      for (int threads : {1, 2, 4}) {
+        eval::EvalConfig config;
+        config.top_n = 2;
+        config.rule = rule;
+        config.threads = threads;
+        const int history_span =
+            filter == eval::ItemFilter::kAll ? -1 : 1;
+        const eval::EvalResult live =
+            eval::EvaluateSpan(live_embeddings, store, dataset, /*test_span=*/2,
+                         config, filter, history_span);
+        const eval::EvalResult served =
+            eval::EvaluateSpan(*snapshot, dataset, /*test_span=*/2, config,
+                         filter, history_span);
+        EXPECT_EQ(live.metrics.users, served.metrics.users);
+        EXPECT_EQ(live.metrics.hit_ratio, served.metrics.hit_ratio);
+        EXPECT_EQ(live.metrics.ndcg, served.metrics.ndcg);
+      }
+    }
+  }
+}
+
+// A snapshot is a deep copy: training mutations after the publish must
+// not leak into already-published state.
+TEST(ServingSnapshotTest, PublishedStateIsFrozen) {
+  core::InterestStore store = MakeStore(/*dim=*/4, /*seed=*/13);
+  models::ModelConfig model_config;
+  model_config.embedding_dim = 4;
+  models::MsrModel model(model_config, /*num_items=*/6, /*seed=*/1);
+
+  SnapshotRegistry registry;
+  registry.Publish(BuildSnapshot(model, store, /*span=*/0));
+  const std::shared_ptr<const ServingSnapshot> snapshot =
+      registry.Current();
+  const float frozen_embedding = snapshot->item_embeddings().at(0, 0);
+  const float frozen_interest = snapshot->Interests(0).data[0];
+
+  // Mutate the live objects the way training would.
+  model.embeddings().parameter().mutable_value().at(0, 0) =
+      frozen_embedding + 42.0f;
+  nn::Tensor mutated = store.Interests(0).Clone();
+  mutated.at(0, 0) = frozen_interest + 42.0f;
+  store.SetInterests(0, std::move(mutated));
+
+  EXPECT_EQ(snapshot->item_embeddings().at(0, 0), frozen_embedding);
+  EXPECT_EQ(snapshot->Interests(0).data[0], frozen_interest);
+}
+
+TEST(SnapshotRegistryTest, PublishStampsMonotonicVersions) {
+  core::InterestStore store = MakeStore(/*dim=*/4, /*seed=*/14);
+  models::ModelConfig model_config;
+  model_config.embedding_dim = 4;
+  models::MsrModel model(model_config, /*num_items=*/6, /*seed=*/1);
+
+  SnapshotRegistry registry;
+  EXPECT_EQ(registry.Current(), nullptr);
+  EXPECT_EQ(registry.versions_published(), 0u);
+  registry.Publish(BuildSnapshot(model, store, 0));
+  EXPECT_EQ(registry.Current()->version(), 1u);
+  registry.Publish(BuildSnapshot(model, store, 1));
+  EXPECT_EQ(registry.Current()->version(), 2u);
+  EXPECT_EQ(registry.Current()->trained_through_span(), 1);
+  EXPECT_EQ(registry.versions_published(), 2u);
+}
+
+// A retired snapshot stays valid for readers that still hold it.
+TEST(SnapshotRegistryTest, RetiredSnapshotOutlivesPublish) {
+  core::InterestStore store = MakeStore(/*dim=*/4, /*seed=*/15);
+  models::ModelConfig model_config;
+  model_config.embedding_dim = 4;
+  models::MsrModel model(model_config, /*num_items=*/6, /*seed=*/1);
+
+  SnapshotRegistry registry;
+  registry.Publish(BuildSnapshot(model, store, 0));
+  const std::shared_ptr<const ServingSnapshot> held = registry.Current();
+  registry.Publish(BuildSnapshot(model, store, 1));
+  EXPECT_EQ(held->version(), 1u);
+  EXPECT_EQ(held->trained_through_span(), 0);
+  // The held snapshot still answers queries.
+  EXPECT_TRUE(held->HasUser(0));
+  EXPECT_EQ(held->Interests(0).rows, 2);
+}
+
+// Publish-while-reading stress: a writer publishes pattern-stamped
+// snapshots (every embedding and interest value == the snapshot's span
+// id) while reader threads continuously load and validate. A reader must
+// never observe a torn snapshot — every value it samples must equal the
+// span stamp of the snapshot it holds. ASan-friendly: also exercises
+// that retirement never frees under a reader.
+TEST(SnapshotRegistryTest, ConcurrentPublishNeverExposesPartialState) {
+  constexpr int kPublishes = 200;
+  constexpr int kReaders = 4;
+  constexpr int64_t kItems = 32;
+  constexpr int64_t kDim = 8;
+
+  auto make_stamped = [&](int stamp) {
+    core::PackedInterests packed;
+    packed.dim = kDim;
+    packed.users = {0, 1};
+    packed.row_begin = {0, 2};
+    packed.counts = {2, 3};
+    packed.data.assign(static_cast<size_t>(5 * kDim),
+                       static_cast<float>(stamp));
+    return std::make_shared<ServingSnapshot>(
+        nn::Tensor::Full({kItems, kDim}, static_cast<float>(stamp)),
+        std::move(packed), stamp);
+  };
+
+  SnapshotRegistry registry;
+  registry.Publish(make_stamped(0));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> reads{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::shared_ptr<const ServingSnapshot> snapshot =
+            registry.Current();
+        ASSERT_NE(snapshot, nullptr);
+        const float stamp =
+            static_cast<float>(snapshot->trained_through_span());
+        // Sample the frozen state; any torn publish shows up as a
+        // mismatched value.
+        const nn::Tensor& embeddings = snapshot->item_embeddings();
+        ASSERT_EQ(embeddings.at(0, 0), stamp);
+        ASSERT_EQ(embeddings.at(kItems - 1, kDim - 1), stamp);
+        const nn::ConstMatrixView interests = snapshot->Interests(1);
+        ASSERT_EQ(interests.rows, 3);
+        ASSERT_EQ(interests.data[0], stamp);
+        ASSERT_EQ(interests.data[interests.rows * interests.cols - 1],
+                  stamp);
+        // And the full read path: a Recommend batch against the held
+        // snapshot while the writer keeps publishing.
+        const std::vector<RecommendResponse> responses = Recommend(
+            *snapshot, {{0, 3}, {1, 2}, {9, 1}}, ServeConfig{3, eval::ScoreRule::kMaxInterest, 1});
+        ASSERT_EQ(responses.size(), 3u);
+        ASSERT_TRUE(responses[0].ok);
+        ASSERT_TRUE(responses[1].ok);
+        ASSERT_FALSE(responses[2].ok);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Keep publishing until the readers have validated a few snapshots —
+  // on a single core the writer could otherwise finish before any reader
+  // is scheduled. The hard cap keeps a starved run finite (and failing).
+  int publish = 0;
+  while (publish < kPublishes ||
+         (reads.load(std::memory_order_relaxed) < kReaders &&
+          publish < 200 * kPublishes)) {
+    registry.Publish(make_stamped(++publish));
+    if (publish % 16 == 0) std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(registry.Current()->trained_through_span(), publish);
+  EXPECT_GE(reads.load(), kReaders);
+}
+
+TEST(RecommendTest, AnswersBatchAgainstSnapshot) {
+  core::InterestStore store = MakeStore(/*dim=*/4, /*seed=*/16);
+  util::Rng rng(4);
+  ServingSnapshot snapshot(nn::Tensor::Randn({10, 4}, rng),
+                           store.ExportPacked(), /*span=*/1);
+
+  ServeConfig config;
+  config.default_top_n = 4;
+  const std::vector<RecommendRequest> requests = {
+      {0, 0},    // default top_n
+      {2, 3},    // explicit top_n
+      {7, 5},    // unknown user
+      {5, 100},  // top_n larger than the corpus: clamped
+  };
+  const std::vector<RecommendResponse> responses =
+      Recommend(snapshot, requests, config);
+  ASSERT_EQ(responses.size(), 4u);
+
+  EXPECT_TRUE(responses[0].ok);
+  EXPECT_EQ(responses[0].user, 0);
+  EXPECT_EQ(responses[0].items.size(), 4u);
+  // Scores come back highest first.
+  for (size_t i = 1; i < responses[0].items.size(); ++i) {
+    EXPECT_GE(responses[0].items[i - 1].second,
+              responses[0].items[i].second);
+  }
+
+  EXPECT_TRUE(responses[1].ok);
+  EXPECT_EQ(responses[1].items.size(), 3u);
+
+  EXPECT_FALSE(responses[2].ok);
+  EXPECT_NE(responses[2].error.find("user 7"), std::string::npos);
+  EXPECT_TRUE(responses[2].items.empty());
+
+  EXPECT_TRUE(responses[3].ok);
+  EXPECT_EQ(responses[3].items.size(), 10u);  // whole corpus
+}
+
+TEST(RecommendTest, IdenticalAcrossThreadCounts) {
+  core::InterestStore store = MakeStore(/*dim=*/8, /*seed=*/17);
+  util::Rng rng(5);
+  ServingSnapshot snapshot(nn::Tensor::Randn({64, 8}, rng),
+                           store.ExportPacked(), /*span=*/1);
+  std::vector<RecommendRequest> requests;
+  for (int i = 0; i < 24; ++i) {
+    requests.push_back({i % 2 == 0 ? 0 : 2, 5});
+  }
+  ServeConfig config;
+  config.rule = eval::ScoreRule::kAttentive;
+  config.threads = 1;
+  const std::vector<RecommendResponse> sequential =
+      Recommend(snapshot, requests, config);
+  for (int threads : {2, 4, 8}) {
+    config.threads = threads;
+    const std::vector<RecommendResponse> parallel =
+        Recommend(snapshot, requests, config);
+    ASSERT_EQ(parallel.size(), sequential.size());
+    for (size_t i = 0; i < sequential.size(); ++i) {
+      EXPECT_EQ(parallel[i].ok, sequential[i].ok);
+      ASSERT_EQ(parallel[i].items.size(), sequential[i].items.size());
+      for (size_t j = 0; j < sequential[i].items.size(); ++j) {
+        EXPECT_EQ(parallel[i].items[j].first,
+                  sequential[i].items[j].first);
+        EXPECT_EQ(parallel[i].items[j].second,
+                  sequential[i].items[j].second);
+      }
+    }
+  }
+}
+
+// End-to-end: the trainer publishes after pretraining and after each
+// span (Algorithm 2's publish points), and the published snapshot
+// reproduces the live evaluation bitwise.
+TEST(TrainerPublishTest, PretrainAndSpansPublishServableSnapshots) {
+  data::SyntheticConfig data_config;
+  data_config.name = "tiny";
+  data_config.num_users = 30;
+  data_config.num_items = 120;
+  data_config.num_categories = 8;
+  data_config.pretrain_interactions_per_user = 24;
+  data_config.span_interactions_per_user = 8;
+  data_config.min_interactions = 5;
+  data_config.seed = 19;
+  const data::SyntheticDataset synthetic =
+      data::GenerateSynthetic(data_config);
+  const data::Dataset& dataset = *synthetic.dataset;
+
+  models::ModelConfig model_config;
+  model_config.embedding_dim = 8;
+  models::MsrModel model(model_config, dataset.num_items(), /*seed=*/1);
+  core::InterestStore store;
+  core::TrainConfig train_config;
+  train_config.pretrain_epochs = 1;
+  train_config.epochs = 1;
+  train_config.batch_size = 32;
+  train_config.negatives = 3;
+  train_config.initial_interests = 2;
+  core::ImsrTrainer trainer(&model, &store, train_config);
+
+  SnapshotRegistry registry;
+  trainer.set_snapshot_registry(&registry);
+
+  trainer.Pretrain(dataset);
+  std::shared_ptr<const ServingSnapshot> snapshot = registry.Current();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->version(), 1u);
+  EXPECT_EQ(snapshot->trained_through_span(), 0);
+  EXPECT_EQ(static_cast<size_t>(snapshot->num_users()),
+            store.num_users());
+
+  trainer.TrainSpan(dataset, 1);
+  snapshot = registry.Current();
+  EXPECT_EQ(snapshot->version(), 2u);
+  EXPECT_EQ(snapshot->trained_through_span(), 1);
+
+  eval::EvalConfig eval_config;
+  eval_config.top_n = 10;
+  const eval::EvalResult live = eval::EvaluateSpan(
+      model.embeddings().parameter().value(), store, dataset,
+      /*test_span=*/2, eval_config);
+  const eval::EvalResult served =
+      eval::EvaluateSpan(*snapshot, dataset, /*test_span=*/2, eval_config);
+  EXPECT_EQ(live.metrics.users, served.metrics.users);
+  EXPECT_EQ(live.metrics.hit_ratio, served.metrics.hit_ratio);
+  EXPECT_EQ(live.metrics.ndcg, served.metrics.ndcg);
+}
+
+}  // namespace
+}  // namespace imsr::serve

@@ -15,9 +15,19 @@
 // state survives even a failed span-t+1 save (saves are additionally
 // atomic: tmp file + fsync + rename).
 //   evaluate   --log=log.csv --checkpoint=ckpt.bin --test-span=2
-//              HR@N / NDCG@N of the stored interests on a span's test items
+//              HR@N / NDCG@N of the stored interests on a span's test
+//              items, scored over a published ServingSnapshot (identical
+//              to the live-model path bitwise)
 //   recommend  --log=log.csv --checkpoint=ckpt.bin --user=5 [--top-n=10]
 //              top-N items for one user from the stored interests
+//   recommend  --log=log.csv --checkpoint=ckpt.bin
+//              --recommend_requests=req.txt --recommend_out=top.csv
+//              batch serving: publishes the checkpoint state as a
+//              ServingSnapshot and answers every request in req.txt (one
+//              "user[,top_n]" per line, '#' comments allowed) through the
+//              serve::Recommend fan-out; per-user errors land in the
+//              output as error rows, a malformed request line is a usage
+//              error. --rule=attentive|max and --threads=N apply.
 //
 // The model configuration (--model, --dim) must match across commands
 // that share a checkpoint; optimiser state is rebuilt per invocation (the
@@ -28,7 +38,11 @@
 // chrome://tracing-loadable trace, --metrics_interval=SECONDS rewrites
 // the metrics file periodically during long runs. When any of these is
 // set a summary table of all recorded metrics is printed at exit.
+#include <cctype>
+#include <charconv>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "core/checkpoint.h"
@@ -40,6 +54,9 @@
 #include "eval/ranker.h"
 #include "obs/obs.h"
 #include "obs/session.h"
+#include "serve/recommend.h"
+#include "serve/registry.h"
+#include "serve/snapshot.h"
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
@@ -58,13 +75,31 @@ int Usage() {
   return 2;
 }
 
-models::ModelConfig ModelConfigFromFlags(const util::Flags& flags) {
-  models::ModelConfig config;
-  config.kind =
-      models::ExtractorKindFromName(flags.GetString("model", "dr"));
-  config.embedding_dim = flags.GetInt("dim", 32);
-  config.attention_dim = flags.GetInt("dim", 32);
-  return config;
+// Fills `config` from --model/--dim; a bad --model value prints the valid
+// names and returns false (usage error) instead of aborting.
+bool ModelConfigFromFlags(const util::Flags& flags,
+                          models::ModelConfig* config) {
+  std::string error;
+  if (!models::ExtractorKindFromName(flags.GetString("model", "dr"),
+                                     &config->kind, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return false;
+  }
+  config->embedding_dim = flags.GetInt("dim", 32);
+  config->attention_dim = flags.GetInt("dim", 32);
+  return true;
+}
+
+// Reads --rule (attentive | max); a typo prints the valid names and
+// returns false.
+bool ScoreRuleFromFlags(const util::Flags& flags, eval::ScoreRule* rule) {
+  std::string error;
+  if (!eval::ScoreRuleFromName(flags.GetString("rule", "attentive"), rule,
+                               &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return false;
+  }
+  return true;
 }
 
 core::TrainConfig TrainConfigFromFlags(const util::Flags& flags) {
@@ -186,8 +221,9 @@ int CmdPretrain(const util::Flags& flags) {
     return 2;
   }
   const core::TrainConfig train = TrainConfigFromFlags(flags);
-  models::MsrModel model(ModelConfigFromFlags(flags),
-                         dataset->num_items(), train.seed);
+  models::ModelConfig model_config;
+  if (!ModelConfigFromFlags(flags, &model_config)) return 2;
+  models::MsrModel model(model_config, dataset->num_items(), train.seed);
   core::InterestStore store;
   core::ImsrTrainer trainer(&model, &store, train);
   trainer.Pretrain(*dataset);
@@ -216,8 +252,9 @@ int CmdTrainSpan(const util::Flags& flags) {
     return 2;
   }
   const core::TrainConfig train = TrainConfigFromFlags(flags);
-  models::MsrModel model(ModelConfigFromFlags(flags),
-                         dataset->num_items(), train.seed);
+  models::ModelConfig model_config;
+  if (!ModelConfigFromFlags(flags, &model_config)) return 2;
+  models::MsrModel model(model_config, dataset->num_items(), train.seed);
   core::InterestStore store;
   core::CheckpointMetadata metadata;
   std::string error;
@@ -260,8 +297,9 @@ int CmdEvaluate(const util::Flags& flags) {
     std::fprintf(stderr, "error: --checkpoint=<file> is required\n");
     return 2;
   }
-  models::MsrModel model(ModelConfigFromFlags(flags),
-                         dataset->num_items(), 1);
+  models::ModelConfig model_config;
+  if (!ModelConfigFromFlags(flags, &model_config)) return 2;
+  models::MsrModel model(model_config, dataset->num_items(), 1);
   core::InterestStore store;
   core::CheckpointMetadata metadata;
   std::string error;
@@ -271,19 +309,144 @@ int CmdEvaluate(const util::Flags& flags) {
   }
   eval::EvalConfig config;
   config.top_n = static_cast<int>(flags.GetInt("top_n", 20));
+  if (!ScoreRuleFromFlags(flags, &config.rule)) return 2;
   // <= 0 defers to the process-wide pool size (--threads / IMSR_THREADS).
   config.threads = static_cast<int>(flags.GetInt("threads", 0));
   const int test_span = static_cast<int>(flags.GetInt(
       "test_span", metadata.trained_through_span + 1));
+  // Score over a published snapshot — the exact state the serving path
+  // reads, bitwise identical to the live-model path.
+  serve::SnapshotRegistry registry;
+  registry.Publish(serve::BuildSnapshot(
+      model, store, metadata.trained_through_span));
   const eval::EvalResult result =
-      EvaluateSpan(model.embeddings().parameter().value(), store,
-                   *dataset, test_span, config);
+      EvaluateSpan(*registry.Current(), *dataset, test_span, config);
   std::printf("span %d: HR@%d %.4f  NDCG@%d %.4f  (%lld users, %.1f ms "
               "total)\n",
               test_span, config.top_n, result.metrics.hit_ratio,
               config.top_n, result.metrics.ndcg,
               static_cast<long long>(result.metrics.users),
               result.total_seconds * 1e3);
+  return 0;
+}
+
+// Parses one "user[,top_n]" request line (surrounding spaces allowed).
+// Returns false on any malformed token.
+bool ParseRequestLine(const std::string& line,
+                      serve::RecommendRequest* request) {
+  std::string trimmed = line;
+  while (!trimmed.empty() && std::isspace(
+             static_cast<unsigned char>(trimmed.back()))) {
+    trimmed.pop_back();
+  }
+  size_t begin = 0;
+  while (begin < trimmed.size() && std::isspace(
+             static_cast<unsigned char>(trimmed[begin]))) {
+    ++begin;
+  }
+  trimmed = trimmed.substr(begin);
+  const size_t comma = trimmed.find(',');
+  const std::string user_token = trimmed.substr(0, comma);
+  auto parse_int = [](const std::string& token, int64_t* out) {
+    const char* first = token.data();
+    const char* last = token.data() + token.size();
+    auto [ptr, ec] = std::from_chars(first, last, *out);
+    return ec == std::errc() && ptr == last && !token.empty();
+  };
+  int64_t user = 0;
+  if (!parse_int(user_token, &user) || user < 0) return false;
+  request->user = static_cast<data::UserId>(user);
+  request->top_n = 0;
+  if (comma != std::string::npos) {
+    int64_t top_n = 0;
+    if (!parse_int(trimmed.substr(comma + 1), &top_n) || top_n <= 0) {
+      return false;
+    }
+    request->top_n = static_cast<int>(top_n);
+  }
+  return true;
+}
+
+// Batch-serving mode of `recommend`: requests file -> top-N CSV, answered
+// from a published ServingSnapshot via the serve::Recommend fan-out.
+int RecommendBatch(const util::Flags& flags, const models::MsrModel& model,
+                   const core::InterestStore& store,
+                   int trained_through_span) {
+  const std::string requests_path = flags.GetString("recommend_requests", "");
+  const std::string out_path = flags.GetString("recommend_out", "");
+  if (out_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --recommend_requests needs --recommend_out=<csv>\n");
+    return 2;
+  }
+  std::ifstream in(requests_path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", requests_path.c_str());
+    return 1;
+  }
+  std::vector<serve::RecommendRequest> requests;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Blank lines and '#' comments are allowed.
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    serve::RecommendRequest request;
+    if (!ParseRequestLine(line, &request)) {
+      std::fprintf(stderr,
+                   "error: %s:%d: malformed request '%s' (expected "
+                   "'user[,top_n]')\n",
+                   requests_path.c_str(), line_number, line.c_str());
+      return 2;
+    }
+    requests.push_back(request);
+  }
+
+  serve::ServeConfig config;
+  config.default_top_n = static_cast<int>(flags.GetInt("top_n", 10));
+  eval::ScoreRule rule;
+  if (!ScoreRuleFromFlags(flags, &rule)) return 2;
+  config.rule = rule;
+  config.threads = static_cast<int>(flags.GetInt("threads", 0));
+
+  serve::SnapshotRegistry registry;
+  registry.Publish(serve::BuildSnapshot(model, store,
+                                        trained_through_span));
+  const std::shared_ptr<const serve::ServingSnapshot> snapshot =
+      registry.Current();
+  const std::vector<serve::RecommendResponse> responses =
+      Recommend(*snapshot, requests, config);
+
+  std::ostringstream out;
+  out << "user,rank,item,score\n";
+  size_t ok = 0;
+  for (const serve::RecommendResponse& response : responses) {
+    if (!response.ok) {
+      out << response.user << ",error,," << response.error << "\n";
+      continue;
+    }
+    ++ok;
+    for (size_t i = 0; i < response.items.size(); ++i) {
+      char score[32];
+      std::snprintf(score, sizeof(score), "%.6f",
+                    static_cast<double>(response.items[i].second));
+      out << response.user << "," << (i + 1) << ","
+          << response.items[i].first << "," << score << "\n";
+    }
+  }
+  std::ofstream out_file(out_path, std::ios::trunc);
+  if (!out_file || !(out_file << out.str()) || !out_file.flush()) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("served %zu requests (%zu ok, %zu failed) from snapshot v%llu "
+              "(span %d, %lld users); wrote %s\n",
+              responses.size(), ok, responses.size() - ok,
+              static_cast<unsigned long long>(snapshot->version()),
+              snapshot->trained_through_span(),
+              static_cast<long long>(snapshot->num_users()),
+              out_path.c_str());
   return 0;
 }
 
@@ -295,13 +458,19 @@ int CmdRecommend(const util::Flags& flags) {
     std::fprintf(stderr, "error: --checkpoint=<file> is required\n");
     return 2;
   }
-  models::MsrModel model(ModelConfigFromFlags(flags),
-                         dataset->num_items(), 1);
+  models::ModelConfig model_config;
+  if (!ModelConfigFromFlags(flags, &model_config)) return 2;
+  models::MsrModel model(model_config, dataset->num_items(), 1);
   core::InterestStore store;
+  core::CheckpointMetadata metadata;
   std::string error;
-  if (!LoadCheckpoint(checkpoint, &model, &store, nullptr, &error)) {
+  if (!LoadCheckpoint(checkpoint, &model, &store, &metadata, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
+  }
+  if (flags.Has("recommend_requests")) {
+    return RecommendBatch(flags, model, store,
+                          metadata.trained_through_span);
   }
   const auto user =
       static_cast<data::UserId>(flags.GetInt("user", -1));
