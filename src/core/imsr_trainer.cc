@@ -49,17 +49,19 @@ nn::Var ImsrTrainer::SampleLoss(const data::TrainingSample& sample,
       model_->ForwardInterests(sample.history, interest_init, sample.user);
 
   // Target embedding as a (d) vector.
-  nn::Var target_embedding = nn::ops::Reshape(
-      model_->embeddings().Lookup({sample.target}),
-      {model_->config().embedding_dim});
+  nn::Var target_embedding =
+      model_->embeddings().LookupOne(sample.target);
 
-  // Eq. 5 + Eq. 6.
+  // Eq. 5 + Eq. 6. The candidate list is trainer-owned scratch: target
+  // first, then the negatives drawn straight into the same buffer (same
+  // RNG call sequence as the old Sample + insert).
   nn::Var user_repr =
       models::AttentiveAggregate(interests, target_embedding);
-  std::vector<data::ItemId> candidates = {sample.target};
-  const std::vector<data::ItemId> negatives =
-      negative_sampler_.Sample(config_.negatives, sample.target, rng_);
-  candidates.insert(candidates.end(), negatives.begin(), negatives.end());
+  std::vector<data::ItemId>& candidates = scratch_.candidates;
+  candidates.clear();
+  candidates.push_back(sample.target);
+  negative_sampler_.SampleInto(config_.negatives, sample.target, rng_,
+                               &candidates);
   nn::Var candidate_embeddings = model_->embeddings().Lookup(candidates);
   nn::Var loss = models::SampledSoftmaxLoss(user_repr,
                                             candidate_embeddings);
@@ -71,8 +73,9 @@ nn::Var ImsrTrainer::SampleLoss(const data::TrainingSample& sample,
     auto it = teacher->interests.find(sample.user);
     if (it != teacher->interests.end() &&
         it->second.size(0) <= interests.value().size(0)) {
-      std::vector<int64_t> candidate_indices(candidates.begin(),
-                                             candidates.end());
+      std::vector<int64_t>& candidate_indices =
+          scratch_.candidate_indices;
+      candidate_indices.assign(candidates.begin(), candidates.end());
       const nn::Tensor teacher_candidates =
           nn::GatherRows(teacher->embeddings, candidate_indices);
       nn::Var retention =
@@ -94,9 +97,14 @@ double ImsrTrainer::TrainEpoch(
     const TeacherSnapshot* teacher) {
   if (samples.empty()) return 0.0;
   IMSR_TRACE_SPAN("trainer/epoch");
-  std::vector<size_t> order(samples.size());
+  std::vector<size_t>& order = scratch_.order;
+  order.resize(samples.size());
   std::iota(order.begin(), order.end(), 0);
   rng_.Shuffle(order);
+
+  // Every graph node this epoch builds is carved from the trainer's
+  // arena and recycled at the end of each optimizer step.
+  nn::GraphArenaScope arena_scope(&arena_);
 
   double epoch_loss = 0.0;
   for (size_t begin = 0; begin < order.size();
@@ -113,14 +121,20 @@ double ImsrTrainer::TrainEpoch(
     batch_loss = nn::ops::Scale(batch_loss,
                                 1.0f / static_cast<float>(end - begin));
     batch_loss.Backward();
-    optimizer_.Step();
-    optimizer_.ZeroGradAll();
+    // Read the scalar before dropping the graph; Step() only touches
+    // parameters, so the value is the same either side of it.
     epoch_loss += static_cast<double>(batch_loss.value().item()) *
                   static_cast<double>(end - begin);
+    optimizer_.Step();
+    optimizer_.ZeroGradAll();
+    batch_loss = nn::Var();
+    arena_.Reset();
     IMSR_COUNTER_ADD("trainer/steps", 1);
     IMSR_HISTOGRAM_RECORD("trainer/step_latency_ms",
                           step_timer.ElapsedMillis());
   }
+  IMSR_GAUGE_SET("memory/arena_high_water_bytes",
+                 static_cast<double>(arena_.high_water_bytes()));
   const double mean_loss =
       epoch_loss / static_cast<double>(samples.size());
   IMSR_GAUGE_SET("trainer/epoch_loss", mean_loss);
@@ -129,6 +143,8 @@ double ImsrTrainer::TrainEpoch(
 
 double ImsrTrainer::ValidationLoss(const data::Dataset& dataset,
                                    int span) {
+  // Evaluation only: skip tape construction entirely.
+  nn::NoGradGuard no_grad;
   double total = 0.0;
   int64_t count = 0;
   for (data::UserId user : dataset.active_users(span)) {

@@ -14,6 +14,7 @@
 #include "core/interests_expansion.h"
 #include "data/sampler.h"
 #include "models/msr_model.h"
+#include "nn/arena.h"
 #include "nn/optim.h"
 
 namespace imsr::serve {
@@ -141,6 +142,15 @@ class ImsrTrainer {
   // registry is attached.
   void MaybePublishSnapshot(int span);
 
+  // Reusable buffers for the steady-state training step. Capacities grow
+  // to the high-water mark once and are then recycled, so SampleLoss and
+  // TrainEpoch allocate nothing per step.
+  struct TrainScratch {
+    std::vector<data::ItemId> candidates;
+    std::vector<size_t> order;
+    std::vector<int64_t> candidate_indices;
+  };
+
   models::MsrModel* model_;
   InterestStore* store_;
   TrainConfig config_;
@@ -149,6 +159,8 @@ class ImsrTrainer {
   data::NegativeSampler negative_sampler_;
   ExpansionOutcome expansion_totals_;
   serve::SnapshotRegistry* registry_ = nullptr;  // not owned
+  nn::GraphArena arena_;  // backs autograd nodes built by TrainEpoch
+  TrainScratch scratch_;
 };
 
 }  // namespace imsr::core

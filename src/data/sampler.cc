@@ -62,13 +62,20 @@ std::vector<ItemId> NegativeSampler::Sample(int count, ItemId target,
                                             util::Rng& rng) const {
   std::vector<ItemId> negatives;
   negatives.reserve(static_cast<size_t>(count));
-  while (static_cast<int>(negatives.size()) < count) {
+  SampleInto(count, target, rng, &negatives);
+  return negatives;
+}
+
+void NegativeSampler::SampleInto(int count, ItemId target, util::Rng& rng,
+                                 std::vector<ItemId>* out) const {
+  IMSR_CHECK(out != nullptr);
+  const size_t goal = out->size() + static_cast<size_t>(count);
+  while (out->size() < goal) {
     const auto candidate =
         static_cast<ItemId>(rng.NextBelow(static_cast<uint64_t>(num_items_)));
     if (candidate == target) continue;
-    negatives.push_back(candidate);
+    out->push_back(candidate);
   }
-  return negatives;
 }
 
 }  // namespace imsr::data

@@ -40,6 +40,11 @@ class NegativeSampler {
   // replacement across draws, as in sampled softmax practice).
   std::vector<ItemId> Sample(int count, ItemId target, util::Rng& rng) const;
 
+  // Same draw sequence, appended to `out` (caller-owned buffer, reused
+  // across calls on the hot training path).
+  void SampleInto(int count, ItemId target, util::Rng& rng,
+                  std::vector<ItemId>* out) const;
+
  private:
   int32_t num_items_;
 };

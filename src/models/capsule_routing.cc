@@ -28,17 +28,26 @@ nn::Tensor B2IRouting(const nn::Tensor& e_hat,
     }
   }
 
-  nn::Tensor coupling({n, k});
+  // The iteration's temporaries live in reused scratch buffers: the Into
+  // kernels resize once and overwrite in place every round, so the loop's
+  // only storage traffic is the initial acquisition.
+  nn::Tensor coupling;
+  nn::Tensor votes;     // MatMulTransA(coupling, e_hat), (k x d)
+  nn::Tensor capsules;  // squash(votes), (k x d)
+  nn::Tensor update;    // MatMulTransB(e_hat, capsules), (n x k)
   for (int iter = 0; iter < config.iterations; ++iter) {
     // Votes: each behaviour distributes attention across interests.
-    coupling = nn::Softmax(logits);
+    nn::SoftmaxInto(logits, &coupling);
     if (iter + 1 == config.iterations) break;
     // Candidate capsules from the current coupling, then logit update
     // b_ik += e_hat_i . h_k.
-    const nn::Tensor capsules =
-        nn::SquashRows(nn::MatMulTransA(coupling, e_hat));
-    logits.AddInPlace(nn::MatMulTransB(e_hat, capsules));
+    nn::MatMulTransAInto(coupling, e_hat, &votes);
+    nn::SquashRowsInto(votes, &capsules);
+    nn::MatMulTransBInto(e_hat, capsules, &update);
+    logits.AddInPlace(update);
   }
+  IMSR_CHECK_EQ(coupling.size(0), n);
+  IMSR_CHECK_EQ(coupling.size(1), k);
   return coupling;
 }
 

@@ -19,11 +19,12 @@ nn::Var DynamicRoutingExtractor::Forward(const nn::Var& item_embeddings,
   // Eq. 3: behaviour capsules via the shared affine transform.
   nn::Var e_hat = nn::ops::MatMul(item_embeddings, transform_);
   // Routing runs outside the graph; coefficients enter as constants.
-  const nn::Tensor coupling =
-      B2IRouting(e_hat.value(), interest_init, routing_config_, &rng_);
-  const nn::Var coupling_t(nn::Transpose(coupling));  // (K x n), constant
-  // Eq. 4: h_k = squash(sum_i c_ik e_hat_i).
-  return nn::ops::SquashRows(nn::ops::MatMul(coupling_t, e_hat));
+  const nn::Var coupling(
+      B2IRouting(e_hat.value(), interest_init, routing_config_, &rng_));
+  // Eq. 4: h_k = squash(sum_i c_ik e_hat_i). The fused transposed-operand
+  // op keeps MatMul(Transpose(C), e_hat)'s accumulation order — bitwise
+  // identical — without materialising C^T.
+  return nn::ops::SquashRows(nn::ops::MatMulTransA(coupling, e_hat));
 }
 
 nn::Tensor DynamicRoutingExtractor::ForwardNoGrad(

@@ -8,8 +8,13 @@
 namespace imsr::models {
 namespace {
 
-std::vector<int64_t> ToIndices(const std::vector<data::ItemId>& items) {
-  std::vector<int64_t> indices;
+// Reusable per-thread index buffer: lookups run once per graph op and the
+// result is consumed before the next call, so borrowing one scratch
+// vector keeps the hot training path free of per-lookup allocations.
+const std::vector<int64_t>& ToIndices(
+    const std::vector<data::ItemId>& items) {
+  thread_local std::vector<int64_t> indices;
+  indices.clear();
   indices.reserve(items.size());
   for (data::ItemId item : items) indices.push_back(item);
   return indices;
@@ -27,6 +32,12 @@ EmbeddingTable::EmbeddingTable(int64_t num_items, int64_t dim,
 nn::Var EmbeddingTable::Lookup(
     const std::vector<data::ItemId>& items) const {
   return nn::ops::GatherRows(table_, ToIndices(items));
+}
+
+nn::Var EmbeddingTable::LookupOne(data::ItemId item) const {
+  thread_local std::vector<int64_t> index(1);
+  index[0] = item;
+  return nn::ops::Reshape(nn::ops::GatherRows(table_, index), {dim_});
 }
 
 nn::Tensor EmbeddingTable::LookupNoGrad(

@@ -25,6 +25,10 @@ class EmbeddingTable {
   // Graph-building lookup of a batch of items -> (n x dim) Var.
   nn::Var Lookup(const std::vector<data::ItemId>& items) const;
 
+  // Graph-building lookup of one item -> (dim) Var. Equivalent to
+  // Reshape(Lookup({item}), {dim}) without the per-call vector.
+  nn::Var LookupOne(data::ItemId item) const;
+
   // No-grad lookup -> (n x dim) Tensor.
   nn::Tensor LookupNoGrad(const std::vector<data::ItemId>& items) const;
   // No-grad lookup of a single item -> (dim) Tensor.

@@ -1,0 +1,94 @@
+#include "nn/arena.h"
+
+namespace imsr::nn {
+namespace {
+
+thread_local GraphArena* t_current_arena = nullptr;
+thread_local int t_no_grad_depth = 0;
+
+size_t AlignUp(size_t value, size_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace
+
+GraphArena::GraphArena(size_t block_bytes) : block_bytes_(block_bytes) {
+  IMSR_CHECK_GT(block_bytes_, 0u);
+}
+
+void* GraphArena::Allocate(size_t bytes, size_t alignment) {
+  IMSR_DCHECK(alignment > 0 && (alignment & (alignment - 1)) == 0);
+  bytes = AlignUp(bytes == 0 ? 1 : bytes, alignment);
+  for (;;) {
+    if (current_block_ < blocks_.size()) {
+      Block& block = blocks_[current_block_];
+      const size_t begin = AlignUp(offset_, alignment);
+      if (begin + bytes <= block.size) {
+        offset_ = begin + bytes;
+        ++live_;
+        used_bytes_ += bytes;
+        if (used_bytes_ > high_water_) high_water_ = used_bytes_;
+        return block.data.get() + begin;
+      }
+      ++current_block_;
+      offset_ = 0;
+      continue;
+    }
+    // Warm-up: grow by one block (oversized requests get a dedicated
+    // block). Blocks persist across Reset(), so a steady-state step never
+    // reaches this path again.
+    Block block;
+    block.size = bytes > block_bytes_ ? bytes : block_bytes_;
+    block.data = std::make_unique<char[]>(block.size);
+    blocks_.push_back(std::move(block));
+    current_block_ = blocks_.size() - 1;
+    offset_ = 0;
+  }
+}
+
+void GraphArena::Deallocate(void* /*ptr*/, size_t bytes) {
+  IMSR_DCHECK(live_ > 0);
+  --live_;
+  // `bytes` may be smaller than the aligned charge; used_bytes_ is a
+  // high-water heuristic, not an exact ledger, so saturate at zero.
+  used_bytes_ = used_bytes_ > bytes ? used_bytes_ - bytes : 0;
+  if (reset_pending_ && live_ == 0) DoReset();
+}
+
+void GraphArena::Reset() {
+  if (live_ == 0) {
+    DoReset();
+  } else {
+    reset_pending_ = true;
+  }
+}
+
+void GraphArena::DoReset() {
+  current_block_ = 0;
+  offset_ = 0;
+  used_bytes_ = 0;
+  reset_pending_ = false;
+}
+
+size_t GraphArena::capacity_bytes() const {
+  size_t total = 0;
+  for (const Block& block : blocks_) total += block.size;
+  return total;
+}
+
+GraphArena* CurrentGraphArena() { return t_current_arena; }
+
+GraphArenaScope::GraphArenaScope(GraphArena* arena)
+    : previous_(t_current_arena) {
+  t_current_arena = arena;
+}
+
+GraphArenaScope::~GraphArenaScope() { t_current_arena = previous_; }
+
+bool GradEnabled() { return t_no_grad_depth == 0; }
+
+NoGradGuard::NoGradGuard() { ++t_no_grad_depth; }
+
+NoGradGuard::~NoGradGuard() { --t_no_grad_depth; }
+
+}  // namespace imsr::nn

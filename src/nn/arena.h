@@ -1,0 +1,208 @@
+// Per-step bump arena for the autograd tape, plus the thread-local modes
+// that govern graph construction (active arena, no-grad). One optimizer
+// step builds a few hundred VarNodes, backward closures and parent lists
+// that all die together after optimizer_.Step(); carving them out of a
+// reusable arena replaces that churn with pointer bumps (DESIGN.md §10).
+//
+// Lifetime contract: every node allocated while a GraphArenaScope is
+// active must be released before (or by) the Reset() that recycles the
+// step's memory. Reset() enforces this safely: it only rewinds once the
+// live-allocation count reaches zero, deferring otherwise — a graph that
+// escapes the step keeps valid memory, it just delays recycling.
+#ifndef IMSR_NN_ARENA_H_
+#define IMSR_NN_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace imsr::nn {
+
+// Bump allocator with block reuse. Not thread-safe: a GraphArena belongs
+// to the single thread building and tearing down its graphs (the
+// trainer's). Blocks are retained across Reset(), so a warmed arena
+// serves a whole training run without touching the heap.
+class GraphArena {
+ public:
+  explicit GraphArena(size_t block_bytes = size_t{1} << 18);
+  ~GraphArena() = default;
+  GraphArena(const GraphArena&) = delete;
+  GraphArena& operator=(const GraphArena&) = delete;
+
+  void* Allocate(size_t bytes, size_t alignment);
+  // Releases one allocation. Memory is not reusable until Reset(); this
+  // only maintains the live count (and completes a deferred reset).
+  void Deallocate(void* ptr, size_t bytes);
+
+  // Rewinds to empty. If allocations are still live, the rewind is
+  // deferred until the last one is deallocated.
+  void Reset();
+
+  size_t live_allocations() const { return live_; }
+  // Peak concurrently-used bytes since construction (obs gauge).
+  size_t high_water_bytes() const { return high_water_; }
+  // Total capacity of the arena's blocks.
+  size_t capacity_bytes() const;
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  void DoReset();
+
+  std::vector<Block> blocks_;
+  size_t block_bytes_;
+  size_t current_block_ = 0;
+  size_t offset_ = 0;       // bump offset within blocks_[current_block_]
+  size_t used_bytes_ = 0;   // currently live bytes (approximate, aligned)
+  size_t high_water_ = 0;
+  size_t live_ = 0;
+  bool reset_pending_ = false;
+};
+
+// Arena new graph nodes are carved from on this thread, or null for plain
+// heap allocation.
+GraphArena* CurrentGraphArena();
+
+// RAII scope making `arena` the thread's current graph arena. Nests;
+// restores the previous arena (usually null) on destruction.
+class GraphArenaScope {
+ public:
+  explicit GraphArenaScope(GraphArena* arena);
+  ~GraphArenaScope();
+  GraphArenaScope(const GraphArenaScope&) = delete;
+  GraphArenaScope& operator=(const GraphArenaScope&) = delete;
+
+ private:
+  GraphArena* previous_;
+};
+
+// True unless a NoGradGuard is active on this thread.
+bool GradEnabled();
+
+// RAII inference mode: while alive, ops build no tape — no parents, no
+// backward closures, no grad flow — so eval-only forwards (e.g.
+// ImsrTrainer::ValidationLoss) pay for values only. Nests.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+};
+
+// Minimal STL allocator over a GraphArena (null arena -> operator new).
+// Used with std::allocate_shared so a VarNode and its control block land
+// in the arena as one allocation.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(GraphArena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    const size_t bytes = n * sizeof(T);
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->Allocate(bytes, alignof(T)));
+    }
+    return static_cast<T*>(::operator new(bytes));
+  }
+
+  void deallocate(T* ptr, size_t n) {
+    if (arena_ != nullptr) {
+      arena_->Deallocate(ptr, n * sizeof(T));
+    } else {
+      ::operator delete(ptr);
+    }
+  }
+
+  GraphArena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return !(a == b);
+  }
+
+ private:
+  GraphArena* arena_;
+};
+
+// Owning array of trivially-destructible elements with graph lifetime:
+// arena-backed while a graph arena is active, heap otherwise. Backward
+// closures capture one of these (e.g. GatherRows' index list) instead of
+// an owning std::vector, so per-node state follows the tape's allocator.
+template <typename T>
+class ArenaArray {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "ArenaArray elements are never destroyed individually");
+
+ public:
+  ArenaArray() = default;
+  ArenaArray(const T* src, size_t count, GraphArena* arena)
+      : arena_(arena), size_(count) {
+    if (count == 0) return;
+    const size_t bytes = count * sizeof(T);
+    data_ = static_cast<T*>(arena != nullptr
+                                ? arena->Allocate(bytes, alignof(T))
+                                : ::operator new(bytes));
+    std::memcpy(data_, src, bytes);
+  }
+  ArenaArray(ArenaArray&& other) noexcept
+      : arena_(other.arena_), data_(other.data_), size_(other.size_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  ArenaArray& operator=(ArenaArray&& other) noexcept {
+    if (this != &other) {
+      Free();
+      arena_ = other.arena_;
+      data_ = other.data_;
+      size_ = other.size_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  ArenaArray(const ArenaArray&) = delete;
+  ArenaArray& operator=(const ArenaArray&) = delete;
+  ~ArenaArray() { Free(); }
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  const T& operator[](size_t i) const {
+    IMSR_DCHECK(i < size_);
+    return data_[i];
+  }
+
+ private:
+  void Free() {
+    if (data_ == nullptr) return;
+    if (arena_ != nullptr) {
+      arena_->Deallocate(data_, size_ * sizeof(T));
+    } else {
+      ::operator delete(data_);
+    }
+    data_ = nullptr;
+  }
+
+  GraphArena* arena_ = nullptr;
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace imsr::nn
+
+#endif  // IMSR_NN_ARENA_H_

@@ -1,7 +1,10 @@
 #include "nn/ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
+
+#include "nn/arena.h"
 
 namespace imsr::nn::ops {
 namespace {
@@ -68,7 +71,7 @@ Var DivByScalar(const Var& a, const Var& s) {
       // d/ds (a/s) = -a / s^2.
       Tensor gs({1});
       gs.at(0) = -nn::DotFlat(node.grad, a.value()) / (denom * denom);
-      s.node()->AccumulateGrad(gs);
+      s.node()->AccumulateGrad(std::move(gs));
     }
   });
 }
@@ -89,17 +92,17 @@ Var ScaleRows(const Var& a, const Var& scale) {
     const int64_t m = a.value().size(0);
     const int64_t d = a.value().size(1);
     if (Wants(a)) {
-      Tensor ga(a.value().shape());
+      Tensor ga = Tensor::Uninitialized(a.value().shape());
       for (int64_t i = 0; i < m; ++i) {
         const float s = scale.value().data()[i];
         const float* g = node.grad.data() + i * d;
         float* o = ga.data() + i * d;
         for (int64_t j = 0; j < d; ++j) o[j] = s * g[j];
       }
-      a.node()->AccumulateGrad(ga);
+      a.node()->AccumulateGrad(std::move(ga));
     }
     if (Wants(scale)) {
-      Tensor gs(scale.value().shape());
+      Tensor gs = Tensor::Uninitialized(scale.value().shape());
       for (int64_t i = 0; i < m; ++i) {
         const float* g = node.grad.data() + i * d;
         const float* row = a.value().data() + i * d;
@@ -107,7 +110,7 @@ Var ScaleRows(const Var& a, const Var& scale) {
         for (int64_t j = 0; j < d; ++j) acc += g[j] * row[j];
         gs.data()[i] = acc;
       }
-      scale.node()->AccumulateGrad(gs);
+      scale.node()->AccumulateGrad(std::move(gs));
     }
   });
 }
@@ -126,32 +129,83 @@ Var MatMul(const Var& a, const Var& b) {
   });
 }
 
+Var MatMulTransA(const Var& a, const Var& b) {
+  Tensor out = nn::MatMulTransA(a.value(), b.value());
+  return Var::MakeNode(std::move(out), {a, b}, [a, b](VarNode& node) {
+    // y = A^T B: dL/dA = B G^T ; dL/dB = A G.
+    if (Wants(a)) {
+      a.node()->AccumulateGrad(nn::MatMulTransB(b.value(), node.grad));
+    }
+    if (Wants(b)) {
+      b.node()->AccumulateGrad(nn::MatMul(a.value(), node.grad));
+    }
+  });
+}
+
 Var MatVec(const Var& a, const Var& x) {
   Tensor out = nn::MatVec(a.value(), x.value());
   return Var::MakeNode(std::move(out), {a, x}, [a, x](VarNode& node) {
     const int64_t m = a.value().size(0);
     const int64_t k = a.value().size(1);
+    const float* g = node.grad.data();
     if (Wants(a)) {
       // dL/dA = g x^T (outer product).
-      Tensor ga({m, k});
+      Tensor ga = Tensor::Uninitialized({m, k});
+      const float* px = x.value().data();
+      float* po = ga.data();
       for (int64_t i = 0; i < m; ++i) {
-        const float gi = node.grad.at(i);
-        for (int64_t j = 0; j < k; ++j) {
-          ga.at(i, j) = gi * x.value().at(j);
-        }
+        const float gi = g[i];
+        float* orow = po + i * k;
+        for (int64_t j = 0; j < k; ++j) orow[j] = gi * px[j];
       }
-      a.node()->AccumulateGrad(ga);
+      a.node()->AccumulateGrad(std::move(ga));
     }
     if (Wants(x)) {
       // dL/dx = A^T g.
       Tensor gx({k});
+      const float* pa = a.value().data();
+      float* po = gx.data();
       for (int64_t i = 0; i < m; ++i) {
-        const float gi = node.grad.at(i);
-        for (int64_t j = 0; j < k; ++j) {
-          gx.at(j) += gi * a.value().at(i, j);
-        }
+        const float gi = g[i];
+        const float* arow = pa + i * k;
+        for (int64_t j = 0; j < k; ++j) po[j] += gi * arow[j];
       }
-      x.node()->AccumulateGrad(gx);
+      x.node()->AccumulateGrad(std::move(gx));
+    }
+  });
+}
+
+Var MatVecTransA(const Var& a, const Var& x) {
+  IMSR_CHECK_EQ(a.value().dim(), 2);
+  IMSR_CHECK_EQ(x.value().dim(), 1);
+  IMSR_CHECK_EQ(a.value().size(0), x.value().numel());
+  Tensor out = nn::MatVecTransA(a.value(), x.value());
+  return Var::MakeNode(std::move(out), {a, x}, [a, x](VarNode& node) {
+    const int64_t m = a.value().size(0);
+    const int64_t k = a.value().size(1);
+    const float* g = node.grad.data();
+    if (Wants(a)) {
+      // y = A^T x: dL/dA = x g^T (outer product).
+      Tensor ga = Tensor::Uninitialized({m, k});
+      const float* px = x.value().data();
+      for (int64_t i = 0; i < m; ++i) {
+        const float xi = px[i];
+        float* o = ga.data() + i * k;
+        for (int64_t j = 0; j < k; ++j) o[j] = xi * g[j];
+      }
+      a.node()->AccumulateGrad(std::move(ga));
+    }
+    if (Wants(x)) {
+      // dL/dx = A g.
+      Tensor gx = Tensor::Uninitialized({m});
+      const float* pa = a.value().data();
+      for (int64_t i = 0; i < m; ++i) {
+        const float* arow = pa + i * k;
+        float acc = 0.0f;
+        for (int64_t j = 0; j < k; ++j) acc += arow[j] * g[j];
+        gx.at(i) = acc;
+      }
+      x.node()->AccumulateGrad(std::move(gx));
     }
   });
 }
@@ -173,7 +227,7 @@ Var Dot(const Var& a, const Var& b) {
   });
 }
 
-Var Reshape(const Var& a, std::vector<int64_t> shape) {
+Var Reshape(const Var& a, Shape shape) {
   Tensor out = a.value().Reshape(shape);
   return Var::MakeNode(std::move(out), {a}, [a](VarNode& node) {
     if (Wants(a)) {
@@ -215,44 +269,45 @@ Var SumSquares(const Var& a) {
   });
 }
 
+// The unary nonlinearities read their own output (node.value) in the
+// backward pass instead of capturing a saved copy — the node already
+// keeps the value alive for exactly as long as the closure.
+
 Var Sigmoid(const Var& a) {
   Tensor out = nn::Sigmoid(a.value());
-  Tensor saved = out;  // backward uses y directly
-  return Var::MakeNode(std::move(out), {a}, [a, saved](VarNode& node) {
+  return Var::MakeNode(std::move(out), {a}, [a](VarNode& node) {
     if (!Wants(a)) return;
-    Tensor grad(saved.shape());
-    const float* y = saved.data();
+    Tensor grad = Tensor::Uninitialized(node.value.shape());
+    const float* y = node.value.data();
     const float* g = node.grad.data();
     float* o = grad.data();
-    for (int64_t i = 0; i < saved.numel(); ++i) {
+    for (int64_t i = 0; i < node.value.numel(); ++i) {
       o[i] = g[i] * y[i] * (1.0f - y[i]);
     }
-    a.node()->AccumulateGrad(grad);
+    a.node()->AccumulateGrad(std::move(grad));
   });
 }
 
 Var Tanh(const Var& a) {
   Tensor out = nn::Tanh(a.value());
-  Tensor saved = out;
-  return Var::MakeNode(std::move(out), {a}, [a, saved](VarNode& node) {
+  return Var::MakeNode(std::move(out), {a}, [a](VarNode& node) {
     if (!Wants(a)) return;
-    Tensor grad(saved.shape());
-    const float* y = saved.data();
+    Tensor grad = Tensor::Uninitialized(node.value.shape());
+    const float* y = node.value.data();
     const float* g = node.grad.data();
     float* o = grad.data();
-    for (int64_t i = 0; i < saved.numel(); ++i) {
+    for (int64_t i = 0; i < node.value.numel(); ++i) {
       o[i] = g[i] * (1.0f - y[i] * y[i]);
     }
-    a.node()->AccumulateGrad(grad);
+    a.node()->AccumulateGrad(std::move(grad));
   });
 }
 
 Var Exp(const Var& a) {
   Tensor out = nn::Exp(a.value());
-  Tensor saved = out;
-  return Var::MakeNode(std::move(out), {a}, [a, saved](VarNode& node) {
+  return Var::MakeNode(std::move(out), {a}, [a](VarNode& node) {
     if (!Wants(a)) return;
-    a.node()->AccumulateGrad(nn::Mul(node.grad, saved));
+    a.node()->AccumulateGrad(nn::Mul(node.grad, node.value));
   });
 }
 
@@ -260,38 +315,37 @@ Var Relu(const Var& a) {
   Tensor out = a.value();
   float* p = out.data();
   for (int64_t i = 0; i < out.numel(); ++i) p[i] = std::max(p[i], 0.0f);
-  Tensor saved = out;
-  return Var::MakeNode(std::move(out), {a}, [a, saved](VarNode& node) {
+  return Var::MakeNode(std::move(out), {a}, [a](VarNode& node) {
     if (!Wants(a)) return;
-    Tensor grad(saved.shape());
-    const float* y = saved.data();
+    Tensor grad = Tensor::Uninitialized(node.value.shape());
+    const float* y = node.value.data();
     const float* g = node.grad.data();
     float* o = grad.data();
-    for (int64_t i = 0; i < saved.numel(); ++i) {
+    for (int64_t i = 0; i < node.value.numel(); ++i) {
       o[i] = y[i] > 0.0f ? g[i] : 0.0f;
     }
-    a.node()->AccumulateGrad(grad);
+    a.node()->AccumulateGrad(std::move(grad));
   });
 }
 
 Var Softmax(const Var& a) {
   Tensor out = nn::Softmax(a.value());
-  Tensor saved = out;
-  return Var::MakeNode(std::move(out), {a}, [a, saved](VarNode& node) {
+  return Var::MakeNode(std::move(out), {a}, [a](VarNode& node) {
     if (!Wants(a)) return;
     // Row-wise Jacobian product: dx = y * (g - <g, y>).
-    const int64_t rows = saved.dim() == 2 ? saved.size(0) : 1;
-    const int64_t cols = saved.dim() == 2 ? saved.size(1) : saved.numel();
-    Tensor grad(saved.shape());
+    const Tensor& y_all = node.value;
+    const int64_t rows = y_all.dim() == 2 ? y_all.size(0) : 1;
+    const int64_t cols = y_all.dim() == 2 ? y_all.size(1) : y_all.numel();
+    Tensor grad = Tensor::Uninitialized(y_all.shape());
     for (int64_t i = 0; i < rows; ++i) {
-      const float* y = saved.data() + i * cols;
+      const float* y = y_all.data() + i * cols;
       const float* g = node.grad.data() + i * cols;
       float* o = grad.data() + i * cols;
       float dot = 0.0f;
       for (int64_t j = 0; j < cols; ++j) dot += g[j] * y[j];
       for (int64_t j = 0; j < cols; ++j) o[j] = y[j] * (g[j] - dot);
     }
-    a.node()->AccumulateGrad(grad);
+    a.node()->AccumulateGrad(std::move(grad));
   });
 }
 
@@ -304,7 +358,7 @@ Var SquashRows(const Var& a) {
     const Tensor& v_all = a.value();
     const int64_t rows = v_all.dim() == 2 ? v_all.size(0) : 1;
     const int64_t cols = v_all.dim() == 2 ? v_all.size(1) : v_all.numel();
-    Tensor grad(v_all.shape());
+    Tensor grad = Tensor::Uninitialized(v_all.shape());
     for (int64_t i = 0; i < rows; ++i) {
       const float* v = v_all.data() + i * cols;
       const float* g = node.grad.data() + i * cols;
@@ -325,14 +379,25 @@ Var SquashRows(const Var& a) {
       const float radial = c_prime / n * vg;
       for (int64_t j = 0; j < cols; ++j) o[j] = c * g[j] + radial * v[j];
     }
-    a.node()->AccumulateGrad(grad);
+    a.node()->AccumulateGrad(std::move(grad));
   });
 }
 
 Var GatherRows(const Var& table, const std::vector<int64_t>& indices) {
-  Tensor out = nn::GatherRows(table.value(), indices);
+  Tensor out;
+  GatherRowsInto(table.value(), indices.data(),
+                 static_cast<int64_t>(indices.size()), &out);
+  // The backward closure owns its index list through the graph's
+  // allocator (ArenaArray), not a heap vector; skip the copy entirely
+  // when no gradient will flow.
+  ArenaArray<int64_t> saved;
+  if (GradEnabled() && Wants(table)) {
+    saved = ArenaArray<int64_t>(indices.data(), indices.size(),
+                                CurrentGraphArena());
+  }
   return Var::MakeNode(
-      std::move(out), {table}, [table, indices](VarNode& node) {
+      std::move(out), {table},
+      [table, saved = std::move(saved)](VarNode& node) {
         if (!Wants(table)) return;
         // Scatter-add directly into the (typically huge) table gradient —
         // allocating a dense temporary per lookup would dominate training
@@ -342,9 +407,9 @@ Var GatherRows(const Var& table, const std::vector<int64_t>& indices) {
           parent->grad = Tensor::Zeros(table.value().shape());
         }
         const int64_t cols = table.value().size(1);
-        for (size_t i = 0; i < indices.size(); ++i) {
+        for (size_t i = 0; i < saved.size(); ++i) {
           const float* g = node.grad.data() + static_cast<int64_t>(i) * cols;
-          float* o = parent->grad.data() + indices[i] * cols;
+          float* o = parent->grad.data() + saved[i] * cols;
           for (int64_t j = 0; j < cols; ++j) o[j] += g[j];
         }
       });
@@ -363,10 +428,10 @@ Var ConcatRows(const std::vector<Var>& parts) {
       const int64_t part_rows =
           part.value().dim() == 2 ? part.value().size(0) : 1;
       if (Wants(part)) {
-        Tensor grad(part.value().shape());
+        Tensor grad = Tensor::Uninitialized(part.value().shape());
         std::copy_n(node.grad.data() + row * cols,
                     static_cast<size_t>(part_rows * cols), grad.data());
-        part.node()->AccumulateGrad(grad);
+        part.node()->AccumulateGrad(std::move(grad));
       }
       row += part_rows;
     }
@@ -382,7 +447,7 @@ Var RowSlice(const Var& a, int64_t begin, int64_t end) {
     std::copy_n(node.grad.data(),
                 static_cast<size_t>(node.grad.numel()),
                 grad.data() + begin * cols);
-    a.node()->AccumulateGrad(grad);
+    a.node()->AccumulateGrad(std::move(grad));
   });
 }
 
@@ -394,7 +459,7 @@ Var RowVector(const Var& a, int64_t i) {
     const int64_t cols = a.value().size(1);
     std::copy_n(node.grad.data(), static_cast<size_t>(cols),
                 grad.data() + i * cols);
-    a.node()->AccumulateGrad(grad);
+    a.node()->AccumulateGrad(std::move(grad));
   });
 }
 
@@ -407,12 +472,13 @@ Var NegLogSoftmax(const Var& scores, int64_t target) {
   out.at(0) = lse.at(0) - s.at(target);
   Tensor probs = nn::Softmax(s);
   return Var::MakeNode(
-      std::move(out), {scores}, [scores, probs, target](VarNode& node) {
+      std::move(out), {scores},
+      [scores, probs = std::move(probs), target](VarNode& node) {
         if (!Wants(scores)) return;
         // d/ds = softmax(s) - onehot(target), times upstream scalar.
         Tensor grad = nn::Scale(probs, node.grad.at(0));
         grad.at(target) -= node.grad.at(0);
-        scores.node()->AccumulateGrad(grad);
+        scores.node()->AccumulateGrad(std::move(grad));
       });
 }
 
@@ -440,13 +506,13 @@ Var KdSigmoidCrossEntropy(const Var& student_logits,
         if (!Wants(student_logits)) return;
         // dBCE/ds_k = (sigma(s_k/tau) - p_k) / tau.
         const Tensor& s = student_logits.value();
-        Tensor grad(s.shape());
+        Tensor grad = Tensor::Uninitialized(s.shape());
         const float g = node.grad.at(0);
         for (int64_t k = 0; k < s.numel(); ++k) {
           const float sig = 1.0f / (1.0f + std::exp(-s.at(k) / tau));
           grad.at(k) = g * (sig - teacher_probs.at(k)) / tau;
         }
-        student_logits.node()->AccumulateGrad(grad);
+        student_logits.node()->AccumulateGrad(std::move(grad));
       });
 }
 
@@ -474,7 +540,8 @@ Var KdSoftmaxCrossEntropy(const Var& student_logits,
   Tensor student_probs = nn::Softmax(scaled);
   return Var::MakeNode(
       std::move(out), {student_logits},
-      [student_logits, teacher_probs, student_probs, tau](VarNode& node) {
+      [student_logits, teacher_probs,
+       student_probs = std::move(student_probs), tau](VarNode& node) {
         if (!Wants(student_logits)) return;
         // d/ds_k = (sum_j p_j) * q_k - p_k, all over tau; teacher need not
         // be normalised, hence the explicit sum.
@@ -483,14 +550,14 @@ Var KdSoftmaxCrossEntropy(const Var& student_logits,
           teacher_mass += teacher_probs.at(k);
         }
         const float g = node.grad.at(0);
-        Tensor grad(student_probs.shape());
+        Tensor grad = Tensor::Uninitialized(student_probs.shape());
         for (int64_t k = 0; k < grad.numel(); ++k) {
           grad.at(k) = g *
                        (teacher_mass * student_probs.at(k) -
                         teacher_probs.at(k)) /
                        tau;
         }
-        student_logits.node()->AccumulateGrad(grad);
+        student_logits.node()->AccumulateGrad(std::move(grad));
       });
 }
 

@@ -25,12 +25,19 @@ Var AddScalar(const Var& a, float alpha);
 Var MatMul(const Var& a, const Var& b);
 // (m x k) * (k) -> (m)
 Var MatVec(const Var& a, const Var& x);
+// a^T x for a (m x k) and x (m) -> (k). Fuses MatVec(Transpose(a), x):
+// same accumulation order, so bitwise identical, with no materialised
+// transpose in either the forward or the backward pass.
+Var MatVecTransA(const Var& a, const Var& x);
+// a^T b for a (r x m) and b (r x n) -> (m x n). Fuses
+// MatMul(Transpose(a), b) the same way.
+Var MatMulTransA(const Var& a, const Var& b);
 // 2-D transpose.
 Var Transpose(const Var& a);
 // Flattened dot product -> scalar (1-element tensor).
 Var Dot(const Var& a, const Var& b);
 // Same data, new shape; gradient reshapes back.
-Var Reshape(const Var& a, std::vector<int64_t> shape);
+Var Reshape(const Var& a, Shape shape);
 
 // a / s where `s` is a 1-element Var (scalar division, used by the
 // linear-attention baseline's normalisation).

@@ -12,8 +12,7 @@ namespace {
 // the update bitwise identical for any thread count.
 constexpr int64_t kParallelElements = 1 << 15;
 
-void ParallelElementwise(int64_t count,
-                         const std::function<void(int64_t, int64_t)>& fn) {
+void ParallelElementwise(int64_t count, util::RangeFn fn) {
   if (count >= kParallelElements) {
     util::GlobalPool().ParallelFor(count, /*grain=*/0, fn);
   } else {

@@ -2,15 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 #include <sstream>
 
+#include "util/buffer_pool.h"
 #include "util/thread_pool.h"
 
 namespace imsr::nn {
 namespace {
 
-int64_t ShapeNumel(const std::vector<int64_t>& shape) {
+int64_t ShapeNumel(const Shape& shape) {
   IMSR_CHECK(!shape.empty());
   int64_t numel = 1;
   for (int64_t extent : shape) {
@@ -22,41 +24,98 @@ int64_t ShapeNumel(const std::vector<int64_t>& shape) {
 
 }  // namespace
 
-Tensor::Tensor(std::vector<int64_t> shape)
-    : shape_(std::move(shape)),
-      data_(static_cast<size_t>(ShapeNumel(shape_)), 0.0f) {}
+// ---- Storage lifecycle: every buffer comes from / returns to the
+// size-class pool (a plain heap vector under -DIMSR_POOL=OFF). ----
 
-Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> values)
-    : shape_(std::move(shape)), data_(std::move(values)) {
+Tensor::Tensor(Shape shape)
+    : shape_(shape),
+      data_(util::AcquireZeroedBuffer(
+          static_cast<size_t>(ShapeNumel(shape)))) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(shape), data_(std::move(values)) {
   IMSR_CHECK_EQ(ShapeNumel(shape_), static_cast<int64_t>(data_.size()));
 }
 
-Tensor Tensor::Zeros(std::vector<int64_t> shape) {
-  return Tensor(std::move(shape));
+Tensor::~Tensor() {
+  if (data_.capacity() != 0) util::ReleaseBuffer(std::move(data_));
 }
 
-Tensor Tensor::Ones(std::vector<int64_t> shape) {
-  return Full(std::move(shape), 1.0f);
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_) {
+  if (other.data_.empty()) return;
+  data_ = util::AcquireBuffer(other.data_.size());
+  std::memcpy(data_.data(), other.data_.data(),
+              other.data_.size() * sizeof(float));
 }
 
-Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
-  Tensor t(std::move(shape));
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  shape_ = other.shape_;
+  if (data_.size() != other.data_.size()) {
+    if (data_.capacity() != 0) util::ReleaseBuffer(std::move(data_));
+    data_ = other.data_.empty()
+                ? std::vector<float>()
+                : util::AcquireBuffer(other.data_.size());
+  }
+  if (!other.data_.empty()) {
+    std::memcpy(data_.data(), other.data_.data(),
+                other.data_.size() * sizeof(float));
+  }
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(other.shape_), data_(std::move(other.data_)) {
+  other.shape_ = Shape();
+  other.data_.clear();
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  if (data_.capacity() != 0) util::ReleaseBuffer(std::move(data_));
+  shape_ = other.shape_;
+  data_ = std::move(other.data_);
+  other.shape_ = Shape();
+  other.data_.clear();
+  return *this;
+}
+
+void Tensor::ResizeUninitialized(Shape shape) {
+  const int64_t n = ShapeNumel(shape);
+  if (n != numel()) {
+    if (data_.capacity() != 0) util::ReleaseBuffer(std::move(data_));
+    data_ = util::AcquireBuffer(static_cast<size_t>(n));
+  }
+  shape_ = shape;
+}
+
+Tensor Tensor::Zeros(Shape shape) { return Tensor(shape); }
+
+Tensor Tensor::Ones(Shape shape) { return Full(shape, 1.0f); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t = Uninitialized(shape);
   t.Fill(value);
   return t;
 }
 
-Tensor Tensor::Randn(std::vector<int64_t> shape, util::Rng& rng, float mean,
-                     float stddev) {
-  Tensor t(std::move(shape));
+Tensor Tensor::Uninitialized(Shape shape) {
+  Tensor t;
+  t.shape_ = shape;
+  t.data_ = util::AcquireBuffer(static_cast<size_t>(ShapeNumel(shape)));
+  return t;
+}
+
+Tensor Tensor::Randn(Shape shape, util::Rng& rng, float mean, float stddev) {
+  Tensor t = Uninitialized(shape);
   for (float& v : t.data_) {
     v = static_cast<float>(rng.Gaussian(mean, stddev));
   }
   return t;
 }
 
-Tensor Tensor::RandUniform(std::vector<int64_t> shape, util::Rng& rng,
-                           float lo, float hi) {
-  Tensor t(std::move(shape));
+Tensor Tensor::RandUniform(Shape shape, util::Rng& rng, float lo, float hi) {
+  Tensor t = Uninitialized(shape);
   for (float& v : t.data_) v = static_cast<float>(rng.Uniform(lo, hi));
   return t;
 }
@@ -72,45 +131,11 @@ Tensor Tensor::FromVector(const std::vector<float>& values) {
   return Tensor({static_cast<int64_t>(values.size())}, values);
 }
 
-int64_t Tensor::size(int64_t axis) const {
-  IMSR_CHECK(axis >= 0 && axis < dim());
-  return shape_[static_cast<size_t>(axis)];
-}
-
-float& Tensor::at(int64_t i) {
-  IMSR_DCHECK(dim() == 1 && i >= 0 && i < shape_[0]);
-  return data_[static_cast<size_t>(i)];
-}
-
-float Tensor::at(int64_t i) const {
-  IMSR_DCHECK(dim() == 1 && i >= 0 && i < shape_[0]);
-  return data_[static_cast<size_t>(i)];
-}
-
-float& Tensor::at(int64_t i, int64_t j) {
-  return data_[static_cast<size_t>(Offset(i, j))];
-}
-
-float Tensor::at(int64_t i, int64_t j) const {
-  return data_[static_cast<size_t>(Offset(i, j))];
-}
-
-float& Tensor::at(int64_t i, int64_t j, int64_t k) {
-  return data_[static_cast<size_t>(Offset(i, j, k))];
-}
-
-float Tensor::at(int64_t i, int64_t j, int64_t k) const {
-  return data_[static_cast<size_t>(Offset(i, j, k))];
-}
-
-float Tensor::item() const {
-  IMSR_CHECK_EQ(numel(), 1);
-  return data_[0];
-}
-
-Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
+Tensor Tensor::Reshape(Shape new_shape) const {
   IMSR_CHECK_EQ(ShapeNumel(new_shape), numel());
-  return Tensor(std::move(new_shape), data_);
+  Tensor out = *this;
+  out.shape_ = new_shape;
+  return out;
 }
 
 void Tensor::Fill(float value) {
@@ -137,7 +162,7 @@ Tensor Tensor::Row(int64_t i) const {
   IMSR_CHECK_EQ(dim(), 2);
   IMSR_CHECK(i >= 0 && i < shape_[0]);
   const int64_t cols = shape_[1];
-  Tensor row({cols});
+  Tensor row = Uninitialized({cols});
   std::copy_n(data_.begin() + static_cast<size_t>(i * cols),
               static_cast<size_t>(cols), row.data_.begin());
   return row;
@@ -157,7 +182,7 @@ Tensor Tensor::RowSlice(int64_t begin, int64_t end) const {
   IMSR_CHECK(begin >= 0 && begin < end && end <= shape_[0])
       << "RowSlice [" << begin << ", " << end << ") of " << shape_[0];
   const int64_t cols = shape_[1];
-  Tensor out({end - begin, cols});
+  Tensor out = Uninitialized({end - begin, cols});
   std::copy(data_.begin() + static_cast<size_t>(begin * cols),
             data_.begin() + static_cast<size_t>(end * cols),
             out.data_.begin());
@@ -288,6 +313,27 @@ void MatMulRows(const float* __restrict__ pa, const float* __restrict__ pb,
     }
   }
 }
+
+// Rank-1 update core for A^T * B: out += a.row(t)^T * b.row(t), t
+// ascending, so every out[i][j] accumulates its r contributions in the
+// same order as MatMul(Transpose(a), b) — bitwise interchangeable with
+// it. All three matrices stream row-major; output rows are not
+// independent across t, so the kernel is single-threaded (its matrices
+// are routing-loop sized). Same saxpy inner loop as MatMulRows, same
+// -O3-for-vectorization treatment.
+void MatMulTransARank1(const float* __restrict__ pa,
+                       const float* __restrict__ pb, float* __restrict__ po,
+                       int64_t r, int64_t m, int64_t n) {
+  for (int64_t t = 0; t < r; ++t) {
+    const float* __restrict__ arow = pa + t * m;
+    const float* __restrict__ brow = pb + t * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float ati = arow[i];
+      float* __restrict__ orow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += ati * brow[j];
+    }
+  }
+}
 #if defined(__GNUC__) && !defined(__clang__)
 #pragma GCC pop_options
 #endif
@@ -361,16 +407,24 @@ void MatMulTransBRows(const float* __restrict__ pa,
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  MatMulInto(a, b, &out);
+  return out;
+}
+
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  IMSR_CHECK(out != nullptr);
   IMSR_CHECK_EQ(a.dim(), 2);
   IMSR_CHECK_EQ(b.dim(), 2);
   IMSR_CHECK_EQ(a.size(1), b.size(0));
   const int64_t m = a.size(0);
   const int64_t k = a.size(1);
   const int64_t n = b.size(1);
-  Tensor out({m, n});
+  out->ResizeUninitialized({m, n});
+  out->Fill(0.0f);  // the saxpy kernel accumulates into the output
   const float* pa = a.data();
   const float* pb = b.data();
-  float* po = out.data();
+  float* po = out->data();
   if (m * k * n >= kParallelWorkThreshold) {
     util::GlobalPool().ParallelFor(
         m, RowGrain(m, k * n), [&](int64_t begin, int64_t end) {
@@ -379,7 +433,6 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   } else {
     MatMulRows(pa, pb, po, 0, m, k, n);
   }
-  return out;
 }
 
 Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
@@ -401,9 +454,7 @@ void MatMulTransBInto(const Tensor& a, ConstMatrixView b, Tensor* out) {
   const int64_t m = a.size(0);
   const int64_t k = a.size(1);
   const int64_t n = b.rows;
-  if (out->dim() != 2 || out->size(0) != m || out->size(1) != n) {
-    *out = Tensor({m, n});
-  }
+  out->ResizeUninitialized({m, n});
   const float* pa = a.data();
   const float* pb = b.data;
   float* po = out->data();
@@ -418,30 +469,22 @@ void MatMulTransBInto(const Tensor& a, ConstMatrixView b, Tensor* out) {
 }
 
 Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  MatMulTransAInto(a, b, &out);
+  return out;
+}
+
+void MatMulTransAInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  IMSR_CHECK(out != nullptr);
   IMSR_CHECK_EQ(a.dim(), 2);
   IMSR_CHECK_EQ(b.dim(), 2);
   IMSR_CHECK_EQ(a.size(0), b.size(0));
   const int64_t r = a.size(0);
   const int64_t m = a.size(1);
   const int64_t n = b.size(1);
-  Tensor out({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  // Rank-1 updates: out += a.row(t)^T * b.row(t); all three matrices
-  // stream row-major. Output rows are not independent across t, so this
-  // kernel stays single-threaded (it only backs autograd's backward pass,
-  // whose matrices are small).
-  for (int64_t t = 0; t < r; ++t) {
-    const float* __restrict__ arow = pa + t * m;
-    const float* __restrict__ brow = pb + t * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float ati = arow[i];
-      float* __restrict__ orow = po + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += ati * brow[j];
-    }
-  }
-  return out;
+  out->ResizeUninitialized({m, n});
+  out->Fill(0.0f);  // rank-1 updates accumulate into the output
+  MatMulTransARank1(a.data(), b.data(), out->data(), r, m, n);
 }
 
 Tensor MatMulSparse(const Tensor& a, const Tensor& b) {
@@ -468,14 +511,36 @@ Tensor MatMulSparse(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Transpose(const Tensor& a) {
+  Tensor out;
+  TransposeInto(a, &out);
+  return out;
+}
+
+void TransposeInto(const Tensor& a, Tensor* out) {
+  IMSR_CHECK(out != nullptr);
+  IMSR_CHECK(out != &a) << "TransposeInto output must not alias the input";
   IMSR_CHECK_EQ(a.dim(), 2);
   const int64_t m = a.size(0);
   const int64_t n = a.size(1);
-  Tensor out({n, m});
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
+  out->ResizeUninitialized({n, m});
+  const float* __restrict__ pa = a.data();
+  float* __restrict__ po = out->data();
+  // 32x32 tiles: both the row-major reads and the strided writes stay
+  // within a few cache lines per tile. A pure permutation — trivially
+  // bitwise identical to the naive loop.
+  constexpr int64_t kTile = 32;
+  for (int64_t i0 = 0; i0 < m; i0 += kTile) {
+    const int64_t i_end = std::min(m, i0 + kTile);
+    for (int64_t j0 = 0; j0 < n; j0 += kTile) {
+      const int64_t j_end = std::min(n, j0 + kTile);
+      for (int64_t i = i0; i < i_end; ++i) {
+        const float* __restrict__ arow = pa + i * n;
+        for (int64_t j = j0; j < j_end; ++j) {
+          po[j * m + i] = arow[j];
+        }
+      }
+    }
   }
-  return out;
 }
 
 Tensor MatVec(const Tensor& a, const Tensor& x) {
@@ -484,7 +549,7 @@ Tensor MatVec(const Tensor& a, const Tensor& x) {
   IMSR_CHECK_EQ(a.size(1), x.numel());
   const int64_t m = a.size(0);
   const int64_t k = a.size(1);
-  Tensor out({m});
+  Tensor out = Tensor::Uninitialized({m});
   const float* pa = a.data();
   const float* px = x.data();
   for (int64_t i = 0; i < m; ++i) {
@@ -492,6 +557,26 @@ Tensor MatVec(const Tensor& a, const Tensor& x) {
     const float* arow = pa + i * k;
     for (int64_t j = 0; j < k; ++j) acc += arow[j] * px[j];
     out.at(i) = acc;
+  }
+  return out;
+}
+
+Tensor MatVecTransA(const Tensor& a, const Tensor& x) {
+  IMSR_CHECK_EQ(a.dim(), 2);
+  IMSR_CHECK_EQ(x.dim(), 1);
+  IMSR_CHECK_EQ(a.size(0), x.numel());
+  const int64_t m = a.size(0);
+  const int64_t k = a.size(1);
+  // out[j] = sum_i a[i][j] x[i] over ascending i — the exact order
+  // MatVec(Transpose(a), x) uses — streaming a row-major.
+  Tensor out({k});
+  const float* pa = a.data();
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float xi = px[i];
+    const float* arow = pa + i * k;
+    for (int64_t j = 0; j < k; ++j) po[j] += xi * arow[j];
   }
   return out;
 }
@@ -536,16 +621,24 @@ void SoftmaxSpan(const float* in, float* out, int64_t n) {
 }  // namespace
 
 Tensor Softmax(const Tensor& a) {
+  Tensor out;
+  SoftmaxInto(a, &out);
+  return out;
+}
+
+void SoftmaxInto(const Tensor& a, Tensor* out) {
+  IMSR_CHECK(out != nullptr);
+  IMSR_CHECK(out != &a) << "SoftmaxInto output must not alias the input";
   IMSR_CHECK(a.dim() == 1 || a.dim() == 2);
-  Tensor out(a.shape());
+  out->ResizeUninitialized(a.shape());
   if (a.dim() == 1) {
-    SoftmaxSpan(a.data(), out.data(), a.numel());
-    return out;
+    SoftmaxSpan(a.data(), out->data(), a.numel());
+    return;
   }
   const int64_t rows = a.size(0);
   const int64_t cols = a.size(1);
   const float* pa = a.data();
-  float* po = out.data();
+  float* po = out->data();
   const auto span_rows = [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
       SoftmaxSpan(pa + i * cols, po + i * cols, cols);
@@ -556,7 +649,6 @@ Tensor Softmax(const Tensor& a) {
   } else {
     span_rows(0, rows);
   }
-  return out;
 }
 
 void SoftmaxRowsInPlace(Tensor* a) {
@@ -581,7 +673,7 @@ Tensor LogSumExpRows(const Tensor& a) {
   IMSR_CHECK(a.dim() == 1 || a.dim() == 2);
   const int64_t rows = a.dim() == 1 ? 1 : a.size(0);
   const int64_t cols = a.dim() == 1 ? a.numel() : a.size(1);
-  Tensor out({rows});
+  Tensor out = Tensor::Uninitialized({rows});
   for (int64_t i = 0; i < rows; ++i) {
     const float* row = a.data() + i * cols;
     float max_value = row[0];
@@ -593,40 +685,80 @@ Tensor LogSumExpRows(const Tensor& a) {
   return out;
 }
 
-Tensor Sigmoid(const Tensor& a) {
-  Tensor out(a.shape());
+namespace {
+
+// Shared driver for the elementwise nonlinearities: disjoint index ranges
+// through the thread pool above the work threshold, inline below it.
+// Chunk boundaries depend only on (numel, grain), so results are bitwise
+// identical for any thread count.
+template <typename ApplySpan>
+void ElementwiseInto(const Tensor& a, Tensor* out, ApplySpan&& apply) {
+  IMSR_CHECK(out != nullptr);
+  out->ResizeUninitialized(a.shape());
   const float* pa = a.data();
-  float* po = out.data();
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    po[i] = 1.0f / (1.0f + std::exp(-pa[i]));
+  float* po = out->data();
+  const int64_t n = a.numel();
+  if (n >= kParallelWorkThreshold) {
+    util::GlobalPool().ParallelFor(
+        n, RowGrain(n, 1), [&](int64_t begin, int64_t end) {
+          apply(pa, po, begin, end);
+        });
+  } else {
+    apply(pa, po, 0, n);
   }
+}
+
+}  // namespace
+
+Tensor Sigmoid(const Tensor& a) {
+  Tensor out;
+  ElementwiseInto(a, &out,
+                  [](const float* pa, float* po, int64_t begin, int64_t end) {
+                    for (int64_t i = begin; i < end; ++i) {
+                      po[i] = 1.0f / (1.0f + std::exp(-pa[i]));
+                    }
+                  });
   return out;
 }
 
 Tensor Tanh(const Tensor& a) {
-  Tensor out(a.shape());
-  const float* pa = a.data();
-  float* po = out.data();
-  for (int64_t i = 0; i < a.numel(); ++i) po[i] = std::tanh(pa[i]);
+  Tensor out;
+  ElementwiseInto(a, &out,
+                  [](const float* pa, float* po, int64_t begin, int64_t end) {
+                    for (int64_t i = begin; i < end; ++i) {
+                      po[i] = std::tanh(pa[i]);
+                    }
+                  });
   return out;
 }
 
 Tensor Exp(const Tensor& a) {
-  Tensor out(a.shape());
-  const float* pa = a.data();
-  float* po = out.data();
-  for (int64_t i = 0; i < a.numel(); ++i) po[i] = std::exp(pa[i]);
+  Tensor out;
+  ElementwiseInto(a, &out,
+                  [](const float* pa, float* po, int64_t begin, int64_t end) {
+                    for (int64_t i = begin; i < end; ++i) {
+                      po[i] = std::exp(pa[i]);
+                    }
+                  });
   return out;
 }
 
 Tensor SquashRows(const Tensor& a) {
+  Tensor out;
+  SquashRowsInto(a, &out);
+  return out;
+}
+
+void SquashRowsInto(const Tensor& a, Tensor* out) {
+  IMSR_CHECK(out != nullptr);
+  IMSR_CHECK(out != &a) << "SquashRowsInto output must not alias the input";
   IMSR_CHECK(a.dim() == 1 || a.dim() == 2);
   const int64_t rows = a.dim() == 1 ? 1 : a.size(0);
   const int64_t cols = a.dim() == 1 ? a.numel() : a.size(1);
-  Tensor out(a.shape());
+  out->ResizeUninitialized(a.shape());
   for (int64_t i = 0; i < rows; ++i) {
     const float* in = a.data() + i * cols;
-    float* po = out.data() + i * cols;
+    float* po = out->data() + i * cols;
     float ss = 0.0f;
     for (int64_t j = 0; j < cols; ++j) ss += in[j] * in[j];
     const float norm = std::sqrt(ss);
@@ -634,7 +766,6 @@ Tensor SquashRows(const Tensor& a) {
     const float coeff = norm > 0.0f ? ss / (1.0f + ss) / norm : 0.0f;
     for (int64_t j = 0; j < cols; ++j) po[j] = coeff * in[j];
   }
-  return out;
 }
 
 Tensor ConcatRows(const std::vector<Tensor>& parts) {
@@ -649,7 +780,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     IMSR_CHECK_EQ(part_cols, cols);
     rows += part.dim() == 2 ? part.size(0) : 1;
   }
-  Tensor out({rows, cols});
+  Tensor out = Tensor::Uninitialized({rows, cols});
   int64_t row = 0;
   for (const Tensor& part : parts) {
     const int64_t part_rows = part.dim() == 2 ? part.size(0) : 1;
@@ -661,26 +792,36 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
 }
 
 Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& indices) {
+  Tensor out;
+  GatherRowsInto(table, indices.data(),
+                 static_cast<int64_t>(indices.size()), &out);
+  return out;
+}
+
+void GatherRowsInto(const Tensor& table, const int64_t* indices,
+                    int64_t count, Tensor* out) {
+  IMSR_CHECK(out != nullptr);
+  IMSR_CHECK(out != &table) << "GatherRowsInto must not alias the table";
   IMSR_CHECK_EQ(table.dim(), 2);
-  IMSR_CHECK(!indices.empty());
+  IMSR_CHECK_GT(count, 0);
   const int64_t cols = table.size(1);
-  const int64_t rows = static_cast<int64_t>(indices.size());
-  Tensor out({rows, cols});
+  out->ResizeUninitialized({count, cols});
+  float* po = out->data();
   const auto gather_rows = [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
-      const int64_t row = indices[static_cast<size_t>(i)];
+      const int64_t row = indices[i];
       IMSR_CHECK(row >= 0 && row < table.size(0))
           << "gather index " << row << " out of range " << table.size(0);
       std::copy_n(table.data() + row * cols, static_cast<size_t>(cols),
-                  out.data() + i * cols);
+                  po + i * cols);
     }
   };
-  if (rows * cols >= kParallelWorkThreshold) {
-    util::GlobalPool().ParallelFor(rows, RowGrain(rows, cols), gather_rows);
+  if (count * cols >= kParallelWorkThreshold) {
+    util::GlobalPool().ParallelFor(count, RowGrain(count, cols),
+                                   gather_rows);
   } else {
-    gather_rows(0, rows);
+    gather_rows(0, count);
   }
-  return out;
 }
 
 float MaxAbsDiff(const Tensor& a, const Tensor& b) {

@@ -2,10 +2,17 @@
 // PyTorch in the reproduction: contiguous storage, up to 3 dimensions
 // (everything in the paper is a vector, a matrix, or a small batch of
 // matrices), and the op set needed by the MSR models.
+//
+// Storage is recycled through util's size-class buffer pool (see
+// buffer_pool.h): construction acquires a buffer, destruction releases
+// it, so steady-state training reuses the previous step's memory instead
+// of hitting the heap. -DIMSR_POOL=OFF restores plain vectors; values are
+// bitwise identical either way.
 #ifndef IMSR_NN_TENSOR_H_
 #define IMSR_NN_TENSOR_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -14,26 +21,79 @@
 
 namespace imsr::nn {
 
+// Inline dimension list (rank <= 3). Replaces std::vector<int64_t> as the
+// shape representation so constructing a Tensor costs zero shape
+// allocations; converts implicitly from vectors and braced lists at
+// existing call sites.
+class Shape {
+ public:
+  static constexpr int64_t kMaxRank = 3;
+
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) {
+    IMSR_CHECK_LE(static_cast<int64_t>(dims.size()), kMaxRank)
+        << "tensors support at most rank " << kMaxRank;
+    for (int64_t extent : dims) dims_[rank_++] = extent;
+  }
+  // Implicit: legacy call sites pass std::vector<int64_t> shapes.
+  Shape(const std::vector<int64_t>& dims) {
+    IMSR_CHECK_LE(static_cast<int64_t>(dims.size()), kMaxRank)
+        << "tensors support at most rank " << kMaxRank;
+    for (int64_t extent : dims) dims_[rank_++] = extent;
+  }
+
+  bool empty() const { return rank_ == 0; }
+  size_t size() const { return static_cast<size_t>(rank_); }
+  int64_t operator[](size_t i) const {
+    IMSR_DCHECK(i < static_cast<size_t>(rank_));
+    return dims_[i];
+  }
+  const int64_t* begin() const { return dims_; }
+  const int64_t* end() const { return dims_ + rank_; }
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    if (a.rank_ != b.rank_) return false;
+    for (int8_t i = 0; i < a.rank_; ++i) {
+      if (a.dims_[i] != b.dims_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const Shape& a, const Shape& b) { return !(a == b); }
+
+ private:
+  int64_t dims_[kMaxRank] = {0, 0, 0};
+  int8_t rank_ = 0;
+};
+
 class Tensor {
  public:
   // Empty 0-element tensor.
   Tensor() = default;
 
   // Zero-filled tensor of the given shape. Each extent must be positive.
-  explicit Tensor(std::vector<int64_t> shape);
+  explicit Tensor(Shape shape);
 
   // Tensor of the given shape with explicit contents (size must match).
-  Tensor(std::vector<int64_t> shape, std::vector<float> values);
+  Tensor(Shape shape, std::vector<float> values);
 
-  static Tensor Zeros(std::vector<int64_t> shape);
-  static Tensor Ones(std::vector<int64_t> shape);
-  static Tensor Full(std::vector<int64_t> shape, float value);
+  ~Tensor();
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+
+  static Tensor Zeros(Shape shape);
+  static Tensor Ones(Shape shape);
+  static Tensor Full(Shape shape, float value);
+  // Tensor whose contents are unspecified (pooled buffers carry stale
+  // values). Strictly for kernels that overwrite every element before the
+  // tensor escapes; everything else wants the zero-filled constructor.
+  static Tensor Uninitialized(Shape shape);
   // I.i.d. N(mean, stddev^2) entries.
-  static Tensor Randn(std::vector<int64_t> shape, util::Rng& rng,
-                      float mean = 0.0f, float stddev = 1.0f);
+  static Tensor Randn(Shape shape, util::Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
   // I.i.d. U[lo, hi) entries.
-  static Tensor RandUniform(std::vector<int64_t> shape, util::Rng& rng,
-                            float lo, float hi);
+  static Tensor RandUniform(Shape shape, util::Rng& rng, float lo, float hi);
   // d x d identity.
   static Tensor Identity(int64_t d);
   // 1-D tensor from values.
@@ -41,8 +101,11 @@ class Tensor {
 
   bool defined() const { return !shape_.empty(); }
   int64_t dim() const { return static_cast<int64_t>(shape_.size()); }
-  const std::vector<int64_t>& shape() const { return shape_; }
-  int64_t size(int64_t axis) const;
+  const Shape& shape() const { return shape_; }
+  int64_t size(int64_t axis) const {
+    IMSR_CHECK(axis >= 0 && axis < dim());
+    return shape_[static_cast<size_t>(axis)];
+  }
   int64_t numel() const { return static_cast<int64_t>(data_.size()); }
 
   float* data() { return data_.data(); }
@@ -50,19 +113,44 @@ class Tensor {
   std::vector<float>& storage() { return data_; }
   const std::vector<float>& storage() const { return data_; }
 
-  // Element access (checked in debug builds).
-  float& at(int64_t i);
-  float at(int64_t i) const;
-  float& at(int64_t i, int64_t j);
-  float at(int64_t i, int64_t j) const;
-  float& at(int64_t i, int64_t j, int64_t k);
-  float at(int64_t i, int64_t j, int64_t k) const;
+  // Element access (checked in debug builds). Defined inline: these sit
+  // in the innermost loops of kernels and backward closures, where an
+  // out-of-line call per element would dominate the arithmetic.
+  float& at(int64_t i) {
+    IMSR_DCHECK(dim() == 1 && i >= 0 && i < shape_[0]);
+    return data_[static_cast<size_t>(i)];
+  }
+  float at(int64_t i) const {
+    IMSR_DCHECK(dim() == 1 && i >= 0 && i < shape_[0]);
+    return data_[static_cast<size_t>(i)];
+  }
+  float& at(int64_t i, int64_t j) {
+    return data_[static_cast<size_t>(Offset(i, j))];
+  }
+  float at(int64_t i, int64_t j) const {
+    return data_[static_cast<size_t>(Offset(i, j))];
+  }
+  float& at(int64_t i, int64_t j, int64_t k) {
+    return data_[static_cast<size_t>(Offset(i, j, k))];
+  }
+  float at(int64_t i, int64_t j, int64_t k) const {
+    return data_[static_cast<size_t>(Offset(i, j, k))];
+  }
 
   // Scalar value of a 1-element tensor.
-  float item() const;
+  float item() const {
+    IMSR_CHECK_EQ(numel(), 1);
+    return data_[0];
+  }
 
   // Same data, new shape (numel must match).
-  Tensor Reshape(std::vector<int64_t> new_shape) const;
+  Tensor Reshape(Shape new_shape) const;
+
+  // Reshapes in place to `shape`, reusing the current buffer when numel
+  // matches and acquiring a fresh one otherwise. Contents are unspecified
+  // afterwards — this is the realloc step of the *Into kernels, which
+  // overwrite every element.
+  void ResizeUninitialized(Shape shape);
 
   // Deep copy (Tensor is value-semantic already; Clone is for emphasis at
   // call sites that would otherwise look like aliasing).
@@ -98,7 +186,7 @@ class Tensor {
     return (i * shape_[1] + j) * shape_[2] + k;
   }
 
-  std::vector<int64_t> shape_;
+  Shape shape_;
   std::vector<float> data_;
 };
 
@@ -131,6 +219,9 @@ Tensor Scale(const Tensor& a, float alpha);
 // (4-row panels) and dispatched over the process-wide thread pool for
 // large shapes; bitwise-deterministic for any thread count.
 Tensor MatMul(const Tensor& a, const Tensor& b);
+// MatMul writing into `out` (buffer reused across calls); `out` must not
+// alias an operand.
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor* out);
 // Matrix product with the second operand transposed:
 // (m x k) * (n x k)^T -> (m x n), i.e. out[i][j] = dot(a.row(i), b.row(j)).
 // Both operands stream row-major — use this instead of
@@ -146,14 +237,22 @@ void MatMulTransBInto(const Tensor& a, ConstMatrixView b, Tensor* out);
 // Matrix product with the first operand transposed:
 // (r x m)^T * (r x n) -> (m x n). Used by autograd's MatMul backward.
 Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+// MatMulTransA writing into `out`; `out` must not alias an operand.
+void MatMulTransAInto(const Tensor& a, const Tensor& b, Tensor* out);
 // Sparsity-aware MatMul that skips zero entries of `a`. Only worth it when
 // `a` is mostly zeros (e.g. masked couplings); the dense MatMul path does
 // not branch.
 Tensor MatMulSparse(const Tensor& a, const Tensor& b);
-// 2-D transpose.
+// 2-D transpose (blocked, cache-friendly tiles).
 Tensor Transpose(const Tensor& a);
+// Transpose writing into `out`; `out` must not alias `a`.
+void TransposeInto(const Tensor& a, Tensor* out);
 // Matrix-vector: (m x k) * (k) -> (m).
 Tensor MatVec(const Tensor& a, const Tensor& x);
+// a^T x for a (m x k) and x (m) -> (k). Same accumulation order as
+// MatVec(Transpose(a), x) — bitwise identical — without materialising the
+// transpose.
+Tensor MatVecTransA(const Tensor& a, const Tensor& x);
 // Batched matrix-vector: applies `a` to every row of xs (batch x k),
 // returning (batch x m) with out.row(r) == MatVec(a, xs.row(r)).
 Tensor MatVecBatch(const Tensor& a, const Tensor& xs);
@@ -165,6 +264,9 @@ float L2NormFlat(const Tensor& a);
 
 // Row-wise softmax of a 2-D tensor (or softmax of a 1-D tensor).
 Tensor Softmax(const Tensor& a);
+// Softmax writing into `out`; `out` must not alias `a` (use
+// SoftmaxRowsInPlace for that).
+void SoftmaxInto(const Tensor& a, Tensor* out);
 // In-place row-wise softmax (fused max/exp/normalise, no allocation).
 void SoftmaxRowsInPlace(Tensor* a);
 // Row-wise logsumexp of a 2-D tensor -> 1-D of length rows (or scalar for
@@ -178,12 +280,17 @@ Tensor Exp(const Tensor& a);
 // Capsule squash applied per row of a 2-D tensor (or to a 1-D vector):
 // squash(v) = (|v|^2 / (1 + |v|^2)) * v / |v|.
 Tensor SquashRows(const Tensor& a);
+// SquashRows writing into `out`; `out` must not alias `a`.
+void SquashRowsInto(const Tensor& a, Tensor* out);
 
 // Concatenates 2-D tensors along rows (equal column counts).
 Tensor ConcatRows(const std::vector<Tensor>& parts);
 
 // Gathers rows of a 2-D table into a new 2-D tensor.
 Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& indices);
+// GatherRows over a raw index span, writing into `out` (buffer reused).
+void GatherRowsInto(const Tensor& table, const int64_t* indices,
+                    int64_t count, Tensor* out);
 
 // Max |a - b| over all elements; shapes must match.
 float MaxAbsDiff(const Tensor& a, const Tensor& b);

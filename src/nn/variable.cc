@@ -1,46 +1,70 @@
 #include "nn/variable.h"
 
-#include <unordered_set>
-
 namespace imsr::nn {
+namespace {
+
+// Allocates a node from the thread's current graph arena (heap when none)
+// so the control block and the VarNode land in one allocation.
+std::shared_ptr<VarNode> NewNode() {
+  GraphArena* arena = CurrentGraphArena();
+  std::shared_ptr<VarNode> node =
+      std::allocate_shared<VarNode>(ArenaAllocator<VarNode>(arena));
+  node->arena = arena;
+  return node;
+}
+
+}  // namespace
+
+ParentList::~ParentList() {
+  if (data_ == nullptr) return;
+  for (size_t i = 0; i < size_; ++i) {
+    data_[i].~shared_ptr<VarNode>();
+  }
+  if (arena_ != nullptr) {
+    arena_->Deallocate(data_, capacity_ * sizeof(std::shared_ptr<VarNode>));
+  } else {
+    ::operator delete(data_);
+  }
+}
+
+void ParentList::Reserve(size_t count, GraphArena* arena) {
+  IMSR_CHECK(data_ == nullptr) << "ParentList::Reserve called twice";
+  if (count == 0) return;
+  arena_ = arena;
+  capacity_ = count;
+  const size_t bytes = count * sizeof(std::shared_ptr<VarNode>);
+  data_ = static_cast<std::shared_ptr<VarNode>*>(
+      arena != nullptr
+          ? arena->Allocate(bytes, alignof(std::shared_ptr<VarNode>))
+          : ::operator new(bytes));
+}
+
+void ParentList::Append(std::shared_ptr<VarNode> parent) {
+  IMSR_DCHECK(size_ < capacity_);
+  new (data_ + size_) std::shared_ptr<VarNode>(std::move(parent));
+  ++size_;
+}
 
 void VarNode::AccumulateGrad(const Tensor& delta) {
   if (!grad.defined()) {
-    grad = Tensor::Zeros(value.shape());
+    grad = delta;
+    return;
+  }
+  grad.AddInPlace(delta);
+}
+
+void VarNode::AccumulateGrad(Tensor&& delta) {
+  if (!grad.defined()) {
+    grad = std::move(delta);
+    return;
   }
   grad.AddInPlace(delta);
 }
 
 Var::Var(Tensor value, bool requires_grad) {
-  node_ = std::make_shared<VarNode>();
+  node_ = NewNode();
   node_->value = std::move(value);
   node_->requires_grad = requires_grad;
-}
-
-const Tensor& Var::value() const {
-  IMSR_CHECK(defined());
-  return node_->value;
-}
-
-Tensor& Var::mutable_value() {
-  IMSR_CHECK(defined());
-  return node_->value;
-}
-
-bool Var::requires_grad() const {
-  IMSR_CHECK(defined());
-  return node_->requires_grad;
-}
-
-bool Var::has_grad() const {
-  IMSR_CHECK(defined());
-  return node_->grad.defined();
-}
-
-const Tensor& Var::grad() const {
-  IMSR_CHECK(defined());
-  IMSR_CHECK(node_->grad.defined()) << "no gradient accumulated";
-  return node_->grad;
 }
 
 void Var::ZeroGrad() {
@@ -48,16 +72,21 @@ void Var::ZeroGrad() {
   node_->grad = Tensor();
 }
 
-Var Var::MakeNode(Tensor value, std::vector<Var> parents,
-                  std::function<void(VarNode&)> backward_fn) {
-  Var out(std::move(value));
-  for (const Var& parent : parents) {
-    IMSR_CHECK(parent.defined());
-    out.node_->parents.push_back(parent.node());
-    if (parent.requires_grad()) out.node_->requires_grad = true;
+Var Var::MakeNodeShell(Tensor value, const Var* parents, size_t count) {
+  Var out;
+  out.node_ = NewNode();
+  out.node_->value = std::move(value);
+  if (!GradEnabled()) return out;  // inference mode: constant, no tape
+  bool requires_grad = false;
+  for (size_t i = 0; i < count; ++i) {
+    IMSR_CHECK(parents[i].defined());
+    requires_grad = requires_grad || parents[i].requires_grad();
   }
-  if (out.node_->requires_grad) {
-    out.node_->backward_fn = std::move(backward_fn);
+  if (!requires_grad) return out;  // all-constant inputs: no tape either
+  out.node_->requires_grad = true;
+  out.node_->parents.Reserve(count, out.node_->arena);
+  for (size_t i = 0; i < count; ++i) {
+    out.node_->parents.Append(parents[i].node());
   }
   return out;
 }
@@ -67,23 +96,34 @@ void Var::Backward() {
   IMSR_CHECK_EQ(node_->value.numel(), 1)
       << "Backward() requires a scalar loss";
 
+  struct Frame {
+    VarNode* node;
+    size_t next_parent;
+  };
+  // Traversal scratch persists across sweeps (cleared, not freed), so a
+  // steady-state Backward touches no allocator at all. Thread-local:
+  // graphs are built and swept by their owning thread.
+  thread_local std::vector<VarNode*> order;
+  thread_local std::vector<Frame> stack;
+  order.clear();
+  stack.clear();
+
   // Iterative post-order DFS producing a topological order (parents before
-  // children in `order`; we traverse it in reverse).
-  std::vector<VarNode*> order;
-  std::unordered_set<VarNode*> visited;
-  std::vector<std::pair<VarNode*, size_t>> stack;
-  stack.emplace_back(node_.get(), 0);
-  visited.insert(node_.get());
+  // children in `order`; we traverse it in reverse). The per-node visited
+  // flag replaces a hash set; flags are cleared before returning.
+  stack.push_back({node_.get(), 0});
+  node_->visited = true;
   while (!stack.empty()) {
-    auto& [current, next_parent] = stack.back();
-    if (next_parent < current->parents.size()) {
-      VarNode* parent = current->parents[next_parent].get();
-      ++next_parent;
-      if (parent->requires_grad && visited.insert(parent).second) {
-        stack.emplace_back(parent, 0);
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      VarNode* parent = frame.node->parents[frame.next_parent];
+      ++frame.next_parent;
+      if (parent->requires_grad && !parent->visited) {
+        parent->visited = true;
+        stack.push_back({parent, 0});
       }
     } else {
-      order.push_back(current);
+      order.push_back(frame.node);
       stack.pop_back();
     }
   }
@@ -97,6 +137,7 @@ void Var::Backward() {
       current->backward_fn(*current);
     }
   }
+  for (VarNode* node : order) node->visited = false;
 }
 
 }  // namespace imsr::nn

@@ -4,28 +4,143 @@
 //
 // Constants participate as Vars with requires_grad == false: the backward
 // sweep never allocates gradients for them, so wrapping a Tensor in a Var
-// is cheap and uniform.
+// is cheap and uniform. Two thread-local modes shape construction (see
+// nn/arena.h): an active GraphArenaScope carves nodes, parent lists and
+// backward closures out of a per-step bump arena instead of the heap, and
+// a NoGradGuard builds value-only nodes with no tape at all.
 #ifndef IMSR_NN_VARIABLE_H_
 #define IMSR_NN_VARIABLE_H_
 
-#include <functional>
+#include <cstddef>
+#include <initializer_list>
 #include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "nn/arena.h"
 #include "nn/tensor.h"
 
 namespace imsr::nn {
+
+struct VarNode;
+
+// Type-erased move-only backward closure with graph lifetime: the closure
+// object lives in the node's arena (heap when none). Unlike std::function
+// this imposes no copyability requirement, so closures may own move-only
+// state (e.g. an ArenaArray of gather indices), and never allocates
+// outside the graph's allocator.
+class BackwardFn {
+ public:
+  BackwardFn() = default;
+  BackwardFn(const BackwardFn&) = delete;
+  BackwardFn& operator=(const BackwardFn&) = delete;
+  BackwardFn(BackwardFn&& other) noexcept { MoveFrom(other); }
+  BackwardFn& operator=(BackwardFn&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  ~BackwardFn() { Destroy(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+  void operator()(VarNode& node) const { invoke_(state_, node); }
+
+  template <typename F>
+  static BackwardFn Create(F&& fn, GraphArena* arena) {
+    using Fn = std::decay_t<F>;
+    BackwardFn out;
+    void* memory = arena != nullptr
+                       ? arena->Allocate(sizeof(Fn), alignof(Fn))
+                       : ::operator new(sizeof(Fn));
+    out.state_ = new (memory) Fn(std::forward<F>(fn));
+    out.arena_ = arena;
+    out.bytes_ = sizeof(Fn);
+    out.invoke_ = [](void* state, VarNode& node) {
+      (*static_cast<Fn*>(state))(node);
+    };
+    out.destroy_ = [](void* state) { static_cast<Fn*>(state)->~Fn(); };
+    return out;
+  }
+
+ private:
+  void Destroy() {
+    if (state_ == nullptr) return;
+    destroy_(state_);
+    if (arena_ != nullptr) {
+      arena_->Deallocate(state_, bytes_);
+    } else {
+      ::operator delete(state_);
+    }
+    state_ = nullptr;
+    invoke_ = nullptr;
+  }
+
+  void MoveFrom(BackwardFn& other) {
+    state_ = other.state_;
+    arena_ = other.arena_;
+    bytes_ = other.bytes_;
+    invoke_ = other.invoke_;
+    destroy_ = other.destroy_;
+    other.state_ = nullptr;
+    other.invoke_ = nullptr;
+  }
+
+  void* state_ = nullptr;
+  GraphArena* arena_ = nullptr;
+  size_t bytes_ = 0;
+  void (*invoke_)(void*, VarNode&) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
+// Fixed-capacity owning array of parent edges, storage from the node's
+// arena (heap when none). Replaces std::vector<shared_ptr<VarNode>> so
+// building an interior node performs no heap allocation under an arena.
+class ParentList {
+ public:
+  ParentList() = default;
+  ParentList(const ParentList&) = delete;
+  ParentList& operator=(const ParentList&) = delete;
+  ~ParentList();
+
+  // Allocates storage for exactly `count` edges; call once, then Append
+  // up to `count` times.
+  void Reserve(size_t count, GraphArena* arena);
+  void Append(std::shared_ptr<VarNode> parent);
+
+  size_t size() const { return size_; }
+  VarNode* operator[](size_t i) const {
+    IMSR_DCHECK(i < size_);
+    return data_[i].get();
+  }
+
+ private:
+  std::shared_ptr<VarNode>* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+  GraphArena* arena_ = nullptr;
+};
 
 struct VarNode {
   Tensor value;
   Tensor grad;  // allocated lazily on first accumulation
   bool requires_grad = false;
-  std::vector<std::shared_ptr<VarNode>> parents;
+  // Traversal scratch for Var::Backward(); always false between sweeps.
+  bool visited = false;
+  // Arena this node (and its parent list / backward closure) was carved
+  // from; null for heap-backed nodes (parameters, eval-time graphs).
+  GraphArena* arena = nullptr;
+  ParentList parents;
   // Distributes this node's grad into parents' grads. Null for leaves.
-  std::function<void(VarNode&)> backward_fn;
+  BackwardFn backward_fn;
 
-  // Accumulates `delta` into grad, allocating a zero tensor on first use.
+  // Accumulates `delta` into grad; the first accumulation adopts/copies
+  // `delta` (every later one is an elementwise add).
   void AccumulateGrad(const Tensor& delta);
+  void AccumulateGrad(Tensor&& delta);
 };
 
 class Var {
@@ -38,14 +153,32 @@ class Var {
   explicit Var(Tensor value, bool requires_grad = false);
 
   bool defined() const { return node_ != nullptr; }
-  const Tensor& value() const;
-  Tensor& mutable_value();
-  bool requires_grad() const;
+  // Accessors are inline — backward closures read values in elementwise
+  // loops, where an out-of-line call per read would dominate.
+  const Tensor& value() const {
+    IMSR_CHECK(defined());
+    return node_->value;
+  }
+  Tensor& mutable_value() {
+    IMSR_CHECK(defined());
+    return node_->value;
+  }
+  bool requires_grad() const {
+    IMSR_CHECK(defined());
+    return node_->requires_grad;
+  }
 
   // Gradient of the last Backward() call. Zero-shaped until the node has
   // received any gradient. has_grad() distinguishes "no flow" from zeros.
-  bool has_grad() const;
-  const Tensor& grad() const;
+  bool has_grad() const {
+    IMSR_CHECK(defined());
+    return node_->grad.defined();
+  }
+  const Tensor& grad() const {
+    IMSR_CHECK(defined());
+    IMSR_CHECK(node_->grad.defined()) << "no gradient accumulated";
+    return node_->grad;
+  }
 
   // Clears the accumulated gradient (parameters call this between steps).
   void ZeroGrad();
@@ -56,11 +189,37 @@ class Var {
 
   std::shared_ptr<VarNode> node() const { return node_; }
 
-  // Internal: builds an interior node (used by ops).
-  static Var MakeNode(Tensor value, std::vector<Var> parents,
-                      std::function<void(VarNode&)> backward_fn);
+  // Internal: builds an interior node (used by ops). The backward closure
+  // is only materialised when some parent requires grad and grad mode is
+  // on; otherwise the node is a plain constant (no parents, no tape).
+  template <typename F>
+  static Var MakeNode(Tensor value, std::initializer_list<Var> parents,
+                      F&& backward_fn) {
+    Var out = MakeNodeShell(std::move(value), parents.begin(),
+                            parents.size());
+    AttachBackward(out, std::forward<F>(backward_fn));
+    return out;
+  }
+  template <typename F>
+  static Var MakeNode(Tensor value, const std::vector<Var>& parents,
+                      F&& backward_fn) {
+    Var out = MakeNodeShell(std::move(value), parents.data(),
+                            parents.size());
+    AttachBackward(out, std::forward<F>(backward_fn));
+    return out;
+  }
 
  private:
+  static Var MakeNodeShell(Tensor value, const Var* parents, size_t count);
+
+  template <typename F>
+  static void AttachBackward(Var& out, F&& backward_fn) {
+    if (out.node_->requires_grad) {
+      out.node_->backward_fn = BackwardFn::Create(
+          std::forward<F>(backward_fn), out.node_->arena);
+    }
+  }
+
   std::shared_ptr<VarNode> node_;
 };
 

@@ -1,0 +1,194 @@
+#include "util/buffer_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace imsr::util {
+namespace {
+
+// Capacity classes are powers of two from 2^kMinClassLog floats (256 B)
+// to 2^kMaxClassLog floats (64 MB). Requests above the range bypass the
+// pool entirely; requests below it round up to the smallest class.
+constexpr int kMinClassLog = 6;
+constexpr int kMaxClassLog = 24;
+constexpr int kNumClasses = kMaxClassLog - kMinClassLog + 1;
+// Caps keep a pathological workload from hoarding memory: at most this
+// many cached buffers per class, and at most this many cached bytes per
+// thread overall. The count cap must exceed a training step's peak live
+// tensor count in any one class — a batch graph's teardown releases
+// every buffer of the step in one wave, and a dropped buffer is a heap
+// miss on the next step — so it is set generously and the byte cap does
+// the real governing (it alone limits the large classes: 4 x 64 MB
+// buffers already saturate it).
+constexpr size_t kMaxBuffersPerClass = 8192;
+constexpr uint64_t kMaxCachedBytesPerThread = 256ull << 20;
+
+constexpr size_t ClassFloats(int cls) {
+  return size_t{1} << (kMinClassLog + cls);
+}
+
+// Smallest class whose capacity is >= n floats, or -1 when out of range.
+int ClassForRequest(size_t n) {
+  for (int cls = 0; cls < kNumClasses; ++cls) {
+    if (ClassFloats(cls) >= n) return cls;
+  }
+  return -1;
+}
+
+// Largest class whose capacity is <= the buffer's capacity, so a cached
+// buffer always satisfies any request of its class without reallocating.
+// -1 when the capacity is below the smallest class.
+int ClassForCapacity(size_t capacity) {
+  for (int cls = kNumClasses - 1; cls >= 0; --cls) {
+    if (ClassFloats(cls) <= capacity) return cls;
+  }
+  return -1;
+}
+
+bool EnvDisablesPool() {
+  const char* env = std::getenv("IMSR_POOL");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+         std::strcmp(env, "OFF") == 0 || std::strcmp(env, "false") == 0;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{!EnvDisablesPool()};
+  return enabled;
+}
+
+// Set when the thread's pool has been destroyed (thread exit). A plain
+// bool is trivially destructible, so it stays readable while later
+// thread_local destructors (e.g. scratch Tensors) release their buffers.
+thread_local bool t_pool_dead = false;
+
+class Pool {
+ public:
+  ~Pool() {
+    t_pool_dead = true;
+  }
+
+  std::vector<float> Acquire(size_t n, int cls) {
+    auto& list = free_lists_[cls];
+    if (list.empty()) {
+      ++stats_.misses;
+      IMSR_COUNTER_ADD("memory/pool_misses", 1);
+      std::vector<float> buffer;
+      buffer.reserve(ClassFloats(cls));
+      buffer.resize(n);
+      return buffer;
+    }
+    std::vector<float> buffer = std::move(list.back());
+    list.pop_back();
+    stats_.bytes_cached -= ClassFloats(cls) * sizeof(float);
+    ++stats_.hits;
+    IMSR_COUNTER_ADD("memory/pool_hits", 1);
+    // Within the reserved class capacity: resize never reallocates.
+    buffer.resize(n);
+    return buffer;
+  }
+
+  void Release(std::vector<float>&& buffer) {
+    const int cls = ClassForCapacity(buffer.capacity());
+    if (cls < 0) {
+      ++stats_.bypass;
+      std::vector<float>().swap(buffer);
+      return;
+    }
+    auto& list = free_lists_[cls];
+    const uint64_t bytes = ClassFloats(cls) * sizeof(float);
+    if (list.size() >= kMaxBuffersPerClass ||
+        stats_.bytes_cached + bytes > kMaxCachedBytesPerThread) {
+      ++stats_.dropped;
+      IMSR_COUNTER_ADD("memory/pool_dropped", 1);
+      std::vector<float>().swap(buffer);
+      return;
+    }
+    list.push_back(std::move(buffer));
+    stats_.bytes_cached += bytes;
+    ++stats_.releases;
+    IMSR_COUNTER_ADD("memory/pool_releases", 1);
+    IMSR_GAUGE_SET("memory/pool_bytes_cached",
+                   static_cast<double>(stats_.bytes_cached));
+  }
+
+  void CountBypass() { ++stats_.bypass; }
+
+  void Drain() {
+    for (auto& list : free_lists_) list.clear();
+    stats_.bytes_cached = 0;
+  }
+
+  const BufferPoolStats& stats() const { return stats_; }
+
+ private:
+  std::vector<std::vector<float>> free_lists_[kNumClasses];
+  BufferPoolStats stats_;
+};
+
+Pool& LocalPool() {
+  thread_local Pool pool;
+  return pool;
+}
+
+}  // namespace
+
+bool PoolCompiledIn() {
+#if defined(IMSR_POOL_DISABLED)
+  return false;
+#else
+  return true;
+#endif
+}
+
+bool PoolEnabled() {
+  return PoolCompiledIn() && EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetPoolEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+std::vector<float> AcquireBuffer(size_t n) {
+  if (n == 0) return {};
+  if (!PoolEnabled() || t_pool_dead) return std::vector<float>(n);
+  const int cls = ClassForRequest(n);
+  if (cls < 0) {
+    LocalPool().CountBypass();
+    return std::vector<float>(n);
+  }
+  return LocalPool().Acquire(n, cls);
+}
+
+std::vector<float> AcquireZeroedBuffer(size_t n) {
+  std::vector<float> buffer = AcquireBuffer(n);
+  // A pooled buffer carries stale values; a heap vector is already zero,
+  // but re-zeroing keeps the contract unconditional and cheap (memset).
+  if (n > 0) std::memset(buffer.data(), 0, n * sizeof(float));
+  return buffer;
+}
+
+void ReleaseBuffer(std::vector<float>&& buffer) {
+  if (buffer.capacity() == 0) return;
+  if (!PoolEnabled() || t_pool_dead) {
+    std::vector<float>().swap(buffer);
+    return;
+  }
+  LocalPool().Release(std::move(buffer));
+}
+
+BufferPoolStats LocalPoolStats() {
+  if (t_pool_dead) return BufferPoolStats{};
+  return LocalPool().stats();
+}
+
+void DrainLocalPool() {
+  if (t_pool_dead) return;
+  LocalPool().Drain();
+}
+
+}  // namespace imsr::util

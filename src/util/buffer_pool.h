@@ -1,0 +1,75 @@
+// Size-class buffer pool backing nn::Tensor storage. Training builds and
+// tears down thousands of small tensors per optimizer step; recycling
+// their float buffers through thread-local free lists turns steady-state
+// allocation into a pop/push on a vector, with the heap touched only
+// during warm-up (see DESIGN.md section 10).
+//
+// Buffers are keyed by power-of-two capacity class (64 floats up to 16M
+// floats); anything larger bypasses the pool. Each thread owns its free
+// lists outright — acquire and release never synchronise — and a buffer
+// released on one thread is simply cached there, so cross-thread traffic
+// is safe, just not shared.
+//
+// Escape hatch: -DIMSR_POOL=OFF at CMake time (defines
+// IMSR_POOL_DISABLED) or IMSR_POOL=off in the environment reverts every
+// acquire to a plain heap vector for A/B runs and leak triage. Pooled
+// buffers hold the same values a fresh vector would (callers zero or
+// fully overwrite them), so results are bitwise identical either way.
+#ifndef IMSR_UTIL_BUFFER_POOL_H_
+#define IMSR_UTIL_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace imsr::util {
+
+// Per-thread pool statistics. Counters are cumulative for the calling
+// thread; bytes_cached is the current cached capacity. Kept inside the
+// pool (not the obs registry) so tests can assert on them in
+// -DIMSR_OBS=OFF builds; the obs layer mirrors them as memory/* metrics.
+struct BufferPoolStats {
+  uint64_t hits = 0;      // acquires served from a cached buffer
+  uint64_t misses = 0;    // acquires that fell through to the heap
+  uint64_t releases = 0;  // buffers returned to the free lists
+  uint64_t dropped = 0;   // returned buffers freed (class/byte caps)
+  uint64_t bypass = 0;    // requests outside the pooled size range
+  uint64_t bytes_cached = 0;
+};
+
+// False when the pool was compiled out with -DIMSR_POOL=OFF.
+bool PoolCompiledIn();
+
+// True when pooling is compiled in and currently enabled (IMSR_POOL env
+// var honoured once at first use; SetPoolEnabled overrides afterwards).
+bool PoolEnabled();
+
+// Runtime toggle, used by tests and the bench runner for in-process A/B.
+// Has no effect when the pool is compiled out. Affects subsequent
+// acquires only; buffers already handed out release normally.
+void SetPoolEnabled(bool enabled);
+
+// Returns a buffer with size() == n. Contents are unspecified when served
+// from the pool (zero-filled when the pool is off or bypassed, because a
+// fresh std::vector is). Callers must zero or fully overwrite.
+std::vector<float> AcquireBuffer(size_t n);
+
+// Returns a zero-filled buffer with size() == n.
+std::vector<float> AcquireZeroedBuffer(size_t n);
+
+// Returns a buffer to the calling thread's pool (or frees it when the
+// pool is off, full, or the size is out of range). The argument is left
+// empty either way.
+void ReleaseBuffer(std::vector<float>&& buffer);
+
+// Statistics of the calling thread's pool.
+BufferPoolStats LocalPoolStats();
+
+// Frees every buffer cached by the calling thread and zeroes bytes_cached
+// (cumulative counters are kept). Tests use this to start from a cold
+// pool.
+void DrainLocalPool();
+
+}  // namespace imsr::util
+
+#endif  // IMSR_UTIL_BUFFER_POOL_H_

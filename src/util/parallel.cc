@@ -7,8 +7,7 @@
 
 namespace imsr::util {
 
-void ParallelChunks(int64_t count, int threads,
-                    const std::function<void(int64_t, int64_t)>& fn) {
+void ParallelChunks(int64_t count, int threads, RangeFn fn) {
   if (count <= 0) return;
   if (threads <= 0) threads = GlobalThreadCount();
   const int workers = std::max(

@@ -6,7 +6,8 @@
 #define IMSR_UTIL_PARALLEL_H_
 
 #include <cstdint>
-#include <functional>
+
+#include "util/range_fn.h"
 
 namespace imsr::util {
 
@@ -14,8 +15,7 @@ namespace imsr::util {
 // [0, count), executed on the process-wide pool. threads <= 0 means "use
 // the pool's configured size"; threads == 1 (or count == 1) runs inline.
 // fn must be safe to call concurrently on disjoint ranges.
-void ParallelChunks(int64_t count, int threads,
-                    const std::function<void(int64_t, int64_t)>& fn);
+void ParallelChunks(int64_t count, int threads, RangeFn fn);
 
 // Hardware concurrency, at least 1.
 int DefaultThreadCount();

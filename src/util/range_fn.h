@@ -1,0 +1,47 @@
+// Non-owning callable view with the fixed signature void(int64_t, int64_t)
+// used by every data-parallel loop in the codebase. Replaces
+// const std::function& at those boundaries: constructing a RangeFn from a
+// lambda is two stores (context pointer + invoke pointer), never a heap
+// allocation, where std::function may allocate for any capture larger
+// than its small-buffer slot — a per-call heap hit even on the inline
+// fast path of a hot kernel.
+//
+// Lifetime: a RangeFn borrows the callable it was built from. That is
+// safe for ParallelFor/ParallelChunks because both block until every
+// chunk has run; do not store a RangeFn beyond the call that received it.
+#ifndef IMSR_UTIL_RANGE_FN_H_
+#define IMSR_UTIL_RANGE_FN_H_
+
+#include <cstdint>
+#include <type_traits>
+
+namespace imsr::util {
+
+class RangeFn {
+ public:
+  RangeFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, RangeFn> &&
+                std::is_invocable_v<const F&, int64_t, int64_t>>>
+  RangeFn(const F& fn)  // NOLINT: implicit by design (call-site ergonomics)
+      : context_(const_cast<void*>(static_cast<const void*>(&fn))),
+        invoke_([](void* context, int64_t begin, int64_t end) {
+          (*static_cast<const F*>(context))(begin, end);
+        }) {}
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  void operator()(int64_t begin, int64_t end) const {
+    invoke_(context_, begin, end);
+  }
+
+ private:
+  void* context_ = nullptr;
+  void (*invoke_)(void*, int64_t, int64_t) = nullptr;
+};
+
+}  // namespace imsr::util
+
+#endif  // IMSR_UTIL_RANGE_FN_H_

@@ -82,7 +82,7 @@ void ThreadPool::RunChunks(Dispatch& dispatch) {
       IMSR_OBS_ONLY(Stopwatch task_timer;)
       ++g_parallel_depth;
       try {
-        (*dispatch.fn)(begin, end);
+        dispatch.fn(begin, end);
       } catch (...) {
         std::lock_guard<std::mutex> lock(dispatch.error_mutex);
         if (!dispatch.error) dispatch.error = std::current_exception();
@@ -100,8 +100,7 @@ void ThreadPool::RunChunks(Dispatch& dispatch) {
   }
 }
 
-void ThreadPool::ParallelFor(int64_t count, int64_t grain,
-                             const std::function<void(int64_t, int64_t)>& fn) {
+void ThreadPool::ParallelFor(int64_t count, int64_t grain, RangeFn fn) {
   if (count <= 0) return;
   if (grain <= 0) {
     grain = std::max<int64_t>(1, count / (4 * thread_count()));
@@ -129,7 +128,7 @@ void ThreadPool::ParallelFor(int64_t count, int64_t grain,
   IMSR_GAUGE_SET("pool/queue_depth", static_cast<double>(num_chunks));
   IMSR_OBS_ONLY(Stopwatch region_timer;)
   auto dispatch = std::make_shared<Dispatch>();
-  dispatch->fn = &fn;
+  dispatch->fn = fn;
   dispatch->count = count;
   dispatch->grain = grain;
   dispatch->num_chunks = num_chunks;

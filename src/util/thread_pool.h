@@ -16,11 +16,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/range_fn.h"
 
 namespace imsr::util {
 
@@ -40,18 +41,18 @@ class ThreadPool {
 
   // Invokes fn(begin, end) over disjoint chunks of [0, count), each at
   // most `grain` long (grain <= 0 picks ~4 chunks per thread). Blocks
-  // until every chunk ran. Exceptions thrown by fn are rethrown here
-  // (first one wins; remaining chunks are skipped). Nested calls from
-  // inside fn run inline on the calling thread — safe, just serial.
-  void ParallelFor(int64_t count, int64_t grain,
-                   const std::function<void(int64_t, int64_t)>& fn);
+  // until every chunk ran, so the RangeFn's borrowed callable outlives
+  // the region. Exceptions thrown by fn are rethrown here (first one
+  // wins; remaining chunks are skipped). Nested calls from inside fn run
+  // inline on the calling thread — safe, just serial.
+  void ParallelFor(int64_t count, int64_t grain, RangeFn fn);
 
  private:
   // One parallel region. Heap-allocated and shared with workers so a slow
   // worker that wakes after the region retired only touches dead atomics,
   // never freed memory.
   struct Dispatch {
-    const std::function<void(int64_t, int64_t)>* fn = nullptr;
+    RangeFn fn;
     int64_t count = 0;
     int64_t grain = 0;
     int64_t num_chunks = 0;

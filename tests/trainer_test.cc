@@ -3,6 +3,7 @@
 // and interest refreshing.
 #include <gtest/gtest.h>
 #include <cmath>
+#include <cstring>
 
 
 #include "core/imsr_trainer.h"
@@ -12,6 +13,7 @@
 #include "models/msr_model.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "util/buffer_pool.h"
 
 namespace imsr::core {
 namespace {
@@ -377,6 +379,48 @@ TEST(TrainerTest, ObsMetricsRecordedAcrossTrainingAndExpansion) {
             trainer.expansion_totals().users_expanded);
 }
 #endif  // !IMSR_OBS_DISABLED
+
+// Exact float-for-float equality (memcmp, so even -0.0 vs +0.0 or NaN
+// payload differences would fail): the pool must be invisible to the
+// numerics, not merely close.
+bool BitwiseEqual(const nn::Tensor& a, const nn::Tensor& b) {
+  if (a.numel() != b.numel()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+TEST(TrainerTest, PoolOnAndOffTrajectoriesAreBitwiseIdentical) {
+  if (!util::PoolCompiledIn()) GTEST_SKIP() << "pool compiled out";
+  const bool was_enabled = util::PoolEnabled();
+  const data::SyntheticDataset synthetic = SmallData();
+  const data::Dataset& dataset = *synthetic.dataset;
+  struct RunResult {
+    nn::Tensor interests;
+    nn::Tensor embeddings;
+    nn::Tensor transform;
+  };
+  auto run = [&](bool pooled) {
+    util::SetPoolEnabled(pooled);
+    models::MsrModel model(
+        SmallModelConfig(models::ExtractorKind::kComiRecDr),
+        dataset.num_items(), 16);
+    InterestStore store;
+    ImsrTrainer trainer(&model, &store, SmallTrainConfig());
+    trainer.Pretrain(dataset);
+    trainer.TrainSpan(dataset, 1);
+    RunResult result;
+    result.interests = store.Interests(dataset.active_users(1)[0]);
+    result.embeddings = model.embeddings().parameter().value();
+    result.transform = model.extractor().SharedParameters()[0].value();
+    return result;
+  };
+  const RunResult pooled = run(true);
+  const RunResult heap = run(false);
+  util::SetPoolEnabled(was_enabled);
+  EXPECT_TRUE(BitwiseEqual(pooled.interests, heap.interests));
+  EXPECT_TRUE(BitwiseEqual(pooled.embeddings, heap.embeddings));
+  EXPECT_TRUE(BitwiseEqual(pooled.transform, heap.transform));
+}
 
 TEST(TrainerTest, DeterministicGivenSeeds) {
   const data::SyntheticDataset synthetic = SmallData();

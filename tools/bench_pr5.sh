@@ -1,0 +1,68 @@
+#!/bin/sh
+# Runs the training-step benchmarks (bench/bench_train) and writes
+# BENCH_PR5.json at the repo root: per-benchmark before/after times and
+# speedups for the memory-subsystem work (DESIGN.md section 10).
+#
+# The "before" numbers are the recorded pre-change baseline (commit
+# add1994, RelWithDebInfo, single-core container); the "after" numbers
+# come from the run this script performs. Compare on the same machine
+# configuration for the speedups to be meaningful.
+#
+# Usage: tools/bench_pr5.sh [bench_train-binary] [output-json]
+#   BENCH_MIN_TIME=<seconds> overrides the per-benchmark minimum runtime.
+set -eu
+
+BENCH="${1:-build/bench/bench_train}"
+OUT="${2:-BENCH_PR5.json}"
+MIN_TIME="${BENCH_MIN_TIME:-2}"
+
+if [ ! -x "$BENCH" ]; then
+  echo "bench_pr5.sh: benchmark binary not found: $BENCH" >&2
+  echo "build it first: cmake --build build --target bench_train" >&2
+  exit 1
+fi
+if ! command -v jq >/dev/null 2>&1; then
+  echo "bench_pr5.sh: jq is required" >&2
+  exit 1
+fi
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+"$BENCH" --benchmark_min_time="$MIN_TIME" --benchmark_format=json \
+  > "$TMP"
+
+jq '
+  # Pre-change baseline, nanoseconds (recorded at commit add1994).
+  def baseline_ns: {
+    "BM_SampleLoss/32":      7253,
+    "BM_SampleLoss/64":      9340,
+    "BM_TrainEpochStep/32":  102000000,
+    "BM_TrainEpochStep/64":  205000000,
+    "BM_ValidationLoss":     1590000
+  };
+  def to_ns: if .time_unit == "ms" then .real_time * 1e6
+             elif .time_unit == "us" then .real_time * 1e3
+             else .real_time end;
+  {
+    pr: "zero-allocation steady-state training",
+    description: ("Pooled tensor storage + arena-backed autograd graphs; "
+                  + "before = pre-change baseline at commit add1994, "
+                  + "after = this run."),
+    context: .context,
+    benchmarks: [
+      .benchmarks[]
+      | select(.run_type != "aggregate")
+      | {name: .name, after_ns: to_ns}
+      | . + {before_ns: baseline_ns[.name]}
+      | . + {speedup: (if .before_ns != null
+                       then (.before_ns / .after_ns * 100 | round / 100)
+                       else null end)}
+    ]
+  }
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT"
+jq -r '.benchmarks[] |
+       "\(.name): \(.before_ns // "n/a") -> \(.after_ns) ns" +
+       (if .speedup then "  (\(.speedup)x)" else "" end)' "$OUT"
