@@ -92,6 +92,114 @@ nn::Var ImsrTrainer::SampleLoss(const data::TrainingSample& sample,
   return loss;
 }
 
+nn::Var ImsrTrainer::BatchLoss(
+    const std::vector<data::TrainingSample>& samples,
+    const size_t* indices, size_t count, const TeacherSnapshot* teacher) {
+  IMSR_CHECK_GT(count, 0u);
+  const auto block = static_cast<size_t>(1 + config_.negatives);
+  std::vector<nn::Var>& interests = scratch_.interests;
+  std::vector<nn::Var>& reprs = scratch_.reprs;
+  std::vector<data::ItemId>& targets = scratch_.batch_targets;
+  std::vector<data::ItemId>& flat = scratch_.flat_candidates;
+  std::vector<data::ItemId>& flat_history = scratch_.flat_history;
+  std::vector<int64_t>& history_offsets = scratch_.history_offsets;
+  std::vector<const nn::Tensor*>& interest_inits = scratch_.interest_inits;
+  std::vector<data::UserId>& batch_users = scratch_.batch_users;
+  interests.clear();
+  reprs.clear();
+  targets.clear();
+  flat.clear();
+  flat_history.clear();
+  history_offsets.clear();
+  interest_inits.clear();
+  batch_users.clear();
+
+  // Pass 1, per sample in order: concatenate the history and draw the
+  // sample's negatives. The trainer rng_ sees the exact draw sequence
+  // of the per-sample path; the extractor's own rng stream runs inside
+  // the batched forward below, also in ascending sample order.
+  history_offsets.push_back(0);
+  for (size_t i = 0; i < count; ++i) {
+    const data::TrainingSample& sample = samples[indices[i]];
+    IMSR_CHECK(store_->Has(sample.user));
+    flat_history.insert(flat_history.end(), sample.history.begin(),
+                        sample.history.end());
+    history_offsets.push_back(static_cast<int64_t>(flat_history.size()));
+    interest_inits.push_back(&store_->Interests(sample.user));
+    batch_users.push_back(sample.user);
+    targets.push_back(sample.target);
+    flat.push_back(sample.target);
+    negative_sampler_.SampleInto(config_.negatives, sample.target, rng_,
+                                 &flat);
+  }
+  // Pass 2: one (B x d) target gather — created before the interest
+  // forward so the fused readout nodes can take it as a parent (the
+  // backward traversal follows graph edges, not creation order, so the
+  // reference path below is unaffected by the hoist) — then the
+  // per-sample representations, one (B*C x d) candidate gather and one
+  // fused loss node (Eq. 6).
+  nn::Var target_embeddings = model_->embeddings().Lookup(targets);
+  // The retention loss needs the interest matrices as graph handles,
+  // which the fused readout never materialises — KD-covered batches take
+  // the reference chain instead.
+  const bool need_interest_vars =
+      teacher != nullptr && config_.eir.kind != RetentionKind::kNone;
+  if (need_interest_vars ||
+      !model_->ForwardReprsBatch(flat_history, history_offsets,
+                                 interest_inits, batch_users,
+                                 target_embeddings, &reprs)) {
+    model_->ForwardInterestsBatch(flat_history, history_offsets,
+                                  interest_inits, batch_users, &interests);
+    for (size_t b = 0; b < count; ++b) {
+      nn::Var target_embedding = nn::ops::RowVector(
+          target_embeddings, static_cast<int64_t>(b));
+      reprs.push_back(
+          models::AttentiveAggregate(interests[b], target_embedding));
+    }
+  }
+  nn::Var candidate_embeddings = model_->embeddings().Lookup(flat);
+  nn::Var loss = models::SampledSoftmaxBatchLoss(
+      reprs, candidate_embeddings, static_cast<int64_t>(block));
+
+  // Eq. 10 per covered sample, over a row slice of the shared candidate
+  // gather — retention gradients merge into the slice (then the gather)
+  // in the same order the per-sample path merges them into its gather.
+  if (teacher != nullptr && config_.eir.kind != RetentionKind::kNone) {
+    for (size_t b = 0; b < count; ++b) {
+      const data::TrainingSample& sample = samples[indices[b]];
+      auto it = teacher->interests.find(sample.user);
+      if (it == teacher->interests.end() ||
+          it->second.size(0) > interests[b].value().size(0)) {
+        continue;
+      }
+      std::vector<int64_t>& candidate_indices =
+          scratch_.candidate_indices;
+      candidate_indices.assign(
+          flat.begin() + static_cast<int64_t>(b * block),
+          flat.begin() + static_cast<int64_t>((b + 1) * block));
+      const nn::Tensor teacher_candidates =
+          nn::GatherRows(teacher->embeddings, candidate_indices);
+      nn::Var sample_candidates = nn::ops::RowSlice(
+          candidate_embeddings, static_cast<int64_t>(b * block),
+          static_cast<int64_t>((b + 1) * block));
+      nn::Var retention =
+          RetentionLoss(config_.eir, interests[b], it->second,
+                        sample_candidates, teacher_candidates);
+      IMSR_HISTOGRAM_RECORD_WITH("trainer/kd_loss",
+                                 obs::Histogram::LossBounds(),
+                                 retention.value().item());
+      IMSR_COUNTER_ADD("trainer/kd_samples", 1);
+      loss = nn::ops::Add(
+          loss, nn::ops::Scale(retention, config_.eir.coefficient));
+    }
+  }
+  // Drop the graph handles so arena Reset() after the step is the only
+  // owner teardown; capacities stay for the next batch.
+  interests.clear();
+  reprs.clear();
+  return loss;
+}
+
 double ImsrTrainer::TrainEpoch(
     const std::vector<data::TrainingSample>& samples,
     const TeacherSnapshot* teacher) {
@@ -113,10 +221,15 @@ double ImsrTrainer::TrainEpoch(
     const size_t end = std::min(
         order.size(), begin + static_cast<size_t>(config_.batch_size));
     nn::Var batch_loss;
-    for (size_t i = begin; i < end; ++i) {
-      nn::Var loss = SampleLoss(samples[order[i]], teacher);
+    if (config_.batched) {
       batch_loss =
-          batch_loss.defined() ? nn::ops::Add(batch_loss, loss) : loss;
+          BatchLoss(samples, order.data() + begin, end - begin, teacher);
+    } else {
+      for (size_t i = begin; i < end; ++i) {
+        nn::Var loss = SampleLoss(samples[order[i]], teacher);
+        batch_loss =
+            batch_loss.defined() ? nn::ops::Add(batch_loss, loss) : loss;
+      }
     }
     batch_loss = nn::ops::Scale(batch_loss,
                                 1.0f / static_cast<float>(end - begin));

@@ -50,6 +50,13 @@ struct TrainConfig {
   bool early_stopping = false;
   int early_stopping_patience = 2;
 
+  // Minibatched training path: per optimizer step, one fused
+  // sampled-softmax node over a (B*C x d) candidate gather instead of B
+  // per-sample loss graphs. At batch_size == 1 it is bitwise identical
+  // to the per-sample path (see SampledSoftmaxBatchLoss); false restores
+  // the per-sample reference loop.
+  bool batched = true;
+
   EirConfig eir;              // set kind = kNone for plain fine-tuning
   ExpansionConfig expansion;  // NID + PIT parameters
   bool enable_expansion = true;
@@ -118,6 +125,16 @@ class ImsrTrainer {
   nn::Var SampleLoss(const data::TrainingSample& sample,
                      const TeacherSnapshot* teacher);
 
+  // Builds the summed (not yet averaged) loss graph for the minibatch
+  // `samples[indices[0..count)]` on the batched path: one batched target
+  // gather, one flat (count * (1+negatives) x d) candidate gather and
+  // one fused sampled-softmax node. Draws the same RNG sequence as
+  // `count` consecutive SampleLoss calls. Exposed for tests; `teacher`
+  // may be null.
+  nn::Var BatchLoss(const std::vector<data::TrainingSample>& samples,
+                    const size_t* indices, size_t count,
+                    const TeacherSnapshot* teacher);
+
   nn::Adam& optimizer() { return optimizer_; }
   InterestStore& store() { return *store_; }
   models::MsrModel& model() { return *model_; }
@@ -149,6 +166,22 @@ class ImsrTrainer {
     std::vector<data::ItemId> candidates;
     std::vector<size_t> order;
     std::vector<int64_t> candidate_indices;
+    // Batched-path buffers: per-batch targets, the flat candidate list
+    // (target first per sample block) and the per-sample interest /
+    // representation graph handles. The Var vectors are cleared before
+    // BatchLoss returns so they never outlive the step's arena graph.
+    std::vector<data::ItemId> batch_targets;
+    std::vector<data::ItemId> flat_candidates;
+    std::vector<nn::Var> interests;
+    std::vector<nn::Var> reprs;
+    // Concatenated-history buffers for the batched interest forward:
+    // sample b's history occupies flat_history rows [history_offsets[b],
+    // history_offsets[b+1]). The interest-init pointers borrow from the
+    // InterestStore, which is not mutated while a batch is in flight.
+    std::vector<data::ItemId> flat_history;
+    std::vector<int64_t> history_offsets;
+    std::vector<const nn::Tensor*> interest_inits;
+    std::vector<data::UserId> batch_users;
   };
 
   models::MsrModel* model_;

@@ -61,7 +61,9 @@ NegativeSampler::NegativeSampler(int32_t num_items)
 std::vector<ItemId> NegativeSampler::Sample(int count, ItemId target,
                                             util::Rng& rng) const {
   std::vector<ItemId> negatives;
-  negatives.reserve(static_cast<size_t>(count));
+  // Let SampleInto's contract checks fire on a bogus count instead of
+  // handing reserve() a wrapped-around size.
+  negatives.reserve(static_cast<size_t>(std::max(count, 0)));
   SampleInto(count, target, rng, &negatives);
   return negatives;
 }
@@ -69,6 +71,16 @@ std::vector<ItemId> NegativeSampler::Sample(int count, ItemId target,
 void NegativeSampler::SampleInto(int count, ItemId target, util::Rng& rng,
                                  std::vector<ItemId>* out) const {
   IMSR_CHECK(out != nullptr);
+  IMSR_CHECK_GE(count, 0);
+  // Draws are with replacement, but each must land off-target: on a tiny
+  // synthetic corpus a request for >= num_items negatives per draw batch
+  // almost surely signals a misconfigured experiment, and count ==
+  // num_items - 1 == 0 usable items would spin the rejection loop
+  // forever. Fail loudly instead.
+  IMSR_CHECK_LT(count, static_cast<int>(num_items_))
+      << "cannot draw " << count << " negatives distinct from the target "
+      << "from a corpus of " << num_items_
+      << " items; shrink --negatives or grow the item catalogue";
   const size_t goal = out->size() + static_cast<size_t>(count);
   while (out->size() < goal) {
     const auto candidate =

@@ -38,6 +38,8 @@ class NegativeSampler {
 
   // Draws `count` item ids uniformly, excluding `target` (with
   // replacement across draws, as in sampled softmax practice).
+  // IMSR_CHECK-fails unless 0 <= count < num_items — a larger request on
+  // a tiny corpus would otherwise spin the rejection loop unboundedly.
   std::vector<ItemId> Sample(int count, ItemId target, util::Rng& rng) const;
 
   // Same draw sequence, appended to `out` (caller-owned buffer, reused

@@ -1,7 +1,12 @@
 #include "models/comirec_dr.h"
 
+#include <cstdlib>
+#include <string_view>
+
+#include "models/interest_readout.h"
 #include "nn/init.h"
 #include "nn/ops.h"
+#include "util/check.h"
 
 namespace imsr::models {
 
@@ -25,6 +30,62 @@ nn::Var DynamicRoutingExtractor::Forward(const nn::Var& item_embeddings,
   // op keeps MatMul(Transpose(C), e_hat)'s accumulation order — bitwise
   // identical — without materialising C^T.
   return nn::ops::SquashRows(nn::ops::MatMulTransA(coupling, e_hat));
+}
+
+void DynamicRoutingExtractor::ForwardBatch(
+    const nn::Var& flat_item_embeddings, const std::vector<int64_t>& offsets,
+    const std::vector<const nn::Tensor*>& interest_inits,
+    const std::vector<data::UserId>& users, std::vector<nn::Var>* out) {
+  IMSR_CHECK(out != nullptr);
+  IMSR_CHECK_GE(offsets.size(), 2u);
+  const size_t batch = offsets.size() - 1;
+  IMSR_CHECK_EQ(interest_inits.size(), batch);
+  IMSR_CHECK_EQ(users.size(), batch);
+  // Eq. 3 once for the stacked histories; each row transforms
+  // independently, so every sample's slice carries the exact bits its
+  // own Forward would have produced.
+  nn::Var e_hat_all = nn::ops::MatMul(flat_item_embeddings, transform_);
+  for (size_t b = 0; b < batch; ++b) {
+    nn::Var e_hat =
+        batch == 1 ? e_hat_all
+                   : nn::ops::RowSlice(e_hat_all, offsets[b], offsets[b + 1]);
+    const nn::Var coupling(B2IRouting(e_hat.value(), *interest_inits[b],
+                                      routing_config_, &rng_));
+    out->push_back(
+        nn::ops::SquashRows(nn::ops::MatMulTransA(coupling, e_hat)));
+  }
+}
+
+bool DynamicRoutingExtractor::SupportsFusedRepr() const {
+  static const bool enabled = [] {
+    const char* env = std::getenv("IMSR_FUSED_READOUT");
+    return env == nullptr || std::string_view(env) != "0";
+  }();
+  return enabled;
+}
+
+void DynamicRoutingExtractor::ForwardReprBatch(
+    const nn::Var& flat_item_embeddings, const std::vector<int64_t>& offsets,
+    const std::vector<const nn::Tensor*>& interest_inits,
+    const std::vector<data::UserId>& /*users*/,
+    const nn::Var& target_embeddings, std::vector<nn::Var>* reprs) {
+  IMSR_CHECK(reprs != nullptr);
+  IMSR_CHECK_GE(offsets.size(), 2u);
+  const size_t batch = offsets.size() - 1;
+  IMSR_CHECK_EQ(interest_inits.size(), batch);
+  nn::Var e_hat_all = nn::ops::MatMul(flat_item_embeddings, transform_);
+  for (size_t b = 0; b < batch; ++b) {
+    // The slice values feed routing and the fused node's forward; the
+    // backward reaches e_hat_all's rows directly, so no slice node (and
+    // no slice gradient) ever exists.
+    const nn::Tensor e_hat =
+        e_hat_all.value().RowSlice(offsets[b], offsets[b + 1]);
+    nn::Tensor coupling =
+        B2IRouting(e_hat, *interest_inits[b], routing_config_, &rng_);
+    reprs->push_back(RoutedAttentiveReadout(
+        e_hat_all, offsets[b], e_hat, std::move(coupling),
+        target_embeddings, static_cast<int64_t>(b)));
+  }
 }
 
 nn::Tensor DynamicRoutingExtractor::ForwardNoGrad(

@@ -24,6 +24,34 @@ class DynamicRoutingExtractor : public MultiInterestExtractor {
                   const nn::Tensor& interest_init,
                   data::UserId user) override;
 
+  // One shared-transform MatMul for the whole batch (Eq. 3 is row-wise,
+  // so stacked histories ride through it unchanged), then per-sample
+  // routing over row slices of the result.
+  void ForwardBatch(const nn::Var& flat_item_embeddings,
+                    const std::vector<int64_t>& offsets,
+                    const std::vector<const nn::Tensor*>& interest_inits,
+                    const std::vector<data::UserId>& users,
+                    std::vector<nn::Var>* out) override;
+
+  // On by default; IMSR_FUSED_READOUT=0 in the environment forces the
+  // reference chain instead (same escape-hatch convention as IMSR_SIMD,
+  // see nn/simd.h) — for A/B timing and for bisecting numeric surprises
+  // to the fused node.
+  bool SupportsFusedRepr() const override;
+
+  // Shared-transform MatMul once for the batch, then per sample: frozen
+  // B2I routing over the slice values and ONE fused readout node
+  // (models::RoutedAttentiveReadout) straight to the user
+  // representation — the 7-nodes-per-sample reference chain collapsed
+  // to 1. Routing consumes the extractor rng in ascending sample order,
+  // the same stream order as per-sample Forward calls.
+  void ForwardReprBatch(const nn::Var& flat_item_embeddings,
+                        const std::vector<int64_t>& offsets,
+                        const std::vector<const nn::Tensor*>& interest_inits,
+                        const std::vector<data::UserId>& users,
+                        const nn::Var& target_embeddings,
+                        std::vector<nn::Var>* reprs) override;
+
   nn::Tensor ForwardNoGrad(const nn::Tensor& item_embeddings,
                            const nn::Tensor& interest_init,
                            data::UserId user) override;

@@ -39,6 +39,44 @@ class MultiInterestExtractor {
                           const nn::Tensor& interest_init,
                           data::UserId user) = 0;
 
+  // Batched graph-building forward over samples that share one
+  // concatenated item-embedding gather: sample b's history embeddings
+  // are rows [offsets[b], offsets[b+1]) of `flat_item_embeddings`.
+  // Appends one (K x d) interest Var per sample to `out`. The default
+  // peels a row slice per sample and delegates to Forward; extractors
+  // whose forward opens with a shared row-wise transform (ComiRec-DR)
+  // override it to run the whole batch through that op once. With a
+  // single sample the flat Var is passed through untouched, so the
+  // graph is node-for-node the one Forward builds — the batch_size=1
+  // bitwise contract (DESIGN.md section 11) extends through this hook.
+  virtual void ForwardBatch(
+      const nn::Var& flat_item_embeddings,
+      const std::vector<int64_t>& offsets,
+      const std::vector<const nn::Tensor*>& interest_inits,
+      const std::vector<data::UserId>& users, std::vector<nn::Var>* out);
+
+  // True when the extractor implements ForwardReprBatch. Callers that
+  // only need the per-sample user representations (not the interest
+  // matrices themselves) check this to take the fused readout path.
+  virtual bool SupportsFusedRepr() const { return false; }
+
+  // Fused batched forward straight to the per-sample user representation
+  // v_b = AttentiveAggregate(interests_b, target_b) (Eq. 5), one graph
+  // node per sample instead of the interest-matrix chain — the fast path
+  // of the batched trainer (DESIGN.md section 11). Sample b's history
+  // embeddings are rows [offsets[b], offsets[b+1]) of
+  // `flat_item_embeddings`; its target embedding is row b of
+  // `target_embeddings`. Appends one (d) Var per sample to `reprs`, with
+  // values and gradients bitwise identical to ForwardBatch +
+  // AttentiveAggregate. Only callable when SupportsFusedRepr(); the
+  // default aborts.
+  virtual void ForwardReprBatch(
+      const nn::Var& flat_item_embeddings,
+      const std::vector<int64_t>& offsets,
+      const std::vector<const nn::Tensor*>& interest_inits,
+      const std::vector<data::UserId>& users,
+      const nn::Var& target_embeddings, std::vector<nn::Var>* reprs);
+
   // No-grad forward used by interests expansion / NID / PIT / evaluation.
   virtual nn::Tensor ForwardNoGrad(const nn::Tensor& item_embeddings,
                                    const nn::Tensor& interest_init,

@@ -54,6 +54,31 @@ nn::Var MsrModel::ForwardInterests(
   return extractor_->Forward(item_embeddings, interest_init, user);
 }
 
+void MsrModel::ForwardInterestsBatch(
+    const std::vector<data::ItemId>& flat_history,
+    const std::vector<int64_t>& offsets,
+    const std::vector<const nn::Tensor*>& interest_inits,
+    const std::vector<data::UserId>& users, std::vector<nn::Var>* out) {
+  IMSR_CHECK(!flat_history.empty());
+  nn::Var flat_embeddings = embeddings_.Lookup(flat_history);
+  extractor_->ForwardBatch(flat_embeddings, offsets, interest_inits, users,
+                           out);
+}
+
+bool MsrModel::ForwardReprsBatch(
+    const std::vector<data::ItemId>& flat_history,
+    const std::vector<int64_t>& offsets,
+    const std::vector<const nn::Tensor*>& interest_inits,
+    const std::vector<data::UserId>& users,
+    const nn::Var& target_embeddings, std::vector<nn::Var>* reprs) {
+  if (!extractor_->SupportsFusedRepr()) return false;
+  IMSR_CHECK(!flat_history.empty());
+  nn::Var flat_embeddings = embeddings_.Lookup(flat_history);
+  extractor_->ForwardReprBatch(flat_embeddings, offsets, interest_inits,
+                               users, target_embeddings, reprs);
+  return true;
+}
+
 nn::Tensor MsrModel::ForwardInterestsNoGrad(
     const std::vector<data::ItemId>& history,
     const nn::Tensor& interest_init, data::UserId user) {

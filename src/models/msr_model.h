@@ -48,6 +48,26 @@ class MsrModel {
   nn::Var ForwardInterests(const std::vector<data::ItemId>& history,
                            const nn::Tensor& interest_init,
                            data::UserId user);
+  // Batched counterpart over concatenated histories: one embedding
+  // gather for all of `flat_history` (sample b owns rows [offsets[b],
+  // offsets[b+1])), then the extractor's batched forward. Appends one
+  // (K x d) Var per sample to `out`.
+  void ForwardInterestsBatch(
+      const std::vector<data::ItemId>& flat_history,
+      const std::vector<int64_t>& offsets,
+      const std::vector<const nn::Tensor*>& interest_inits,
+      const std::vector<data::UserId>& users, std::vector<nn::Var>* out);
+  // Fused fast path: one embedding gather for `flat_history`, then the
+  // extractor's ForwardReprBatch straight to the per-sample user
+  // representations (one graph node per sample). Returns false without
+  // building anything when the extractor lacks a fused path — the
+  // caller falls back to ForwardInterestsBatch + aggregation.
+  bool ForwardReprsBatch(
+      const std::vector<data::ItemId>& flat_history,
+      const std::vector<int64_t>& offsets,
+      const std::vector<const nn::Tensor*>& interest_inits,
+      const std::vector<data::UserId>& users,
+      const nn::Var& target_embeddings, std::vector<nn::Var>* reprs);
   // No-grad counterpart.
   nn::Tensor ForwardInterestsNoGrad(
       const std::vector<data::ItemId>& history,

@@ -2,6 +2,8 @@
 #ifndef IMSR_MODELS_SAMPLED_SOFTMAX_H_
 #define IMSR_MODELS_SAMPLED_SOFTMAX_H_
 
+#include <vector>
+
 #include "nn/variable.h"
 
 namespace imsr::models {
@@ -11,6 +13,19 @@ namespace imsr::models {
 // Returns the scalar -log softmax(candidates . v)[0].
 nn::Var SampledSoftmaxLoss(const nn::Var& user_repr,
                            const nn::Var& candidates);
+
+// Minibatched form: `user_reprs` holds B per-sample representations v_b
+// (each (d)); `candidates` ((B*C) x d) packs every sample's candidate
+// block contiguously, positive first, with C = `candidates_per_sample`.
+// Returns the scalar sum_b -log softmax(block_b . v_b)[0] as ONE graph
+// node (parents: candidates, then each v_b), replacing 2B nodes of the
+// per-sample path. Per-sample arithmetic — row dots, logsumexp, softmax,
+// backward outer-product/saxpy loops and their accumulation order — is
+// identical to SampledSoftmaxLoss, so at B == 1 the loss value and every
+// gradient it feeds upstream are bitwise identical to the per-sample op.
+nn::Var SampledSoftmaxBatchLoss(const std::vector<nn::Var>& user_reprs,
+                                const nn::Var& candidates,
+                                int64_t candidates_per_sample);
 
 }  // namespace imsr::models
 

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "nn/arena.h"
+#include "nn/simd.h"
+#include "util/hot.h"
 
 namespace imsr::nn::ops {
 namespace {
@@ -104,11 +106,8 @@ Var ScaleRows(const Var& a, const Var& scale) {
     if (Wants(scale)) {
       Tensor gs = Tensor::Uninitialized(scale.value().shape());
       for (int64_t i = 0; i < m; ++i) {
-        const float* g = node.grad.data() + i * d;
-        const float* row = a.value().data() + i * d;
-        float acc = 0.0f;
-        for (int64_t j = 0; j < d; ++j) acc += g[j] * row[j];
-        gs.data()[i] = acc;
+        gs.data()[i] = nn::DotSpan(node.grad.data() + i * d,
+                                   a.value().data() + i * d, d);
       }
       scale.node()->AccumulateGrad(std::move(gs));
     }
@@ -147,27 +146,30 @@ Var MatVec(const Var& a, const Var& x) {
   return Var::MakeNode(std::move(out), {a, x}, [a, x](VarNode& node) {
     const int64_t m = a.value().size(0);
     const int64_t k = a.value().size(1);
-    const float* g = node.grad.data();
+    const float* __restrict__ g = node.grad.data();
     if (Wants(a)) {
-      // dL/dA = g x^T (outer product).
+      // dL/dA = g x^T (outer product) — elementwise, order-preserving.
       Tensor ga = Tensor::Uninitialized({m, k});
-      const float* px = x.value().data();
-      float* po = ga.data();
+      const float* __restrict__ px = x.value().data();
+      float* __restrict__ po = ga.data();
       for (int64_t i = 0; i < m; ++i) {
         const float gi = g[i];
-        float* orow = po + i * k;
+        float* __restrict__ orow = po + i * k;
+        IMSR_SIMD_PRAGMA()
         for (int64_t j = 0; j < k; ++j) orow[j] = gi * px[j];
       }
       a.node()->AccumulateGrad(std::move(ga));
     }
     if (Wants(x)) {
-      // dL/dx = A^T g.
+      // dL/dx = A^T g — saxpy over ascending i, order-preserving per
+      // output element.
       Tensor gx({k});
-      const float* pa = a.value().data();
-      float* po = gx.data();
+      const float* __restrict__ pa = a.value().data();
+      float* __restrict__ po = gx.data();
       for (int64_t i = 0; i < m; ++i) {
         const float gi = g[i];
-        const float* arow = pa + i * k;
+        const float* __restrict__ arow = pa + i * k;
+        IMSR_SIMD_PRAGMA()
         for (int64_t j = 0; j < k; ++j) po[j] += gi * arow[j];
       }
       x.node()->AccumulateGrad(std::move(gx));
@@ -185,25 +187,23 @@ Var MatVecTransA(const Var& a, const Var& x) {
     const int64_t k = a.value().size(1);
     const float* g = node.grad.data();
     if (Wants(a)) {
-      // y = A^T x: dL/dA = x g^T (outer product).
+      // y = A^T x: dL/dA = x g^T (outer product) — order-preserving.
       Tensor ga = Tensor::Uninitialized({m, k});
-      const float* px = x.value().data();
+      const float* __restrict__ px = x.value().data();
       for (int64_t i = 0; i < m; ++i) {
         const float xi = px[i];
-        float* o = ga.data() + i * k;
+        float* __restrict__ o = ga.data() + i * k;
+        IMSR_SIMD_PRAGMA()
         for (int64_t j = 0; j < k; ++j) o[j] = xi * g[j];
       }
       a.node()->AccumulateGrad(std::move(ga));
     }
     if (Wants(x)) {
-      // dL/dx = A g.
+      // dL/dx = A g — row dots through the shared scalar/SIMD dispatch.
       Tensor gx = Tensor::Uninitialized({m});
       const float* pa = a.value().data();
       for (int64_t i = 0; i < m; ++i) {
-        const float* arow = pa + i * k;
-        float acc = 0.0f;
-        for (int64_t j = 0; j < k; ++j) acc += arow[j] * g[j];
-        gx.at(i) = acc;
+        gx.at(i) = nn::DotSpan(pa + i * k, g, k);
       }
       x.node()->AccumulateGrad(std::move(gx));
     }
@@ -332,17 +332,19 @@ Var Softmax(const Var& a) {
   Tensor out = nn::Softmax(a.value());
   return Var::MakeNode(std::move(out), {a}, [a](VarNode& node) {
     if (!Wants(a)) return;
-    // Row-wise Jacobian product: dx = y * (g - <g, y>).
+    // Row-wise Jacobian product: dx = y * (g - <g, y>). The <g, y> dot
+    // goes through the scalar/SIMD reduction dispatch; the Jacobian
+    // apply is elementwise (order-preserving).
     const Tensor& y_all = node.value;
     const int64_t rows = y_all.dim() == 2 ? y_all.size(0) : 1;
     const int64_t cols = y_all.dim() == 2 ? y_all.size(1) : y_all.numel();
     Tensor grad = Tensor::Uninitialized(y_all.shape());
     for (int64_t i = 0; i < rows; ++i) {
-      const float* y = y_all.data() + i * cols;
-      const float* g = node.grad.data() + i * cols;
-      float* o = grad.data() + i * cols;
-      float dot = 0.0f;
-      for (int64_t j = 0; j < cols; ++j) dot += g[j] * y[j];
+      const float* __restrict__ y = y_all.data() + i * cols;
+      const float* __restrict__ g = node.grad.data() + i * cols;
+      float* __restrict__ o = grad.data() + i * cols;
+      const float dot = nn::DotSpan(g, y, cols);
+      IMSR_SIMD_PRAGMA()
       for (int64_t j = 0; j < cols; ++j) o[j] = y[j] * (g[j] - dot);
     }
     a.node()->AccumulateGrad(std::move(grad));
@@ -360,15 +362,13 @@ Var SquashRows(const Var& a) {
     const int64_t cols = v_all.dim() == 2 ? v_all.size(1) : v_all.numel();
     Tensor grad = Tensor::Uninitialized(v_all.shape());
     for (int64_t i = 0; i < rows; ++i) {
-      const float* v = v_all.data() + i * cols;
-      const float* g = node.grad.data() + i * cols;
-      float* o = grad.data() + i * cols;
-      float ss = 0.0f;
-      float vg = 0.0f;
-      for (int64_t j = 0; j < cols; ++j) {
-        ss += v[j] * v[j];
-        vg += v[j] * g[j];
-      }
+      const float* __restrict__ v = v_all.data() + i * cols;
+      const float* __restrict__ g = node.grad.data() + i * cols;
+      float* __restrict__ o = grad.data() + i * cols;
+      // Both accumulators are reductions (scalar/SIMD dispatch); splitting
+      // the fused loop keeps the scalar path's per-accumulator order.
+      const float ss = nn::DotSpan(v, v, cols);
+      const float vg = nn::DotSpan(v, g, cols);
       const float n = std::sqrt(ss);
       if (n < 1e-12f) {
         for (int64_t j = 0; j < cols; ++j) o[j] = 0.0f;
@@ -377,6 +377,7 @@ Var SquashRows(const Var& a) {
       const float c = n / (1.0f + ss);
       const float c_prime = (1.0f - ss) / ((1.0f + ss) * (1.0f + ss));
       const float radial = c_prime / n * vg;
+      IMSR_SIMD_PRAGMA()
       for (int64_t j = 0; j < cols; ++j) o[j] = c * g[j] + radial * v[j];
     }
     a.node()->AccumulateGrad(std::move(grad));
@@ -408,8 +409,12 @@ Var GatherRows(const Var& table, const std::vector<int64_t>& indices) {
         }
         const int64_t cols = table.value().size(1);
         for (size_t i = 0; i < saved.size(); ++i) {
-          const float* g = node.grad.data() + static_cast<int64_t>(i) * cols;
-          float* o = parent->grad.data() + saved[i] * cols;
+          const float* __restrict__ g =
+              node.grad.data() + static_cast<int64_t>(i) * cols;
+          float* __restrict__ o = parent->grad.data() + saved[i] * cols;
+          // Vectorizing only the inner (within-row) add keeps repeated
+          // indices correct and each element's accumulation order intact.
+          IMSR_SIMD_PRAGMA()
           for (int64_t j = 0; j < cols; ++j) o[j] += g[j];
         }
       });
@@ -442,12 +447,7 @@ Var RowSlice(const Var& a, int64_t begin, int64_t end) {
   Tensor out = a.value().RowSlice(begin, end);
   return Var::MakeNode(std::move(out), {a}, [a, begin](VarNode& node) {
     if (!Wants(a)) return;
-    Tensor grad(a.value().shape());
-    const int64_t cols = a.value().size(1);
-    std::copy_n(node.grad.data(),
-                static_cast<size_t>(node.grad.numel()),
-                grad.data() + begin * cols);
-    a.node()->AccumulateGrad(std::move(grad));
+    a.node()->AccumulateGradRows(node.grad, begin);
   });
 }
 
@@ -455,11 +455,7 @@ Var RowVector(const Var& a, int64_t i) {
   Tensor out = a.value().Row(i);
   return Var::MakeNode(std::move(out), {a}, [a, i](VarNode& node) {
     if (!Wants(a)) return;
-    Tensor grad(a.value().shape());
-    const int64_t cols = a.value().size(1);
-    std::copy_n(node.grad.data(), static_cast<size_t>(cols),
-                grad.data() + i * cols);
-    a.node()->AccumulateGrad(std::move(grad));
+    a.node()->AccumulateGradRows(node.grad, i);
   });
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/simd.h"
+#include "util/hot.h"
 #include "util/thread_pool.h"
 
 namespace imsr::nn {
@@ -17,6 +19,24 @@ void ParallelElementwise(int64_t count, util::RangeFn fn) {
     util::GlobalPool().ParallelFor(count, /*grain=*/0, fn);
   } else {
     fn(0, count);
+  }
+}
+
+// One Adam update span, extracted from the Step lambda so the loop can
+// carry the multi-versioning attribute (clones attach to functions, not
+// lambdas). Order-preserving: element i's operation chain never changes.
+IMSR_SIMD_CLONES
+void AdamUpdateSpan(float* __restrict__ m, float* __restrict__ v,
+                    float* __restrict__ value, const float* __restrict__ g,
+                    float b1, float b2, float bias1, float bias2, float lr,
+                    float eps, int64_t begin, int64_t end) {
+  IMSR_SIMD_PRAGMA()
+  for (int64_t i = begin; i < end; ++i) {
+    m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+    v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
+    const float m_hat = m[i] / bias1;
+    const float v_hat = v[i] / bias2;
+    value[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
   }
 }
 
@@ -49,24 +69,33 @@ void Optimizer::ZeroGradAll() {
   for (Var& parameter : parameters_) parameter.ZeroGrad();
 }
 
+// Both update rules are elementwise: each parameter's new value is an
+// independent chain of scalar ops (mul/add/div/sqrt, all IEEE
+// correctly-rounded), so the simd annotation cannot change a bit — no
+// scalar fallback needed. IMSR_HOT because GCC's -O2 cost model
+// otherwise declines these runtime-trip-count loops.
+IMSR_HOT_BEGIN
 void Sgd::Step() {
   for (Var& parameter : parameters_) {
     if (!parameter.has_grad()) continue;
-    float* value = parameter.mutable_value().data();
-    const float* g = parameter.grad().data();
+    float* __restrict__ value = parameter.mutable_value().data();
+    const float* __restrict__ g = parameter.grad().data();
     const float lr = learning_rate_;
     ParallelElementwise(
         parameter.value().numel(), [&](int64_t begin, int64_t end) {
+          IMSR_SIMD_PRAGMA()
           for (int64_t i = begin; i < end; ++i) value[i] -= lr * g[i];
         });
   }
 }
+IMSR_HOT_END
 
 void Adam::Unregister(const Var& parameter) {
   state_.erase(parameter.node().get());
   Optimizer::Unregister(parameter);
 }
 
+IMSR_HOT_BEGIN
 void Adam::Step() {
   for (Var& parameter : parameters_) {
     if (!parameter.has_grad()) continue;
@@ -77,10 +106,10 @@ void Adam::Step() {
     }
     state.step += 1;
     const Tensor& grad = parameter.grad();
-    float* m = state.m.data();
-    float* v = state.v.data();
-    float* value = parameter.mutable_value().data();
-    const float* g = grad.data();
+    float* __restrict__ m = state.m.data();
+    float* __restrict__ v = state.v.data();
+    float* __restrict__ value = parameter.mutable_value().data();
+    const float* __restrict__ g = grad.data();
     const float b1 = config_.beta1;
     const float b2 = config_.beta2;
     const float bias1 =
@@ -90,15 +119,11 @@ void Adam::Step() {
     const float lr = config_.learning_rate;
     const float eps = config_.epsilon;
     ParallelElementwise(grad.numel(), [&](int64_t begin, int64_t end) {
-      for (int64_t i = begin; i < end; ++i) {
-        m[i] = b1 * m[i] + (1.0f - b1) * g[i];
-        v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
-        const float m_hat = m[i] / bias1;
-        const float v_hat = v[i] / bias2;
-        value[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
-      }
+      AdamUpdateSpan(m, v, value, g, b1, b2, bias1, bias2, lr, eps, begin,
+                     end);
     });
   }
 }
+IMSR_HOT_END
 
 }  // namespace imsr::nn

@@ -1,0 +1,37 @@
+#include "nn/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace imsr::nn {
+namespace {
+
+bool EnvDisablesSimd() {
+  const char* value = std::getenv("IMSR_SIMD");
+  if (value == nullptr) return false;
+  return std::strcmp(value, "off") == 0 || std::strcmp(value, "0") == 0 ||
+         std::strcmp(value, "false") == 0;
+}
+
+std::atomic<bool>& SimdFlag() {
+  static std::atomic<bool> flag{IMSR_SIMD_ENABLED != 0 &&
+                                !EnvDisablesSimd()};
+  return flag;
+}
+
+}  // namespace
+
+bool SimdCompiledIn() { return IMSR_SIMD_ENABLED != 0; }
+
+bool SimdEnabled() {
+  return SimdFlag().load(std::memory_order_relaxed);
+}
+
+bool SetSimdEnabled(bool enabled) {
+  // Can't enable what isn't compiled in.
+  const bool target = enabled && SimdCompiledIn();
+  return SimdFlag().exchange(target, std::memory_order_relaxed);
+}
+
+}  // namespace imsr::nn

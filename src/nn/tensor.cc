@@ -6,7 +6,9 @@
 #include <numeric>
 #include <sstream>
 
+#include "nn/simd.h"
 #include "util/buffer_pool.h"
+#include "util/hot.h"
 #include "util/thread_pool.h"
 
 namespace imsr::nn {
@@ -142,21 +144,38 @@ void Tensor::Fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
 }
 
+// The in-place elementwise mutators are order-preserving (each output
+// element is an independent chain of scalar ops), so the omp simd
+// annotation cannot change a bit — no scalar fallback needed.
+IMSR_HOT_BEGIN
+IMSR_SIMD_CLONES
 void Tensor::AddInPlace(const Tensor& other) {
   IMSR_CHECK(SameShape(*this, other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  float* __restrict__ p = data_.data();
+  const float* __restrict__ q = other.data_.data();
+  const int64_t n = numel();
+  IMSR_SIMD_PRAGMA()
+  for (int64_t i = 0; i < n; ++i) p[i] += q[i];
 }
 
+IMSR_SIMD_CLONES
 void Tensor::AddScaledInPlace(const Tensor& other, float alpha) {
   IMSR_CHECK(SameShape(*this, other));
-  for (size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += alpha * other.data_[i];
-  }
+  float* __restrict__ p = data_.data();
+  const float* __restrict__ q = other.data_.data();
+  const int64_t n = numel();
+  IMSR_SIMD_PRAGMA()
+  for (int64_t i = 0; i < n; ++i) p[i] += alpha * q[i];
 }
 
+IMSR_SIMD_CLONES
 void Tensor::ScaleInPlace(float alpha) {
-  for (float& v : data_) v *= alpha;
+  float* __restrict__ p = data_.data();
+  const int64_t n = numel();
+  IMSR_SIMD_PRAGMA()
+  for (int64_t i = 0; i < n; ++i) p[i] *= alpha;
 }
+IMSR_HOT_END
 
 Tensor Tensor::Row(int64_t i) const {
   IMSR_CHECK_EQ(dim(), 2);
@@ -232,9 +251,11 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 Tensor Mul(const Tensor& a, const Tensor& b) {
   IMSR_CHECK(SameShape(a, b));
   Tensor out = a;
-  float* o = out.data();
-  const float* pb = b.data();
-  for (int64_t i = 0; i < out.numel(); ++i) o[i] *= pb[i];
+  float* __restrict__ o = out.data();
+  const float* __restrict__ pb = b.data();
+  const int64_t n = out.numel();
+  IMSR_SIMD_PRAGMA()
+  for (int64_t i = 0; i < n; ++i) o[i] *= pb[i];
   return out;
 }
 
@@ -262,23 +283,30 @@ int64_t RowGrain(int64_t rows, int64_t work_per_row) {
   return std::max(min_rows, per_thread);
 }
 
-// Dense saxpy core over output rows [i_begin, i_end): ikj order streaming
-// b and out rows contiguously, with 4-row panels so each loaded b row is
-// reused four times from registers. Per-(i, j) accumulation order is the
-// plain sequential kk order in both the panel and the remainder path.
+// Dense core over output rows [i_begin, i_end): register-blocked ijk
+// order. Each 4x8 (or 1x8 in the row remainder) block of the output is
+// seeded from `po`, held in vector registers across the whole kk sweep,
+// and stored back once — the redundant per-kk output loads/stores of a
+// streaming saxpy kernel disappear, and each loaded b row chunk still
+// feeds four output rows from registers. Per-(i, j) accumulation order
+// stays the plain sequential kk order in the block, column-remainder and
+// row-remainder paths alike, so results are bitwise identical to the
+// rank-1/saxpy formulation at any vector width (strict IEEE still; no
+// -ffast-math).
 //
-// The j loops here are pure elementwise saxpy — GCC's -O2 cost model
-// refuses to vectorize them, so this kernel alone is compiled at -O3
-// (strict IEEE still; no -ffast-math, results stay deterministic). The
-// dot-product kernels below are left at -O2 on purpose: their register
-// tiles are already the fast shape and -O3's peeling slows them down.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC push_options
-#pragma GCC optimize("O3")
-#endif
+// The j loops are independent per element, so the omp simd annotation
+// cannot reorder any element's additions. GCC's -O2 cost model refuses
+// to vectorize + scalarize the accumulator arrays, so the block is
+// compiled at -O3 via IMSR_HOT (GCC-only; clang relies on the simd
+// pragmas). The scalar dot-product kernel below is left at -O2 on
+// purpose: its register tiles are already the fast shape and -O3's
+// peeling slows them down.
+IMSR_HOT_BEGIN
+IMSR_SIMD_CLONES
 void MatMulRows(const float* __restrict__ pa, const float* __restrict__ pb,
                 float* __restrict__ po, int64_t i_begin, int64_t i_end,
                 int64_t k, int64_t n) {
+  constexpr int64_t kBlock = 8;  // 4 rows x 8 cols = 8 xmm accumulators
   int64_t i = i_begin;
   for (; i + 4 <= i_end; i += 4) {
     const float* __restrict__ a0 = pa + (i + 0) * k;
@@ -289,54 +317,130 @@ void MatMulRows(const float* __restrict__ pa, const float* __restrict__ pb,
     float* __restrict__ o1 = po + (i + 1) * n;
     float* __restrict__ o2 = po + (i + 2) * n;
     float* __restrict__ o3 = po + (i + 3) * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float a0k = a0[kk];
-      const float a1k = a1[kk];
-      const float a2k = a2[kk];
-      const float a3k = a3[kk];
-      const float* __restrict__ brow = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) {
-        o0[j] += a0k * brow[j];
-        o1[j] += a1k * brow[j];
-        o2[j] += a2k * brow[j];
-        o3[j] += a3k * brow[j];
+    int64_t jb = 0;
+    for (; jb + kBlock <= n; jb += kBlock) {
+      float acc0[kBlock], acc1[kBlock], acc2[kBlock], acc3[kBlock];
+      IMSR_SIMD_PRAGMA()
+      for (int64_t j = 0; j < kBlock; ++j) {
+        acc0[j] = o0[jb + j];
+        acc1[j] = o1[jb + j];
+        acc2[j] = o2[jb + j];
+        acc3[j] = o3[jb + j];
       }
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float a0k = a0[kk];
+        const float a1k = a1[kk];
+        const float a2k = a2[kk];
+        const float a3k = a3[kk];
+        const float* __restrict__ brow = pb + kk * n + jb;
+        IMSR_SIMD_PRAGMA()
+        for (int64_t j = 0; j < kBlock; ++j) {
+          acc0[j] += a0k * brow[j];
+          acc1[j] += a1k * brow[j];
+          acc2[j] += a2k * brow[j];
+          acc3[j] += a3k * brow[j];
+        }
+      }
+      IMSR_SIMD_PRAGMA()
+      for (int64_t j = 0; j < kBlock; ++j) {
+        o0[jb + j] = acc0[j];
+        o1[jb + j] = acc1[j];
+        o2[jb + j] = acc2[j];
+        o3[jb + j] = acc3[j];
+      }
+    }
+    for (; jb < n; ++jb) {
+      float acc0 = o0[jb], acc1 = o1[jb], acc2 = o2[jb], acc3 = o3[jb];
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float bkj = pb[kk * n + jb];
+        acc0 += a0[kk] * bkj;
+        acc1 += a1[kk] * bkj;
+        acc2 += a2[kk] * bkj;
+        acc3 += a3[kk] * bkj;
+      }
+      o0[jb] = acc0;
+      o1[jb] = acc1;
+      o2[jb] = acc2;
+      o3[jb] = acc3;
     }
   }
   for (; i < i_end; ++i) {
     const float* __restrict__ arow = pa + i * k;
     float* __restrict__ orow = po + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aik = arow[kk];
-      const float* __restrict__ brow = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    int64_t jb = 0;
+    for (; jb + kBlock <= n; jb += kBlock) {
+      float acc[kBlock];
+      IMSR_SIMD_PRAGMA()
+      for (int64_t j = 0; j < kBlock; ++j) acc[j] = orow[jb + j];
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aik = arow[kk];
+        const float* __restrict__ brow = pb + kk * n + jb;
+        IMSR_SIMD_PRAGMA()
+        for (int64_t j = 0; j < kBlock; ++j) acc[j] += aik * brow[j];
+      }
+      IMSR_SIMD_PRAGMA()
+      for (int64_t j = 0; j < kBlock; ++j) orow[jb + j] = acc[j];
+    }
+    for (; jb < n; ++jb) {
+      float acc = orow[jb];
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * pb[kk * n + jb];
+      orow[jb] = acc;
     }
   }
 }
 
-// Rank-1 update core for A^T * B: out += a.row(t)^T * b.row(t), t
-// ascending, so every out[i][j] accumulates its r contributions in the
-// same order as MatMul(Transpose(a), b) — bitwise interchangeable with
-// it. All three matrices stream row-major; output rows are not
-// independent across t, so the kernel is single-threaded (its matrices
-// are routing-loop sized). Same saxpy inner loop as MatMulRows, same
-// -O3-for-vectorization treatment.
+// Core for A^T * B: out[i][j] += sum_t a[t][i] * b[t][j], accumulated
+// with t ascending per element — exactly the order a rank-1-update
+// formulation (out += a.row(t)^T * b.row(t), t ascending) produces, so
+// the kernel stays bitwise interchangeable with MatMul(Transpose(a), b).
+// Register-blocked like MatMulRows: each 16-wide output chunk is seeded
+// from `po`, kept in registers across the whole t sweep, and stored back
+// once; the a column is re-read per block (stride-m scalar loads), which
+// is cheap at routing-loop sizes. Same order-preserving vectorization
+// treatment as above — the j lanes are independent elements, so vector
+// width cannot reorder any element's additions.
+IMSR_SIMD_CLONES
 void MatMulTransARank1(const float* __restrict__ pa,
                        const float* __restrict__ pb, float* __restrict__ po,
                        int64_t r, int64_t m, int64_t n) {
-  for (int64_t t = 0; t < r; ++t) {
-    const float* __restrict__ arow = pa + t * m;
-    const float* __restrict__ brow = pb + t * n;
+  constexpr int64_t kBlock = 16;  // 4 xmm accumulators per output chunk
+  // Tile the t sweep so each (kTileT x n) chunk of b — and the matching
+  // chunk of a — stays L1-resident across the whole i sweep. Untiled,
+  // every output row re-streams the full r x n b matrix from L2/L3,
+  // which dominates this kernel at training shapes (r ~ 1000). Tiles are
+  // visited in ascending order and t ascends within each, so every
+  // (i, j) element still sees the plain sequential-t accumulation order:
+  // the tiling is bitwise invisible.
+  constexpr int64_t kTileT = 64;
+  for (int64_t t0 = 0; t0 < r; t0 += kTileT) {
+    const int64_t t_end = std::min(r, t0 + kTileT);
     for (int64_t i = 0; i < m; ++i) {
-      const float ati = arow[i];
       float* __restrict__ orow = po + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += ati * brow[j];
+      int64_t jb = 0;
+      for (; jb + kBlock <= n; jb += kBlock) {
+        float acc[kBlock];
+        IMSR_SIMD_PRAGMA()
+        for (int64_t j = 0; j < kBlock; ++j) acc[j] = orow[jb + j];
+        for (int64_t t = t0; t < t_end; ++t) {
+          const float ati = pa[t * m + i];
+          const float* __restrict__ brow = pb + t * n + jb;
+          IMSR_SIMD_PRAGMA()
+          for (int64_t j = 0; j < kBlock; ++j) acc[j] += ati * brow[j];
+        }
+        IMSR_SIMD_PRAGMA()
+        for (int64_t j = 0; j < kBlock; ++j) orow[jb + j] = acc[j];
+      }
+      for (; jb < n; ++jb) {
+        float acc = orow[jb];
+        for (int64_t t = t0; t < t_end; ++t) {
+          acc += pa[t * m + i] * pb[t * n + jb];
+        }
+        orow[jb] = acc;
+      }
     }
   }
 }
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC pop_options
-#endif
+IMSR_HOT_END
 
 // Dot-product core for A * B^T over output rows [i_begin, i_end): 2x4
 // register tiles (8 independent accumulator chains) with every lane using
@@ -404,6 +508,85 @@ void MatMulTransBRows(const float* __restrict__ pa,
   }
 }
 
+// Vectorized twin of MatMulTransBRows: same 2x4 register tile, but the kk
+// loop carries an omp simd reduction, so each accumulator becomes a
+// vector of per-lane partial sums combined at the end. That reorders the
+// floating-point additions of each dot product — results agree with the
+// scalar kernel only to rounding (see the tolerance contract in
+// DESIGN.md section 11), which is why dispatch goes through SimdEnabled().
+// Still deterministic: lane count is fixed at build time and every
+// (i, j) dot is computed whole inside one task, so thread count and tile
+// placement cannot change a bit.
+IMSR_HOT_BEGIN
+IMSR_SIMD_CLONES
+void MatMulTransBRowsSimd(const float* __restrict__ pa,
+                          const float* __restrict__ pb,
+                          float* __restrict__ po, int64_t i_begin,
+                          int64_t i_end, int64_t k, int64_t n) {
+  int64_t i = i_begin;
+  for (; i + 2 <= i_end; i += 2) {
+    const float* __restrict__ a0 = pa + (i + 0) * k;
+    const float* __restrict__ a1 = pa + (i + 1) * k;
+    float* __restrict__ o0 = po + (i + 0) * n;
+    float* __restrict__ o1 = po + (i + 1) * n;
+    int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* __restrict__ b0 = pb + (j + 0) * k;
+      const float* __restrict__ b1 = pb + (j + 1) * k;
+      const float* __restrict__ b2 = pb + (j + 2) * k;
+      const float* __restrict__ b3 = pb + (j + 3) * k;
+      float acc00 = 0.0f, acc01 = 0.0f, acc02 = 0.0f, acc03 = 0.0f;
+      float acc10 = 0.0f, acc11 = 0.0f, acc12 = 0.0f, acc13 = 0.0f;
+      IMSR_SIMD_PRAGMA(reduction(+ : acc00, acc01, acc02, acc03, acc10,
+                                 acc11, acc12, acc13))
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float a0k = a0[kk];
+        const float a1k = a1[kk];
+        acc00 += a0k * b0[kk];
+        acc01 += a0k * b1[kk];
+        acc02 += a0k * b2[kk];
+        acc03 += a0k * b3[kk];
+        acc10 += a1k * b0[kk];
+        acc11 += a1k * b1[kk];
+        acc12 += a1k * b2[kk];
+        acc13 += a1k * b3[kk];
+      }
+      o0[j + 0] = acc00;
+      o0[j + 1] = acc01;
+      o0[j + 2] = acc02;
+      o0[j + 3] = acc03;
+      o1[j + 0] = acc10;
+      o1[j + 1] = acc11;
+      o1[j + 2] = acc12;
+      o1[j + 3] = acc13;
+    }
+    for (; j < n; ++j) {
+      const float* __restrict__ brow = pb + j * k;
+      float acc0 = 0.0f;
+      float acc1 = 0.0f;
+      IMSR_SIMD_PRAGMA(reduction(+ : acc0, acc1))
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc0 += a0[kk] * brow[kk];
+        acc1 += a1[kk] * brow[kk];
+      }
+      o0[j] = acc0;
+      o1[j] = acc1;
+    }
+  }
+  for (; i < i_end; ++i) {
+    const float* __restrict__ arow = pa + i * k;
+    float* __restrict__ orow = po + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* __restrict__ brow = pb + j * k;
+      float acc = 0.0f;
+      IMSR_SIMD_PRAGMA(reduction(+ : acc))
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      orow[j] = acc;
+    }
+  }
+}
+IMSR_HOT_END
+
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -458,13 +641,44 @@ void MatMulTransBInto(const Tensor& a, ConstMatrixView b, Tensor* out) {
   const float* pa = a.data();
   const float* pb = b.data;
   float* po = out->data();
+  // Wide-output fast path: the dot-product kernels pay a horizontal
+  // lane-combine per (i, j) dot, which dominates when k is modest and
+  // there are many dots (the MatMul backward shape, m ~ batch tokens,
+  // n = k = d). Transposing b once (n*k floats, pooled scratch) and
+  // running the register-blocked saxpy core amortises that away — and
+  // because MatMulRows accumulates each element in the same sequential
+  // kk order as the scalar dot, this path reproduces MatMulTransBRows
+  // bit for bit. Narrow outputs (routing logits, corpus ranking with a
+  // handful of interests) keep the dot kernels: there the long-k dots
+  // vectorize well and a transposed b would put the inner loop on a
+  // strided column.
+  if (SimdEnabled() && n >= 8 && m >= 16) {
+    Tensor bt = Tensor::Uninitialized({k, n});
+    float* pt = bt.data();
+    for (int64_t j = 0; j < n; ++j) {
+      const float* __restrict__ brow = pb + j * k;
+      for (int64_t kk = 0; kk < k; ++kk) pt[kk * n + j] = brow[kk];
+    }
+    out->Fill(0.0f);  // the saxpy kernel accumulates into the output
+    if (m * k * n >= kParallelWorkThreshold) {
+      util::GlobalPool().ParallelFor(
+          m, RowGrain(m, k * n), [&](int64_t begin, int64_t end) {
+            MatMulRows(pa, pt, po, begin, end, k, n);
+          });
+    } else {
+      MatMulRows(pa, pt, po, 0, m, k, n);
+    }
+    return;
+  }
+  auto* const rows_kernel =
+      SimdEnabled() ? MatMulTransBRowsSimd : MatMulTransBRows;
   if (m * k * n >= kParallelWorkThreshold) {
     util::GlobalPool().ParallelFor(
         m, RowGrain(m, k * n), [&](int64_t begin, int64_t end) {
-          MatMulTransBRows(pa, pb, po, begin, end, k, n);
+          rows_kernel(pa, pb, po, begin, end, k, n);
         });
   } else {
-    MatMulTransBRows(pa, pb, po, 0, m, k, n);
+    rows_kernel(pa, pb, po, 0, m, k, n);
   }
 }
 
@@ -543,6 +757,50 @@ void TransposeInto(const Tensor& a, Tensor* out) {
   }
 }
 
+namespace {
+
+// Scalar / vectorized dot-product and sum-of-squares cores. The simd
+// variants carry per-lane partial sums (reduction clause), so their
+// addition order differs from the scalar chain — reduction-class kernels
+// under the DESIGN.md section 11 contract, dispatched on SimdEnabled().
+IMSR_HOT_BEGIN
+float DotSpanScalar(const float* __restrict__ pa,
+                    const float* __restrict__ pb, int64_t n) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) acc += pa[i] * pb[i];
+  return acc;
+}
+
+IMSR_SIMD_CLONES
+float DotSpanSimd(const float* __restrict__ pa,
+                  const float* __restrict__ pb, int64_t n) {
+  float acc = 0.0f;
+  IMSR_SIMD_PRAGMA(reduction(+ : acc))
+  for (int64_t i = 0; i < n; ++i) acc += pa[i] * pb[i];
+  return acc;
+}
+
+float SumSquaresSpanScalar(const float* __restrict__ pa, int64_t n) {
+  float ss = 0.0f;
+  for (int64_t i = 0; i < n; ++i) ss += pa[i] * pa[i];
+  return ss;
+}
+
+IMSR_SIMD_CLONES
+float SumSquaresSpanSimd(const float* __restrict__ pa, int64_t n) {
+  float ss = 0.0f;
+  IMSR_SIMD_PRAGMA(reduction(+ : ss))
+  for (int64_t i = 0; i < n; ++i) ss += pa[i] * pa[i];
+  return ss;
+}
+IMSR_HOT_END
+
+}  // namespace
+
+float DotSpan(const float* a, const float* b, int64_t n) {
+  return SimdEnabled() ? DotSpanSimd(a, b, n) : DotSpanScalar(a, b, n);
+}
+
 Tensor MatVec(const Tensor& a, const Tensor& x) {
   IMSR_CHECK_EQ(a.dim(), 2);
   IMSR_CHECK_EQ(x.dim(), 1);
@@ -552,15 +810,17 @@ Tensor MatVec(const Tensor& a, const Tensor& x) {
   Tensor out = Tensor::Uninitialized({m});
   const float* pa = a.data();
   const float* px = x.data();
-  for (int64_t i = 0; i < m; ++i) {
-    float acc = 0.0f;
-    const float* arow = pa + i * k;
-    for (int64_t j = 0; j < k; ++j) acc += arow[j] * px[j];
-    out.at(i) = acc;
+  float* po = out.data();
+  if (SimdEnabled()) {
+    for (int64_t i = 0; i < m; ++i) po[i] = DotSpanSimd(pa + i * k, px, k);
+  } else {
+    for (int64_t i = 0; i < m; ++i) po[i] = DotSpanScalar(pa + i * k, px, k);
   }
   return out;
 }
 
+IMSR_HOT_BEGIN
+IMSR_SIMD_CLONES
 Tensor MatVecTransA(const Tensor& a, const Tensor& x) {
   IMSR_CHECK_EQ(a.dim(), 2);
   IMSR_CHECK_EQ(x.dim(), 1);
@@ -568,18 +828,21 @@ Tensor MatVecTransA(const Tensor& a, const Tensor& x) {
   const int64_t m = a.size(0);
   const int64_t k = a.size(1);
   // out[j] = sum_i a[i][j] x[i] over ascending i — the exact order
-  // MatVec(Transpose(a), x) uses — streaming a row-major.
+  // MatVec(Transpose(a), x) uses — streaming a row-major. Saxpy-shaped,
+  // so vectorization preserves each out[j]'s accumulation order exactly.
   Tensor out({k});
-  const float* pa = a.data();
-  const float* px = x.data();
-  float* po = out.data();
+  const float* __restrict__ pa = a.data();
+  const float* __restrict__ px = x.data();
+  float* __restrict__ po = out.data();
   for (int64_t i = 0; i < m; ++i) {
     const float xi = px[i];
-    const float* arow = pa + i * k;
+    const float* __restrict__ arow = pa + i * k;
+    IMSR_SIMD_PRAGMA()
     for (int64_t j = 0; j < k; ++j) po[j] += xi * arow[j];
   }
   return out;
 }
+IMSR_HOT_END
 
 Tensor MatVecBatch(const Tensor& a, const Tensor& xs) {
   IMSR_CHECK_EQ(a.dim(), 2);
@@ -591,23 +854,20 @@ Tensor MatVecBatch(const Tensor& a, const Tensor& xs) {
 
 float DotFlat(const Tensor& a, const Tensor& b) {
   IMSR_CHECK_EQ(a.numel(), b.numel());
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float acc = 0.0f;
-  for (int64_t i = 0; i < a.numel(); ++i) acc += pa[i] * pb[i];
-  return acc;
+  return DotSpan(a.data(), b.data(), a.numel());
 }
 
 float L2NormFlat(const Tensor& a) {
-  float ss = 0.0f;
-  const float* pa = a.data();
-  for (int64_t i = 0; i < a.numel(); ++i) ss += pa[i] * pa[i];
+  const float ss = SimdEnabled() ? SumSquaresSpanSimd(a.data(), a.numel())
+                                 : SumSquaresSpanScalar(a.data(), a.numel());
   return std::sqrt(ss);
 }
 
 namespace {
 
-void SoftmaxSpan(const float* in, float* out, int64_t n) {
+// `out` may alias `in` (SoftmaxRowsInPlace) — no __restrict__ here; the
+// loops only ever touch matching indices, so aliasing is benign.
+void SoftmaxSpanScalar(const float* in, float* out, int64_t n) {
   float max_value = in[0];
   for (int64_t i = 1; i < n; ++i) max_value = std::max(max_value, in[i]);
   float total = 0.0f;
@@ -616,6 +876,115 @@ void SoftmaxSpan(const float* in, float* out, int64_t n) {
     total += out[i];
   }
   for (int64_t i = 0; i < n; ++i) out[i] /= total;
+}
+
+// Branchless e^x for the vectorized softmax: Cephes-style range
+// reduction (x = n ln2 + r, |r| <= ln2/2), a degree-5 polynomial for
+// e^r, and 2^n built by exponent-field bit assembly — every step is
+// float arithmetic plus one int convert, so the whole loop vectorizes
+// where a libm call chain cannot. Max relative error ~2 ulp (~2.4e-7),
+// an order below the reduction-class tolerance the SIMD softmax already
+// carries for its reordered sum. Inputs are clamped to the finite-result
+// range, which also keeps the exponent assembly in bounds.
+inline float ExpApprox(float x) {
+  x = x < -87.33654f ? -87.33654f : x;
+  x = x > 88.72283f ? 88.72283f : x;
+  // Round x/ln2 to the nearest integer with the 1.5*2^23 magic-number
+  // trick (exact for |z| < 2^22; safe because -O2 never reassociates).
+  const float z = x * 1.44269504088896341f;
+  const float nf = (z + 12582912.0f) - 12582912.0f;
+  // Two-part ln2 keeps r = x - n*ln2 accurate to float precision.
+  const float r = (x - nf * 0.693359375f) - nf * -2.12194440e-4f;
+  float p = 1.9875691500e-4f;
+  p = p * r + 1.3981999507e-3f;
+  p = p * r + 8.3334519073e-3f;
+  p = p * r + 4.1665795894e-2f;
+  p = p * r + 1.6666665459e-1f;
+  p = p * r + 5.0000001201e-1f;
+  p = p * r * r + r + 1.0f;
+  const auto biased = static_cast<uint32_t>(static_cast<int32_t>(nf) + 127);
+  float scale;
+  const uint32_t bits = biased << 23;
+  std::memcpy(&scale, &bits, sizeof(scale));
+  return p * scale;
+}
+
+// Vectorized twin. fp-max is order-insensitive; the exp goes through the
+// polynomial ExpApprox (a few e-7 relative of libm) and the `total`
+// reduction reorders additions — together the reduction-class tolerance
+// the scalar twin's bitwise path escapes via SimdEnabled().
+IMSR_HOT_BEGIN
+IMSR_SIMD_CLONES
+void SoftmaxSpanSimd(const float* in, float* out, int64_t n) {
+  float max_value = in[0];
+  IMSR_SIMD_PRAGMA(reduction(max : max_value))
+  for (int64_t i = 1; i < n; ++i) max_value = std::max(max_value, in[i]);
+  IMSR_SIMD_PRAGMA()
+  for (int64_t i = 0; i < n; ++i) out[i] = ExpApprox(in[i] - max_value);
+  float total = 0.0f;
+  IMSR_SIMD_PRAGMA(reduction(+ : total))
+  for (int64_t i = 0; i < n; ++i) total += out[i];
+  IMSR_SIMD_PRAGMA()
+  for (int64_t i = 0; i < n; ++i) out[i] /= total;
+}
+IMSR_HOT_END
+
+// Row-parallel softmax for 4-column matrices — the B2I routing shape
+// (n x K) at the paper's default K=4, softmaxed thousands of times per
+// optimizer step. Unrolling the row lets the compiler vectorize ACROSS
+// rows (stride-4 interleaved loads) instead of inside a 4-lane span, and
+// drops the per-row span-function call. The single reciprocal replaces
+// four divides; with ExpApprox and the fixed-order 4-term sum this stays
+// within the same reduction-class tolerance as SoftmaxSpanSimd.
+IMSR_HOT_BEGIN
+IMSR_SIMD_CLONES
+// `out` may alias `in` (SoftmaxRowsInPlace): within a row every read
+// happens before any write, and the simd pragma vouches for the absence
+// of cross-iteration dependences, so no __restrict__ here.
+void Softmax4RowsSimd(const float* in, float* out, int64_t rows) {
+  // Pass 1: per-row max, stored as shifted exponent arguments. Stride-4
+  // interleaved access, so this pass stays scalar — it is cheap.
+  for (int64_t i = 0; i < rows; ++i) {
+    const float a = in[4 * i];
+    const float b = in[4 * i + 1];
+    const float c = in[4 * i + 2];
+    const float d = in[4 * i + 3];
+    float m = a > b ? a : b;
+    m = c > m ? c : m;
+    m = d > m ? d : m;
+    out[4 * i] = a - m;
+    out[4 * i + 1] = b - m;
+    out[4 * i + 2] = c - m;
+    out[4 * i + 3] = d - m;
+  }
+  // Pass 2: the exponentials — the dominant cost — over the flat
+  // contiguous buffer, where the polynomial pipeline vectorizes fully.
+  const int64_t n4 = rows * 4;
+  IMSR_SIMD_PRAGMA()
+  for (int64_t j = 0; j < n4; ++j) out[j] = ExpApprox(out[j]);
+  // Pass 3: one reciprocal per row replaces four divides; the 4-term sum
+  // keeps a fixed association order (reduction-class tolerance).
+  for (int64_t i = 0; i < rows; ++i) {
+    const float ea = out[4 * i];
+    const float eb = out[4 * i + 1];
+    const float ec = out[4 * i + 2];
+    const float ed = out[4 * i + 3];
+    const float inv = 1.0f / (((ea + eb) + ec) + ed);
+    out[4 * i] = ea * inv;
+    out[4 * i + 1] = eb * inv;
+    out[4 * i + 2] = ec * inv;
+    out[4 * i + 3] = ed * inv;
+  }
+}
+IMSR_HOT_END
+
+// Resolves the span kernel once per matrix — the routing loop softmaxes
+// thousands of 4-wide rows per step, so a per-span flag check and
+// wrapper call are measurable overhead.
+using SoftmaxSpanFn = void (*)(const float*, float*, int64_t);
+
+SoftmaxSpanFn ResolveSoftmaxSpan() {
+  return SimdEnabled() ? SoftmaxSpanSimd : SoftmaxSpanScalar;
 }
 
 }  // namespace
@@ -631,17 +1000,22 @@ void SoftmaxInto(const Tensor& a, Tensor* out) {
   IMSR_CHECK(out != &a) << "SoftmaxInto output must not alias the input";
   IMSR_CHECK(a.dim() == 1 || a.dim() == 2);
   out->ResizeUninitialized(a.shape());
+  const SoftmaxSpanFn span_fn = ResolveSoftmaxSpan();
   if (a.dim() == 1) {
-    SoftmaxSpan(a.data(), out->data(), a.numel());
+    span_fn(a.data(), out->data(), a.numel());
     return;
   }
   const int64_t rows = a.size(0);
   const int64_t cols = a.size(1);
   const float* pa = a.data();
   float* po = out->data();
+  if (cols == 4 && SimdEnabled()) {
+    Softmax4RowsSimd(pa, po, rows);
+    return;
+  }
   const auto span_rows = [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
-      SoftmaxSpan(pa + i * cols, po + i * cols, cols);
+      span_fn(pa + i * cols, po + i * cols, cols);
     }
   };
   if (rows * cols >= kParallelWorkThreshold) {
@@ -657,9 +1031,14 @@ void SoftmaxRowsInPlace(Tensor* a) {
   const int64_t rows = a->dim() == 1 ? 1 : a->size(0);
   const int64_t cols = a->dim() == 1 ? a->numel() : a->size(1);
   float* pa = a->data();
+  if (cols == 4 && a->dim() == 2 && SimdEnabled()) {
+    Softmax4RowsSimd(pa, pa, rows);
+    return;
+  }
+  const SoftmaxSpanFn span_fn = ResolveSoftmaxSpan();
   const auto span_rows = [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
-      SoftmaxSpan(pa + i * cols, pa + i * cols, cols);
+      span_fn(pa + i * cols, pa + i * cols, cols);
     }
   };
   if (rows * cols >= kParallelWorkThreshold) {
@@ -674,12 +1053,23 @@ Tensor LogSumExpRows(const Tensor& a) {
   const int64_t rows = a.dim() == 1 ? 1 : a.size(0);
   const int64_t cols = a.dim() == 1 ? a.numel() : a.size(1);
   Tensor out = Tensor::Uninitialized({rows});
+  const bool simd = SimdEnabled();
   for (int64_t i = 0; i < rows; ++i) {
     const float* row = a.data() + i * cols;
     float max_value = row[0];
     for (int64_t j = 1; j < cols; ++j) max_value = std::max(max_value, row[j]);
     float total = 0.0f;
-    for (int64_t j = 0; j < cols; ++j) total += std::exp(row[j] - max_value);
+    if (simd) {
+      // Reduction class: per-lane partial sums reorder the additions.
+      IMSR_SIMD_PRAGMA(reduction(+ : total))
+      for (int64_t j = 0; j < cols; ++j) {
+        total += std::exp(row[j] - max_value);
+      }
+    } else {
+      for (int64_t j = 0; j < cols; ++j) {
+        total += std::exp(row[j] - max_value);
+      }
+    }
     out.at(i) = max_value + std::log(total);
   }
   return out;
@@ -710,10 +1100,16 @@ void ElementwiseInto(const Tensor& a, Tensor* out, ApplySpan&& apply) {
 
 }  // namespace
 
+// The nonlinearities are elementwise — order-preserving by construction.
+// The transcendental calls (exp/tanh) stay scalar libm under the simd
+// annotation (no -ffast-math, no vector math library), so every element's
+// value is bitwise identical whether or not the surrounding arithmetic
+// vectorizes.
 Tensor Sigmoid(const Tensor& a) {
   Tensor out;
   ElementwiseInto(a, &out,
                   [](const float* pa, float* po, int64_t begin, int64_t end) {
+                    IMSR_SIMD_PRAGMA()
                     for (int64_t i = begin; i < end; ++i) {
                       po[i] = 1.0f / (1.0f + std::exp(-pa[i]));
                     }
@@ -725,6 +1121,7 @@ Tensor Tanh(const Tensor& a) {
   Tensor out;
   ElementwiseInto(a, &out,
                   [](const float* pa, float* po, int64_t begin, int64_t end) {
+                    IMSR_SIMD_PRAGMA()
                     for (int64_t i = begin; i < end; ++i) {
                       po[i] = std::tanh(pa[i]);
                     }
@@ -736,6 +1133,7 @@ Tensor Exp(const Tensor& a) {
   Tensor out;
   ElementwiseInto(a, &out,
                   [](const float* pa, float* po, int64_t begin, int64_t end) {
+                    IMSR_SIMD_PRAGMA()
                     for (int64_t i = begin; i < end; ++i) {
                       po[i] = std::exp(pa[i]);
                     }
@@ -749,6 +1147,7 @@ Tensor SquashRows(const Tensor& a) {
   return out;
 }
 
+IMSR_SIMD_CLONES
 void SquashRowsInto(const Tensor& a, Tensor* out) {
   IMSR_CHECK(out != nullptr);
   IMSR_CHECK(out != &a) << "SquashRowsInto output must not alias the input";
@@ -756,14 +1155,18 @@ void SquashRowsInto(const Tensor& a, Tensor* out) {
   const int64_t rows = a.dim() == 1 ? 1 : a.size(0);
   const int64_t cols = a.dim() == 1 ? a.numel() : a.size(1);
   out->ResizeUninitialized(a.shape());
+  const bool simd = SimdEnabled();
   for (int64_t i = 0; i < rows; ++i) {
     const float* in = a.data() + i * cols;
     float* po = out->data() + i * cols;
-    float ss = 0.0f;
-    for (int64_t j = 0; j < cols; ++j) ss += in[j] * in[j];
+    // The |v|^2 sum is a reduction (reordered under SIMD); the final
+    // coeff * v scale is elementwise and order-preserving.
+    const float ss = simd ? SumSquaresSpanSimd(in, cols)
+                          : SumSquaresSpanScalar(in, cols);
     const float norm = std::sqrt(ss);
     // squash(v) = |v|^2/(1+|v|^2) * v/|v|; zero rows map to zero.
     const float coeff = norm > 0.0f ? ss / (1.0f + ss) / norm : 0.0f;
+    IMSR_SIMD_PRAGMA()
     for (int64_t j = 0; j < cols; ++j) po[j] = coeff * in[j];
   }
 }
@@ -829,7 +1232,11 @@ float MaxAbsDiff(const Tensor& a, const Tensor& b) {
   float worst = 0.0f;
   const float* pa = a.data();
   const float* pb = b.data();
-  for (int64_t i = 0; i < a.numel(); ++i) {
+  const int64_t n = a.numel();
+  // fp-max is order-insensitive, so this reduction is bitwise-safe to
+  // vectorize unconditionally.
+  IMSR_SIMD_PRAGMA(reduction(max : worst))
+  for (int64_t i = 0; i < n; ++i) {
     worst = std::max(worst, std::fabs(pa[i] - pb[i]));
   }
   return worst;

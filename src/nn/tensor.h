@@ -259,6 +259,11 @@ Tensor MatVecBatch(const Tensor& a, const Tensor& xs);
 
 // Dot product of equally sized tensors (flattened).
 float DotFlat(const Tensor& a, const Tensor& b);
+// Dot product over raw spans of length n — the same scalar/SIMD dispatch
+// as DotFlat (reduction class: the vectorized path reorders additions).
+// Exposed for fused ops that score packed row blocks without making
+// Tensor views.
+float DotSpan(const float* a, const float* b, int64_t n);
 // Euclidean norm of the flattened tensor.
 float L2NormFlat(const Tensor& a);
 

@@ -1,5 +1,7 @@
 #include "nn/variable.h"
 
+#include "nn/simd.h"
+
 namespace imsr::nn {
 namespace {
 
@@ -59,6 +61,21 @@ void VarNode::AccumulateGrad(Tensor&& delta) {
     return;
   }
   grad.AddInPlace(delta);
+}
+
+IMSR_SIMD_CLONES
+void VarNode::AccumulateGradRows(const Tensor& delta, int64_t row_begin) {
+  IMSR_CHECK_EQ(value.dim(), 2);
+  IMSR_CHECK_GE(row_begin, 0);
+  if (!grad.defined()) grad = Tensor(value.shape());
+  const int64_t offset = row_begin * value.size(1);
+  IMSR_CHECK_LE(offset + delta.numel(), grad.numel());
+  float* __restrict__ dst = grad.data() + offset;
+  const float* __restrict__ src = delta.data();
+  const int64_t n = delta.numel();
+  // Order-preserving elementwise add — safe to vectorize unconditionally.
+  IMSR_SIMD_PRAGMA()
+  for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
 }
 
 Var::Var(Tensor value, bool requires_grad) {

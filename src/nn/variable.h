@@ -141,6 +141,11 @@ struct VarNode {
   // `delta` (every later one is an elementwise add).
   void AccumulateGrad(const Tensor& delta);
   void AccumulateGrad(Tensor&& delta);
+  // Adds `delta` — one or more full rows of this (R x C) node — into the
+  // grad starting at row `row_begin`, zero-filling the grad lazily.
+  // Row-slice backwards use this to add straight into the parent's grad
+  // instead of materializing a full-size scratch gradient per slice.
+  void AccumulateGradRows(const Tensor& delta, int64_t row_begin);
 };
 
 class Var {

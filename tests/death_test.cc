@@ -83,5 +83,20 @@ TEST(DeathTest, NegativeSamplerNeedsTwoItems) {
   EXPECT_DEATH(data::NegativeSampler(1), "IMSR_CHECK");
 }
 
+TEST(DeathTest, NegativeSamplerRejectsOverdraw) {
+  // count >= num_items cannot produce `count` draws all distinct from the
+  // target's rejection; the old code would spin forever at count ==
+  // num_items - 1 == 0... and silently crawl near the boundary. It must
+  // abort with the corpus size in the message instead.
+  data::NegativeSampler sampler(4);
+  util::Rng rng(1);
+  EXPECT_DEATH(sampler.Sample(4, 0, rng), "corpus of 4 items");
+  EXPECT_DEATH(sampler.Sample(100, 0, rng), "corpus of 4 items");
+  EXPECT_DEATH(sampler.Sample(-1, 0, rng), "IMSR_CHECK");
+  // The boundary case count == num_items - 1 is legal (exactly the
+  // non-target items, drawn with replacement).
+  EXPECT_EQ(sampler.Sample(3, 0, rng).size(), 3u);
+}
+
 }  // namespace
 }  // namespace imsr

@@ -1,0 +1,402 @@
+// SIMD/scalar equivalence suite for the vectorized nn kernels (see
+// nn/simd.h for the two-class determinism contract):
+//
+//  * Order-preserving kernels (saxpy accumulation, elementwise maps,
+//    optimizer updates) carry an unconditional `omp simd` annotation —
+//    vectorization must not change a single bit, so they are compared
+//    BITWISE against naive references written here with the identical
+//    accumulation order.
+//  * Reduction kernels (dots, sums of squares, softmax/logsumexp sums)
+//    reorder additions when vectorized and therefore dispatch on
+//    SimdEnabled(); the two paths are compared within a bounded
+//    tolerance, and the scalar path is compared bitwise against a naive
+//    reference (it must reproduce historical results exactly).
+//
+// Sizes sweep the SSE/AVX/AVX-512 lane boundaries (4/8/16) and odd
+// tails; unaligned variants shift the spans off the allocation base.
+// In an -DIMSR_SIMD=OFF build SetSimdEnabled(true) is clamped to off,
+// so every comparison degenerates to scalar-vs-scalar and the suite
+// still passes — the bitwise reference checks are the ones doing work
+// there.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "nn/optim.h"
+#include "nn/simd.h"
+#include "nn/tensor.h"
+#include "nn/variable.h"
+#include "util/rng.h"
+
+namespace imsr {
+namespace {
+
+// Lane-boundary sweep: 1..65 crossing 4, 8, 16, 32 and 64 exactly and
+// by one on either side.
+const std::vector<int64_t> kSizes = {1,  3,  4,  7,  8,  15, 16,
+                                     17, 31, 32, 33, 63, 64, 65};
+
+// Restores the runtime SIMD flag on scope exit so test order never
+// leaks state.
+class SimdFlagGuard {
+ public:
+  SimdFlagGuard() : saved_(nn::SetSimdEnabled(nn::SimdEnabled())) {}
+  ~SimdFlagGuard() { nn::SetSimdEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+float ReferenceDot(const float* a, const float* b, int64_t n) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+// Tolerance for a reordered n-term float sum: proportional to the sum of
+// term magnitudes (the classic reassociation error bound).
+float DotTolerance(const float* a, const float* b, int64_t n) {
+  float mass = 0.0f;
+  for (int64_t i = 0; i < n; ++i) mass += std::fabs(a[i] * b[i]);
+  return 2e-7f * static_cast<float>(n) * mass + 1e-30f;
+}
+
+std::vector<float> RandomVector(int64_t n, util::Rng& rng) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) x = rng.NextGaussian();
+  return v;
+}
+
+TEST(SimdTest, RuntimeFlagClampsToCompiledMode) {
+  SimdFlagGuard guard;
+  const bool was = nn::SetSimdEnabled(true);
+  EXPECT_EQ(nn::SimdEnabled(), nn::SimdCompiledIn());
+  nn::SetSimdEnabled(false);
+  EXPECT_FALSE(nn::SimdEnabled());
+  // SetSimdEnabled reports the previous state.
+  EXPECT_FALSE(nn::SetSimdEnabled(was));
+}
+
+TEST(SimdTest, DotSpanScalarPathMatchesReferenceBitwise) {
+  SimdFlagGuard guard;
+  util::Rng rng(11);
+  nn::SetSimdEnabled(false);
+  for (int64_t n : kSizes) {
+    const std::vector<float> a = RandomVector(n, rng);
+    const std::vector<float> b = RandomVector(n, rng);
+    EXPECT_EQ(nn::DotSpan(a.data(), b.data(), n),
+              ReferenceDot(a.data(), b.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST(SimdTest, DotSpanOnOffWithinTolerance) {
+  SimdFlagGuard guard;
+  util::Rng rng(12);
+  for (int64_t n : kSizes) {
+    const std::vector<float> a = RandomVector(n, rng);
+    const std::vector<float> b = RandomVector(n, rng);
+    nn::SetSimdEnabled(true);
+    const float simd = nn::DotSpan(a.data(), b.data(), n);
+    nn::SetSimdEnabled(false);
+    const float scalar = nn::DotSpan(a.data(), b.data(), n);
+    EXPECT_NEAR(simd, scalar, DotTolerance(a.data(), b.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST(SimdTest, DotSpanUnalignedTails) {
+  SimdFlagGuard guard;
+  util::Rng rng(13);
+  // Shift both spans 1..3 floats off the allocation base so the
+  // vectorized loop sees misaligned loads in every lane configuration.
+  for (int64_t offset = 1; offset <= 3; ++offset) {
+    for (int64_t n : kSizes) {
+      const std::vector<float> a = RandomVector(n + offset, rng);
+      const std::vector<float> b = RandomVector(n + offset, rng);
+      const float* pa = a.data() + offset;
+      const float* pb = b.data() + offset;
+      nn::SetSimdEnabled(true);
+      const float simd = nn::DotSpan(pa, pb, n);
+      nn::SetSimdEnabled(false);
+      const float scalar = nn::DotSpan(pa, pb, n);
+      EXPECT_NEAR(simd, scalar, DotTolerance(pa, pb, n))
+          << "n=" << n << " offset=" << offset;
+    }
+  }
+}
+
+TEST(SimdTest, MatVecOnOffWithinTolerance) {
+  SimdFlagGuard guard;
+  util::Rng rng(14);
+  for (int64_t k : kSizes) {
+    const int64_t m = 5;
+    const nn::Tensor a = nn::Tensor::Randn({m, k}, rng);
+    const nn::Tensor x = nn::Tensor::Randn({k}, rng);
+    nn::SetSimdEnabled(true);
+    const nn::Tensor simd = nn::MatVec(a, x);
+    nn::SetSimdEnabled(false);
+    const nn::Tensor scalar = nn::MatVec(a, x);
+    for (int64_t i = 0; i < m; ++i) {
+      EXPECT_NEAR(simd.at(i), scalar.at(i),
+                  DotTolerance(a.data() + i * k, x.data(), k))
+          << "k=" << k << " row=" << i;
+    }
+  }
+}
+
+TEST(SimdTest, MatVecBatchMatchesPerRowMatVec) {
+  SimdFlagGuard guard;
+  util::Rng rng(15);
+  nn::SetSimdEnabled(true);
+  const nn::Tensor a = nn::Tensor::Randn({9, 33}, rng);
+  const nn::Tensor xs = nn::Tensor::Randn({6, 33}, rng);
+  const nn::Tensor batched = nn::MatVecBatch(a, xs);
+  // Same inner kernels per row — agreement is within the reduction
+  // tolerance (the 2x4 tile of MatMulTransB splits accumulators
+  // differently from the single-row dot).
+  for (int64_t r = 0; r < xs.size(0); ++r) {
+    const nn::Tensor row = nn::MatVec(a, xs.Row(r));
+    for (int64_t i = 0; i < a.size(0); ++i) {
+      EXPECT_NEAR(batched.at(r, i), row.at(i),
+                  DotTolerance(a.data() + i * 33, xs.data() + r * 33, 33));
+    }
+  }
+}
+
+TEST(SimdTest, MatMulTransBOnOffWithinTolerance) {
+  SimdFlagGuard guard;
+  util::Rng rng(16);
+  for (int64_t k : kSizes) {
+    // 5 x 7 output exercises the 2x4 tile plus both remainder edges.
+    const nn::Tensor a = nn::Tensor::Randn({5, k}, rng);
+    const nn::Tensor b = nn::Tensor::Randn({7, k}, rng);
+    nn::SetSimdEnabled(true);
+    const nn::Tensor simd = nn::MatMulTransB(a, b);
+    nn::SetSimdEnabled(false);
+    const nn::Tensor scalar = nn::MatMulTransB(a, b);
+    for (int64_t i = 0; i < 5; ++i) {
+      for (int64_t j = 0; j < 7; ++j) {
+        EXPECT_NEAR(simd.at(i, j), scalar.at(i, j),
+                    DotTolerance(a.data() + i * k, b.data() + j * k, k))
+            << "k=" << k;
+      }
+    }
+  }
+}
+
+TEST(SimdTest, L2NormOnOffWithinTolerance) {
+  SimdFlagGuard guard;
+  util::Rng rng(17);
+  for (int64_t n : kSizes) {
+    const nn::Tensor a = nn::Tensor::Randn({n}, rng);
+    nn::SetSimdEnabled(true);
+    const float simd = nn::L2NormFlat(a);
+    nn::SetSimdEnabled(false);
+    const float scalar = nn::L2NormFlat(a);
+    EXPECT_NEAR(simd, scalar,
+                2e-7f * static_cast<float>(n) * scalar + 1e-30f)
+        << "n=" << n;
+  }
+}
+
+TEST(SimdTest, SoftmaxOnOffWithinToleranceAndNormalised) {
+  SimdFlagGuard guard;
+  util::Rng rng(18);
+  for (int64_t n : kSizes) {
+    const nn::Tensor a = nn::Tensor::Randn({n}, rng);
+    nn::SetSimdEnabled(true);
+    const nn::Tensor simd = nn::Softmax(a);
+    nn::SetSimdEnabled(false);
+    const nn::Tensor scalar = nn::Softmax(a);
+    float total = 0.0f;
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(simd.at(i), scalar.at(i), 1e-6f) << "n=" << n;
+      total += simd.at(i);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f) << "n=" << n;
+  }
+}
+
+TEST(SimdTest, LogSumExpRowsOnOffWithinTolerance) {
+  SimdFlagGuard guard;
+  util::Rng rng(19);
+  for (int64_t n : kSizes) {
+    const nn::Tensor a = nn::Tensor::Randn({3, n}, rng);
+    nn::SetSimdEnabled(true);
+    const nn::Tensor simd = nn::LogSumExpRows(a);
+    nn::SetSimdEnabled(false);
+    const nn::Tensor scalar = nn::LogSumExpRows(a);
+    for (int64_t r = 0; r < 3; ++r) {
+      EXPECT_NEAR(simd.at(r), scalar.at(r),
+                  2e-7f * static_cast<float>(n) *
+                          std::fabs(scalar.at(r)) +
+                      1e-5f)
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(SimdTest, SquashRowsOnOffWithinTolerance) {
+  SimdFlagGuard guard;
+  util::Rng rng(20);
+  for (int64_t n : kSizes) {
+    const nn::Tensor a = nn::Tensor::Randn({4, n}, rng);
+    nn::SetSimdEnabled(true);
+    const nn::Tensor simd = nn::SquashRows(a);
+    nn::SetSimdEnabled(false);
+    const nn::Tensor scalar = nn::SquashRows(a);
+    EXPECT_LE(nn::MaxAbsDiff(simd, scalar), 1e-5f) << "n=" << n;
+  }
+}
+
+// ---- Order-preserving kernels: bitwise against same-order references ----
+
+TEST(SimdTest, MatMulBitwiseMatchesSaxpyOrderReference) {
+  util::Rng rng(21);
+  for (int64_t k : kSizes) {
+    const nn::Tensor a = nn::Tensor::Randn({9, k}, rng);
+    const nn::Tensor b = nn::Tensor::Randn({k, 5}, rng);
+    const nn::Tensor fast = nn::MatMul(a, b);
+    // The panel kernel accumulates out(i, j) over ascending kk; so does
+    // this reference — vectorizing across j must not change a bit.
+    nn::Tensor reference({9, 5});
+    for (int64_t i = 0; i < 9; ++i) {
+      for (int64_t j = 0; j < 5; ++j) {
+        float acc = 0.0f;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          acc += a.at(i, kk) * b.at(kk, j);
+        }
+        reference.at(i, j) = acc;
+      }
+    }
+    EXPECT_EQ(nn::MaxAbsDiff(fast, reference), 0.0f) << "k=" << k;
+  }
+}
+
+TEST(SimdTest, MatVecTransABitwiseMatchesSaxpyOrderReference) {
+  util::Rng rng(22);
+  for (int64_t k : kSizes) {
+    const int64_t m = 7;
+    const nn::Tensor a = nn::Tensor::Randn({m, k}, rng);
+    const nn::Tensor x = nn::Tensor::Randn({m}, rng);
+    const nn::Tensor fast = nn::MatVecTransA(a, x);
+    nn::Tensor reference({k});
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < k; ++j) {
+        reference.at(j) += x.at(i) * a.at(i, j);
+      }
+    }
+    EXPECT_EQ(nn::MaxAbsDiff(fast, reference), 0.0f) << "k=" << k;
+  }
+}
+
+TEST(SimdTest, MatMulTransABitwiseMatchesRankOneOrderReference) {
+  util::Rng rng(23);
+  for (int64_t n : kSizes) {
+    const nn::Tensor a = nn::Tensor::Randn({6, 5}, rng);
+    const nn::Tensor b = nn::Tensor::Randn({6, n}, rng);
+    const nn::Tensor fast = nn::MatMulTransA(a, b);
+    // Rank-1 updates over ascending r, vectorized across columns only.
+    nn::Tensor reference({5, n});
+    for (int64_t r = 0; r < 6; ++r) {
+      for (int64_t i = 0; i < 5; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          reference.at(i, j) += a.at(r, i) * b.at(r, j);
+        }
+      }
+    }
+    EXPECT_EQ(nn::MaxAbsDiff(fast, reference), 0.0f) << "n=" << n;
+  }
+}
+
+TEST(SimdTest, ElementwiseMutatorsBitwise) {
+  util::Rng rng(24);
+  for (int64_t n : kSizes) {
+    const nn::Tensor a = nn::Tensor::Randn({n}, rng);
+    const nn::Tensor b = nn::Tensor::Randn({n}, rng);
+    nn::Tensor add = a;
+    add.AddInPlace(b);
+    nn::Tensor add_scaled = a;
+    add_scaled.AddScaledInPlace(b, 0.37f);
+    nn::Tensor scaled = a;
+    scaled.ScaleInPlace(1.7f);
+    const nn::Tensor mul = nn::Mul(a, b);
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(add.at(i), a.at(i) + b.at(i));
+      EXPECT_EQ(add_scaled.at(i), a.at(i) + 0.37f * b.at(i));
+      EXPECT_EQ(scaled.at(i), a.at(i) * 1.7f);
+      EXPECT_EQ(mul.at(i), a.at(i) * b.at(i));
+    }
+  }
+}
+
+TEST(SimdTest, TranscendentalMapsBitwise) {
+  util::Rng rng(25);
+  for (int64_t n : kSizes) {
+    const nn::Tensor a = nn::Tensor::Randn({n}, rng);
+    const nn::Tensor sig = nn::Sigmoid(a);
+    const nn::Tensor tanh = nn::Tanh(a);
+    const nn::Tensor exp = nn::Exp(a);
+    // libm calls stay scalar inside the annotated loops (no vector-math
+    // substitution without -fopenmp), so each element is the exact
+    // scalar result.
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(sig.at(i), 1.0f / (1.0f + std::exp(-a.at(i))));
+      EXPECT_EQ(tanh.at(i), std::tanh(a.at(i)));
+      EXPECT_EQ(exp.at(i), std::exp(a.at(i)));
+    }
+  }
+}
+
+TEST(SimdTest, SgdStepBitwiseMatchesReference) {
+  util::Rng rng(26);
+  for (int64_t n : kSizes) {
+    const nn::Tensor initial = nn::Tensor::Randn({n}, rng);
+    const nn::Tensor grad = nn::Tensor::Randn({n}, rng);
+    nn::Var parameter(initial, /*requires_grad=*/true);
+    parameter.node()->AccumulateGrad(grad);
+    nn::Sgd sgd(0.05f);
+    sgd.Register(parameter);
+    sgd.Step();
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(parameter.value().at(i),
+                initial.at(i) - 0.05f * grad.at(i))
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(SimdTest, AdamStepBitwiseMatchesReference) {
+  util::Rng rng(27);
+  nn::Adam::Config config;
+  for (int64_t n : kSizes) {
+    const nn::Tensor initial = nn::Tensor::Randn({n}, rng);
+    const nn::Tensor grad = nn::Tensor::Randn({n}, rng);
+    nn::Var parameter(initial, /*requires_grad=*/true);
+    parameter.node()->AccumulateGrad(grad);
+    nn::Adam adam(config.learning_rate);
+    adam.Register(parameter);
+    adam.Step();
+    const float bias1 = 1.0f - config.beta1;
+    const float bias2 = 1.0f - config.beta2;
+    for (int64_t i = 0; i < n; ++i) {
+      // First step from zero state, same expression order as Adam::Step.
+      const float m = (1.0f - config.beta1) * grad.at(i);
+      const float v =
+          (1.0f - config.beta2) * grad.at(i) * grad.at(i);
+      const float m_hat = m / bias1;
+      const float v_hat = v / bias2;
+      const float expected =
+          initial.at(i) -
+          config.learning_rate * m_hat / (std::sqrt(v_hat) + config.epsilon);
+      EXPECT_EQ(parameter.value().at(i), expected) << "n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace imsr

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 #include <cmath>
 #include <cstring>
+#include <numeric>
 
 
 #include "core/imsr_trainer.h"
@@ -420,6 +421,117 @@ TEST(TrainerTest, PoolOnAndOffTrajectoriesAreBitwiseIdentical) {
   EXPECT_TRUE(BitwiseEqual(pooled.interests, heap.interests));
   EXPECT_TRUE(BitwiseEqual(pooled.embeddings, heap.embeddings));
   EXPECT_TRUE(BitwiseEqual(pooled.transform, heap.transform));
+}
+
+// ---- Minibatched path vs per-sample reference path ----
+
+// At batch_size == 1 the batched path must reproduce the per-sample path
+// bit for bit: same RNG sequence, same graph arithmetic, same gradient
+// accumulation order (see SampledSoftmaxBatchLoss).
+TEST(TrainerTest, BatchedPathBitwiseIdenticalAtBatchSizeOne) {
+  const data::SyntheticDataset synthetic = SmallData();
+  const data::Dataset& dataset = *synthetic.dataset;
+  auto run = [&](bool batched) {
+    models::MsrModel model(
+        SmallModelConfig(models::ExtractorKind::kComiRecDr),
+        dataset.num_items(), 9);
+    InterestStore store;
+    TrainConfig config = SmallTrainConfig();
+    config.batch_size = 1;
+    config.batched = batched;
+    ImsrTrainer trainer(&model, &store, config);
+    trainer.EnsureUserState(dataset, 0);
+    const std::vector<data::TrainingSample> samples =
+        data::BuildSpanSamples(dataset, 0, config.max_history);
+    std::vector<double> losses;
+    for (int epoch = 0; epoch < 2; ++epoch) {
+      losses.push_back(trainer.TrainEpoch(samples, nullptr));
+    }
+    std::vector<nn::Tensor> parameters;
+    for (const nn::Var& p : model.SharedParameters()) {
+      parameters.push_back(p.value());
+    }
+    return std::make_pair(losses, parameters);
+  };
+  const auto batched = run(true);
+  const auto reference = run(false);
+  ASSERT_EQ(batched.first.size(), reference.first.size());
+  for (size_t i = 0; i < batched.first.size(); ++i) {
+    EXPECT_EQ(batched.first[i], reference.first[i]) << "epoch " << i;
+  }
+  ASSERT_EQ(batched.second.size(), reference.second.size());
+  for (size_t i = 0; i < batched.second.size(); ++i) {
+    EXPECT_TRUE(BitwiseEqual(batched.second[i], reference.second[i]))
+        << "parameter " << i;
+  }
+}
+
+// Same property with the retention loss active: the batched path routes
+// each sample's distillation term through a row slice of the shared
+// candidate gather, which must merge gradients in the per-sample order.
+TEST(TrainerTest, BatchedPathBitwiseIdenticalAtBatchSizeOneWithTeacher) {
+  const data::SyntheticDataset synthetic = SmallData();
+  const data::Dataset& dataset = *synthetic.dataset;
+  auto run = [&](bool batched) {
+    models::MsrModel model(
+        SmallModelConfig(models::ExtractorKind::kComiRecDr),
+        dataset.num_items(), 9);
+    InterestStore store;
+    TrainConfig config = SmallTrainConfig();
+    config.batch_size = 1;
+    config.batched = batched;
+    ImsrTrainer trainer(&model, &store, config);
+    trainer.EnsureUserState(dataset, 0);
+    const TeacherSnapshot teacher = trainer.SnapshotTeacher(dataset, 0);
+    const std::vector<data::TrainingSample> samples =
+        data::BuildSpanSamples(dataset, 0, config.max_history);
+    const double loss = trainer.TrainEpoch(samples, &teacher);
+    return std::make_pair(
+        loss, nn::Tensor(model.embeddings().parameter().value()));
+  };
+  const auto batched = run(true);
+  const auto reference = run(false);
+  EXPECT_EQ(batched.first, reference.first);
+  EXPECT_TRUE(BitwiseEqual(batched.second, reference.second));
+}
+
+// For larger batches the fused node's ascending-sample sum reproduces the
+// per-sample path's left-fold Add chain over identical per-sample values.
+TEST(TrainerTest, BatchLossSumsPerSampleLosses) {
+  const data::SyntheticDataset synthetic = SmallData();
+  const data::Dataset& dataset = *synthetic.dataset;
+  constexpr size_t kBatch = 16;
+  auto make = [&](auto&& body) {
+    models::MsrModel model(
+        SmallModelConfig(models::ExtractorKind::kComiRecDr),
+        dataset.num_items(), 9);
+    InterestStore store;
+    ImsrTrainer trainer(&model, &store, SmallTrainConfig());
+    trainer.EnsureUserState(dataset, 0);
+    const std::vector<data::TrainingSample> samples =
+        data::BuildSpanSamples(dataset, 0,
+                               trainer.config().max_history);
+    return body(trainer, samples);
+  };
+  const float fused = make([&](ImsrTrainer& trainer,
+                               const std::vector<data::TrainingSample>&
+                                   samples) {
+    std::vector<size_t> indices(kBatch);
+    std::iota(indices.begin(), indices.end(), 0);
+    return trainer.BatchLoss(samples, indices.data(), kBatch, nullptr)
+        .value()
+        .item();
+  });
+  const float summed = make([&](ImsrTrainer& trainer,
+                                const std::vector<data::TrainingSample>&
+                                    samples) {
+    float total = 0.0f;
+    for (size_t i = 0; i < kBatch; ++i) {
+      total += trainer.SampleLoss(samples[i], nullptr).value().item();
+    }
+    return total;
+  });
+  EXPECT_FLOAT_EQ(fused, summed);
 }
 
 TEST(TrainerTest, DeterministicGivenSeeds) {

@@ -1,0 +1,95 @@
+#!/bin/sh
+# Runs the training benchmarks (bench/bench_train) plus the serving-side
+# kernels the SIMD work touches (bench/bench_micro_ops: MatMulTransB and
+# the corpus-ranking loops built on it) and writes BENCH_PR6.json at the
+# repo root: per-benchmark before/after times and speedups for the
+# vectorized kernels + minibatched training path (DESIGN.md section 11).
+#
+# The "before" numbers are the recorded pre-change baseline (commit
+# a1df90c, RelWithDebInfo, single-core container); the "after" numbers
+# come from the run this script performs. Compare on the same machine
+# configuration for the speedups to be meaningful.
+#
+# Usage: tools/bench_pr6.sh [bench-binary-dir] [output-json]
+#   BENCH_MIN_TIME=<seconds> overrides the per-benchmark minimum runtime.
+#   BENCH_REPEATS=<n> runs each binary n times and keeps the fastest
+#   sample per benchmark — the noise floor is the comparable statistic on
+#   machines whose effective clock drifts between runs.
+set -eu
+
+BENCH_DIR="${1:-build/bench}"
+OUT="${2:-BENCH_PR6.json}"
+MIN_TIME="${BENCH_MIN_TIME:-2}"
+REPEATS="${BENCH_REPEATS:-3}"
+
+for binary in bench_train bench_micro_ops; do
+  if [ ! -x "$BENCH_DIR/$binary" ]; then
+    echo "bench_pr6.sh: benchmark binary not found: $BENCH_DIR/$binary" >&2
+    echo "build it first: cmake --build build --target $binary" >&2
+    exit 1
+  fi
+done
+if ! command -v jq >/dev/null 2>&1; then
+  echo "bench_pr6.sh: jq is required" >&2
+  exit 1
+fi
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+i=0
+while [ "$i" -lt "$REPEATS" ]; do
+  "$BENCH_DIR/bench_train" --benchmark_min_time="$MIN_TIME" \
+    --benchmark_format=json > "$TMP_DIR/train.$i.json"
+  "$BENCH_DIR/bench_micro_ops" --benchmark_min_time="$MIN_TIME" \
+    --benchmark_format=json \
+    --benchmark_filter='BM_MatMulTransB|BM_FullCorpusRanking|BM_RankAllUsers' \
+    > "$TMP_DIR/micro.$i.json"
+  i=$((i + 1))
+done
+
+jq -s '
+  # Pre-change baseline, nanoseconds (recorded at commit a1df90c).
+  def baseline_ns: {
+    "BM_SampleLoss/32":         5097,
+    "BM_SampleLoss/64":         6203,
+    "BM_TrainEpochStep/32":     38954392,
+    "BM_TrainEpochStep/64":     106777757,
+    "BM_ValidationLoss":        811183,
+    "BM_MatMulTransB/16":       2966,
+    "BM_MatMulTransB/64":       11903,
+    "BM_MatMulTransB/256":      48600,
+    "BM_FullCorpusRanking/1000": 80766,
+    "BM_FullCorpusRanking/4000": 278494,
+    "BM_RankAllUsers/1000":     4526450,
+    "BM_RankAllUsers/4000":     17727562
+  };
+  def to_ns: if .time_unit == "ms" then .real_time * 1e6
+             elif .time_unit == "us" then .real_time * 1e3
+             else .real_time end;
+  {
+    pr: "SIMD-vectorized kernels + minibatched training path",
+    description: ("omp-simd annotated kernels (scalar fallback via "
+                  + "-DIMSR_SIMD=OFF or IMSR_SIMD=off) and a fused "
+                  + "minibatched sampled-softmax training step; before = "
+                  + "pre-change baseline at commit a1df90c, after = this "
+                  + "run."),
+    context: .[0].context,
+    benchmarks: [
+      [ .[].benchmarks[]
+        | select(.run_type != "aggregate")
+        | {name: .name, after_ns: to_ns} ]
+      | group_by(.name)[]
+      | {name: .[0].name, after_ns: (map(.after_ns) | min)}
+      | . + {before_ns: baseline_ns[.name]}
+      | . + {speedup: (if .before_ns != null
+                       then (.before_ns / .after_ns * 100 | round / 100)
+                       else null end)}
+    ]
+  }
+' "$TMP_DIR"/*.json > "$OUT"
+
+echo "wrote $OUT"
+jq -r '.benchmarks[] |
+       "\(.name): \(.before_ns // "n/a") -> \(.after_ns) ns" +
+       (if .speedup then "  (\(.speedup)x)" else "" end)' "$OUT"

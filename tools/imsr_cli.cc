@@ -6,7 +6,10 @@
 //   stats      --log=log.csv [--spans=6] [--alpha=0.5]
 //              Table-II-style statistics of a log
 //   pretrain   --log=log.csv --checkpoint=ckpt.bin [--model=dr] [--dim=32]
-//              train on the pre-training span, write a checkpoint
+//              train on the pre-training span, write a checkpoint.
+//              --batch_size=B sets the optimizer minibatch (default 64);
+//              --batched=false falls back to the per-sample loss loop
+//              (bitwise identical at batch_size=1, mainly for debugging)
 //   train-span --log=log.csv --checkpoint=ckpt.bin --span=1
 //              one incremental IMSR update (EIR+NID+PIT), checkpoint back
 //
@@ -107,6 +110,9 @@ core::TrainConfig TrainConfigFromFlags(const util::Flags& flags) {
   config.pretrain_epochs =
       static_cast<int>(flags.GetInt("pretrain_epochs", 5));
   config.epochs = static_cast<int>(flags.GetInt("epochs", 3));
+  config.batch_size = static_cast<int>(
+      flags.GetInt("batch_size", config.batch_size));
+  config.batched = flags.GetBool("batched", config.batched);
   config.learning_rate =
       static_cast<float>(flags.GetDouble("lr", 0.005));
   config.initial_interests = static_cast<int>(flags.GetInt("k0", 4));
