@@ -29,6 +29,21 @@ struct ExpansionOutcome {
   int interests_trimmed = 0;
 };
 
+// Runs Algorithm 1 for one user given their new-span interactions
+// `items` (the store must already hold an entry for the user; `span`
+// only tags newly appended interests with their birth span). Mutates
+// `outcome` counters in place. The streaming path calls this directly
+// per micro-span; the batch path below wraps it over a whole span.
+void ExpandUserInterests(models::MsrModel* model,
+                         InterestStore* store,
+                         data::UserId user,
+                         const std::vector<data::ItemId>& items,
+                         int span,
+                         const ExpansionConfig& config,
+                         util::Rng& rng,
+                         nn::Optimizer* optimizer,
+                         ExpansionOutcome* outcome);
+
 // Runs Algorithm 1 over every active user of `span`. The store must
 // already contain an entry for each active user. `optimizer` (nullable)
 // keeps per-user extractor parameters registered as they resize.

@@ -268,4 +268,30 @@ SyntheticDataset GenerateSynthetic(const SyntheticConfig& config) {
   return result;
 }
 
+std::vector<Interaction> FlattenDatasetToLog(const Dataset& dataset) {
+  std::vector<Interaction> interactions;
+  const int num_spans = dataset.num_incremental_spans();
+  const int64_t slice = 1'000'000;
+  for (int span = 0; span < dataset.num_spans(); ++span) {
+    const int64_t window_begin =
+        span == 0 ? 0
+                  : static_cast<int64_t>(num_spans + span - 1) * slice;
+    const int64_t window_size =
+        span == 0 ? static_cast<int64_t>(num_spans) * slice : slice;
+    for (UserId user : dataset.active_users(span)) {
+      const auto& items = dataset.user_span(user, span).all;
+      for (size_t i = 0; i < items.size(); ++i) {
+        // Spread the user's in-span items evenly so order is preserved.
+        const int64_t timestamp =
+            window_begin +
+            static_cast<int64_t>(i) * window_size /
+                static_cast<int64_t>(items.size() + 1) +
+            user % 97;  // de-synchronise users within the window
+        interactions.push_back({user, items[i], timestamp});
+      }
+    }
+  }
+  return interactions;
+}
+
 }  // namespace imsr::data

@@ -82,6 +82,16 @@ struct SyntheticDataset {
 // Generates a dataset from `config`. Deterministic given config.seed.
 SyntheticDataset GenerateSynthetic(const SyntheticConfig& config);
 
+// Flattens a span-structured dataset back into a timestamped interaction
+// log. Timestamps are laid out so that re-splitting with alpha = 0.5 and
+// the same span count reproduces the span structure: the pre-training
+// window occupies the first half of the timeline ([0, T*slice)) and each
+// incremental span an equal slice of the second half. In-span order per
+// user is preserved; users are de-synchronised within a window by a small
+// per-user offset. Shared by `imsr_cli generate` and the streaming replay
+// path, which must agree on the timeline convention.
+std::vector<Interaction> FlattenDatasetToLog(const Dataset& dataset);
+
 }  // namespace imsr::data
 
 #endif  // IMSR_DATA_SYNTHETIC_H_

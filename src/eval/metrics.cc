@@ -1,5 +1,6 @@
 #include "eval/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.h"
@@ -31,6 +32,44 @@ TopNMetrics MetricsAccumulator::Finalize() const {
 double NdcgAtRank(int64_t rank, int top_n) {
   if (rank > top_n) return 0.0;
   return 1.0 / std::log2(static_cast<double>(rank) + 1.0);
+}
+
+SlidingWindowAccumulator::SlidingWindowAccumulator(int top_n,
+                                                   int64_t window)
+    : top_n_(top_n),
+      hits_(static_cast<size_t>(window), 0),
+      ndcgs_(static_cast<size_t>(window), 0.0) {
+  IMSR_CHECK_GT(top_n, 0);
+  IMSR_CHECK_GT(window, 0);
+}
+
+void SlidingWindowAccumulator::AddRank(int64_t rank) {
+  IMSR_CHECK_GE(rank, 1);
+  const auto slot = static_cast<size_t>(next_);
+  if (total_ >= window()) {
+    // Evict the oldest event's contribution before overwriting its slot.
+    hit_sum_ -= hits_[slot];
+    ndcg_sum_ -= ndcgs_[slot];
+  }
+  const uint8_t hit = rank <= top_n_ ? 1 : 0;
+  const double ndcg = NdcgAtRank(rank, top_n_);
+  hits_[slot] = hit;
+  ndcgs_[slot] = ndcg;
+  hit_sum_ += hit;
+  ndcg_sum_ += ndcg;
+  next_ = (next_ + 1) % window();
+  ++total_;
+}
+
+WindowMetrics SlidingWindowAccumulator::Current() const {
+  WindowMetrics metrics;
+  metrics.count = std::min(total_, window());
+  // Empty window: zeros with count 0, never a division by zero.
+  if (metrics.count == 0) return metrics;
+  metrics.hit_ratio =
+      static_cast<double>(hit_sum_) / static_cast<double>(metrics.count);
+  metrics.ndcg = ndcg_sum_ / static_cast<double>(metrics.count);
+  return metrics;
 }
 
 MultiCutoffAccumulator::MultiCutoffAccumulator(std::vector<int> cutoffs)

@@ -37,6 +37,50 @@ class MetricsAccumulator {
 // (1/log2(rank+1) within the cut-off, else 0).
 double NdcgAtRank(int64_t rank, int top_n);
 
+// Point-in-time state of a sliding window over an event stream. All
+// averages are over the `count` events currently in the window; an empty
+// window reports zeros with count 0 — consumers must branch on `count`,
+// never divide by it.
+struct WindowMetrics {
+  double hit_ratio = 0.0;  // windowed recall@N (single relevant item)
+  double ndcg = 0.0;
+  int64_t count = 0;  // events currently in the window
+};
+
+// Sliding-window top-N metrics over an event stream — the prequential
+// (test-then-learn) protocol's accumulator: each scored event contributes
+// its hit/NDCG to a ring buffer of the last `window` events, and
+// Current() reports the running window averages in O(1). Unlike the
+// run-to-completion accumulators above there is no Finalize(); the
+// window is meant to be sampled repeatedly as the stream flows.
+class SlidingWindowAccumulator {
+ public:
+  SlidingWindowAccumulator(int top_n, int64_t window);
+
+  // Records one event's 1-based full-corpus rank of the true next item.
+  void AddRank(int64_t rank);
+
+  // Averages over the events currently in the window (zeros, count 0,
+  // when nothing has been recorded yet).
+  WindowMetrics Current() const;
+
+  int top_n() const { return top_n_; }
+  int64_t window() const { return static_cast<int64_t>(hits_.size()); }
+  // Total events ever recorded (>= Current().count).
+  int64_t total() const { return total_; }
+
+ private:
+  int top_n_;
+  std::vector<uint8_t> hits_;   // ring buffer, parallel to ndcgs_
+  std::vector<double> ndcgs_;
+  int64_t next_ = 0;   // ring write position
+  int64_t total_ = 0;  // lifetime event count
+  // Running sums over the window, maintained incrementally on eviction so
+  // Current() never rescans the ring.
+  int64_t hit_sum_ = 0;
+  double ndcg_sum_ = 0.0;
+};
+
 // Metrics at several cut-offs from one ranking pass, plus MRR — the
 // extended report some MSR papers use (HR/NDCG@10/20/50).
 struct MultiCutoffMetrics {

@@ -1,12 +1,10 @@
 #include "models/comirec_dr.h"
 
-#include <cstdlib>
-#include <string_view>
-
 #include "models/interest_readout.h"
 #include "nn/init.h"
 #include "nn/ops.h"
 #include "util/check.h"
+#include "util/env.h"
 
 namespace imsr::models {
 
@@ -57,10 +55,11 @@ void DynamicRoutingExtractor::ForwardBatch(
 }
 
 bool DynamicRoutingExtractor::SupportsFusedRepr() const {
-  static const bool enabled = [] {
-    const char* env = std::getenv("IMSR_FUSED_READOUT");
-    return env == nullptr || std::string_view(env) != "0";
-  }();
+  // Shared on/off env semantics (util/env.h): IMSR_FUSED_READOUT=0|off|
+  // false|no forces the unfused reference chain, garbage warns and keeps
+  // the default (fused).
+  static const bool enabled =
+      util::EnvEnabled("IMSR_FUSED_READOUT", /*default_value=*/true);
   return enabled;
 }
 

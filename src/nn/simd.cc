@@ -1,22 +1,18 @@
 #include "nn/simd.h"
 
 #include <atomic>
-#include <cstdlib>
-#include <cstring>
+
+#include "util/env.h"
 
 namespace imsr::nn {
 namespace {
 
-bool EnvDisablesSimd() {
-  const char* value = std::getenv("IMSR_SIMD");
-  if (value == nullptr) return false;
-  return std::strcmp(value, "off") == 0 || std::strcmp(value, "0") == 0 ||
-         std::strcmp(value, "false") == 0;
-}
-
 std::atomic<bool>& SimdFlag() {
-  static std::atomic<bool> flag{IMSR_SIMD_ENABLED != 0 &&
-                                !EnvDisablesSimd()};
+  // Shared on/off env semantics (util/env.h): IMSR_SIMD=off|0|false|no
+  // disables, garbage warns and keeps the compiled-in default.
+  static std::atomic<bool> flag{
+      IMSR_SIMD_ENABLED != 0 &&
+      util::EnvEnabled("IMSR_SIMD", /*default_value=*/true)};
   return flag;
 }
 

@@ -20,15 +20,17 @@ ObsOptions ObsOptionsFromFlags(const util::Flags& flags) {
 
 ObsSession::ObsSession(ObsOptions options) : options_(std::move(options)) {
   if (!options_.trace_out.empty()) EnableTracing(true);
-  if (!options_.metrics_out.empty() &&
-      options_.metrics_interval_seconds > 0.0) {
+  // Any configured export is kept live: the trace writer works from a
+  // snapshot (it does not drain), so rewriting it each interval is safe
+  // and means a killed run still leaves files current to the last tick.
+  if (options_.active() && options_.metrics_interval_seconds > 0.0) {
     flusher_ = std::thread([this] {
       const auto interval = std::chrono::duration<double>(
           options_.metrics_interval_seconds);
       std::unique_lock<std::mutex> lock(mutex_);
       while (!stop_cv_.wait_for(lock, interval, [this] { return stop_; })) {
         lock.unlock();
-        FlushMetrics();
+        Flush();
         lock.lock();
       }
     });
@@ -45,21 +47,29 @@ ObsSession::~ObsSession() {
     flusher_.join();
   }
   if (!options_.active()) return;
-  if (!options_.metrics_out.empty()) FlushMetrics();
-  if (!options_.trace_out.empty()) {
-    std::string error;
-    if (!WriteChromeTrace(options_.trace_out, &error)) {
-      std::fprintf(stderr, "obs: %s\n", error.c_str());
-    }
-    EnableTracing(false);
-  }
+  // Final flush after the flusher has stopped: whatever accumulated since
+  // the last periodic tick (the partial interval) reaches the files.
+  Flush();
+  if (!options_.trace_out.empty()) EnableTracing(false);
   std::printf("%s", MetricsSummaryTable().c_str());
+}
+
+void ObsSession::Flush() {
+  if (!options_.metrics_out.empty()) FlushMetrics();
+  if (!options_.trace_out.empty()) FlushTrace();
 }
 
 void ObsSession::FlushMetrics() {
   std::string error;
   if (!WriteMetricsFile(options_.metrics_out, Registry().Snapshot(),
                         &error)) {
+    std::fprintf(stderr, "obs: %s\n", error.c_str());
+  }
+}
+
+void ObsSession::FlushTrace() {
+  std::string error;
+  if (!WriteChromeTrace(options_.trace_out, &error)) {
     std::fprintf(stderr, "obs: %s\n", error.c_str());
   }
 }

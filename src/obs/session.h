@@ -36,15 +36,22 @@ ObsOptions ObsOptionsFromFlags(const util::Flags& flags);
 class ObsSession {
  public:
   explicit ObsSession(ObsOptions options);
-  // Stops the flusher, writes the final exports, prints the summary table
-  // to stdout (only when any obs flag was set).
+  // Stops the flusher, writes one last flush of every configured export
+  // (so the final partial interval of a long run is never lost), prints
+  // the summary table to stdout (only when any obs flag was set).
   ~ObsSession();
 
   ObsSession(const ObsSession&) = delete;
   ObsSession& operator=(const ObsSession&) = delete;
 
+  // Rewrites every configured export (metrics and/or trace) now. Safe to
+  // call from any thread; both writers work from snapshots and the
+  // metrics file is replaced atomically.
+  void Flush();
+
  private:
   void FlushMetrics();
+  void FlushTrace();
 
   ObsOptions options_;
   std::thread flusher_;

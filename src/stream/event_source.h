@@ -1,0 +1,60 @@
+// Event sources for the online pipeline: where the stream's interactions
+// come from. A ReplayEventSource turns a recorded log (data/log_io CSV or
+// a flattened SyntheticDataset) into an ordered stream; the source is the
+// single authority for `StreamEvent::sequence`, so every downstream
+// component agrees on arrival order.
+#ifndef IMSR_STREAM_EVENT_SOURCE_H_
+#define IMSR_STREAM_EVENT_SOURCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "data/interaction.h"
+#include "stream/event.h"
+
+namespace imsr::stream {
+
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+
+  // Fills `event` (including its sequence number) with the next record;
+  // false at end of stream.
+  virtual bool Next(StreamEvent* event) = 0;
+};
+
+// Replays recorded interactions in timestamp order (stable for ties, so
+// a user's in-window order survives), optionally skipping everything at
+// or before `start_after` — the knob that replays only the post-pretrain
+// portion of a log against a pretrained checkpoint.
+class ReplayEventSource : public EventSource {
+ public:
+  explicit ReplayEventSource(
+      std::vector<data::Interaction> interactions,
+      int64_t start_after = std::numeric_limits<int64_t>::min());
+
+  bool Next(StreamEvent* event) override;
+
+  // Events not yet emitted.
+  size_t remaining() const { return interactions_.size() - position_; }
+  size_t total() const { return interactions_.size(); }
+
+ private:
+  std::vector<data::Interaction> interactions_;  // sorted, filtered
+  size_t position_ = 0;
+  uint64_t next_sequence_ = 1;
+};
+
+// The timestamp at which a log's pre-training window ends under the
+// Dataset split (z_min + alpha * (z_max - z_min + 1), see data/dataset.cc);
+// interactions with timestamp >= the boundary belong to the incremental
+// spans. Use as ReplayEventSource's `start_after` = boundary - 1 to
+// stream exactly the post-pretrain events.
+int64_t PretrainBoundaryTimestamp(
+    const std::vector<data::Interaction>& interactions, double alpha);
+
+}  // namespace imsr::stream
+
+#endif  // IMSR_STREAM_EVENT_SOURCE_H_

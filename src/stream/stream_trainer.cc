@@ -1,0 +1,149 @@
+#include "stream/stream_trainer.h"
+
+#include <utility>
+
+#include "obs/obs.h"
+#include "serve/snapshot.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace imsr::stream {
+
+StreamTrainer::StreamTrainer(models::MsrModel* model,
+                             core::InterestStore* store,
+                             serve::SnapshotRegistry* registry,
+                             const StreamTrainerConfig& config)
+    : model_(model),
+      store_(store),
+      registry_(registry),
+      config_(config),
+      trainer_(model, store, config.train),
+      // Decorrelated from the inner trainer's stream (which is seeded
+      // with train.seed directly) so stream-side draws — cold-start
+      // interests, expansion vectors — do not replay training noise.
+      rng_(config.train.seed * 0x9E3779B97F4A7C15ull + 1) {
+  IMSR_CHECK(model != nullptr);
+  IMSR_CHECK(store != nullptr);
+  IMSR_CHECK(registry != nullptr);
+  IMSR_CHECK_GE(config.publish_every, 1);
+  IMSR_CHECK_GE(config.micro_epochs, 1);
+  micro_span_ = config.initial_span + 1;
+}
+
+void StreamTrainer::PublishInitial() {
+  registry_->Publish(
+      serve::BuildSnapshot(*model_, *store_, config_.initial_span));
+}
+
+void StreamTrainer::EnsureUser(data::UserId user) {
+  if (store_->Has(user)) return;
+  store_->Initialize(user, config_.train.initial_interests,
+                     model_->config().embedding_dim, micro_span_, rng_);
+  model_->extractor().EnsureUserCapacity(user, store_->NumInterests(user),
+                                         rng_, &trainer_.optimizer());
+}
+
+bool StreamTrainer::Consume(const StreamEvent& event) {
+  IMSR_CHECK_GT(event.sequence, last_sequence_)
+      << "events must arrive in sequence order";
+  last_sequence_ = event.sequence;
+  EnsureUser(event.user);
+
+  std::vector<data::ItemId>& history = histories_[event.user];
+  if (history.empty()) {
+    // First contact: nothing to predict from yet; the event still joins
+    // the user's history and span items below.
+    ++pending_cold_;
+  } else {
+    pending_samples_.push_back({event.user, history, event.item});
+  }
+  history.push_back(event.item);
+  if (static_cast<int>(history.size()) > config_.train.max_history) {
+    history.erase(history.begin(),
+                  history.end() - config_.train.max_history);
+  }
+
+  std::vector<data::ItemId>& items = span_items_[event.user];
+  if (items.empty()) span_users_.push_back(event.user);
+  items.push_back(event.item);
+
+  if (pending_events() < config_.publish_every) return false;
+  TrainAndPublish();
+  return true;
+}
+
+bool StreamTrainer::Flush() {
+  if (pending_events() == 0) return false;
+  TrainAndPublish();
+  return true;
+}
+
+void StreamTrainer::TrainAndPublish() {
+  IMSR_TRACE_SPAN("stream/train_and_publish");
+  const util::Stopwatch watch;
+
+  // Teacher state for the retention loss (Eq. 10): interests and
+  // embeddings as of the micro-span start, per the batch TrainSpan.
+  core::TeacherSnapshot teacher;
+  const bool use_teacher =
+      config_.train.eir.kind != core::RetentionKind::kNone;
+  if (use_teacher) {
+    teacher.embeddings = model_->embeddings().parameter().value();
+    for (data::UserId user : span_users_) {
+      teacher.interests.emplace(user, store_->Interests(user));
+    }
+  }
+
+  // Interests expansion on its own cadence (NID is only meaningful once
+  // a few micro-spans of drift have accumulated; running it every
+  // publish would re-test mostly-unchanged users).
+  if (config_.train.enable_expansion && config_.expand_every > 0 &&
+      (publish_stats_.publishes + 1) %
+              static_cast<uint64_t>(config_.expand_every) ==
+          0) {
+    IMSR_TRACE_SPAN("stream/expansion");
+    for (data::UserId user : span_users_) {
+      ExpandUserInterests(model_, store_, user, span_items_[user],
+                          micro_span_, config_.train.expansion, rng_,
+                          &trainer_.optimizer(), &expansion_totals_);
+    }
+  }
+
+  if (!pending_samples_.empty()) {
+    IMSR_TRACE_SPAN("stream/train");
+    for (int epoch = 0; epoch < config_.micro_epochs; ++epoch) {
+      [[maybe_unused]] const double loss = trainer_.TrainEpoch(
+          pending_samples_, use_teacher ? &teacher : nullptr);
+      IMSR_GAUGE_SET("stream/micro_span_loss", loss);
+    }
+  }
+
+  // Re-extract every touched user's interests from their in-span items
+  // (persistence semantics follow train.persist_interests, exactly as in
+  // the batch per-span refresh).
+  for (data::UserId user : span_users_) {
+    trainer_.RefreshUserInterests(user, span_items_[user]);
+  }
+
+  registry_->Publish(serve::BuildSnapshot(*model_, *store_, micro_span_));
+  published_through_sequence_ = last_sequence_;
+
+  const double elapsed_ms = watch.ElapsedMillis();
+  ++publish_stats_.publishes;
+  publish_stats_.total_ms += elapsed_ms;
+  if (elapsed_ms > publish_stats_.max_ms) {
+    publish_stats_.max_ms = elapsed_ms;
+  }
+  IMSR_HISTOGRAM_RECORD("stream/publish_latency_ms", elapsed_ms);
+  IMSR_COUNTER_ADD("stream/publishes", 1);
+  IMSR_GAUGE_SET("stream/trained_through_sequence",
+                 static_cast<double>(published_through_sequence_));
+
+  ++micro_span_;
+  pending_samples_.clear();
+  span_items_.clear();
+  span_users_.clear();
+  pending_cold_ = 0;
+}
+
+}  // namespace imsr::stream

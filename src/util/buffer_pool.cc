@@ -1,11 +1,11 @@
 #include "util/buffer_pool.h"
 
 #include <atomic>
-#include <cstdlib>
 #include <cstring>
 #include <utility>
 
 #include "obs/obs.h"
+#include "util/env.h"
 
 namespace imsr::util {
 namespace {
@@ -49,15 +49,11 @@ int ClassForCapacity(size_t capacity) {
   return -1;
 }
 
-bool EnvDisablesPool() {
-  const char* env = std::getenv("IMSR_POOL");
-  if (env == nullptr) return false;
-  return std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
-         std::strcmp(env, "OFF") == 0 || std::strcmp(env, "false") == 0;
-}
-
 std::atomic<bool>& EnabledFlag() {
-  static std::atomic<bool> enabled{!EnvDisablesPool()};
+  // Shared on/off env semantics (util/env.h): IMSR_POOL=off|0|false|no
+  // disables, garbage warns and keeps the default (enabled).
+  static std::atomic<bool> enabled{
+      EnvEnabled("IMSR_POOL", /*default_value=*/true)};
   return enabled;
 }
 

@@ -1,0 +1,87 @@
+#include "util/env.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace imsr::util {
+namespace {
+
+std::string ToLower(const std::string& text) {
+  std::string lower = text;
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return lower;
+}
+
+void WarnMalformed(const char* name, const char* value,
+                   const char* expected) {
+  std::fprintf(stderr,
+               "imsr: ignoring malformed %s='%s' (expected %s); using the "
+               "default\n",
+               name, value, expected);
+}
+
+}  // namespace
+
+EnvParse ParseEnvBool(const std::string& text, bool* value) {
+  const std::string lower = ToLower(text);
+  if (lower == "1" || lower == "true" || lower == "on" || lower == "yes") {
+    *value = true;
+    return EnvParse::kParsed;
+  }
+  if (lower == "0" || lower == "false" || lower == "off" || lower == "no") {
+    *value = false;
+    return EnvParse::kParsed;
+  }
+  return EnvParse::kMalformed;
+}
+
+EnvParse ParseEnvInt(const std::string& text, int64_t min_value,
+                     int64_t* value) {
+  if (text.empty()) return EnvParse::kMalformed;
+  int64_t parsed = 0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, parsed);
+  if (ec != std::errc() || ptr != end || parsed < min_value) {
+    return EnvParse::kMalformed;
+  }
+  *value = parsed;
+  return EnvParse::kParsed;
+}
+
+bool EnvEnabled(const char* name, bool default_value, EnvParse* outcome) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) {
+    if (outcome != nullptr) *outcome = EnvParse::kUnset;
+    return default_value;
+  }
+  bool value = default_value;
+  const EnvParse parse = ParseEnvBool(raw, &value);
+  if (outcome != nullptr) *outcome = parse;
+  if (parse == EnvParse::kMalformed) {
+    WarnMalformed(name, raw, "1/true/on/yes or 0/false/off/no");
+    return default_value;
+  }
+  return value;
+}
+
+int64_t EnvInt(const char* name, int64_t default_value, int64_t min_value,
+               EnvParse* outcome) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) {
+    if (outcome != nullptr) *outcome = EnvParse::kUnset;
+    return default_value;
+  }
+  int64_t value = default_value;
+  const EnvParse parse = ParseEnvInt(raw, min_value, &value);
+  if (outcome != nullptr) *outcome = parse;
+  if (parse == EnvParse::kMalformed) {
+    WarnMalformed(name, raw, "an integer");
+    return default_value;
+  }
+  return value;
+}
+
+}  // namespace imsr::util

@@ -1,10 +1,10 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "obs/obs.h"
 #include "util/check.h"
+#include "util/env.h"
 #include "util/flags.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
@@ -25,10 +25,12 @@ namespace {
 thread_local int g_parallel_depth = 0;
 
 int ResolveConfiguredThreads() {
-  if (const char* env = std::getenv("IMSR_THREADS")) {
-    const int parsed = std::atoi(env);
-    if (parsed > 0) return parsed;
-  }
+  // Strict full-token parse (util/env.h): IMSR_THREADS="4x" or "abc" used
+  // to slip through std::atoi as 4 / silent fallthrough; now it warns and
+  // defers to the compile-time / hardware default.
+  const int64_t parsed = EnvInt("IMSR_THREADS", /*default_value=*/0,
+                                /*min_value=*/1);
+  if (parsed > 0) return static_cast<int>(parsed);
   if (IMSR_DEFAULT_THREADS > 0) return IMSR_DEFAULT_THREADS;
   return DefaultThreadCount();
 }

@@ -112,6 +112,37 @@ if [ "$OBS_MODE" = "obs" ]; then
       || fail "metrics missing serve/publishes"
 fi
 
+# Streaming: replay the post-pretrain events through the prequential
+# loop from the span-1 checkpoint; the curve and summary must land.
+CURVE="$WORKDIR/curve.csv"
+SUMMARY="$WORKDIR/summary.json"
+STREAM_METRICS="$WORKDIR/stream_metrics.csv"
+OUT=$("$CLI" stream --log="$LOG" --min_interactions=5 \
+    --checkpoint="$CKPT" --publish_every=50 --window=100 \
+    --max_events=300 --curve_out="$CURVE" --summary_out="$SUMMARY" \
+    --metrics_out="$STREAM_METRICS")
+echo "$OUT" | grep -q "streamed 300 events" || fail "stream summary missing"
+echo "$OUT" | grep -Eq "snapshot v[1-9]" || fail "stream published nothing"
+head -1 "$CURVE" | grep -q "^last_sequence,scored,window_recall" \
+    || fail "stream curve CSV missing header"
+test "$(wc -l < "$CURVE")" -gt 1 || fail "stream curve has no points"
+grep -q '"publishes":' "$SUMMARY" || fail "stream summary missing publishes"
+grep -q '"events_per_sec":' "$SUMMARY" \
+    || fail "stream summary missing events_per_sec"
+if [ "$OBS_MODE" = "obs" ]; then
+  grep -q "^counter,stream/events_scored," "$STREAM_METRICS" \
+      || fail "metrics missing stream/events_scored"
+  grep -q "^counter,stream/publishes," "$STREAM_METRICS" \
+      || fail "metrics missing stream/publishes"
+  grep -q "^histogram,stream/publish_latency_ms," "$STREAM_METRICS" \
+      || fail "metrics missing stream/publish_latency_ms"
+fi
+
+# FT mode shares the pipeline; a bad mode is a usage error.
+OUT=$("$CLI" stream --log="$LOG" --min_interactions=5 \
+    --checkpoint="$CKPT" --mode=ft --publish_every=50 --max_events=120)
+echo "$OUT" | grep -q "streamed 120 events" || fail "ft stream missing"
+
 # --- failure paths ---------------------------------------------------------
 
 # Missing inputs exit non-zero.
@@ -164,6 +195,13 @@ fi
 grep -q "unknown extractor kind 'cosmic'" "$ERR" \
     || fail "model typo missing message"
 grep -q "MIND" "$ERR" || fail "model typo missing valid names"
+
+# An unknown stream mode is a usage error.
+if "$CLI" stream --log="$LOG" --min_interactions=5 \
+    --checkpoint="$CKPT" --mode=bogus >/dev/null 2>"$ERR"; then
+  fail "expected failure on bad stream mode"
+fi
+grep -q -- "--mode must be" "$ERR" || fail "bad stream mode missing message"
 
 # Out-of-range span exits non-zero with a range message.
 if "$CLI" train-span --log="$LOG" --min_interactions=5 \

@@ -194,5 +194,64 @@ TEST(EvaluatorTest, PerfectInterestsBeatRandomOnes) {
   EXPECT_EQ(hr_adversary, 0.0);
 }
 
+TEST(SlidingWindowTest, EmptyWindowReportsZerosWithCountZero) {
+  SlidingWindowAccumulator window(/*top_n=*/10, /*window=*/4);
+  const WindowMetrics metrics = window.Current();
+  EXPECT_EQ(metrics.count, 0);
+  EXPECT_EQ(metrics.hit_ratio, 0.0);
+  EXPECT_EQ(metrics.ndcg, 0.0);
+  EXPECT_EQ(window.total(), 0);
+}
+
+TEST(SlidingWindowTest, FillPhaseAveragesOverCountNotCapacity) {
+  SlidingWindowAccumulator window(/*top_n=*/2, /*window=*/8);
+  window.AddRank(1);  // hit, ndcg 1
+  window.AddRank(5);  // miss
+  const WindowMetrics metrics = window.Current();
+  EXPECT_EQ(metrics.count, 2);
+  EXPECT_NEAR(metrics.hit_ratio, 0.5, 1e-12);
+  EXPECT_NEAR(metrics.ndcg, NdcgAtRank(1, 2) / 2.0, 1e-12);
+}
+
+TEST(SlidingWindowTest, EvictionDropsOldestContribution) {
+  SlidingWindowAccumulator window(/*top_n=*/1, /*window=*/2);
+  window.AddRank(1);  // hit — will be evicted
+  window.AddRank(9);  // miss
+  window.AddRank(9);  // miss; evicts the hit
+  const WindowMetrics metrics = window.Current();
+  EXPECT_EQ(metrics.count, 2);
+  EXPECT_EQ(metrics.hit_ratio, 0.0);
+  EXPECT_EQ(metrics.ndcg, 0.0);
+  EXPECT_EQ(window.total(), 3);
+
+  window.AddRank(1);  // evicts a miss
+  EXPECT_NEAR(window.Current().hit_ratio, 0.5, 1e-12);
+}
+
+TEST(SlidingWindowTest, MatchesBatchAccumulatorOverLastWindowEvents) {
+  const int64_t kWindow = 5;
+  SlidingWindowAccumulator window(/*top_n=*/3, kWindow);
+  const std::vector<int64_t> ranks = {7, 1, 3, 2, 9, 4, 1, 8, 2, 6, 3};
+  for (int64_t rank : ranks) window.AddRank(rank);
+  MetricsAccumulator batch(/*top_n=*/3);
+  for (size_t i = ranks.size() - kWindow; i < ranks.size(); ++i) {
+    batch.AddRank(ranks[i]);
+  }
+  const WindowMetrics windowed = window.Current();
+  const TopNMetrics reference = batch.Finalize();
+  EXPECT_EQ(windowed.count, kWindow);
+  EXPECT_NEAR(windowed.hit_ratio, reference.hit_ratio, 1e-12);
+  EXPECT_NEAR(windowed.ndcg, reference.ndcg, 1e-12);
+}
+
+TEST(SlidingWindowTest, TopNBoundaryRankCountsAsHit) {
+  SlidingWindowAccumulator window(/*top_n=*/4, /*window=*/4);
+  window.AddRank(4);  // exactly at the cut-off
+  window.AddRank(5);  // just outside
+  const WindowMetrics metrics = window.Current();
+  EXPECT_NEAR(metrics.hit_ratio, 0.5, 1e-12);
+  EXPECT_NEAR(metrics.ndcg, NdcgAtRank(4, 4) / 2.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace imsr::eval

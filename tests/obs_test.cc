@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
@@ -550,6 +551,77 @@ TEST(ObsSessionTest, SummaryTableListsRecordedMetrics) {
   const std::string table = MetricsSummaryTable();
   EXPECT_NE(table.find("obs_test/summary_probe"), std::string::npos);
   EXPECT_NE(table.find("counter"), std::string::npos);
+}
+
+TEST(ObsSessionTest, FlushRewritesEveryConfiguredExport) {
+  ObsOptions options;
+  options.metrics_out = testing::TempDir() + "/session_flush.json";
+  options.trace_out = testing::TempDir() + "/session_flush_trace.json";
+  {
+    ObsSession session(options);
+    Registry().GetCounter("obs_test/session_flush_probe").Add(1);
+    session.Flush();
+    // Both files exist and parse mid-session, before the destructor runs.
+    std::ifstream metrics_in(options.metrics_out);
+    ASSERT_TRUE(metrics_in.good());
+    std::string metrics_body((std::istreambuf_iterator<char>(metrics_in)),
+                             std::istreambuf_iterator<char>());
+    ParseJsonOrDie(metrics_body);
+    EXPECT_NE(metrics_body.find("obs_test/session_flush_probe"),
+              std::string::npos);
+    std::ifstream trace_in(options.trace_out);
+    ASSERT_TRUE(trace_in.good());
+    std::string trace_body((std::istreambuf_iterator<char>(trace_in)),
+                           std::istreambuf_iterator<char>());
+    ParseJsonOrDie(trace_body);
+  }
+  std::remove(options.metrics_out.c_str());
+  std::remove(options.trace_out.c_str());
+}
+
+TEST(ObsSessionTest, ShutdownFlushCapturesFinalPartialInterval) {
+  ObsOptions options;
+  options.metrics_out = testing::TempDir() + "/session_final.json";
+  // Interval far longer than the test: no periodic tick ever fires, so
+  // everything recorded below lands only via the shutdown flush.
+  options.metrics_interval_seconds = 3600.0;
+  {
+    ObsSession session(options);
+    Registry().GetCounter("obs_test/session_final_probe").Add(7);
+  }
+  std::ifstream in(options.metrics_out);
+  ASSERT_TRUE(in.good());
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  ParseJsonOrDie(body);
+  EXPECT_NE(body.find("obs_test/session_final_probe"), std::string::npos);
+  std::remove(options.metrics_out.c_str());
+}
+
+TEST(ObsSessionTest, TraceOnlySessionStillRunsPeriodicFlusher) {
+  ObsOptions options;
+  options.trace_out = testing::TempDir() + "/session_trace_only.json";
+  options.metrics_interval_seconds = 0.02;
+  {
+    ObsSession session(options);
+    {
+      IMSR_TRACE_SPAN("obs_test/session_trace_only_span");
+    }
+    // Give the flusher at least one tick; the trace file must appear
+    // before shutdown (metrics_out is empty, which used to disable the
+    // flusher entirely).
+    for (int i = 0; i < 200; ++i) {
+      if (std::ifstream(options.trace_out).good()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_TRUE(std::ifstream(options.trace_out).good());
+  }
+  std::ifstream in(options.trace_out);
+  ASSERT_TRUE(in.good());
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  ParseJsonOrDie(body);
+  std::remove(options.trace_out.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,421 @@
+// Tests for the streaming subsystem: bounded-queue backpressure
+// semantics, replay-source ordering and sequence assignment, prequential
+// window math, and — the load-bearing invariant — that every event is
+// scored against a snapshot trained strictly before it, including while
+// publishes race a full queue and concurrent snapshot readers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/imsr_trainer.h"
+#include "core/interest_store.h"
+#include "data/synthetic.h"
+#include "models/msr_model.h"
+#include "serve/registry.h"
+#include "serve/snapshot.h"
+#include "stream/event_source.h"
+#include "stream/prequential.h"
+#include "stream/queue.h"
+#include "stream/service.h"
+#include "stream/stream_trainer.h"
+
+namespace imsr::stream {
+namespace {
+
+StreamEvent MakeEvent(data::UserId user, data::ItemId item,
+                      uint64_t sequence) {
+  StreamEvent event;
+  event.user = user;
+  event.item = item;
+  event.timestamp = static_cast<int64_t>(sequence);
+  event.sequence = sequence;
+  return event;
+}
+
+// ---------------------------------------------------------------------------
+// BoundedEventQueue
+
+TEST(QueueTest, FifoOrderAndDrainAfterClose) {
+  BoundedEventQueue queue(8);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(queue.Push(MakeEvent(0, static_cast<data::ItemId>(i), i)));
+  }
+  queue.Close();
+  EXPECT_FALSE(queue.Push(MakeEvent(0, 9, 9)));  // closed
+  StreamEvent event;
+  for (uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(queue.Pop(&event));
+    EXPECT_EQ(event.sequence, i);  // pending events drain in order
+  }
+  EXPECT_FALSE(queue.Pop(&event));  // closed and empty
+}
+
+TEST(QueueTest, TryPushRejectsWhenFull) {
+  BoundedEventQueue queue(2);
+  EXPECT_TRUE(queue.TryPush(MakeEvent(0, 0, 1)));
+  EXPECT_TRUE(queue.TryPush(MakeEvent(0, 0, 2)));
+  EXPECT_FALSE(queue.TryPush(MakeEvent(0, 0, 3)));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.max_depth(), 2u);
+}
+
+TEST(QueueTest, PushBlocksOnFullQueueUntilConsumerPops) {
+  BoundedEventQueue queue(2);
+  ASSERT_TRUE(queue.Push(MakeEvent(0, 0, 1)));
+  ASSERT_TRUE(queue.Push(MakeEvent(0, 0, 2)));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    queue.Push(MakeEvent(0, 0, 3));  // must block until a Pop frees a slot
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // still waiting — backpressure
+  StreamEvent event;
+  ASSERT_TRUE(queue.Pop(&event));
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_GE(queue.blocked_pushes(), 1u);
+  queue.Close();
+}
+
+TEST(QueueTest, CloseWakesBlockedProducerAndConsumer) {
+  BoundedEventQueue queue(1);
+  ASSERT_TRUE(queue.Push(MakeEvent(0, 0, 1)));
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] {
+    push_result.store(queue.Push(MakeEvent(0, 0, 2)));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.Close();
+  producer.join();
+  EXPECT_FALSE(push_result.load());  // woken by Close, event rejected
+  StreamEvent event;
+  EXPECT_TRUE(queue.Pop(&event));   // pending event still drains
+  EXPECT_FALSE(queue.Pop(&event));  // then end-of-stream
+}
+
+// ---------------------------------------------------------------------------
+// ReplayEventSource
+
+TEST(ReplaySourceTest, EmitsTimestampOrderWithSequentialSequences) {
+  std::vector<data::Interaction> log = {
+      {0, 3, 30}, {1, 1, 10}, {0, 2, 20}, {1, 4, 40}};
+  ReplayEventSource source(log);
+  StreamEvent event;
+  std::vector<int64_t> timestamps;
+  std::vector<uint64_t> sequences;
+  while (source.Next(&event)) {
+    timestamps.push_back(event.timestamp);
+    sequences.push_back(event.sequence);
+  }
+  EXPECT_EQ(timestamps, (std::vector<int64_t>{10, 20, 30, 40}));
+  EXPECT_EQ(sequences, (std::vector<uint64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(source.remaining(), 0u);
+}
+
+TEST(ReplaySourceTest, StartAfterSkipsEarlierEvents) {
+  std::vector<data::Interaction> log = {
+      {0, 1, 10}, {0, 2, 20}, {0, 3, 30}, {0, 4, 40}};
+  ReplayEventSource source(log, /*start_after=*/20);
+  EXPECT_EQ(source.total(), 2u);
+  StreamEvent event;
+  ASSERT_TRUE(source.Next(&event));
+  EXPECT_EQ(event.timestamp, 30);
+  EXPECT_EQ(event.sequence, 1u);  // sequences restart on the filtered set
+}
+
+TEST(ReplaySourceTest, PretrainBoundaryMatchesDatasetSplit) {
+  // Timeline [0, 99], alpha 0.5 -> boundary at 50 (dataset.cc's span_of:
+  // ts < z_min + alpha*(z_max - z_min + 1) is pre-training).
+  std::vector<data::Interaction> log;
+  for (int64_t ts = 0; ts < 100; ts += 7) log.push_back({0, 0, ts});
+  const int64_t boundary = PretrainBoundaryTimestamp(log, 0.5);
+  EXPECT_EQ(boundary, 50);
+  ReplayEventSource source(log, boundary - 1);
+  StreamEvent event;
+  while (source.Next(&event)) {
+    EXPECT_GE(event.timestamp, boundary);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PrequentialEvaluator
+
+// Hand-built snapshot: `dim`-dimensional identity-ish embeddings so item
+// ranks under kMaxInterest are fully predictable from the interest rows.
+std::shared_ptr<serve::ServingSnapshot> MakeSnapshot(
+    int64_t num_items, int64_t dim,
+    const std::vector<std::pair<data::UserId, nn::Tensor>>& users) {
+  nn::Tensor embeddings({num_items, dim});
+  for (int64_t i = 0; i < std::min(num_items, dim); ++i) {
+    embeddings.at(i, i) = 1.0f;
+  }
+  core::InterestStore store;
+  util::Rng rng(3);
+  for (const auto& [user, interests] : users) {
+    store.Initialize(user, interests.size(0), dim, 0, rng);
+    store.SetInterests(user, interests);
+  }
+  return std::make_shared<serve::ServingSnapshot>(
+      std::move(embeddings), store.ExportPacked(), 0);
+}
+
+TEST(PrequentialTest, WindowRecallMatchesHandComputedRanks) {
+  // User 0's single interest points at item 0: item 0 ranks 1st, every
+  // other item ties at 0 and ranks pessimistically behind.
+  nn::Tensor interests({1, 4});
+  interests.at(0, 0) = 1.0f;
+  const auto snapshot = MakeSnapshot(4, 4, {{0, interests}});
+
+  PrequentialConfig config;
+  config.top_n = 1;
+  config.window = 8;
+  config.rule = eval::ScoreRule::kMaxInterest;
+  PrequentialEvaluator evaluator(config);
+
+  EXPECT_TRUE(evaluator.ScoreEvent(*snapshot, MakeEvent(0, 0, 1), 0));
+  EXPECT_TRUE(evaluator.ScoreEvent(*snapshot, MakeEvent(0, 2, 2), 0));
+  const eval::WindowMetrics window = evaluator.Window();
+  EXPECT_EQ(window.count, 2);
+  EXPECT_NEAR(window.hit_ratio, 0.5, 1e-12);  // hit on item 0, miss on 2
+  EXPECT_EQ(evaluator.scored(), 2);
+}
+
+TEST(PrequentialTest, UnknownUserIsSkippedNotScored) {
+  nn::Tensor interests({1, 4});
+  interests.at(0, 0) = 1.0f;
+  const auto snapshot = MakeSnapshot(4, 4, {{0, interests}});
+  PrequentialEvaluator evaluator(PrequentialConfig{});
+  EXPECT_FALSE(evaluator.ScoreEvent(*snapshot, MakeEvent(7, 1, 1), 0));
+  EXPECT_EQ(evaluator.scored(), 0);
+  EXPECT_EQ(evaluator.skipped(), 1);
+  EXPECT_EQ(evaluator.Window().count, 0);
+}
+
+TEST(PrequentialTest, AuditRecordsSnapshotProvenancePerEvent) {
+  nn::Tensor interests({1, 4});
+  interests.at(0, 0) = 1.0f;
+  const auto snapshot = MakeSnapshot(4, 4, {{0, interests}});
+  PrequentialConfig config;
+  config.record_audit = true;
+  PrequentialEvaluator evaluator(config);
+  evaluator.ScoreEvent(*snapshot, MakeEvent(0, 1, 5), 2);
+  ASSERT_EQ(evaluator.audits().size(), 1u);
+  EXPECT_EQ(evaluator.audits()[0].sequence, 5u);
+  EXPECT_EQ(evaluator.audits()[0].trained_through_sequence, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end prequential ordering invariant
+
+struct StreamFixture {
+  data::SyntheticDataset synthetic;
+  std::unique_ptr<models::MsrModel> model;
+  core::InterestStore store;
+  std::vector<data::Interaction> replay;
+
+  explicit StreamFixture(uint64_t seed) {
+    data::SyntheticConfig config;
+    config.num_users = 24;
+    config.num_items = 120;
+    config.num_categories = 6;
+    config.num_incremental_spans = 3;
+    config.pretrain_interactions_per_user = 16;
+    config.span_interactions_per_user = 8;
+    config.min_interactions = 6;
+    config.seed = seed;
+    synthetic = GenerateSynthetic(config);
+
+    models::ModelConfig model_config;
+    model_config.embedding_dim = 8;
+    model_config.attention_dim = 8;
+    model.reset(new models::MsrModel(
+        model_config, synthetic.dataset->num_items(), seed));
+
+    core::TrainConfig train;
+    train.pretrain_epochs = 1;
+    train.epochs = 1;
+    train.initial_interests = 2;
+    train.seed = seed;
+    core::ImsrTrainer pretrainer(model.get(), &store, train);
+    pretrainer.Pretrain(*synthetic.dataset);
+
+    const std::vector<data::Interaction> flat =
+        FlattenDatasetToLog(*synthetic.dataset);
+    const int64_t boundary = PretrainBoundaryTimestamp(flat, 0.5);
+    for (const data::Interaction& record : flat) {
+      if (record.timestamp >= boundary) replay.push_back(record);
+    }
+  }
+
+  StreamTrainerConfig TrainerConfig(int64_t publish_every) const {
+    StreamTrainerConfig config;
+    config.publish_every = publish_every;
+    config.expand_every = 2;
+    config.micro_epochs = 1;
+    config.initial_span = 0;
+    config.train.epochs = 1;
+    config.train.initial_interests = 2;
+    config.train.seed = 17;
+    return config;
+  }
+};
+
+// The core guarantee, proven per event: each scored event's snapshot
+// trained through a sequence strictly below the event's own, and
+// snapshot versions only move forward as the stream flows.
+void CheckAudits(const std::vector<ScoreAudit>& audits) {
+  ASSERT_FALSE(audits.empty());
+  uint64_t last_version = 0;
+  uint64_t last_sequence = 0;
+  for (const ScoreAudit& audit : audits) {
+    EXPECT_LT(audit.trained_through_sequence, audit.sequence)
+        << "event " << audit.sequence << " scored by snapshot v"
+        << audit.snapshot_version << " that had already trained on it";
+    EXPECT_GE(audit.snapshot_version, last_version);
+    EXPECT_GT(audit.sequence, last_sequence);
+    last_version = audit.snapshot_version;
+    last_sequence = audit.sequence;
+  }
+}
+
+TEST(StreamServiceTest, SynchronousRunScoresEveryEventBeforeLearning) {
+  StreamFixture fixture(29);
+  serve::SnapshotRegistry registry;
+  StreamTrainer trainer(fixture.model.get(), &fixture.store, &registry,
+                        fixture.TrainerConfig(/*publish_every=*/40));
+  PrequentialConfig eval_config;
+  eval_config.top_n = 10;
+  eval_config.window = 100;
+  eval_config.record_audit = true;
+  PrequentialEvaluator evaluator(eval_config);
+  StreamServiceConfig service_config;
+  service_config.threaded = false;
+  StreamService service(&trainer, &evaluator, &registry, service_config);
+
+  ReplayEventSource source(fixture.replay);
+  const StreamResult result = service.Run(&source);
+
+  EXPECT_EQ(result.events, fixture.replay.size());
+  EXPECT_EQ(result.scored + result.skipped,
+            static_cast<int64_t>(result.events));
+  EXPECT_GT(result.scored, 0);
+  EXPECT_GT(result.publishes, 0u);
+  // publish_every=40 plus one flush for the partial tail.
+  const uint64_t expected_publishes =
+      (result.events + 39) / 40;
+  EXPECT_EQ(result.publishes, expected_publishes);
+  EXPECT_EQ(result.final_version, result.publishes + 1);  // + initial
+  EXPECT_GT(result.final_window.count, 0);
+  CheckAudits(evaluator.audits());
+}
+
+TEST(StreamServiceTest, ThreadedRunWithTinyQueueKeepsOrderingInvariant) {
+  StreamFixture fixture(31);
+  serve::SnapshotRegistry registry;
+  StreamTrainer trainer(fixture.model.get(), &fixture.store, &registry,
+                        fixture.TrainerConfig(/*publish_every=*/25));
+  PrequentialConfig eval_config;
+  eval_config.top_n = 10;
+  eval_config.window = 100;
+  eval_config.record_audit = true;
+  PrequentialEvaluator evaluator(eval_config);
+  StreamServiceConfig service_config;
+  service_config.threaded = true;
+  // A queue far smaller than the stream forces the producer to block on
+  // a full queue while the consumer is mid-publish — the race the
+  // backpressure contract must survive.
+  service_config.queue_cap = 4;
+  StreamService service(&trainer, &evaluator, &registry, service_config);
+
+  ReplayEventSource source(fixture.replay);
+  const StreamResult result = service.Run(&source);
+
+  EXPECT_EQ(result.events, fixture.replay.size());
+  EXPECT_GT(result.blocked_pushes, 0u);  // backpressure actually engaged
+  EXPECT_LE(result.queue_max_depth, service_config.queue_cap);
+  CheckAudits(evaluator.audits());
+}
+
+// Publishes racing a full queue AND concurrent snapshot readers: while
+// the stream trains and republishes, reader threads continuously load
+// Current() — every reader must observe monotonically non-decreasing
+// versions and internally consistent snapshots (companion to the
+// publish-while-reading stress in serve_test).
+TEST(StreamServiceTest, ConcurrentReadersSeeMonotoneVersionsDuringRun) {
+  StreamFixture fixture(37);
+  serve::SnapshotRegistry registry;
+  StreamTrainer trainer(fixture.model.get(), &fixture.store, &registry,
+                        fixture.TrainerConfig(/*publish_every=*/20));
+  PrequentialConfig eval_config;
+  eval_config.top_n = 10;
+  eval_config.window = 100;
+  eval_config.record_audit = true;
+  PrequentialEvaluator evaluator(eval_config);
+  StreamServiceConfig service_config;
+  service_config.threaded = true;
+  service_config.queue_cap = 4;
+  StreamService service(&trainer, &evaluator, &registry, service_config);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> monotone{true};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      uint64_t last = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::shared_ptr<const serve::ServingSnapshot> snapshot =
+            registry.Current();
+        if (snapshot == nullptr) continue;
+        const uint64_t version = snapshot->version();
+        if (version < last) monotone.store(false);
+        last = version;
+        // Touch the frozen state: a torn publish would die here.
+        if (snapshot->num_users() > 0) {
+          (void)snapshot->Interests(snapshot->Users().front());
+        }
+      }
+    });
+  }
+
+  ReplayEventSource source(fixture.replay);
+  const StreamResult result = service.Run(&source);
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_TRUE(monotone.load());
+  EXPECT_GT(result.publishes, 2u);
+  CheckAudits(evaluator.audits());
+}
+
+// FT-mode (no persistence/expansion/retention) shares the pipeline; the
+// knob only changes training semantics, not the ordering contract.
+TEST(StreamServiceTest, FineTuningModeKeepsContract) {
+  StreamFixture fixture(41);
+  StreamTrainerConfig config = fixture.TrainerConfig(30);
+  config.train.eir.kind = core::RetentionKind::kNone;
+  config.train.enable_expansion = false;
+  config.train.persist_interests = false;
+  serve::SnapshotRegistry registry;
+  StreamTrainer trainer(fixture.model.get(), &fixture.store, &registry,
+                        config);
+  PrequentialConfig eval_config;
+  eval_config.record_audit = true;
+  PrequentialEvaluator evaluator(eval_config);
+  StreamServiceConfig service_config;
+  service_config.threaded = false;
+  StreamService service(&trainer, &evaluator, &registry, service_config);
+  ReplayEventSource source(fixture.replay);
+  const StreamResult result = service.Run(&source);
+  EXPECT_GT(result.scored, 0);
+  EXPECT_EQ(trainer.expansion_totals().users_expanded, 0);
+  CheckAudits(evaluator.audits());
+}
+
+}  // namespace
+}  // namespace imsr::stream

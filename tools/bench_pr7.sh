@@ -1,0 +1,77 @@
+#!/bin/sh
+# Streaming benchmark: runs `imsr_cli stream` on a replayed synthetic log
+# at several publish cadences and writes BENCH_PR7.json at the repo root —
+# per-cadence publish latency (mean/max), sustained events/sec, and the
+# freshness trade-off (final sliding-window recall: small micro-spans
+# publish fresher snapshots but pay more publish overhead per event).
+#
+# All cadences share one pretrained checkpoint and one replayed log, so
+# the numbers differ only in the update cadence.
+#
+# Usage: tools/bench_pr7.sh [cli-binary] [output-json]
+#   BENCH_STREAM_EVENTS=<n>  events replayed per run (default 4000)
+#   BENCH_CADENCES="a b ..." publish_every values (default "100 400")
+#   BENCH_STREAM_SCALE=<s>   synthetic log scale (default 0.3)
+set -eu
+
+CLI="${1:-build/tools/imsr_cli}"
+OUT="${2:-BENCH_PR7.json}"
+EVENTS="${BENCH_STREAM_EVENTS:-4000}"
+CADENCES="${BENCH_CADENCES:-100 400}"
+SCALE="${BENCH_STREAM_SCALE:-0.3}"
+
+if [ ! -x "$CLI" ]; then
+  echo "bench_pr7.sh: CLI binary not found: $CLI" >&2
+  echo "build it first: cmake --build build --target imsr_cli" >&2
+  exit 1
+fi
+if ! command -v jq >/dev/null 2>&1; then
+  echo "bench_pr7.sh: jq is required" >&2
+  exit 1
+fi
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+LOG="$TMP_DIR/stream_log.csv"
+CKPT="$TMP_DIR/stream_ckpt.bin"
+
+"$CLI" generate --preset=taobao --scale="$SCALE" --seed=11 \
+  --out="$LOG" >/dev/null
+"$CLI" pretrain --log="$LOG" --checkpoint="$CKPT" \
+  --pretrain_epochs=2 >/dev/null
+
+for cadence in $CADENCES; do
+  "$CLI" stream --log="$LOG" --checkpoint="$CKPT" \
+    --publish_every="$cadence" --window=500 --max_events="$EVENTS" \
+    --summary_out="$TMP_DIR/summary.$cadence.json" >/dev/null
+done
+
+jq -s '
+  {
+    pr: "Online IMSR: streaming ingestion + prequential evaluation",
+    description: ("imsr_cli stream on a replayed taobao-preset log, one "
+                  + "pretrained checkpoint, identical events per run; "
+                  + "each entry is one publish cadence (events per "
+                  + "micro-span). Lower publish_every = fresher serving "
+                  + "snapshots at higher publish overhead."),
+    events_per_run: (.[0].events),
+    cadences: [ .[] | {
+      publish_every,
+      publishes,
+      events_per_sec,
+      publish_mean_ms,
+      publish_max_ms,
+      final_window_recall,
+      final_window_ndcg,
+      blocked_pushes,
+      queue_max_depth
+    } ]
+  }
+' "$TMP_DIR"/summary.*.json > "$OUT"
+
+echo "wrote $OUT"
+jq -r '.cadences[] |
+       "publish_every \(.publish_every): \(.events_per_sec) ev/s, " +
+       "publish mean \(.publish_mean_ms) ms / max \(.publish_max_ms) ms, " +
+       "window recall \(.final_window_recall)"' "$OUT"

@@ -31,6 +31,18 @@
 //              serve::Recommend fan-out; per-user errors land in the
 //              output as error rows, a malformed request line is a usage
 //              error. --rule=attentive|max and --threads=N apply.
+//   stream     --log=log.csv [--checkpoint=ckpt.bin] [--mode=imsr|ft]
+//              online loop: replays the post-pretrain events of the log
+//              through prequential (test-then-learn) evaluation — each
+//              event is scored against the live ServingSnapshot before a
+//              micro-span trainer learns from it and republishes every
+//              --publish_every events. --window=N sizes the sliding
+//              recall window, --queue_cap=N bounds the ingest queue
+//              (full queue blocks the producer), --expand_every=K runs
+//              NID/PIT every K publishes, --max_events=N truncates the
+//              stream, --curve_out=csv / --summary_out=json export the
+//              recall curve and run summary. Without --checkpoint the
+//              pre-training span is trained in-process first.
 //
 // The model configuration (--model, --dim) must match across commands
 // that share a checkpoint; optimiser state is rebuilt per invocation (the
@@ -41,6 +53,7 @@
 // chrome://tracing-loadable trace, --metrics_interval=SECONDS rewrites
 // the metrics file periodically during long runs. When any of these is
 // set a summary table of all recorded metrics is printed at exit.
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cstdio>
@@ -60,6 +73,10 @@
 #include "serve/recommend.h"
 #include "serve/registry.h"
 #include "serve/snapshot.h"
+#include "stream/event_source.h"
+#include "stream/prequential.h"
+#include "stream/service.h"
+#include "stream/stream_trainer.h"
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
@@ -72,7 +89,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: imsr_cli <generate|stats|pretrain|train-span|evaluate|"
-      "recommend> [--flags]\n"
+      "recommend|stream> [--flags]\n"
       "run with a subcommand to see its required flags; see the file "
       "header for details.\n");
   return 2;
@@ -160,35 +177,13 @@ int CmdGenerate(const util::Flags& flags) {
     std::fprintf(stderr, "error: --out=<csv> is required\n");
     return 2;
   }
-  // Re-generate the raw log (the generator emits a Dataset; we rebuild
-  // flat interactions from the span structure). Timestamps are laid out
-  // so that re-splitting with the default alpha=0.5 and the same span
-  // count reproduces the structure: the pre-training window occupies the
-  // first half of the timeline and each incremental span an equal slice
-  // of the second half.
+  // Re-generate the raw log (the generator emits a Dataset; the shared
+  // flattener rebuilds flat interactions from the span structure, laid
+  // out so re-splitting with the default alpha=0.5 and the same span
+  // count reproduces the structure).
   const data::SyntheticDataset synthetic = GenerateSynthetic(config);
-  std::vector<data::Interaction> interactions;
-  const int num_spans = synthetic.dataset->num_incremental_spans();
-  const int64_t slice = 1'000'000;
-  for (int span = 0; span < synthetic.dataset->num_spans(); ++span) {
-    const int64_t window_begin =
-        span == 0 ? 0
-                  : static_cast<int64_t>(num_spans + span - 1) * slice;
-    const int64_t window_size =
-        span == 0 ? static_cast<int64_t>(num_spans) * slice : slice;
-    for (data::UserId user : synthetic.dataset->active_users(span)) {
-      const auto& items = synthetic.dataset->user_span(user, span).all;
-      for (size_t i = 0; i < items.size(); ++i) {
-        // Spread the user's in-span items evenly so order is preserved.
-        const int64_t timestamp =
-            window_begin +
-            static_cast<int64_t>(i) * window_size /
-                static_cast<int64_t>(items.size() + 1) +
-            user % 97;  // de-synchronise users within the window
-        interactions.push_back({user, items[i], timestamp});
-      }
-    }
-  }
+  const std::vector<data::Interaction> interactions =
+      FlattenDatasetToLog(*synthetic.dataset);
   if (!WriteInteractionsCsv(out, interactions)) {
     std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
     return 1;
@@ -456,6 +451,193 @@ int RecommendBatch(const util::Flags& flags, const models::MsrModel& model,
   return 0;
 }
 
+// Online serving loop: replays the post-pretrain portion of --log as a
+// live stream through the prequential (test-then-learn) protocol. Every
+// event is scored against the currently *published* ServingSnapshot
+// before the micro-span trainer learns from it; every --publish_every
+// events a fresh snapshot is trained and published. --mode=ft selects
+// the plain fine-tuning baseline (no retention loss, no expansion, no
+// interest persistence) for freshness-vs-retention comparisons.
+int CmdStream(const util::Flags& flags) {
+  const std::string log_path = flags.GetString("log", "");
+  if (log_path.empty()) {
+    std::fprintf(stderr, "error: --log=<csv> is required\n");
+    return 2;
+  }
+  data::InteractionLog log;
+  std::string error;
+  if (!data::ReadInteractionsCsv(log_path, &log, &error)) {
+    std::fprintf(stderr, "error reading %s: %s\n", log_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  data::CompactIds(&log);
+  const double alpha = flags.GetDouble("alpha", 0.5);
+  std::vector<data::Interaction> interactions = log.interactions;
+  data::Dataset dataset(
+      log.num_users, log.num_items, std::move(log.interactions),
+      static_cast<int>(flags.GetInt("spans", 6)), alpha,
+      static_cast<int>(flags.GetInt("min_interactions", 12)));
+
+  core::TrainConfig train = TrainConfigFromFlags(flags);
+  const std::string mode = flags.GetString("mode", "imsr");
+  if (mode == "ft") {
+    train.eir.kind = core::RetentionKind::kNone;
+    train.enable_expansion = false;
+    train.persist_interests = false;
+  } else if (mode != "imsr") {
+    std::fprintf(stderr, "error: --mode must be 'imsr' or 'ft'\n");
+    return 2;
+  }
+  models::ModelConfig model_config;
+  if (!ModelConfigFromFlags(flags, &model_config)) return 2;
+
+  // Base state: a checkpoint when given, otherwise an in-process
+  // pretrain on span 0 of the log.
+  models::MsrModel model(model_config, dataset.num_items(), train.seed);
+  core::InterestStore store;
+  core::CheckpointMetadata metadata;
+  const std::string checkpoint = flags.GetString("checkpoint", "");
+  if (!checkpoint.empty()) {
+    if (!LoadCheckpoint(checkpoint, &model, &store, &metadata, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+  } else {
+    core::ImsrTrainer pretrainer(&model, &store, train);
+    pretrainer.Pretrain(dataset);
+    metadata.trained_through_span = 0;
+  }
+
+  // The stream: everything after the pre-training window, kept users
+  // only (cold ids never earn a dataset entry, matching the batch eval).
+  const int64_t boundary =
+      stream::PretrainBoundaryTimestamp(interactions, alpha);
+  interactions.erase(
+      std::remove_if(interactions.begin(), interactions.end(),
+                     [&](const data::Interaction& record) {
+                       return record.timestamp < boundary ||
+                              !dataset.user_kept(record.user);
+                     }),
+      interactions.end());
+  stream::ReplayEventSource source(std::move(interactions), boundary - 1);
+
+  stream::StreamTrainerConfig trainer_config;
+  trainer_config.publish_every = flags.GetInt("publish_every", 200);
+  trainer_config.expand_every =
+      static_cast<int>(flags.GetInt("expand_every", 5));
+  trainer_config.micro_epochs =
+      static_cast<int>(flags.GetInt("micro_epochs", 1));
+  trainer_config.initial_span =
+      static_cast<int>(metadata.trained_through_span);
+  trainer_config.train = train;
+
+  stream::PrequentialConfig eval_config;
+  eval_config.top_n = static_cast<int>(flags.GetInt("top_n", 20));
+  eval_config.window = flags.GetInt("window", 500);
+  eval_config.curve_every = flags.GetInt(
+      "curve_every", std::max<int64_t>(trainer_config.publish_every / 2,
+                                       1));
+  if (!ScoreRuleFromName(flags.GetString("rule", "attentive"),
+                         &eval_config.rule, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+
+  stream::StreamServiceConfig service_config;
+  service_config.queue_cap =
+      static_cast<size_t>(flags.GetInt("queue_cap", 1024));
+  service_config.max_events =
+      static_cast<uint64_t>(flags.GetInt("max_events", 0));
+  service_config.threaded = flags.GetBool("threaded", true);
+
+  serve::SnapshotRegistry registry;
+  stream::StreamTrainer trainer(&model, &store, &registry, trainer_config);
+  stream::PrequentialEvaluator evaluator(eval_config);
+  stream::StreamService service(&trainer, &evaluator, &registry,
+                                service_config);
+  const stream::StreamResult result = service.Run(&source);
+
+  const std::string curve_out = flags.GetString("curve_out", "");
+  if (!curve_out.empty()) {
+    std::ostringstream curve;
+    curve << "last_sequence,scored,window_recall,window_ndcg,"
+             "window_count,snapshot_version,staleness_events\n";
+    for (const stream::CurvePoint& point : evaluator.curve()) {
+      char recall[32], ndcg[32];
+      std::snprintf(recall, sizeof(recall), "%.6f", point.window_recall);
+      std::snprintf(ndcg, sizeof(ndcg), "%.6f", point.window_ndcg);
+      curve << point.last_sequence << "," << point.scored << "," << recall
+            << "," << ndcg << "," << point.window_count << ","
+            << point.snapshot_version << "," << point.staleness_events
+            << "\n";
+    }
+    std::ofstream out(curve_out, std::ios::trunc);
+    if (!out || !(out << curve.str()) || !out.flush()) {
+      std::fprintf(stderr, "error: cannot write %s\n", curve_out.c_str());
+      return 1;
+    }
+  }
+
+  const std::string summary_out = flags.GetString("summary_out", "");
+  if (!summary_out.empty()) {
+    std::ostringstream summary;
+    char buffer[64];
+    summary << "{\n";
+    summary << "  \"mode\": \"" << mode << "\",\n";
+    summary << "  \"publish_every\": " << trainer_config.publish_every
+            << ",\n";
+    summary << "  \"window\": " << eval_config.window << ",\n";
+    summary << "  \"events\": " << result.events << ",\n";
+    summary << "  \"scored\": " << result.scored << ",\n";
+    summary << "  \"skipped\": " << result.skipped << ",\n";
+    summary << "  \"publishes\": " << result.publishes << ",\n";
+    std::snprintf(buffer, sizeof(buffer), "%.3f", result.seconds);
+    summary << "  \"seconds\": " << buffer << ",\n";
+    std::snprintf(buffer, sizeof(buffer), "%.1f", result.events_per_sec);
+    summary << "  \"events_per_sec\": " << buffer << ",\n";
+    std::snprintf(buffer, sizeof(buffer), "%.3f", result.publish_mean_ms);
+    summary << "  \"publish_mean_ms\": " << buffer << ",\n";
+    std::snprintf(buffer, sizeof(buffer), "%.3f", result.publish_max_ms);
+    summary << "  \"publish_max_ms\": " << buffer << ",\n";
+    std::snprintf(buffer, sizeof(buffer), "%.6f",
+                  result.final_window.hit_ratio);
+    summary << "  \"final_window_recall\": " << buffer << ",\n";
+    std::snprintf(buffer, sizeof(buffer), "%.6f",
+                  result.final_window.ndcg);
+    summary << "  \"final_window_ndcg\": " << buffer << ",\n";
+    summary << "  \"final_window_count\": "
+            << result.final_window.count << ",\n";
+    summary << "  \"final_version\": " << result.final_version << ",\n";
+    summary << "  \"queue_max_depth\": " << result.queue_max_depth
+            << ",\n";
+    summary << "  \"blocked_pushes\": " << result.blocked_pushes << "\n";
+    summary << "}\n";
+    std::ofstream out(summary_out, std::ios::trunc);
+    if (!out || !(out << summary.str()) || !out.flush()) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   summary_out.c_str());
+      return 1;
+    }
+  }
+
+  std::printf(
+      "streamed %llu events (%lld scored, %lld skipped) in %.2fs "
+      "(%.0f ev/s); %llu publishes (mean %.1f ms, max %.1f ms); final "
+      "window HR@%d %.4f NDCG@%d %.4f over %lld events; snapshot v%llu\n",
+      static_cast<unsigned long long>(result.events),
+      static_cast<long long>(result.scored),
+      static_cast<long long>(result.skipped), result.seconds,
+      result.events_per_sec,
+      static_cast<unsigned long long>(result.publishes),
+      result.publish_mean_ms, result.publish_max_ms, eval_config.top_n,
+      result.final_window.hit_ratio, eval_config.top_n,
+      result.final_window.ndcg,
+      static_cast<long long>(result.final_window.count),
+      static_cast<unsigned long long>(result.final_version));
+  return 0;
+}
+
 int CmdRecommend(const util::Flags& flags) {
   std::unique_ptr<data::Dataset> dataset;
   if (!LoadDataset(flags, &dataset)) return 1;
@@ -507,6 +689,7 @@ int Dispatch(const std::string& command, const util::Flags& flags) {
   if (command == "train-span") return CmdTrainSpan(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "recommend") return CmdRecommend(flags);
+  if (command == "stream") return CmdStream(flags);
   return Usage();
 }
 
