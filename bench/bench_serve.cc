@@ -8,18 +8,33 @@
 //   2. Recommend throughput vs --threads — batch top-N over the full
 //      corpus, one RankScratch per worker chunk.
 //
+//   3. Exact vs IVF retrieval — on a clustered corpus (the regime the
+//      index is built for), index build cost, Recommend throughput in
+//      both modes, recall@top_n of IVF against the exact oracle, and the
+//      probe/shortlist/re-rank accounting. --json_out dumps this section
+//      as JSON for tools/bench_pr8.sh.
+//
 // Flags: --scale=1.0 multiplies the size grid; --repeats=3 averages the
 // publish timings; --requests=2048 sets the throughput batch size;
 // --threads=1,2,4,0 picks the fan-out widths (0 = process pool size);
 // --rule=attentive|max, --top_n=20, --dim=32, --seed=7.
+// IVF section: --ivf_sizes=10000,100000 item counts (empty disables),
+// --ivf_requests=512 timed batch, --ivf_recall_queries=200 oracle sample,
+// --nprobe=0 (default probe width), --json_out=<file>.
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <set>
 #include <sstream>
+#include <utility>
 
 #include "bench/bench_common.h"
 #include "core/interest_store.h"
 #include "eval/ranker.h"
 #include "models/msr_model.h"
+#include "serve/ivf_index.h"
 #include "serve/recommend.h"
 #include "serve/registry.h"
 #include "serve/snapshot.h"
@@ -58,6 +73,71 @@ std::vector<int> ParseThreadList(const std::string& value) {
   }
   if (threads.empty()) threads = {1, 2, 4, 0};
   return threads;
+}
+
+std::vector<int64_t> ParseSizeList(const std::string& value) {
+  std::vector<int64_t> sizes;
+  std::stringstream stream(value);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (!token.empty()) sizes.push_back(std::stoll(token));
+  }
+  return sizes;
+}
+
+// Clustered corpus + matching interests — the regime IVF targets. The
+// model's embedding table is overwritten with center+noise rows and every
+// user's interests are placed near cluster centers, like a trained store.
+void MakeClusteredServing(int64_t num_items, int64_t num_users, int64_t dim,
+                          uint64_t seed, models::MsrModel* model,
+                          core::InterestStore* store) {
+  util::Rng rng(seed);
+  const int64_t num_clusters = std::max<int64_t>(
+      16, static_cast<int64_t>(std::sqrt(static_cast<double>(num_items))));
+  const nn::Tensor centers = nn::Tensor::Randn({num_clusters, dim}, rng);
+  nn::Tensor& table = model->embeddings().parameter().mutable_value();
+  for (int64_t i = 0; i < num_items; ++i) {
+    const int64_t c = static_cast<int64_t>(
+        rng.NextBelow(static_cast<uint64_t>(num_clusters)));
+    const float* center = centers.data() + c * dim;
+    float* row = table.data() + i * dim;
+    for (int64_t k = 0; k < dim; ++k) {
+      row[k] = center[k] + 0.15f * static_cast<float>(rng.NextGaussian());
+    }
+  }
+  for (int64_t user = 0; user < num_users; ++user) {
+    const int64_t k = 2 + user % 3;
+    store->Initialize(static_cast<data::UserId>(user), k, dim, 0, rng);
+    nn::Tensor interests = nn::Tensor::Uninitialized({k, dim});
+    for (int64_t j = 0; j < k; ++j) {
+      const int64_t c = static_cast<int64_t>(
+          rng.NextBelow(static_cast<uint64_t>(num_clusters)));
+      const float* center = centers.data() + c * dim;
+      float* row = interests.data() + j * dim;
+      for (int64_t d = 0; d < dim; ++d) {
+        row[d] = center[d] + 0.1f * static_cast<float>(rng.NextGaussian());
+      }
+    }
+    store->SetInterests(static_cast<data::UserId>(user),
+                        std::move(interests));
+  }
+}
+
+// Timed serve::Recommend passes (one warm-up, best of three measured —
+// best-of because scheduler noise only ever slows a pass down); returns
+// requests/sec.
+double MeasureQps(const serve::ServingSnapshot& snapshot,
+                  const std::vector<serve::RecommendRequest>& requests,
+                  const serve::ServeConfig& config) {
+  serve::Recommend(snapshot, requests, config);
+  double best_seconds = 0.0;
+  for (int pass = 0; pass < 3; ++pass) {
+    util::Stopwatch timer;
+    serve::Recommend(snapshot, requests, config);
+    const double seconds = timer.ElapsedSeconds();
+    if (pass == 0 || seconds < best_seconds) best_seconds = seconds;
+  }
+  return static_cast<double>(requests.size()) / best_seconds;
 }
 
 }  // namespace
@@ -192,6 +272,156 @@ int main(int argc, char** argv) {
   std::printf(
       "Requests are independent; throughput should scale near-linearly\n"
       "until the memory bandwidth of the (num_items x d) score sweep\n"
-      "saturates.\n");
+      "saturates.\n\n");
+
+  // --- 3. Exact vs IVF retrieval -----------------------------------
+  const std::vector<int64_t> ivf_sizes =
+      ParseSizeList(flags.GetString("ivf_sizes", "10000,100000"));
+  const int64_t ivf_requests = flags.GetInt("ivf_requests", 512);
+  const int64_t recall_queries = flags.GetInt("ivf_recall_queries", 200);
+  const int nprobe = static_cast<int>(flags.GetInt("nprobe", 0));
+  const std::string json_out = flags.GetString("json_out", "");
+  if (ivf_sizes.empty()) return 0;
+
+  std::printf("Exact vs IVF Recommend on a clustered corpus (d=%lld, "
+              "top %d, rule %s, batch of %lld, pool threads)\n",
+              static_cast<long long>(dim), top_n,
+              eval::ScoreRuleName(rule),
+              static_cast<long long>(ivf_requests));
+  util::Table ivf_table({"items", "centroids", "nprobe", "index ms",
+                         "exact qps", "ivf qps", "speedup", "recall@N"});
+  std::ostringstream json;
+  json << "[\n";
+  for (size_t s = 0; s < ivf_sizes.size(); ++s) {
+    const int64_t items = std::max<int64_t>(1, ivf_sizes[s]);
+    const int64_t users =
+        std::min<int64_t>(20'000, std::max<int64_t>(64, items / 5));
+    models::ModelConfig ivf_model_config;
+    ivf_model_config.embedding_dim = dim;
+    models::MsrModel ivf_model(ivf_model_config, items, seed);
+    core::InterestStore ivf_store;
+    MakeClusteredServing(items, users, dim, seed + s, &ivf_model,
+                         &ivf_store);
+
+    // Index build cost = indexed publish minus the plain snapshot copy.
+    util::Stopwatch plain_timer;
+    std::shared_ptr<serve::ServingSnapshot> plain =
+        serve::BuildSnapshot(ivf_model, ivf_store, 0);
+    const double snapshot_ms = plain_timer.ElapsedMillis();
+    plain.reset();
+    serve::SnapshotRegistry ivf_registry;
+    util::Stopwatch indexed_timer;
+    ivf_registry.Publish(serve::BuildSnapshot(ivf_model, ivf_store, 0,
+                                              serve::IvfBuildConfig{}));
+    const double indexed_ms = indexed_timer.ElapsedMillis();
+    const std::shared_ptr<const serve::ServingSnapshot> indexed =
+        ivf_registry.Current();
+    const serve::IvfIndex& index = *indexed->index();
+    const int effective_nprobe =
+        nprobe > 0 ? nprobe : index.default_nprobe();
+
+    std::vector<serve::RecommendRequest> ivf_batch;
+    ivf_batch.reserve(static_cast<size_t>(ivf_requests));
+    for (int64_t i = 0; i < ivf_requests; ++i) {
+      ivf_batch.push_back({static_cast<data::UserId>(i % users), top_n});
+    }
+    serve::ServeConfig exact_config;
+    exact_config.default_top_n = top_n;
+    exact_config.rule = rule;
+    exact_config.threads = 0;
+    exact_config.retrieval = serve::RetrievalMode::kExact;
+    const double exact_qps = MeasureQps(*indexed, ivf_batch, exact_config);
+    serve::ServeConfig ivf_config = exact_config;
+    ivf_config.retrieval = serve::RetrievalMode::kIVF;
+    ivf_config.nprobe = nprobe;
+    const double ivf_qps = MeasureQps(*indexed, ivf_batch, ivf_config);
+
+    // Recall + probe accounting against the brute-force oracle on a
+    // query sample (serial; the timed passes above stay undisturbed).
+    serve::IvfIndex::Scratch scratch;
+    eval::RankScratch oracle_scratch;
+    std::vector<std::pair<data::ItemId, float>> approx;
+    serve::IvfSearchTotals totals;
+    double recall_sum = 0.0;
+    const int64_t sample = std::min<int64_t>(recall_queries, users);
+    for (int64_t q = 0; q < sample; ++q) {
+      const auto user = static_cast<data::UserId>(q);
+      serve::IvfSearchStats stats;
+      index.SearchTopN(indexed->Interests(user),
+                       indexed->item_embeddings(), rule, top_n, nprobe,
+                       &scratch, &approx, &stats);
+      totals.Add(stats);
+      eval::ScoreAllItemsInto(indexed->Interests(user),
+                              indexed->item_embeddings(), rule,
+                              &oracle_scratch);
+      const std::vector<std::pair<data::ItemId, float>> oracle =
+          eval::TopNFromScores(oracle_scratch.scores, top_n);
+      std::set<data::ItemId> oracle_items;
+      for (const auto& entry : oracle) oracle_items.insert(entry.first);
+      int hits = 0;
+      for (const auto& entry : approx) {
+        if (oracle_items.count(entry.first) > 0) ++hits;
+      }
+      recall_sum += oracle_items.empty()
+                        ? 1.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(oracle_items.size());
+    }
+    const double denom = sample > 0 ? static_cast<double>(sample) : 1.0;
+    const double recall = recall_sum / denom;
+    const double searches =
+        totals.searches > 0 ? static_cast<double>(totals.searches) : 1.0;
+
+    ivf_table.AddRow(
+        {std::to_string(items), std::to_string(index.num_centroids()),
+         std::to_string(effective_nprobe),
+         util::FormatDouble(indexed_ms - snapshot_ms, 2),
+         util::FormatDouble(exact_qps, 0), util::FormatDouble(ivf_qps, 0),
+         util::FormatDouble(ivf_qps / exact_qps, 2),
+         util::FormatDouble(recall, 4)});
+
+    json << "  {\"items\": " << items << ", \"users\": " << users
+         << ", \"dim\": " << dim << ", \"top_n\": " << top_n
+         << ", \"rule\": \"" << eval::ScoreRuleName(rule) << "\""
+         << ", \"centroids\": " << index.num_centroids()
+         << ", \"nprobe\": " << effective_nprobe
+         << ", \"requests\": " << ivf_requests
+         << ",\n   \"snapshot_build_ms\": "
+         << util::FormatDouble(snapshot_ms, 3)
+         << ", \"indexed_build_ms\": " << util::FormatDouble(indexed_ms, 3)
+         << ", \"index_build_ms\": "
+         << util::FormatDouble(indexed_ms - snapshot_ms, 3)
+         << ",\n   \"exact_qps\": " << util::FormatDouble(exact_qps, 1)
+         << ", \"ivf_qps\": " << util::FormatDouble(ivf_qps, 1)
+         << ", \"speedup\": " << util::FormatDouble(ivf_qps / exact_qps, 3)
+         << ",\n   \"recall_at_top_n\": " << util::FormatDouble(recall, 4)
+         << ", \"recall_queries\": " << sample
+         << ", \"mean_probes\": "
+         << util::FormatDouble(static_cast<double>(totals.probes) / searches,
+                               1)
+         << ", \"mean_shortlist\": "
+         << util::FormatDouble(
+                static_cast<double>(totals.shortlist) / searches, 1)
+         << ", \"mean_reranked\": "
+         << util::FormatDouble(
+                static_cast<double>(totals.reranked) / searches, 1)
+         << "}" << (s + 1 < ivf_sizes.size() ? "," : "") << "\n";
+  }
+  json << "]\n";
+  bench::PrintTable(ivf_table);
+  std::printf(
+      "IVF probes nprobe lists per interest, scores candidates with int8\n"
+      "dots and re-ranks the shortlist with the exact float kernels, so\n"
+      "returned scores match brute force bit for bit; recall@N counts\n"
+      "how often the exact top-N items survive the probe.\n");
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    out << json.str();
+    std::printf("wrote %s\n", json_out.c_str());
+  }
   return 0;
 }

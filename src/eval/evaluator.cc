@@ -14,9 +14,12 @@ namespace {
 // the two storage backends (ServingSnapshot vs live InterestStore); both
 // feed the identical ScoreAllItemsInto kernel, so the backends produce
 // bitwise-identical metrics for equal values.
+// `index` (nullable) enables the IVF ranking path; the live-model
+// overload passes nullptr.
 template <typename HasFn, typename InterestsFn>
 EvalResult EvaluateSpanImpl(const nn::Tensor& item_embeddings,
                             const HasFn& has, const InterestsFn& interests,
+                            const serve::IvfIndex* index,
                             const data::Dataset& dataset, int test_span,
                             const EvalConfig& config, ItemFilter filter,
                             int history_span) {
@@ -51,8 +54,20 @@ EvalResult EvaluateSpanImpl(const nn::Tensor& item_embeddings,
     instances.push_back({user, span_data.test});
   }
 
+  const bool use_ivf =
+      config.retrieval == serve::RetrievalMode::kIVF && index != nullptr;
+  IMSR_OBS_ONLY({
+    if (config.retrieval == serve::RetrievalMode::kIVF &&
+        index == nullptr) {
+      IMSR_COUNTER_ADD("eval/ivf_fallback_exact",
+                       static_cast<int64_t>(instances.size()));
+    }
+  })
+
   util::Stopwatch stopwatch;
   std::vector<int64_t> ranks(instances.size(), 0);
+  std::vector<serve::IvfSearchStats> search_stats(
+      use_ivf ? instances.size() : 0);
   // Users are independent; chunks run on the persistent pool. Each chunk
   // (at most one per worker) reuses one RankScratch so the corpus-sized
   // logits/score buffers are allocated once, not per user. Ranks land in
@@ -63,13 +78,34 @@ EvalResult EvaluateSpanImpl(const nn::Tensor& item_embeddings,
         IMSR_TRACE_SPAN("eval/rank_chunk");
         IMSR_OBS_ONLY(util::Stopwatch chunk_timer;)
         RankScratch scratch;
+        serve::IvfIndex::Scratch ivf_scratch;
+        std::vector<std::pair<data::ItemId, float>> top;
         for (int64_t i = begin; i < end; ++i) {
           const Instance& instance =
               instances[static_cast<size_t>(i)];
-          ScoreAllItemsInto(interests(instance.user), item_embeddings,
-                            config.rule, &scratch);
-          ranks[static_cast<size_t>(i)] =
-              TargetRankFromScores(scratch.scores, instance.target);
+          if (use_ivf) {
+            // Serving-accurate protocol: the rank is the target's
+            // position in the retrieved top-N; a miss ranks top_n + 1
+            // (contributes 0 to HR@N and NDCG@N, like any rank beyond
+            // the cutoff).
+            index->SearchTopN(interests(instance.user), item_embeddings,
+                              config.rule, config.top_n, config.nprobe,
+                              &ivf_scratch, &top,
+                              &search_stats[static_cast<size_t>(i)]);
+            int64_t rank = static_cast<int64_t>(config.top_n) + 1;
+            for (size_t r = 0; r < top.size(); ++r) {
+              if (top[r].first == instance.target) {
+                rank = static_cast<int64_t>(r) + 1;
+                break;
+              }
+            }
+            ranks[static_cast<size_t>(i)] = rank;
+          } else {
+            ScoreAllItemsInto(interests(instance.user), item_embeddings,
+                              config.rule, &scratch);
+            ranks[static_cast<size_t>(i)] =
+                TargetRankFromScores(scratch.scores, instance.target);
+          }
         }
         IMSR_HISTOGRAM_RECORD("eval/rank_latency_ms",
                               chunk_timer.ElapsedMillis());
@@ -83,6 +119,9 @@ EvalResult EvaluateSpanImpl(const nn::Tensor& item_embeddings,
   EvalResult result;
   result.metrics = accumulator.Finalize();
   result.total_seconds = scoring_seconds;
+  for (const serve::IvfSearchStats& stats : search_stats) {
+    result.ivf.Add(stats);
+  }
   return result;
 }
 
@@ -96,7 +135,7 @@ EvalResult EvaluateSpan(const serve::ServingSnapshot& snapshot,
       snapshot.item_embeddings(),
       [&snapshot](data::UserId user) { return snapshot.HasUser(user); },
       [&snapshot](data::UserId user) { return snapshot.Interests(user); },
-      dataset, test_span, config, filter, history_span);
+      snapshot.index(), dataset, test_span, config, filter, history_span);
 }
 
 EvalResult EvaluateSpan(const nn::Tensor& item_embeddings,
@@ -110,7 +149,7 @@ EvalResult EvaluateSpan(const nn::Tensor& item_embeddings,
       [&store](data::UserId user) {
         return nn::ViewOf(store.Interests(user));
       },
-      dataset, test_span, config, filter, history_span);
+      nullptr, dataset, test_span, config, filter, history_span);
 }
 
 }  // namespace imsr::eval

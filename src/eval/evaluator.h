@@ -25,6 +25,14 @@ struct EvalConfig {
   // <= 0 uses the process-wide pool's configured size (see
   // util/thread_pool.h); metrics are bitwise identical either way.
   int threads = 1;
+  // kIVF ranks each test item within the index's retrieved top-N instead
+  // of the full corpus (a miss ranks top_n + 1, contributing 0 to HR and
+  // NDCG — the serving-accurate protocol). Snapshots without an index,
+  // and the live-model overload, fall back to exact. The default follows
+  // IMSR_RETRIEVAL, which is kExact unless overridden.
+  serve::RetrievalMode retrieval = serve::DefaultRetrievalMode();
+  // Lists probed per interest under kIVF; <= 0 uses the index default.
+  int nprobe = 0;
 };
 
 // Which test targets to keep — the Fig. 7a case study splits them by
@@ -34,6 +42,8 @@ enum class ItemFilter { kAll, kExistingOnly, kNewOnly };
 struct EvalResult {
   TopNMetrics metrics;
   double total_seconds = 0.0;  // wall time spent scoring
+  // Accumulated IVF accounting; zero searches when exact scoring ran.
+  serve::IvfSearchTotals ivf;
 };
 
 // Evaluates every user that (a) has interests in the snapshot and (b) has

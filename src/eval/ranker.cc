@@ -6,6 +6,26 @@
 #include "util/check.h"
 
 namespace imsr::eval {
+
+float ScoreFromLogits(const float* row, int64_t k, ScoreRule rule) {
+  if (rule == ScoreRule::kMaxInterest) {
+    float best = row[0];
+    for (int64_t j = 1; j < k; ++j) best = std::max(best, row[j]);
+    return best;
+  }
+  // Attentive: v_u(e_i) . e_i = sum_k softmax(row)_k row_k.
+  float max_logit = row[0];
+  for (int64_t j = 1; j < k; ++j) max_logit = std::max(max_logit, row[j]);
+  float total = 0.0f;
+  float weighted = 0.0f;
+  for (int64_t j = 0; j < k; ++j) {
+    const float w = std::exp(row[j] - max_logit);
+    total += w;
+    weighted += w * row[j];
+  }
+  return weighted / total;
+}
+
 namespace {
 
 // Fused per-item reduction over the K interest logits: one pass computes
@@ -13,28 +33,8 @@ namespace {
 // candidate as query), without temporaries.
 void ScoresFromLogits(const float* logits, int64_t num_items, int64_t k,
                       ScoreRule rule, float* scores) {
-  if (rule == ScoreRule::kMaxInterest) {
-    for (int64_t i = 0; i < num_items; ++i) {
-      const float* row = logits + i * k;
-      float best = row[0];
-      for (int64_t j = 1; j < k; ++j) best = std::max(best, row[j]);
-      scores[i] = best;
-    }
-    return;
-  }
   for (int64_t i = 0; i < num_items; ++i) {
-    // Attentive: v_u(e_i) . e_i = sum_k softmax(row)_k row_k.
-    const float* row = logits + i * k;
-    float max_logit = row[0];
-    for (int64_t j = 1; j < k; ++j) max_logit = std::max(max_logit, row[j]);
-    float total = 0.0f;
-    float weighted = 0.0f;
-    for (int64_t j = 0; j < k; ++j) {
-      const float w = std::exp(row[j] - max_logit);
-      total += w;
-      weighted += w * row[j];
-    }
-    scores[i] = weighted / total;
+    scores[i] = ScoreFromLogits(logits + i * k, k, rule);
   }
 }
 

@@ -27,6 +27,13 @@ const char* ScoreRuleName(ScoreRule rule);
 bool ScoreRuleFromName(const std::string& name, ScoreRule* rule,
                        std::string* error);
 
+// Per-item reduction over one row of K interest logits: max_k for
+// kMaxInterest, the softmax-weighted combination (Eq. 5 with the
+// candidate as query) for kAttentive. ScoreAllItemsInto applies this to
+// every row of the logits matrix; the IVF re-rank applies it to shortlist
+// rows — sharing one definition keeps the two paths bitwise identical.
+float ScoreFromLogits(const float* row, int64_t k, ScoreRule rule);
+
 // Reusable buffers for repeated full-corpus scoring (one per worker
 // thread in the evaluator; never shared across threads concurrently).
 struct RankScratch {

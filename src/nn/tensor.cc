@@ -682,6 +682,34 @@ void MatMulTransBInto(const Tensor& a, ConstMatrixView b, Tensor* out) {
   }
 }
 
+void MatMulTransBGatherInto(const Tensor& a, ConstMatrixView b,
+                            const int64_t* rows, int64_t num_rows,
+                            Tensor* gathered, Tensor* out) {
+  IMSR_CHECK(out != nullptr);
+  IMSR_CHECK(gathered != nullptr);
+  IMSR_CHECK(b.data != nullptr);
+  IMSR_CHECK_EQ(a.dim(), 2);
+  IMSR_CHECK_EQ(a.size(1), b.cols);
+  IMSR_CHECK_GE(num_rows, 1);
+  const int64_t k = a.size(1);
+  const int64_t n = b.rows;
+  GatherRowsInto(a, rows, num_rows, gathered);
+  out->ResizeUninitialized({num_rows, n});
+  // Kernel choice follows the FULL (a rows x n) shape, not the gathered
+  // one: the wide-output saxpy path is bit-identical to the scalar rows
+  // kernel (see MatMulTransBInto), so when the full shape takes it, the
+  // scalar kernel reproduces its rows here; otherwise the same dot
+  // kernel the full shape dispatches to runs on the gathered rows. Per
+  // the kernel contract each (i, j) dot is computed whole in the same kk
+  // order for any row range, so the gathered rows match the full
+  // product's bits.
+  const bool full_wide = SimdEnabled() && n >= 8 && a.size(0) >= 16;
+  auto* const rows_kernel = (!SimdEnabled() || full_wide)
+                                ? MatMulTransBRows
+                                : MatMulTransBRowsSimd;
+  rows_kernel(gathered->data(), b.data, out->data(), 0, num_rows, k, n);
+}
+
 Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   Tensor out;
   MatMulTransAInto(a, b, &out);

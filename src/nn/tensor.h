@@ -297,6 +297,17 @@ Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& indices);
 void GatherRowsInto(const Tensor& table, const int64_t* indices,
                     int64_t count, Tensor* out);
 
+// Gathered A * B^T: out[r][j] = dot(a.row(rows[r]), b.row(j)) for the
+// `num_rows` row indices in `rows`. Picks the kernel by the FULL shape
+// (a.size(0) x b.rows), not the gathered one, so every computed row is
+// bitwise identical to the corresponding row of MatMulTransBInto(a, b)
+// regardless of how few rows are gathered (the IVF re-rank contract:
+// shortlist scores must match the brute-force oracle's bits). `gathered`
+// is caller-owned scratch for the row copies (buffer reused).
+void MatMulTransBGatherInto(const Tensor& a, ConstMatrixView b,
+                            const int64_t* rows, int64_t num_rows,
+                            Tensor* gathered, Tensor* out);
+
 // Max |a - b| over all elements; shapes must match.
 float MaxAbsDiff(const Tensor& a, const Tensor& b);
 

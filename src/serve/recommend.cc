@@ -13,12 +13,25 @@ std::vector<RecommendResponse> Recommend(
   IMSR_TRACE_SPAN("serve/recommend_batch");
   IMSR_OBS_ONLY(util::Stopwatch timer;)
   std::vector<RecommendResponse> responses(requests.size());
+  // IVF requires an index on the snapshot; without one the batch falls
+  // back to exact scoring (counted, so a misconfigured deployment shows
+  // up in the metrics instead of silently serving slow).
+  const IvfIndex* index =
+      config.retrieval == RetrievalMode::kIVF ? snapshot.index() : nullptr;
+  const bool use_ivf = index != nullptr;
+  IMSR_OBS_ONLY({
+    if (config.retrieval == RetrievalMode::kIVF && index == nullptr) {
+      IMSR_COUNTER_ADD("serve/ivf_fallback_exact",
+                       static_cast<int64_t>(requests.size()));
+    }
+  })
   // Responses land in disjoint slots, so the fan-out needs no locking and
   // the batch result is identical for any thread count.
   util::ParallelChunks(
       static_cast<int64_t>(requests.size()), config.threads,
       [&](int64_t begin, int64_t end) {
         eval::RankScratch scratch;
+        IvfIndex::Scratch ivf_scratch;
         for (int64_t i = begin; i < end; ++i) {
           const RecommendRequest& request =
               requests[static_cast<size_t>(i)];
@@ -36,15 +49,28 @@ std::vector<RecommendResponse> Recommend(
                              std::to_string(request.user);
             continue;
           }
-          eval::ScoreAllItemsInto(snapshot.Interests(request.user),
-                                  snapshot.item_embeddings(), config.rule,
-                                  &scratch);
-          response.items = eval::TopNFromScores(scratch.scores, top_n);
+          if (use_ivf) {
+            index->SearchTopN(snapshot.Interests(request.user),
+                              snapshot.item_embeddings(), config.rule,
+                              top_n, config.nprobe, &ivf_scratch,
+                              &response.items);
+          } else {
+            eval::ScoreAllItemsInto(snapshot.Interests(request.user),
+                                    snapshot.item_embeddings(),
+                                    config.rule, &scratch);
+            response.items = eval::TopNFromScores(scratch.scores, top_n);
+          }
           response.ok = true;
         }
       });
   IMSR_COUNTER_ADD("serve/requests",
                    static_cast<int64_t>(requests.size()));
+  IMSR_OBS_ONLY({
+    if (use_ivf) {
+      IMSR_COUNTER_ADD("serve/ivf_requests",
+                       static_cast<int64_t>(requests.size()));
+    }
+  })
   IMSR_OBS_ONLY({
     const double seconds = timer.ElapsedSeconds();
     IMSR_HISTOGRAM_RECORD("serve/batch_latency_ms", seconds * 1e3);

@@ -40,6 +40,13 @@ struct ServeConfig {
   // Worker threads for the batch fan-out; <= 0 uses the process-wide
   // pool's configured size. Responses are identical for any thread count.
   int threads = 0;
+  // kIVF routes through the snapshot's IvfIndex (exact float scores on
+  // the approximate shortlist); a snapshot without an index falls back
+  // to exact scoring (counted in serve/ivf_fallback_exact). The default
+  // follows IMSR_RETRIEVAL, which is kExact unless overridden.
+  RetrievalMode retrieval = DefaultRetrievalMode();
+  // Lists probed per interest under kIVF; <= 0 uses the index default.
+  int nprobe = 0;
 };
 
 // Answers every request against `snapshot`; responses are parallel to

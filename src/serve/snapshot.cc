@@ -33,13 +33,24 @@ ServingSnapshot::ServingSnapshot(nn::Tensor embeddings,
   }
 }
 
+void ServingSnapshot::AttachIndex(std::unique_ptr<const IvfIndex> index) {
+  IMSR_CHECK_EQ(version_, 0u)
+      << "AttachIndex after publish: a reader could already hold this "
+         "snapshot";
+  IMSR_CHECK(index != nullptr);
+  IMSR_CHECK_EQ(index->num_items(), num_items());
+  index_ = std::move(index);
+}
+
 int64_t ServingSnapshot::bytes() const {
   return static_cast<int64_t>(
-      embeddings_.numel() * sizeof(float) +
-      interests_.data.size() * sizeof(float) +
-      interests_.users.size() *
-          (sizeof(data::UserId) + sizeof(int64_t) + sizeof(int32_t)) +
-      slot_of_user_.size() * sizeof(int32_t));
+             embeddings_.numel() * sizeof(float) +
+             interests_.data.size() * sizeof(float) +
+             interests_.users.size() *
+                 (sizeof(data::UserId) + sizeof(int64_t) +
+                  sizeof(int32_t)) +
+             slot_of_user_.size() * sizeof(int32_t)) +
+         (index_ == nullptr ? 0 : index_->bytes());
 }
 
 int64_t ServingSnapshot::SlotOf(data::UserId user) const {
@@ -67,20 +78,42 @@ nn::ConstMatrixView ServingSnapshot::Interests(data::UserId user) const {
           interests_.counts[s], interests_.dim};
 }
 
-std::shared_ptr<ServingSnapshot> BuildSnapshot(
+namespace {
+
+std::shared_ptr<ServingSnapshot> BuildSnapshotImpl(
     const models::MsrModel& model, const core::InterestStore& store,
-    int trained_through_span) {
+    int trained_through_span, const IvfBuildConfig* ivf) {
   IMSR_TRACE_SPAN("serve/build_snapshot");
   IMSR_OBS_ONLY(util::Stopwatch timer;)
+  nn::Tensor embeddings = model.ExportItemEmbeddings();
+  core::PackedInterests packed = store.ExportPacked();
+  std::unique_ptr<const IvfIndex> index;
+  if (ivf != nullptr) {
+    index = std::make_unique<IvfIndex>(embeddings, packed, *ivf);
+  }
   auto snapshot = std::make_shared<ServingSnapshot>(
-      model.ExportItemEmbeddings(), store.ExportPacked(),
-      trained_through_span);
+      std::move(embeddings), std::move(packed), trained_through_span);
+  if (index != nullptr) snapshot->AttachIndex(std::move(index));
   IMSR_HISTOGRAM_RECORD("serve/build_latency_ms", timer.ElapsedMillis());
   IMSR_GAUGE_SET("serve/snapshot_users",
                  static_cast<double>(snapshot->num_users()));
   IMSR_GAUGE_SET("serve/snapshot_bytes",
                  static_cast<double>(snapshot->bytes()));
   return snapshot;
+}
+
+}  // namespace
+
+std::shared_ptr<ServingSnapshot> BuildSnapshot(
+    const models::MsrModel& model, const core::InterestStore& store,
+    int trained_through_span) {
+  return BuildSnapshotImpl(model, store, trained_through_span, nullptr);
+}
+
+std::shared_ptr<ServingSnapshot> BuildSnapshot(
+    const models::MsrModel& model, const core::InterestStore& store,
+    int trained_through_span, const IvfBuildConfig& ivf) {
+  return BuildSnapshotImpl(model, store, trained_through_span, &ivf);
 }
 
 }  // namespace imsr::serve

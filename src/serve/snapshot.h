@@ -20,6 +20,7 @@
 #include "core/interest_store.h"
 #include "data/interaction.h"
 #include "nn/tensor.h"
+#include "serve/ivf_index.h"
 
 namespace imsr::models {
 class MsrModel;
@@ -53,6 +54,14 @@ class ServingSnapshot {
 
   const nn::Tensor& item_embeddings() const { return embeddings_; }
 
+  // The snapshot's approximate-retrieval index, or nullptr when none was
+  // built (exact-only snapshot). Built once at snapshot-build time and
+  // immutable afterwards, like everything else here.
+  const IvfIndex* index() const { return index_.get(); }
+  // Attaches the index before publication (aborts on a published
+  // snapshot — a reader could already hold it).
+  void AttachIndex(std::unique_ptr<const IvfIndex> index);
+
   bool HasUser(data::UserId user) const;
   int64_t NumInterests(data::UserId user) const;
   // The user's (K x d) interest rows as a view into the packed storage;
@@ -69,6 +78,7 @@ class ServingSnapshot {
 
   nn::Tensor embeddings_;             // frozen (num_items x d)
   core::PackedInterests interests_;   // flat per-user rows, users ascending
+  std::unique_ptr<const IvfIndex> index_;  // optional, set pre-publish
   // Dense user -> slot map (index into interests_.users); -1 when absent.
   // User ids are compacted upstream (data::CompactIds), so this stays
   // proportional to the user count.
@@ -84,6 +94,13 @@ class ServingSnapshot {
 std::shared_ptr<ServingSnapshot> BuildSnapshot(
     const models::MsrModel& model, const core::InterestStore& store,
     int trained_through_span);
+
+// Same, but additionally builds an IvfIndex over the exported embeddings
+// (seeded from the exported interests) and attaches it, so RetrievalMode
+// kIVF readers get approximate retrieval from this snapshot.
+std::shared_ptr<ServingSnapshot> BuildSnapshot(
+    const models::MsrModel& model, const core::InterestStore& store,
+    int trained_through_span, const IvfBuildConfig& ivf);
 
 }  // namespace imsr::serve
 

@@ -24,10 +24,34 @@ bool PrequentialEvaluator::ScoreEvent(
   }
   IMSR_CHECK_LT(event.item, snapshot.num_items());
 
-  ScoreAllItemsInto(snapshot.Interests(event.user),
-                    snapshot.item_embeddings(), config_.rule, &scratch_);
-  const int64_t rank = eval::TargetRankFromScores(scratch_.scores,
-                                                  event.item);
+  int64_t rank;
+  if (config_.retrieval == serve::RetrievalMode::kIVF &&
+      snapshot.index() != nullptr) {
+    // Serving-accurate protocol: rank is the event item's position in
+    // the retrieved top-N; a miss ranks top_n + 1 (contributes 0).
+    serve::IvfSearchStats stats;
+    snapshot.index()->SearchTopN(
+        snapshot.Interests(event.user), snapshot.item_embeddings(),
+        config_.rule, config_.top_n, config_.nprobe, &ivf_scratch_,
+        &ivf_top_, &stats);
+    ivf_totals_.Add(stats);
+    rank = static_cast<int64_t>(config_.top_n) + 1;
+    for (size_t r = 0; r < ivf_top_.size(); ++r) {
+      if (ivf_top_[r].first == event.item) {
+        rank = static_cast<int64_t>(r) + 1;
+        break;
+      }
+    }
+  } else {
+    IMSR_OBS_ONLY({
+      if (config_.retrieval == serve::RetrievalMode::kIVF) {
+        IMSR_COUNTER_ADD("stream/ivf_fallback_exact", 1);
+      }
+    })
+    ScoreAllItemsInto(snapshot.Interests(event.user),
+                      snapshot.item_embeddings(), config_.rule, &scratch_);
+    rank = eval::TargetRankFromScores(scratch_.scores, event.item);
+  }
   window_.AddRank(rank);
   ++scored_;
   IMSR_COUNTER_ADD("stream/events_scored", 1);

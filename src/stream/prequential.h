@@ -30,6 +30,11 @@ struct PrequentialConfig {
                              // (0 disables curve recording)
   eval::ScoreRule rule = eval::ScoreRule::kAttentive;
   bool record_audit = false;  // keep the per-event ordering audit (tests)
+  // kIVF ranks each event within the snapshot index's retrieved top-N
+  // (miss ranks top_n + 1); snapshots without an index fall back to
+  // exact. Default follows IMSR_RETRIEVAL (kExact unless overridden).
+  serve::RetrievalMode retrieval = serve::DefaultRetrievalMode();
+  int nprobe = 0;  // <= 0 uses the index default under kIVF
 };
 
 // One sample of the sliding-window metrics as the stream flowed.
@@ -75,11 +80,16 @@ class PrequentialEvaluator {
   const std::vector<CurvePoint>& curve() const { return curve_; }
   const std::vector<ScoreAudit>& audits() const { return audits_; }
   const PrequentialConfig& config() const { return config_; }
+  // Accumulated IVF accounting (zero searches when scoring ran exact).
+  const serve::IvfSearchTotals& ivf_totals() const { return ivf_totals_; }
 
  private:
   PrequentialConfig config_;
   eval::SlidingWindowAccumulator window_;
   eval::RankScratch scratch_;
+  serve::IvfIndex::Scratch ivf_scratch_;
+  std::vector<std::pair<data::ItemId, float>> ivf_top_;
+  serve::IvfSearchTotals ivf_totals_;
   int64_t scored_ = 0;
   int64_t skipped_ = 0;
   std::vector<CurvePoint> curve_;

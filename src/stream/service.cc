@@ -96,6 +96,8 @@ StreamResult StreamService::Run(EventSource* source) {
       final_snapshot == nullptr ? 0 : final_snapshot->version();
   result.publish_mean_ms = trainer_->publish_stats().mean_ms();
   result.publish_max_ms = trainer_->publish_stats().max_ms;
+  result.index_builds = trainer_->index_builds();
+  result.ivf = evaluator_->ivf_totals();
 
   IMSR_GAUGE_SET("stream/events_per_sec", result.events_per_sec);
   IMSR_GAUGE_SET("stream/final_window_recall",

@@ -45,6 +45,9 @@ struct StreamResult {
   uint64_t blocked_pushes = 0;
   double publish_mean_ms = 0.0;
   double publish_max_ms = 0.0;
+  // IVF accounting (zeros when the run served exact).
+  uint64_t index_builds = 0;       // snapshots published with an index
+  serve::IvfSearchTotals ivf;      // prequential searches this run
 };
 
 class StreamService {

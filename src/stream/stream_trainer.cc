@@ -31,8 +31,17 @@ StreamTrainer::StreamTrainer(models::MsrModel* model,
 }
 
 void StreamTrainer::PublishInitial() {
-  registry_->Publish(
-      serve::BuildSnapshot(*model_, *store_, config_.initial_span));
+  BuildAndPublish(config_.initial_span);
+}
+
+void StreamTrainer::BuildAndPublish(int span) {
+  if (config_.build_index) {
+    registry_->Publish(
+        serve::BuildSnapshot(*model_, *store_, span, config_.ivf));
+    ++index_builds_;
+  } else {
+    registry_->Publish(serve::BuildSnapshot(*model_, *store_, span));
+  }
 }
 
 void StreamTrainer::EnsureUser(data::UserId user) {
@@ -125,7 +134,7 @@ void StreamTrainer::TrainAndPublish() {
     trainer_.RefreshUserInterests(user, span_items_[user]);
   }
 
-  registry_->Publish(serve::BuildSnapshot(*model_, *store_, micro_span_));
+  BuildAndPublish(micro_span_);
   published_through_sequence_ = last_sequence_;
 
   const double elapsed_ms = watch.ElapsedMillis();

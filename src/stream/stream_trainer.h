@@ -39,6 +39,11 @@ struct StreamTrainerConfig {
   // `train.enable_expansion` select IMSR vs the fine-tuning baseline
   // exactly as in core/strategies.
   core::TrainConfig train;
+  // Build an IvfIndex into every published snapshot (initial and per
+  // micro-span). Index build time lands inside the publish latency stats
+  // and the serve/index_build_ms histogram.
+  bool build_index = false;
+  serve::IvfBuildConfig ivf;
 };
 
 // Latency accounting for the publish path (kept outside obs so the bench
@@ -90,6 +95,8 @@ class StreamTrainer {
   }
 
   const PublishStats& publish_stats() const { return publish_stats_; }
+  // Snapshots published with a freshly built IvfIndex attached.
+  uint64_t index_builds() const { return index_builds_; }
   const core::ExpansionOutcome& expansion_totals() const {
     return expansion_totals_;
   }
@@ -99,6 +106,9 @@ class StreamTrainer {
  private:
   // Creates store/extractor state for a user on first contact.
   void EnsureUser(data::UserId user);
+  // Builds a snapshot for `span` (with an IvfIndex when configured) and
+  // publishes it through the registry.
+  void BuildAndPublish(int span);
   // Trains on the pending micro-span and publishes a snapshot.
   void TrainAndPublish();
 
@@ -121,6 +131,7 @@ class StreamTrainer {
   int micro_span_ = 0;            // span tag of the next publish
   uint64_t last_sequence_ = 0;    // highest sequence consumed
   uint64_t published_through_sequence_ = 0;
+  uint64_t index_builds_ = 0;
   PublishStats publish_stats_;
   core::ExpansionOutcome expansion_totals_;
 };

@@ -143,6 +143,73 @@ OUT=$("$CLI" stream --log="$LOG" --min_interactions=5 \
     --checkpoint="$CKPT" --mode=ft --publish_every=50 --max_events=120)
 echo "$OUT" | grep -q "streamed 120 events" || fail "ft stream missing"
 
+# --- IVF retrieval ---------------------------------------------------------
+
+# evaluate under IVF: same protocol, ranks from the index's top-N, and
+# per-search accounting on stdout.
+IVF_METRICS="$WORKDIR/ivf_metrics.csv"
+OUT=$("$CLI" evaluate --log="$LOG" --min_interactions=5 \
+    --checkpoint="$CKPT" --test_span=2 --retrieval=ivf \
+    --metrics_out="$IVF_METRICS")
+echo "$OUT" | grep -q "HR@20" || fail "ivf evaluate output missing metrics"
+echo "$OUT" | grep -q "ivf: " || fail "ivf evaluate missing search stats"
+echo "$OUT" | grep -q "mean shortlist" \
+    || fail "ivf evaluate missing shortlist stat"
+if [ "$OBS_MODE" = "obs" ]; then
+  grep -q "^counter,serve/index_builds," "$IVF_METRICS" \
+      || fail "metrics missing serve/index_builds"
+  grep -q "^histogram,serve/index_build_ms," "$IVF_METRICS" \
+      || fail "metrics missing serve/index_build_ms"
+  grep -q "^histogram,serve/ivf_shortlist," "$IVF_METRICS" \
+      || fail "metrics missing serve/ivf_shortlist"
+fi
+
+# Explicit --nprobe widens the probe; still a clean run.
+OUT=$("$CLI" evaluate --log="$LOG" --min_interactions=5 \
+    --checkpoint="$CKPT" --test_span=2 --retrieval=ivf --nprobe=4)
+echo "$OUT" | grep -q "ivf: " || fail "ivf evaluate with nprobe missing stats"
+
+# recommend (single-user and batch) under IVF.
+OUT=$("$CLI" recommend --log="$LOG" --min_interactions=5 \
+    --checkpoint="$CKPT" --user=0 --top_n=5 --retrieval=ivf)
+echo "$OUT" | grep -q "item" || fail "ivf recommend output missing items"
+IVF_TOPN="$WORKDIR/ivf_topn.csv"
+OUT=$("$CLI" recommend --log="$LOG" --min_interactions=5 \
+    --checkpoint="$CKPT" --recommend_requests="$REQS" \
+    --recommend_out="$IVF_TOPN" --top_n=4 --retrieval=ivf)
+echo "$OUT" | grep -q "served 3 requests" || fail "ivf batch summary missing"
+head -1 "$IVF_TOPN" | grep -q "^user,rank,item,score" \
+    || fail "ivf batch CSV missing header"
+
+# stream under IVF: the summary JSON carries the retrieval mode, the
+# per-publish index builds and the probe/shortlist totals.
+IVF_SUMMARY="$WORKDIR/ivf_summary.json"
+OUT=$("$CLI" stream --log="$LOG" --min_interactions=5 \
+    --checkpoint="$CKPT" --publish_every=50 --window=100 \
+    --max_events=200 --retrieval=ivf --summary_out="$IVF_SUMMARY")
+echo "$OUT" | grep -q "streamed 200 events" || fail "ivf stream missing"
+grep -q '"retrieval": "ivf"' "$IVF_SUMMARY" \
+    || fail "ivf stream summary missing retrieval mode"
+grep -Eq '"index_builds": [1-9][0-9]*' "$IVF_SUMMARY" \
+    || fail "ivf stream summary missing index_builds"
+grep -Eq '"ivf_searches": [1-9][0-9]*' "$IVF_SUMMARY" \
+    || fail "ivf stream summary missing ivf_searches"
+grep -Eq '"ivf_probes": [1-9][0-9]*' "$IVF_SUMMARY" \
+    || fail "ivf stream summary missing ivf_probes"
+grep -Eq '"ivf_shortlist": [1-9][0-9]*' "$IVF_SUMMARY" \
+    || fail "ivf stream summary missing ivf_shortlist"
+
+# Exact mode still reports zero IVF work in the summary.
+EXACT_SUMMARY="$WORKDIR/exact_summary.json"
+OUT=$("$CLI" stream --log="$LOG" --min_interactions=5 \
+    --checkpoint="$CKPT" --publish_every=50 --max_events=120 \
+    --retrieval=exact --summary_out="$EXACT_SUMMARY")
+echo "$OUT" | grep -q "streamed 120 events" || fail "exact stream missing"
+grep -q '"retrieval": "exact"' "$EXACT_SUMMARY" \
+    || fail "exact stream summary missing retrieval mode"
+grep -q '"ivf_searches": 0' "$EXACT_SUMMARY" \
+    || fail "exact stream summary should report zero searches"
+
 # --- failure paths ---------------------------------------------------------
 
 # Missing inputs exit non-zero.
@@ -202,6 +269,32 @@ if "$CLI" stream --log="$LOG" --min_interactions=5 \
   fail "expected failure on bad stream mode"
 fi
 grep -q -- "--mode must be" "$ERR" || fail "bad stream mode missing message"
+
+# An unknown retrieval mode is a usage error naming the valid modes.
+if "$CLI" evaluate --log="$LOG" --min_interactions=5 \
+    --checkpoint="$CKPT" --test_span=2 \
+    --retrieval=bogus >/dev/null 2>"$ERR"; then
+  fail "expected failure on bad retrieval mode"
+fi
+grep -q "unknown retrieval mode 'bogus'" "$ERR" \
+    || fail "bad retrieval missing message"
+grep -q "exact, ivf" "$ERR" || fail "bad retrieval missing valid names"
+
+# --nprobe must be a positive probe count.
+if "$CLI" evaluate --log="$LOG" --min_interactions=5 \
+    --checkpoint="$CKPT" --test_span=2 --retrieval=ivf \
+    --nprobe=0 >/dev/null 2>"$ERR"; then
+  fail "expected failure on nprobe=0"
+fi
+grep -q -- "--nprobe must be >= 1" "$ERR" || fail "bad nprobe missing message"
+
+# The guard applies on stream too, before any work starts.
+if "$CLI" stream --log="$LOG" --min_interactions=5 \
+    --checkpoint="$CKPT" --retrieval=cosine >/dev/null 2>"$ERR"; then
+  fail "expected failure on bad stream retrieval"
+fi
+grep -q "unknown retrieval mode 'cosine'" "$ERR" \
+    || fail "bad stream retrieval missing message"
 
 # Out-of-range span exits non-zero with a range message.
 if "$CLI" train-span --log="$LOG" --min_interactions=5 \

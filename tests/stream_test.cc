@@ -9,6 +9,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -16,6 +17,8 @@
 #include "core/interest_store.h"
 #include "data/synthetic.h"
 #include "models/msr_model.h"
+#include "obs/metrics.h"
+#include "serve/ivf_index.h"
 #include "serve/registry.h"
 #include "serve/snapshot.h"
 #include "stream/event_source.h"
@@ -415,6 +418,114 @@ TEST(StreamServiceTest, FineTuningModeKeepsContract) {
   EXPECT_GT(result.scored, 0);
   EXPECT_EQ(trainer.expansion_totals().users_expanded, 0);
   CheckAudits(evaluator.audits());
+}
+
+#if !defined(IMSR_OBS_DISABLED)
+int64_t CounterValue(const obs::MetricsSnapshot& snapshot,
+                     const std::string& name) {
+  for (const obs::CounterSnapshot& counter : snapshot.counters) {
+    if (counter.name == name) return counter.value;
+  }
+  return 0;
+}
+
+int64_t HistogramCount(const obs::MetricsSnapshot& snapshot,
+                       const std::string& name) {
+  for (const obs::HistogramSnapshot& histogram : snapshot.histograms) {
+    if (histogram.name == name) return histogram.count;
+  }
+  return 0;
+}
+#endif  // !IMSR_OBS_DISABLED
+
+// IVF retrieval through the threaded service: every published snapshot
+// (initial + each micro-span) carries a FRESH index — proven by the
+// monotone build stamps a concurrent reader observes and by the
+// index-build accounting — while the prequential ordering contract and
+// the searches-equals-scored bookkeeping hold.
+TEST(StreamServiceTest, IvfRetrievalPublishesFreshIndexEveryPublish) {
+  StreamFixture fixture(47);
+  StreamTrainerConfig config = fixture.TrainerConfig(/*publish_every=*/25);
+  config.build_index = true;
+  serve::SnapshotRegistry registry;
+  StreamTrainer trainer(fixture.model.get(), &fixture.store, &registry,
+                        config);
+  PrequentialConfig eval_config;
+  eval_config.top_n = 10;
+  eval_config.window = 100;
+  eval_config.record_audit = true;
+  eval_config.retrieval = serve::RetrievalMode::kIVF;
+  PrequentialEvaluator evaluator(eval_config);
+  StreamServiceConfig service_config;
+  service_config.threaded = true;
+  service_config.queue_cap = 8;
+  StreamService service(&trainer, &evaluator, &registry, service_config);
+
+#if !defined(IMSR_OBS_DISABLED)
+  const obs::MetricsSnapshot before = obs::Registry().Snapshot();
+#endif
+
+  // A concurrent reader checks every snapshot it can observe: an index
+  // is always attached, and build stamps never move backwards as
+  // versions advance (a reused index would repeat its stamp).
+  std::atomic<bool> stop{false};
+  std::atomic<bool> always_indexed{true};
+  std::atomic<bool> stamps_monotone{true};
+  std::thread reader([&] {
+    uint64_t last_version = 0;
+    uint64_t last_build = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::shared_ptr<const serve::ServingSnapshot> snapshot =
+          registry.Current();
+      if (snapshot == nullptr) continue;
+      if (snapshot->index() == nullptr) {
+        always_indexed.store(false);
+        continue;
+      }
+      const uint64_t version = snapshot->version();
+      const uint64_t build = snapshot->index()->build_id();
+      if (version > last_version && build <= last_build &&
+          last_build != 0) {
+        stamps_monotone.store(false);
+      }
+      if (version >= last_version) {
+        last_version = version;
+        last_build = build;
+      }
+    }
+  });
+
+  ReplayEventSource source(fixture.replay);
+  const StreamResult result = service.Run(&source);
+  stop.store(true);
+  reader.join();
+
+  EXPECT_TRUE(always_indexed.load());
+  EXPECT_TRUE(stamps_monotone.load());
+  // Initial publish + every micro-span publish built an index.
+  EXPECT_EQ(result.index_builds, result.publishes + 1);
+  // Every scored event went through the index; nothing fell back.
+  EXPECT_EQ(result.ivf.searches, result.scored);
+  EXPECT_GT(result.ivf.probes, 0);
+  EXPECT_GT(result.ivf.reranked, 0);
+  const std::shared_ptr<const serve::ServingSnapshot> final_snapshot =
+      registry.Current();
+  ASSERT_NE(final_snapshot, nullptr);
+  ASSERT_NE(final_snapshot->index(), nullptr);
+  EXPECT_GT(final_snapshot->index()->build_id(), 0u);
+  CheckAudits(evaluator.audits());
+
+#if !defined(IMSR_OBS_DISABLED)
+  // Per-publish index build latency landed in the obs histogram, once
+  // per build.
+  const obs::MetricsSnapshot after = obs::Registry().Snapshot();
+  EXPECT_EQ(CounterValue(after, "serve/index_builds") -
+                CounterValue(before, "serve/index_builds"),
+            static_cast<int64_t>(result.index_builds));
+  EXPECT_EQ(HistogramCount(after, "serve/index_build_ms") -
+                HistogramCount(before, "serve/index_build_ms"),
+            static_cast<int64_t>(result.index_builds));
+#endif
 }
 
 }  // namespace

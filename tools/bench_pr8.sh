@@ -1,0 +1,67 @@
+#!/bin/sh
+# Corpus-scale retrieval benchmark: runs the exact-vs-IVF section of
+# bench/bench_serve once per corpus size and writes BENCH_PR8.json at the
+# repo root — index build cost vs corpus size, Recommend throughput in
+# exact and IVF mode (same snapshot, same requests), recall@top_n of the
+# probe against the brute-force oracle, and the probe/shortlist/re-rank
+# accounting.
+#
+# Every size runs in its own process so the timed passes see a cold
+# snapshot; within a process the QPS numbers are best-of-three after a
+# warm-up (scheduler noise only ever slows a pass down).
+#
+# Usage: tools/bench_pr8.sh [bench_serve-binary] [output-json]
+#   BENCH_IVF_SIZES="a b ..."  corpus sizes (default "10000 100000 1000000")
+#   BENCH_IVF_REQUESTS=<n>     timed Recommend batch (default 256)
+#   BENCH_IVF_RECALL=<n>       oracle recall queries (default 100)
+set -eu
+
+BENCH="${1:-build/bench/bench_serve}"
+OUT="${2:-BENCH_PR8.json}"
+SIZES="${BENCH_IVF_SIZES:-10000 100000 1000000}"
+REQUESTS="${BENCH_IVF_REQUESTS:-256}"
+RECALL="${BENCH_IVF_RECALL:-100}"
+
+if [ ! -x "$BENCH" ]; then
+  echo "bench_pr8.sh: bench binary not found: $BENCH" >&2
+  echo "build it first: cmake --build build --target bench_serve" >&2
+  exit 1
+fi
+if ! command -v jq >/dev/null 2>&1; then
+  echo "bench_pr8.sh: jq is required" >&2
+  exit 1
+fi
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+for size in $SIZES; do
+  # --scale=0.001 shrinks the publish/throughput sections to noise-level
+  # cost; this run is about section 3 (exact vs IVF).
+  "$BENCH" --scale=0.001 --requests=16 --threads=0 \
+    --ivf_sizes="$size" --ivf_requests="$REQUESTS" \
+    --ivf_recall_queries="$RECALL" \
+    --json_out="$TMP_DIR/ivf.$size.json" >/dev/null
+done
+
+jq -s '
+  {
+    pr: ("Corpus-scale serving: IVF index + int8 quantized scoring, "
+         + "exact float re-rank"),
+    description: ("bench_serve exact-vs-IVF on a clustered corpus: one "
+                  + "indexed snapshot per size, identical Recommend "
+                  + "batches through both retrieval modes (pool "
+                  + "threads), recall@top_n against the brute-force "
+                  + "oracle at the default nprobe. Returned IVF scores "
+                  + "are bitwise-exact float re-rank scores; only "
+                  + "candidate selection is approximate."),
+    sizes: add
+  }
+' "$TMP_DIR"/ivf.*.json > "$OUT"
+
+echo "wrote $OUT"
+jq -r '.sizes[] |
+       "\(.items) items: build \(.index_build_ms) ms, " +
+       "exact \(.exact_qps) qps, ivf \(.ivf_qps) qps " +
+       "(\(.speedup)x), recall@\(.top_n) \(.recall_at_top_n) " +
+       "at nprobe \(.nprobe)"' "$OUT"

@@ -48,6 +48,12 @@
 // that share a checkpoint; optimiser state is rebuilt per invocation (the
 // paper's per-span fine-tuning restarts Adam each span as well).
 //
+// Retrieval (evaluate / recommend / stream): --retrieval=exact|ivf picks
+// brute-force or IVF approximate retrieval; under ivf an index is built
+// into every published snapshot and --nprobe=N sets the lists probed per
+// interest (default: the index's own default). The flag default follows
+// the IMSR_RETRIEVAL env var, exact unless set.
+//
 // Observability (any subcommand): --metrics_out=metrics.json (or .csv)
 // exports the metrics registry at exit, --trace_out=trace.json exports a
 // chrome://tracing-loadable trace, --metrics_interval=SECONDS rewrites
@@ -119,6 +125,28 @@ bool ScoreRuleFromFlags(const util::Flags& flags, eval::ScoreRule* rule) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return false;
   }
+  return true;
+}
+
+// Reads --retrieval (exact | ivf) and --nprobe. The default follows
+// IMSR_RETRIEVAL (exact unless set). An unknown --retrieval spelling or
+// an explicit --nprobe < 1 is a usage error.
+bool RetrievalFromFlags(const util::Flags& flags,
+                        serve::RetrievalMode* mode, int* nprobe) {
+  std::string error;
+  if (!serve::RetrievalModeFromName(
+          flags.GetString("retrieval", serve::RetrievalModeName(
+                                           serve::DefaultRetrievalMode())),
+          mode, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return false;
+  }
+  const int64_t value = flags.GetInt("nprobe", 0);
+  if (flags.Has("nprobe") && value < 1) {
+    std::fprintf(stderr, "error: --nprobe must be >= 1\n");
+    return false;
+  }
+  *nprobe = static_cast<int>(value);
   return true;
 }
 
@@ -313,13 +341,23 @@ int CmdEvaluate(const util::Flags& flags) {
   if (!ScoreRuleFromFlags(flags, &config.rule)) return 2;
   // <= 0 defers to the process-wide pool size (--threads / IMSR_THREADS).
   config.threads = static_cast<int>(flags.GetInt("threads", 0));
+  if (!RetrievalFromFlags(flags, &config.retrieval, &config.nprobe)) {
+    return 2;
+  }
   const int test_span = static_cast<int>(flags.GetInt(
       "test_span", metadata.trained_through_span + 1));
   // Score over a published snapshot — the exact state the serving path
-  // reads, bitwise identical to the live-model path.
+  // reads, bitwise identical to the live-model path. Under --retrieval=ivf
+  // the snapshot carries an index and ranks run serving-accurate.
   serve::SnapshotRegistry registry;
-  registry.Publish(serve::BuildSnapshot(
-      model, store, metadata.trained_through_span));
+  if (config.retrieval == serve::RetrievalMode::kIVF) {
+    registry.Publish(serve::BuildSnapshot(
+        model, store, metadata.trained_through_span,
+        serve::IvfBuildConfig{}));
+  } else {
+    registry.Publish(serve::BuildSnapshot(
+        model, store, metadata.trained_through_span));
+  }
   const eval::EvalResult result =
       EvaluateSpan(*registry.Current(), *dataset, test_span, config);
   std::printf("span %d: HR@%d %.4f  NDCG@%d %.4f  (%lld users, %.1f ms "
@@ -328,6 +366,15 @@ int CmdEvaluate(const util::Flags& flags) {
               config.top_n, result.metrics.ndcg,
               static_cast<long long>(result.metrics.users),
               result.total_seconds * 1e3);
+  if (result.ivf.searches > 0) {
+    const double searches = static_cast<double>(result.ivf.searches);
+    std::printf("ivf: %lld searches, mean probes %.1f, mean shortlist "
+                "%.1f, mean reranked %.1f\n",
+                static_cast<long long>(result.ivf.searches),
+                static_cast<double>(result.ivf.probes) / searches,
+                static_cast<double>(result.ivf.shortlist) / searches,
+                static_cast<double>(result.ivf.reranked) / searches);
+  }
   return 0;
 }
 
@@ -410,10 +457,19 @@ int RecommendBatch(const util::Flags& flags, const models::MsrModel& model,
   if (!ScoreRuleFromFlags(flags, &rule)) return 2;
   config.rule = rule;
   config.threads = static_cast<int>(flags.GetInt("threads", 0));
+  if (!RetrievalFromFlags(flags, &config.retrieval, &config.nprobe)) {
+    return 2;
+  }
 
   serve::SnapshotRegistry registry;
-  registry.Publish(serve::BuildSnapshot(model, store,
-                                        trained_through_span));
+  if (config.retrieval == serve::RetrievalMode::kIVF) {
+    registry.Publish(serve::BuildSnapshot(model, store,
+                                          trained_through_span,
+                                          serve::IvfBuildConfig{}));
+  } else {
+    registry.Publish(serve::BuildSnapshot(model, store,
+                                          trained_through_span));
+  }
   const std::shared_ptr<const serve::ServingSnapshot> snapshot =
       registry.Current();
   const std::vector<serve::RecommendResponse> responses =
@@ -522,6 +578,10 @@ int CmdStream(const util::Flags& flags) {
       interactions.end());
   stream::ReplayEventSource source(std::move(interactions), boundary - 1);
 
+  serve::RetrievalMode retrieval;
+  int nprobe = 0;
+  if (!RetrievalFromFlags(flags, &retrieval, &nprobe)) return 2;
+
   stream::StreamTrainerConfig trainer_config;
   trainer_config.publish_every = flags.GetInt("publish_every", 200);
   trainer_config.expand_every =
@@ -531,10 +591,15 @@ int CmdStream(const util::Flags& flags) {
   trainer_config.initial_span =
       static_cast<int>(metadata.trained_through_span);
   trainer_config.train = train;
+  // Under IVF every publish (initial included) builds a fresh index into
+  // the snapshot; the build cost lands inside the publish latency stats.
+  trainer_config.build_index = retrieval == serve::RetrievalMode::kIVF;
 
   stream::PrequentialConfig eval_config;
   eval_config.top_n = static_cast<int>(flags.GetInt("top_n", 20));
   eval_config.window = flags.GetInt("window", 500);
+  eval_config.retrieval = retrieval;
+  eval_config.nprobe = nprobe;
   eval_config.curve_every = flags.GetInt(
       "curve_every", std::max<int64_t>(trainer_config.publish_every / 2,
                                        1));
@@ -585,6 +650,14 @@ int CmdStream(const util::Flags& flags) {
     char buffer[64];
     summary << "{\n";
     summary << "  \"mode\": \"" << mode << "\",\n";
+    summary << "  \"retrieval\": \"" << serve::RetrievalModeName(retrieval)
+            << "\",\n";
+    summary << "  \"nprobe\": " << nprobe << ",\n";
+    summary << "  \"index_builds\": " << result.index_builds << ",\n";
+    summary << "  \"ivf_searches\": " << result.ivf.searches << ",\n";
+    summary << "  \"ivf_probes\": " << result.ivf.probes << ",\n";
+    summary << "  \"ivf_shortlist\": " << result.ivf.shortlist << ",\n";
+    summary << "  \"ivf_reranked\": " << result.ivf.reranked << ",\n";
     summary << "  \"publish_every\": " << trainer_config.publish_every
             << ",\n";
     summary << "  \"window\": " << eval_config.window << ",\n";
@@ -667,10 +740,31 @@ int CmdRecommend(const util::Flags& flags) {
                  "error: --user=<id> must name a user with interests\n");
     return 2;
   }
+  serve::RetrievalMode retrieval;
+  int nprobe = 0;
+  if (!RetrievalFromFlags(flags, &retrieval, &nprobe)) return 2;
   const int top_n = static_cast<int>(flags.GetInt("top_n", 10));
-  const auto top = eval::TopNItems(
-      store.Interests(user), model.embeddings().parameter().value(),
-      top_n, eval::ScoreRule::kAttentive);
+  std::vector<std::pair<data::ItemId, float>> top;
+  if (retrieval == serve::RetrievalMode::kIVF) {
+    // Same answer path production would take: snapshot + index + the
+    // serve::Recommend shortlist/re-rank machinery.
+    serve::SnapshotRegistry registry;
+    registry.Publish(serve::BuildSnapshot(
+        model, store, metadata.trained_through_span,
+        serve::IvfBuildConfig{}));
+    serve::ServeConfig config;
+    config.default_top_n = top_n;
+    config.retrieval = retrieval;
+    config.nprobe = nprobe;
+    const std::vector<serve::RecommendResponse> responses = Recommend(
+        *registry.Current(), {serve::RecommendRequest{user, top_n}},
+        config);
+    top = responses.front().items;
+  } else {
+    top = eval::TopNItems(
+        store.Interests(user), model.embeddings().parameter().value(),
+        top_n, eval::ScoreRule::kAttentive);
+  }
   std::printf("user %d (K=%lld interests):\n", user,
               static_cast<long long>(store.NumInterests(user)));
   for (size_t i = 0; i < top.size(); ++i) {
