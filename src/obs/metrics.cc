@@ -189,6 +189,52 @@ void MetricsRegistry::Reset() {
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
+double HistogramQuantile(const HistogramSnapshot& histogram, double q) {
+  if (histogram.count <= 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double target = q * static_cast<double>(histogram.count);
+  // Walk the mass in value order: underflow, interior buckets, overflow.
+  // Each segment is (lo, hi, count); the target rank interpolates
+  // linearly inside the segment it lands in.
+  const auto in_segment = [&](double cumulative, double lo, double hi,
+                              int64_t n) {
+    const double fraction =
+        n > 0 ? (target - cumulative) / static_cast<double>(n) : 0.0;
+    return lo + fraction * (hi - lo);
+  };
+  double cumulative = 0.0;
+  double result = histogram.max;
+  bool found = false;
+  if (histogram.underflow > 0) {
+    const double hi = std::min(histogram.bounds.front(), histogram.max);
+    if (cumulative + static_cast<double>(histogram.underflow) >= target) {
+      result = in_segment(cumulative, histogram.min, hi,
+                          histogram.underflow);
+      found = true;
+    }
+    cumulative += static_cast<double>(histogram.underflow);
+  }
+  for (size_t i = 0; !found && i < histogram.buckets.size(); ++i) {
+    const int64_t n = histogram.buckets[i];
+    if (n <= 0) continue;
+    if (cumulative + static_cast<double>(n) >= target) {
+      result = in_segment(cumulative, histogram.bounds[i],
+                          histogram.bounds[i + 1], n);
+      found = true;
+      break;
+    }
+    cumulative += static_cast<double>(n);
+  }
+  if (!found && histogram.overflow > 0) {
+    result = in_segment(cumulative, histogram.bounds.back(), histogram.max,
+                        histogram.overflow);
+  }
+  // Interpolation can step just outside the observed range at the
+  // extremes (q ~ 0 inside the first populated bucket); the estimate is
+  // never allowed to leave [min, max].
+  return std::min(std::max(result, histogram.min), histogram.max);
+}
+
 MetricsRegistry& Registry() {
   // Leaked on purpose: pool workers and the obs flusher may record during
   // static teardown, so the registry must outlive every other static.
@@ -221,7 +267,11 @@ std::string MetricsToJson(const MetricsSnapshot& snapshot) {
            ",\"min\":" + JsonNumber(h.min) +
            ",\"max\":" + JsonNumber(h.max) +
            ",\"underflow\":" + std::to_string(h.underflow) +
-           ",\"overflow\":" + std::to_string(h.overflow) + ",\"bounds\":[";
+           ",\"overflow\":" + std::to_string(h.overflow) +
+           ",\"p50\":" + JsonNumber(HistogramQuantile(h, 0.50)) +
+           ",\"p90\":" + JsonNumber(HistogramQuantile(h, 0.90)) +
+           ",\"p99\":" + JsonNumber(HistogramQuantile(h, 0.99)) +
+           ",\"bounds\":[";
     for (size_t j = 0; j < h.bounds.size(); ++j) {
       if (j > 0) out += ',';
       out += JsonNumber(h.bounds[j]);
@@ -240,20 +290,22 @@ std::string MetricsToJson(const MetricsSnapshot& snapshot) {
 std::string MetricsToCsv(const MetricsSnapshot& snapshot) {
   std::ostringstream out;
   out << "kind,name,value,count,sum,min,max,underflow,overflow,bounds,"
-         "buckets\n";
+         "buckets,p50,p90,p99\n";
   for (const CounterSnapshot& c : snapshot.counters) {
-    out << "counter," << c.name << ',' << c.value << ",,,,,,,,\n";
+    out << "counter," << c.name << ',' << c.value << ",,,,,,,,,,,\n";
   }
   for (const GaugeSnapshot& g : snapshot.gauges) {
     out << "gauge," << g.name << ',' << JsonNumber(g.value)
-        << ",,,,,,,,\n";
+        << ",,,,,,,,,,,\n";
   }
   for (const HistogramSnapshot& h : snapshot.histograms) {
     out << "histogram," << h.name << ",," << h.count << ','
         << JsonNumber(h.sum) << ',' << JsonNumber(h.min) << ','
         << JsonNumber(h.max) << ',' << h.underflow << ',' << h.overflow
         << ',' << JoinDoubles(h.bounds) << ',' << JoinInts(h.buckets)
-        << '\n';
+        << ',' << JsonNumber(HistogramQuantile(h, 0.50)) << ','
+        << JsonNumber(HistogramQuantile(h, 0.90)) << ','
+        << JsonNumber(HistogramQuantile(h, 0.99)) << '\n';
   }
   return out.str();
 }

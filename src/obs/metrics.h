@@ -113,6 +113,17 @@ struct HistogramSnapshot {
   double max = 0.0;
 };
 
+// Bucket-interpolated quantile estimate from a histogram snapshot,
+// deterministic for a given snapshot. `q` is clamped to [0, 1]. Mass is
+// assumed uniform within each bucket; the underflow bucket spans
+// [min, min(bounds.front(), max)] and the overflow bucket
+// [bounds.back(), max], so degenerate shapes (all-underflow,
+// all-overflow) interpolate between observed extremes instead of
+// inventing values outside them. The result is clamped to [min, max];
+// an empty histogram reports 0. The server's latency reporting (p50/p99)
+// is built on this.
+double HistogramQuantile(const HistogramSnapshot& histogram, double q);
+
 // Point-in-time copy of every registered metric, names ascending within
 // each kind (std::map iteration order), so exports are deterministic.
 struct MetricsSnapshot {
@@ -159,11 +170,14 @@ MetricsRegistry& Registry();
 
 // Compact deterministic JSON:
 // {"counters":[{"name":...,"value":...}],"gauges":[...],"histograms":[...]}
+// Histogram objects carry interpolated "p50"/"p90"/"p99" estimates next
+// to count/sum/min/max (see HistogramQuantile).
 std::string MetricsToJson(const MetricsSnapshot& snapshot);
 
 // CSV with one row per metric:
-// kind,name,value,count,sum,min,max,underflow,overflow,bounds,buckets
-// (bounds/buckets are ';'-joined so the row count stays fixed).
+// kind,name,value,count,sum,min,max,underflow,overflow,bounds,buckets,
+// p50,p90,p99 (bounds/buckets are ';'-joined so the row count stays
+// fixed; the quantile columns are empty for counters and gauges).
 std::string MetricsToCsv(const MetricsSnapshot& snapshot);
 
 // Writes JSON or CSV (chosen by a ".csv" suffix on `path`) atomically

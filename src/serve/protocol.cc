@@ -1,0 +1,201 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/serialization.h"
+
+namespace imsr::serve {
+namespace {
+
+// Payload type tags — the first byte of every payload, so a response
+// accidentally fed to the request decoder fails loudly instead of
+// misparsing.
+constexpr uint8_t kRequestTag = 0x51;   // 'Q'
+constexpr uint8_t kResponseTag = 0x52;  // 'R'
+
+std::vector<uint8_t> Frame(const util::BinaryWriter& payload) {
+  const std::vector<uint8_t>& body = payload.buffer();
+  const uint32_t length = static_cast<uint32_t>(body.size());
+  const uint32_t crc = util::Crc32(body.data(), body.size());
+  std::vector<uint8_t> frame(kFrameHeaderBytes + body.size());
+  std::memcpy(frame.data(), &length, sizeof(length));
+  std::memcpy(frame.data() + sizeof(length), &crc, sizeof(crc));
+  std::memcpy(frame.data() + kFrameHeaderBytes, body.data(), body.size());
+  return frame;
+}
+
+bool CheckTag(util::BinaryReader* reader, uint8_t want,
+              const char* what, std::string* error) {
+  uint8_t tag = 0;
+  if (!reader->TryReadBytes(&tag, 1)) {
+    *error = "truncated " + std::string(what) + ": " + reader->error();
+    return false;
+  }
+  if (tag != want) {
+    *error = std::string("payload is not a ") + what + " (tag " +
+             std::to_string(static_cast<int>(tag)) + ")";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* ResponseStatusName(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk:
+      return "ok";
+    case ResponseStatus::kError:
+      return "error";
+    case ResponseStatus::kOverloaded:
+      return "overloaded";
+    case ResponseStatus::kShuttingDown:
+      return "shutting_down";
+  }
+  return "?";
+}
+
+std::vector<uint8_t> EncodeRequest(const RequestFrame& request) {
+  util::BinaryWriter payload;
+  payload.WriteBytes(&kRequestTag, 1);
+  payload.WriteInt64(static_cast<int64_t>(request.request_id));
+  payload.WriteInt64(request.user);
+  payload.WriteInt64(request.top_n);
+  return Frame(payload);
+}
+
+std::vector<uint8_t> EncodeResponse(const ResponseFrame& response) {
+  util::BinaryWriter payload;
+  payload.WriteBytes(&kResponseTag, 1);
+  payload.WriteInt64(static_cast<int64_t>(response.request_id));
+  const uint8_t status = static_cast<uint8_t>(response.status);
+  payload.WriteBytes(&status, 1);
+  payload.WriteInt64(static_cast<int64_t>(response.snapshot_version));
+  payload.WriteString(response.error);
+  payload.WriteInt64(static_cast<int64_t>(response.items.size()));
+  for (const auto& [item, score] : response.items) {
+    payload.WriteInt64(item);
+    payload.WriteFloat(score);
+  }
+  return Frame(payload);
+}
+
+bool TryDecodeRequest(const std::vector<uint8_t>& payload,
+                      RequestFrame* out, std::string* error) {
+  util::BinaryReader reader(payload);
+  if (!CheckTag(&reader, kRequestTag, "request", error)) return false;
+  int64_t request_id = 0;
+  int64_t user = 0;
+  int64_t top_n = 0;
+  if (!reader.TryReadInt64(&request_id) || !reader.TryReadInt64(&user) ||
+      !reader.TryReadInt64(&top_n)) {
+    *error = "truncated request: " + reader.error();
+    return false;
+  }
+  if (!reader.AtEnd()) {
+    *error = "trailing bytes after request";
+    return false;
+  }
+  if (user < 0 || user > INT32_MAX) {
+    *error = "request user id " + std::to_string(user) + " out of range";
+    return false;
+  }
+  if (top_n < 0 || top_n > static_cast<int64_t>(kMaxFramePayload) / 12) {
+    *error = "request top_n " + std::to_string(top_n) + " out of range";
+    return false;
+  }
+  out->request_id = static_cast<uint64_t>(request_id);
+  out->user = static_cast<data::UserId>(user);
+  out->top_n = static_cast<int>(top_n);
+  return true;
+}
+
+bool TryDecodeResponse(const std::vector<uint8_t>& payload,
+                       ResponseFrame* out, std::string* error) {
+  util::BinaryReader reader(payload);
+  if (!CheckTag(&reader, kResponseTag, "response", error)) return false;
+  int64_t request_id = 0;
+  uint8_t status = 0;
+  int64_t version = 0;
+  std::string reason;
+  int64_t count = 0;
+  if (!reader.TryReadInt64(&request_id) ||
+      !reader.TryReadBytes(&status, 1) ||
+      !reader.TryReadInt64(&version) || !reader.TryReadString(&reason) ||
+      !reader.TryReadInt64(&count)) {
+    *error = "truncated response: " + reader.error();
+    return false;
+  }
+  if (status > static_cast<uint8_t>(ResponseStatus::kShuttingDown)) {
+    *error = "unknown response status " + std::to_string(status);
+    return false;
+  }
+  // Each item is 12 payload bytes; an absurd count is caught before any
+  // allocation is attempted.
+  if (count < 0 || static_cast<uint64_t>(count) * 12 > payload.size()) {
+    *error = "response item count " + std::to_string(count) +
+             " exceeds payload";
+    return false;
+  }
+  out->request_id = static_cast<uint64_t>(request_id);
+  out->status = static_cast<ResponseStatus>(status);
+  out->snapshot_version = static_cast<uint64_t>(version);
+  out->error = std::move(reason);
+  out->items.clear();
+  out->items.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    int64_t item = 0;
+    float score = 0.0f;
+    if (!reader.TryReadInt64(&item) || !reader.TryReadFloat(&score)) {
+      *error = "truncated response items: " + reader.error();
+      return false;
+    }
+    out->items.emplace_back(static_cast<data::ItemId>(item), score);
+  }
+  if (!reader.AtEnd()) {
+    *error = "trailing bytes after response";
+    return false;
+  }
+  return true;
+}
+
+void FrameAssembler::Append(const void* data, size_t size) {
+  // Compact lazily: once the consumed prefix dominates, shift the live
+  // tail down so the buffer does not grow without bound on a long-lived
+  // connection.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  buffer_.insert(buffer_.end(), bytes, bytes + size);
+}
+
+FrameAssembler::Result FrameAssembler::Next(std::vector<uint8_t>* payload,
+                                            std::string* error) {
+  if (buffered() < kFrameHeaderBytes) return Result::kNeedMore;
+  uint32_t length = 0;
+  uint32_t expected_crc = 0;
+  std::memcpy(&length, buffer_.data() + consumed_, sizeof(length));
+  std::memcpy(&expected_crc, buffer_.data() + consumed_ + sizeof(length),
+              sizeof(expected_crc));
+  if (length > kMaxFramePayload) {
+    *error = "frame length " + std::to_string(length) +
+             " exceeds limit " + std::to_string(kMaxFramePayload);
+    return Result::kError;
+  }
+  if (buffered() < kFrameHeaderBytes + length) return Result::kNeedMore;
+  const uint8_t* body = buffer_.data() + consumed_ + kFrameHeaderBytes;
+  const uint32_t actual_crc = util::Crc32(body, length);
+  if (actual_crc != expected_crc) {
+    *error = "frame checksum mismatch (corrupt or desynced stream)";
+    return Result::kError;
+  }
+  payload->assign(body, body + length);
+  consumed_ += kFrameHeaderBytes + length;
+  return Result::kFrame;
+}
+
+}  // namespace imsr::serve

@@ -6,6 +6,38 @@
 
 namespace imsr::serve {
 
+void RecommendOne(const ServingSnapshot& snapshot,
+                  const RecommendRequest& request, const ServeConfig& config,
+                  RecommendScratch* scratch, RecommendResponse* response) {
+  response->user = request.user;
+  response->ok = false;
+  response->items.clear();
+  const int top_n =
+      request.top_n > 0 ? request.top_n : config.default_top_n;
+  if (top_n <= 0) {
+    response->error = "top_n must be positive";
+    return;
+  }
+  if (!snapshot.HasUser(request.user)) {
+    response->error =
+        "no interests for user " + std::to_string(request.user);
+    return;
+  }
+  const IvfIndex* index =
+      config.retrieval == RetrievalMode::kIVF ? snapshot.index() : nullptr;
+  if (index != nullptr) {
+    index->SearchTopN(snapshot.Interests(request.user),
+                      snapshot.item_embeddings(), config.rule, top_n,
+                      config.nprobe, &scratch->ivf, &response->items);
+  } else {
+    eval::ScoreAllItemsInto(snapshot.Interests(request.user),
+                            snapshot.item_embeddings(), config.rule,
+                            &scratch->rank);
+    response->items = eval::TopNFromScores(scratch->rank.scores, top_n);
+  }
+  response->ok = true;
+}
+
 std::vector<RecommendResponse> Recommend(
     const ServingSnapshot& snapshot,
     const std::vector<RecommendRequest>& requests,
@@ -30,37 +62,10 @@ std::vector<RecommendResponse> Recommend(
   util::ParallelChunks(
       static_cast<int64_t>(requests.size()), config.threads,
       [&](int64_t begin, int64_t end) {
-        eval::RankScratch scratch;
-        IvfIndex::Scratch ivf_scratch;
+        RecommendScratch scratch;
         for (int64_t i = begin; i < end; ++i) {
-          const RecommendRequest& request =
-              requests[static_cast<size_t>(i)];
-          RecommendResponse& response =
-              responses[static_cast<size_t>(i)];
-          response.user = request.user;
-          const int top_n =
-              request.top_n > 0 ? request.top_n : config.default_top_n;
-          if (top_n <= 0) {
-            response.error = "top_n must be positive";
-            continue;
-          }
-          if (!snapshot.HasUser(request.user)) {
-            response.error = "no interests for user " +
-                             std::to_string(request.user);
-            continue;
-          }
-          if (use_ivf) {
-            index->SearchTopN(snapshot.Interests(request.user),
-                              snapshot.item_embeddings(), config.rule,
-                              top_n, config.nprobe, &ivf_scratch,
-                              &response.items);
-          } else {
-            eval::ScoreAllItemsInto(snapshot.Interests(request.user),
-                                    snapshot.item_embeddings(),
-                                    config.rule, &scratch);
-            response.items = eval::TopNFromScores(scratch.scores, top_n);
-          }
-          response.ok = true;
+          RecommendOne(snapshot, requests[static_cast<size_t>(i)], config,
+                       &scratch, &responses[static_cast<size_t>(i)]);
         }
       });
   IMSR_COUNTER_ADD("serve/requests",

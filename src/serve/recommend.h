@@ -49,6 +49,22 @@ struct ServeConfig {
   int nprobe = 0;
 };
 
+// Scratch buffers for RecommendOne — one per worker thread/shard, so the
+// corpus-sized score arrays are allocated once, not per request.
+struct RecommendScratch {
+  eval::RankScratch rank;
+  IvfIndex::Scratch ivf;
+};
+
+// Answers one request against `snapshot` into `response`, reusing
+// `scratch`. This is the single-request body the batch fan-out and the
+// server's shard workers share — bitwise-identical results on both
+// paths. Per-request failures (unknown user, bad top_n) land in the
+// response (ok=false + error), never abort.
+void RecommendOne(const ServingSnapshot& snapshot,
+                  const RecommendRequest& request, const ServeConfig& config,
+                  RecommendScratch* scratch, RecommendResponse* response);
+
 // Answers every request against `snapshot`; responses are parallel to
 // `requests`.
 std::vector<RecommendResponse> Recommend(

@@ -1,0 +1,372 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/obs.h"
+#include "util/check.h"
+
+namespace imsr::serve {
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+size_t ShardOf(data::UserId user, size_t num_shards) {
+  IMSR_CHECK_GT(num_shards, 0u);
+  return static_cast<size_t>(
+      SplitMix64(static_cast<uint64_t>(static_cast<uint32_t>(user))) %
+      num_shards);
+}
+
+// --- ShardSet --------------------------------------------------------------
+
+ShardSet::Shard::Shard(size_t queue_cap)
+    : queue(queue_cap, {/*depth_histogram=*/"serve/shard_queue_depth",
+                        /*blocked_counter=*/"serve/shard_queue_blocked"}) {}
+
+ShardSet::ShardSet(const SnapshotRegistry* registry,
+                   const ShardSetConfig& config)
+    : registry_(registry), config_(config) {
+  IMSR_CHECK(registry != nullptr);
+  IMSR_CHECK_GT(config.num_shards, 0);
+  IMSR_CHECK_GT(config.queue_cap, 0u);
+  shards_.reserve(static_cast<size_t>(config.num_shards));
+  for (int i = 0; i < config.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config.queue_cap));
+  }
+}
+
+ShardSet::~ShardSet() { Drain(); }
+
+void ShardSet::Start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    shard->worker = std::thread([this, raw] { WorkerLoop(raw); });
+  }
+}
+
+void ShardSet::WorkerLoop(Shard* shard) {
+  RecommendScratch scratch;
+  Task task;
+  while (shard->queue.Pop(&task)) {
+    const std::shared_ptr<const ServingSnapshot> snapshot =
+        registry_->Current();
+    ResponseFrame frame;
+    frame.request_id = task.request.request_id;
+    if (snapshot == nullptr) {
+      frame.status = ResponseStatus::kError;
+      frame.error = "no snapshot published yet";
+    } else {
+      RecommendRequest request;
+      request.user = task.request.user;
+      request.top_n = task.request.top_n;
+      RecommendResponse response;
+      RecommendOne(*snapshot, request, config_.serve, &scratch, &response);
+      frame.snapshot_version = snapshot->version();
+      if (response.ok) {
+        frame.status = ResponseStatus::kOk;
+        frame.items = std::move(response.items);
+      } else {
+        frame.status = ResponseStatus::kError;
+        frame.error = std::move(response.error);
+      }
+    }
+    task.sink->SendResponse(frame);
+    task.sink.reset();  // release the connection before blocking in Pop
+    answered_.fetch_add(1, std::memory_order_relaxed);
+    IMSR_COUNTER_ADD("serve/shard_answered", 1);
+  }
+}
+
+bool ShardSet::Submit(const RequestFrame& request,
+                      std::shared_ptr<ResponseSink> sink) {
+  IMSR_CHECK(started_);
+  IMSR_CHECK(sink != nullptr);
+  const size_t shard = ShardOf(request.user, shards_.size());
+  Task task;
+  task.request = request;
+  task.sink = sink;
+  if (!shards_[shard]->queue.TryPush(std::move(task))) {
+    // Admission control: reject *now*, on the submitting thread, so the
+    // client learns about overload instead of the queue growing or the
+    // request vanishing.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    IMSR_COUNTER_ADD("serve/overload_rejected", 1);
+    ResponseFrame frame;
+    frame.request_id = request.request_id;
+    frame.status = ResponseStatus::kOverloaded;
+    frame.error = "shard " + std::to_string(shard) + " queue full";
+    sink->SendResponse(frame);
+    return false;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ShardSet::Drain() {
+  if (!started_ || drained_) return;
+  drained_ = true;
+  for (auto& shard : shards_) shard->queue.Close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+ShardSetStats ShardSet::stats() const {
+  ShardSetStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.answered = answered_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+// --- Server ----------------------------------------------------------------
+
+// One accepted socket. Reads happen only on the I/O thread; writes happen
+// from shard workers (and the admission path) under `write_mutex_`, so
+// response frames never interleave. The destructor closes the fd — and
+// runs only once every queued response holding the shared_ptr has been
+// written, so a write can never hit a recycled descriptor.
+class Server::Connection : public ResponseSink {
+ public:
+  explicit Connection(int fd) : fd_(fd) {}
+  ~Connection() override { ::close(fd_); }
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  void SendResponse(const ResponseFrame& response) override {
+    const std::vector<uint8_t> frame = EncodeResponse(response);
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (dead_.load(std::memory_order_relaxed)) return;
+    size_t sent = 0;
+    while (sent < frame.size()) {
+      // MSG_NOSIGNAL: a vanished peer yields EPIPE, not a process kill.
+      const ssize_t n = ::send(fd_, frame.data() + sent,
+                               frame.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          // The socket send buffer is full: block until it drains — the
+          // response path is allowed to apply backpressure to workers.
+          struct pollfd pfd = {fd_, POLLOUT, 0};
+          if (::poll(&pfd, 1, 5000) > 0) continue;
+        }
+        dead_.store(true, std::memory_order_relaxed);
+        return;
+      }
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  int fd() const { return fd_; }
+  bool dead() const { return dead_.load(std::memory_order_relaxed); }
+  void MarkDead() { dead_.store(true, std::memory_order_relaxed); }
+  FrameAssembler& assembler() { return assembler_; }
+
+ private:
+  const int fd_;
+  std::mutex write_mutex_;
+  std::atomic<bool> dead_{false};
+  FrameAssembler assembler_;
+};
+
+Server::Server(const SnapshotRegistry* registry, const ServerConfig& config)
+    : config_(config), shards_(registry, config.shards) {}
+
+Server::~Server() {
+  Shutdown();
+  shards_.Drain();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (!config_.unix_path.empty()) ::unlink(config_.unix_path.c_str());
+}
+
+bool Server::Start(std::string* error) {
+  IMSR_CHECK(listen_fd_ < 0);
+  if (!config_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.unix_path.size() >= sizeof(addr.sun_path)) {
+      if (error != nullptr) *error = "unix socket path too long";
+      return false;
+    }
+    std::strncpy(addr.sun_path, config_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      if (error != nullptr) *error = std::strerror(errno);
+      return false;
+    }
+    ::unlink(config_.unix_path.c_str());  // replace a stale socket file
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      if (error != nullptr) {
+        *error = "bind " + config_.unix_path + ": " + std::strerror(errno);
+      }
+      return false;
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      if (error != nullptr) *error = std::strerror(errno);
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(config_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      if (error != nullptr) {
+        *error = "bind port " + std::to_string(config_.tcp_port) + ": " +
+                 std::strerror(errno);
+      }
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  SetNonBlocking(listen_fd_);
+  shards_.Start();
+  return true;
+}
+
+bool Server::ShouldStop() const {
+  if (stop_.load(std::memory_order_relaxed)) return true;
+  return config_.stop != nullptr &&
+         config_.stop->load(std::memory_order_relaxed);
+}
+
+bool Server::DrainReadable(const std::shared_ptr<Connection>& connection) {
+  uint8_t buffer[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(connection->fd(), buffer, sizeof(buffer), 0);
+    if (n == 0) return false;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;
+    }
+    connection->assembler().Append(buffer, static_cast<size_t>(n));
+    std::vector<uint8_t> payload;
+    std::string error;
+    for (;;) {
+      const FrameAssembler::Result result =
+          connection->assembler().Next(&payload, &error);
+      if (result == FrameAssembler::Result::kNeedMore) break;
+      if (result == FrameAssembler::Result::kError) {
+        // The byte stream lost sync; nothing after this point can be
+        // trusted, so the connection is dropped (counted, not silent).
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        IMSR_COUNTER_ADD("serve/protocol_errors", 1);
+        return false;
+      }
+      RequestFrame request;
+      if (!TryDecodeRequest(payload, &request, &error)) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        IMSR_COUNTER_ADD("serve/protocol_errors", 1);
+        return false;
+      }
+      frames_.fetch_add(1, std::memory_order_relaxed);
+      shards_.Submit(request, connection);
+    }
+    if (static_cast<size_t>(n) < sizeof(buffer)) return true;
+  }
+}
+
+void Server::Run() {
+  IMSR_CHECK(listen_fd_ >= 0) << "Start() must succeed before Run()";
+  std::vector<pollfd> poll_fds;
+  std::vector<std::shared_ptr<Connection>> poll_connections;
+  while (!ShouldStop()) {
+    poll_fds.clear();
+    poll_connections.clear();
+    poll_fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, connection] : connections_) {
+      poll_fds.push_back({fd, POLLIN, 0});
+      poll_connections.push_back(connection);
+    }
+    // 100ms cap so a stop request (signal or Shutdown()) is noticed
+    // promptly even on an idle socket.
+    const int ready = ::poll(poll_fds.data(), poll_fds.size(), 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (poll_fds[0].revents & POLLIN) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;  // EAGAIN: accepted everything pending
+        SetNonBlocking(fd);
+        connections_[fd] = std::make_shared<Connection>(fd);
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        IMSR_COUNTER_ADD("serve/connections_accepted", 1);
+      }
+    }
+    for (size_t i = 1; i < poll_fds.size(); ++i) {
+      const std::shared_ptr<Connection>& connection =
+          poll_connections[i - 1];
+      bool alive = !connection->dead();
+      if (alive && (poll_fds[i].revents & (POLLIN | POLLHUP | POLLERR))) {
+        alive = DrainReadable(connection) && !connection->dead();
+      }
+      if (!alive) {
+        connections_.erase(poll_fds[i].fd);
+        disconnected_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  // Graceful wind-down: stop accepting first, then let the shards finish
+  // every admitted request (their responses still flow through live
+  // connections), then drop the connections.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  shards_.Drain();
+  const size_t open = connections_.size();
+  connections_.clear();
+  disconnected_.fetch_add(open, std::memory_order_relaxed);
+  if (!config_.unix_path.empty()) ::unlink(config_.unix_path.c_str());
+}
+
+void Server::Shutdown() { stop_.store(true, std::memory_order_relaxed); }
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.disconnected = disconnected_.load(std::memory_order_relaxed);
+  stats.frames = frames_.load(std::memory_order_relaxed);
+  stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace imsr::serve

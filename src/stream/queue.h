@@ -1,125 +1,21 @@
 // BoundedEventQueue — the backpressure point between ingestion and the
-// micro-span trainer.
-//
-// Contract: Push() blocks while the queue is full (the producer slows to
-// the consumer's pace instead of growing an unbounded backlog), Pop()
-// blocks while it is empty, and Close() wakes everyone — pushes after
-// Close are rejected and pops drain whatever is still buffered before
-// reporting end-of-stream. Depth statistics (high-water mark, number of
-// pushes that had to wait) feed the staleness accounting: a queue pinned
-// at capacity means the served snapshot is falling behind arrivals.
+// micro-span trainer: util::BoundedQueue of StreamEvents with the
+// stream/* metric names bound. See util/bounded_queue.h for the blocking
+// and close semantics (shared verbatim with the server's shard queues).
 #ifndef IMSR_STREAM_QUEUE_H_
 #define IMSR_STREAM_QUEUE_H_
 
-#include <condition_variable>
-#include <cstdint>
-#include <deque>
-#include <mutex>
-
-#include "obs/obs.h"
 #include "stream/event.h"
-#include "util/check.h"
+#include "util/bounded_queue.h"
 
 namespace imsr::stream {
 
-class BoundedEventQueue {
+class BoundedEventQueue : public util::BoundedQueue<StreamEvent> {
  public:
-  explicit BoundedEventQueue(size_t capacity) : capacity_(capacity) {
-    IMSR_CHECK_GT(capacity, 0u);
-  }
-
-  BoundedEventQueue(const BoundedEventQueue&) = delete;
-  BoundedEventQueue& operator=(const BoundedEventQueue&) = delete;
-
-  // Blocks until space is available; returns false (dropping the event)
-  // iff the queue was closed.
-  bool Push(const StreamEvent& event) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (events_.size() >= capacity_ && !closed_) {
-      ++blocked_pushes_;
-      IMSR_COUNTER_ADD("stream/queue_blocked_pushes", 1);
-      not_full_.wait(lock, [this] {
-        return events_.size() < capacity_ || closed_;
-      });
-    }
-    if (closed_) return false;
-    events_.push_back(event);
-    RecordDepthLocked();
-    lock.unlock();
-    not_empty_.notify_one();
-    return true;
-  }
-
-  // Non-blocking variant; false when full or closed.
-  bool TryPush(const StreamEvent& event) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_ || events_.size() >= capacity_) return false;
-      events_.push_back(event);
-      RecordDepthLocked();
-    }
-    not_empty_.notify_one();
-    return true;
-  }
-
-  // Blocks until an event is available or the queue is closed and fully
-  // drained (then returns false).
-  bool Pop(StreamEvent* event) {
-    IMSR_CHECK(event != nullptr);
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return !events_.empty() || closed_; });
-    if (events_.empty()) return false;
-    *event = events_.front();
-    events_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
-    return true;
-  }
-
-  // Rejects further pushes; pending events remain poppable.
-  void Close() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      closed_ = true;
-    }
-    not_empty_.notify_all();
-    not_full_.notify_all();
-  }
-
-  size_t capacity() const { return capacity_; }
-
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return events_.size();
-  }
-
-  // Deepest the queue ever got (backpressure diagnostics).
-  size_t max_depth() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return max_depth_;
-  }
-
-  // Pushes that found the queue full and had to wait.
-  uint64_t blocked_pushes() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return blocked_pushes_;
-  }
-
- private:
-  void RecordDepthLocked() {
-    if (events_.size() > max_depth_) max_depth_ = events_.size();
-    IMSR_HISTOGRAM_RECORD("stream/queue_depth",
-                          static_cast<double>(events_.size()));
-  }
-
-  const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<StreamEvent> events_;
-  bool closed_ = false;
-  size_t max_depth_ = 0;
-  uint64_t blocked_pushes_ = 0;
+  explicit BoundedEventQueue(size_t capacity)
+      : util::BoundedQueue<StreamEvent>(
+            capacity, {/*depth_histogram=*/"stream/queue_depth",
+                       /*blocked_counter=*/"stream/queue_blocked_pushes"}) {}
 };
 
 }  // namespace imsr::stream

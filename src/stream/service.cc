@@ -47,18 +47,25 @@ StreamResult StreamService::Run(EventSource* source) {
   const uint64_t publishes_before = trainer_->publish_stats().publishes;
   const util::Stopwatch watch;
 
+  const auto stop_requested = [this] {
+    return config_.stop != nullptr &&
+           config_.stop->load(std::memory_order_relaxed);
+  };
   StreamResult result;
   if (config_.threaded) {
     BoundedEventQueue queue(config_.queue_cap);
-    std::thread producer([this, source, &queue] {
+    std::thread producer([this, source, &queue, &stop_requested] {
       StreamEvent event;
       uint64_t produced = 0;
       while ((config_.max_events == 0 ||
               produced < config_.max_events) &&
-             source->Next(&event)) {
+             !stop_requested() && source->Next(&event)) {
         if (!queue.Push(event)) break;  // closed under us
         ++produced;
       }
+      // Closing (not abandoning) the queue is what makes shutdown a
+      // drain: the consumer's Pop() keeps returning queued events until
+      // the queue is empty, then sees the close.
       queue.Close();
     });
     StreamEvent event;
@@ -73,7 +80,7 @@ StreamResult StreamService::Run(EventSource* source) {
     StreamEvent event;
     while ((config_.max_events == 0 ||
             result.events < config_.max_events) &&
-           source->Next(&event)) {
+           !stop_requested() && source->Next(&event)) {
       Step(event);
       ++result.events;
     }

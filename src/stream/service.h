@@ -10,6 +10,7 @@
 #ifndef IMSR_STREAM_SERVICE_H_
 #define IMSR_STREAM_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -29,6 +30,12 @@ struct StreamServiceConfig {
   // thread (deterministic; tests); true reads the source on a producer
   // thread through the bounded queue (the deployment shape).
   bool threaded = true;
+  // Optional cooperative-shutdown flag (util::ShutdownFlag()): when it
+  // flips true the producer stops ingesting, already-queued events are
+  // drained through the prequential loop, the trainer flushes, and Run
+  // returns normally — so a SIGINT'd stream run still writes its curve,
+  // summary and final metrics, and exits 0.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 struct StreamResult {

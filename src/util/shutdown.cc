@@ -1,0 +1,39 @@
+#include "util/shutdown.h"
+
+#include <csignal>
+
+namespace imsr::util {
+namespace {
+
+std::atomic<bool>& Flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+extern "C" void HandleShutdownSignal(int signum) {
+  Flag().store(true, std::memory_order_relaxed);
+  // One signal asks for a drain; a second one should actually kill a
+  // process whose drain is stuck.
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+void InstallShutdownHandlers() {
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+}
+
+const std::atomic<bool>* ShutdownFlag() { return &Flag(); }
+
+bool ShutdownRequested() {
+  return Flag().load(std::memory_order_relaxed);
+}
+
+void RequestShutdown() { Flag().store(true, std::memory_order_relaxed); }
+
+void ResetShutdownForTest() {
+  Flag().store(false, std::memory_order_relaxed);
+}
+
+}  // namespace imsr::util

@@ -1,0 +1,32 @@
+// Cooperative process shutdown: SIGINT / SIGTERM set a process-wide
+// atomic flag that long-running loops (imsr_serve's acceptor, the
+// stream service's producer) poll to drain and exit cleanly — queues are
+// closed and drained, final obs exports run, and the process exits 0.
+// A second signal while draining falls back to the default disposition,
+// so a stuck drain can still be killed with a repeated Ctrl-C.
+#ifndef IMSR_UTIL_SHUTDOWN_H_
+#define IMSR_UTIL_SHUTDOWN_H_
+
+#include <atomic>
+
+namespace imsr::util {
+
+// Installs the SIGINT/SIGTERM handlers (idempotent). The handler only
+// stores to an atomic flag (async-signal-safe) and restores the default
+// disposition for its own signal, so the next delivery terminates.
+void InstallShutdownHandlers();
+
+// The flag the handlers set. Loops hold this pointer and poll it; it
+// never dangles (function-local static storage).
+const std::atomic<bool>* ShutdownFlag();
+
+bool ShutdownRequested();
+
+// Sets / clears the flag without a signal (tests, and in-process
+// triggers like a server's admin stop).
+void RequestShutdown();
+void ResetShutdownForTest();
+
+}  // namespace imsr::util
+
+#endif  // IMSR_UTIL_SHUTDOWN_H_

@@ -261,6 +261,99 @@ TEST(MetricsTest, EmptyHistogramHasZeroMinMax) {
   EXPECT_DOUBLE_EQ(histogram.max(), 0.0);
 }
 
+// Helper: snapshot a single-histogram registry.
+HistogramSnapshot SnapshotOf(const MetricsRegistry& registry) {
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.histograms.size(), 1u);
+  return snapshot.histograms[0];
+}
+
+TEST(MetricsTest, QuantileOfEmptyHistogramIsZero) {
+  MetricsRegistry registry;
+  registry.GetHistogram("test/q_empty", {0.0, 1.0, 2.0});
+  const HistogramSnapshot h = SnapshotOf(registry);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 1.0), 0.0);
+}
+
+TEST(MetricsTest, QuantileInterpolatesWithinABucket) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.GetHistogram("test/q_one", {0.0, 10.0});
+  // 100 records spread uniformly in the single [0, 10) bucket.
+  for (int i = 0; i < 100; ++i) histogram.Record(0.05 + 0.099 * i);
+  const HistogramSnapshot h = SnapshotOf(registry);
+  // Uniform mass over [0, 10): p50 interpolates to the middle of the
+  // bucket, p90 to 9/10 of it.
+  EXPECT_NEAR(HistogramQuantile(h, 0.50), 5.0, 0.01);
+  EXPECT_NEAR(HistogramQuantile(h, 0.90), 9.0, 0.01);
+  // q=1 lands on the top edge but is clamped to the observed max.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 1.0), h.max);
+}
+
+TEST(MetricsTest, QuantileSpansBucketsDeterministically) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.GetHistogram("test/q_multi", {0.0, 1.0, 2.0, 4.0});
+  for (int i = 0; i < 50; ++i) histogram.Record(0.5);   // bucket [0,1)
+  for (int i = 0; i < 30; ++i) histogram.Record(1.5);   // bucket [1,2)
+  for (int i = 0; i < 20; ++i) histogram.Record(3.0);   // bucket [2,4)
+  const HistogramSnapshot h = SnapshotOf(registry);
+  // Rank 50 of 100 is the full first bucket: its top edge.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.50), 1.0);
+  // Rank 90 is 10/20 into the [2,4) bucket.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.90), 3.0);
+  // Identical snapshots give identical estimates (deterministic).
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.99),
+                   HistogramQuantile(h, 0.99));
+}
+
+TEST(MetricsTest, QuantileAllUnderflowStaysWithinObservedRange) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.GetHistogram("test/q_under", {0.0, 1.0});
+  histogram.Record(-8.0);
+  histogram.Record(-6.0);
+  histogram.Record(-4.0);
+  const HistogramSnapshot h = SnapshotOf(registry);
+  ASSERT_EQ(h.underflow, 3);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    const double v = HistogramQuantile(h, q);
+    EXPECT_GE(v, -8.0) << "q=" << q;
+    EXPECT_LE(v, -4.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 1.0), -4.0);
+}
+
+TEST(MetricsTest, QuantileAllOverflowInterpolatesToMax) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.GetHistogram("test/q_over", {0.0, 1.0});
+  histogram.Record(100.0);
+  histogram.Record(200.0);
+  const HistogramSnapshot h = SnapshotOf(registry);
+  ASSERT_EQ(h.overflow, 2);
+  for (double q : {0.1, 0.5, 0.9}) {
+    const double v = HistogramQuantile(h, q);
+    EXPECT_GE(v, 1.0) << "q=" << q;
+    EXPECT_LE(v, 200.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 1.0), 200.0);
+}
+
+TEST(MetricsTest, ExportsCarryQuantiles) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.GetHistogram("test/q_export", {0.0, 10.0});
+  for (int i = 0; i < 10; ++i) histogram.Record(static_cast<double>(i));
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const std::string json = MetricsToJson(snapshot);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  const std::string csv = MetricsToCsv(snapshot);
+  EXPECT_NE(csv.find(",p50,p90,p99\n"), std::string::npos);
+}
+
 TEST(MetricsTest, ResetZeroesValuesButKeepsCachedReferencesValid) {
   MetricsRegistry registry;
   Counter& counter = registry.GetCounter("test/reset");

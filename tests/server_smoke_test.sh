@@ -1,0 +1,77 @@
+#!/bin/sh
+# Daemon smoke test for imsr_serve + imsr_loadgen: boot the server on a
+# unix socket with timed background snapshot publishes, drive a bursty
+# Zipf-skewed load against it, and assert
+#   - the load harness reports zero failed requests (every response
+#     decoded, matched an in-flight request_id, and was well-formed)
+#     even though snapshots publish mid-flight,
+#   - SIGTERM produces a graceful drain and exit code 0 from the server.
+set -e
+
+SERVE="$1"
+LOADGEN="$2"
+WORKDIR="$(mktemp -d)"
+SOCK="$WORKDIR/imsr.sock"
+SERVER_LOG="$WORKDIR/server.log"
+RESULT="$WORKDIR/load.json"
+
+fail() {
+  echo "server_smoke_test: $1" >&2
+  [ -s "$SERVER_LOG" ] && sed 's/^/  server: /' "$SERVER_LOG" >&2
+  exit 1
+}
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+# A small synthetic corpus boots in well under a second; --publish_ms
+# keeps fresh snapshot versions landing while the load runs.
+"$SERVE" --items=2000 --users=10000 --socket="$SOCK" --shards=2 \
+  --publish_ms=50 >"$SERVER_LOG" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the listening line (the socket file appears with it).
+i=0
+while ! grep -q "listening on" "$SERVER_LOG" 2>/dev/null; do
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && fail "server did not start"
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited during boot"
+  sleep 0.1
+done
+
+# Bursty, hot-user-skewed load. Depth+bursts overshoot the shard queues
+# on purpose; overloaded responses are fine (admission control working),
+# failures are not.
+"$LOADGEN" --socket="$SOCK" --connections=4 --depth=8 --requests=8000 \
+  --users=10000 --zipf=0.9 --burst_every=40 --burst_size=8 \
+  --json_out="$RESULT" || fail "loadgen reported failures"
+test -s "$RESULT" || fail "loadgen wrote no JSON"
+
+python3 - "$RESULT" <<'EOF'
+import json, sys
+result = json.load(open(sys.argv[1]))
+assert result['failures'] == 0, f"failed requests: {result}"
+assert result['sent'] == 8000, f"short send: {result}"
+assert result['ok'] + result['errors'] + result['overloaded'] == 8000, \
+    f"responses lost: {result}"
+assert result['errors'] == 0, f"unexpected error responses: {result}"
+assert result['qps'] > 0 and result['p99_ms'] >= result['p50_ms'] > 0, \
+    f"nonsense latency report: {result}"
+print('load ok:', result['qps'], 'req/s, p50', result['p50_ms'],
+      'ms, p99', result['p99_ms'], 'ms,', result['overloaded'],
+      'overloaded')
+EOF
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$SERVER_PID"
+SERVER_RC=0
+wait "$SERVER_PID" || SERVER_RC=$?
+SERVER_PID=""
+[ "$SERVER_RC" -eq 0 ] || fail "server exited $SERVER_RC on SIGTERM"
+grep -q "served" "$SERVER_LOG" || fail "server final stats line missing"
+[ -S "$SOCK" ] && fail "socket file not unlinked on shutdown"
+
+echo "server_smoke_test: ok"

@@ -1,0 +1,637 @@
+// Tests for the serving transport and concurrency core: wire-protocol
+// round-trips and decode hardening (truncation, bit flips, bad tags),
+// FrameAssembler reassembly from arbitrarily-chunked streams, shard
+// routing determinism, ShardSet admission control and drain guarantees,
+// publish-while-serving bitwise consistency, and a socket end-to-end
+// pass against a live Server.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/interest_store.h"
+#include "models/msr_model.h"
+#include "serve/protocol.h"
+#include "serve/recommend.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "util/rng.h"
+
+namespace imsr::serve {
+namespace {
+
+// Runs a complete encoded frame through the assembler and returns its
+// CRC-verified payload.
+std::vector<uint8_t> PayloadOf(const std::vector<uint8_t>& frame) {
+  FrameAssembler assembler;
+  assembler.Append(frame.data(), frame.size());
+  std::vector<uint8_t> payload;
+  std::string error;
+  EXPECT_EQ(assembler.Next(&payload, &error), FrameAssembler::Result::kFrame)
+      << error;
+  return payload;
+}
+
+RequestFrame MakeRequest(uint64_t id, data::UserId user, int top_n) {
+  RequestFrame request;
+  request.request_id = id;
+  request.user = user;
+  request.top_n = top_n;
+  return request;
+}
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  const RequestFrame request = MakeRequest(0xfeedfacecafe, 123456, 20);
+  const std::vector<uint8_t> payload = PayloadOf(EncodeRequest(request));
+  RequestFrame decoded;
+  std::string error;
+  ASSERT_TRUE(TryDecodeRequest(payload, &decoded, &error)) << error;
+  EXPECT_EQ(decoded.request_id, request.request_id);
+  EXPECT_EQ(decoded.user, request.user);
+  EXPECT_EQ(decoded.top_n, request.top_n);
+}
+
+TEST(ProtocolTest, ResponseRoundTripAllStatuses) {
+  for (const ResponseStatus status :
+       {ResponseStatus::kOk, ResponseStatus::kError,
+        ResponseStatus::kOverloaded, ResponseStatus::kShuttingDown}) {
+    ResponseFrame response;
+    response.request_id = 77;
+    response.status = status;
+    response.snapshot_version = 42;
+    if (status == ResponseStatus::kOk) {
+      response.items = {{5, 1.5f}, {9, 0.25f}, {1, -3.75f}};
+    } else {
+      response.error = "reason: " + std::string(ResponseStatusName(status));
+    }
+    const std::vector<uint8_t> payload = PayloadOf(EncodeResponse(response));
+    ResponseFrame decoded;
+    std::string error;
+    ASSERT_TRUE(TryDecodeResponse(payload, &decoded, &error)) << error;
+    EXPECT_EQ(decoded.request_id, response.request_id);
+    EXPECT_EQ(decoded.status, response.status);
+    EXPECT_EQ(decoded.snapshot_version, response.snapshot_version);
+    EXPECT_EQ(decoded.items, response.items);
+    EXPECT_EQ(decoded.error, response.error);
+  }
+}
+
+// Scores round-trip bitwise, including non-finite-adjacent values.
+TEST(ProtocolTest, ResponseScoresBitwiseExact) {
+  ResponseFrame response;
+  response.request_id = 1;
+  response.status = ResponseStatus::kOk;
+  response.items = {{0, 1.0000001f},
+                    {1, -0.0f},
+                    {2, 3.4028235e38f},
+                    {3, 1.1754944e-38f}};
+  const std::vector<uint8_t> payload = PayloadOf(EncodeResponse(response));
+  ResponseFrame decoded;
+  std::string error;
+  ASSERT_TRUE(TryDecodeResponse(payload, &decoded, &error)) << error;
+  ASSERT_EQ(decoded.items.size(), response.items.size());
+  for (size_t i = 0; i < response.items.size(); ++i) {
+    EXPECT_EQ(decoded.items[i].first, response.items[i].first);
+    // Bitwise, not value, equality (distinguishes -0.0 from 0.0).
+    uint32_t want = 0;
+    uint32_t got = 0;
+    std::memcpy(&want, &response.items[i].second, sizeof(want));
+    std::memcpy(&got, &decoded.items[i].second, sizeof(got));
+    EXPECT_EQ(got, want);
+  }
+}
+
+// Frames survive arbitrary chunking: two coalesced frames delivered one
+// byte at a time come out intact and in order.
+TEST(ProtocolTest, AssemblerReassemblesBytewiseStream) {
+  std::vector<uint8_t> stream = EncodeRequest(MakeRequest(1, 10, 5));
+  const std::vector<uint8_t> second = EncodeRequest(MakeRequest(2, 20, 7));
+  stream.insert(stream.end(), second.begin(), second.end());
+
+  FrameAssembler assembler;
+  std::vector<RequestFrame> decoded;
+  std::vector<uint8_t> payload;
+  std::string error;
+  for (const uint8_t byte : stream) {
+    assembler.Append(&byte, 1);
+    for (;;) {
+      const FrameAssembler::Result result = assembler.Next(&payload, &error);
+      if (result == FrameAssembler::Result::kNeedMore) break;
+      ASSERT_EQ(result, FrameAssembler::Result::kFrame) << error;
+      RequestFrame request;
+      ASSERT_TRUE(TryDecodeRequest(payload, &request, &error)) << error;
+      decoded.push_back(request);
+    }
+  }
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].request_id, 1u);
+  EXPECT_EQ(decoded[0].user, 10);
+  EXPECT_EQ(decoded[1].request_id, 2u);
+  EXPECT_EQ(decoded[1].top_n, 7);
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+// A truncated stream never produces a frame — it just keeps asking for
+// more bytes, at every prefix length.
+TEST(ProtocolTest, TruncationNeverCompletesAFrame) {
+  const std::vector<uint8_t> frame =
+      EncodeRequest(MakeRequest(9, 1234, 10));
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    FrameAssembler assembler;
+    assembler.Append(frame.data(), cut);
+    std::vector<uint8_t> payload;
+    std::string error;
+    EXPECT_EQ(assembler.Next(&payload, &error),
+              FrameAssembler::Result::kNeedMore)
+        << "prefix of " << cut << " bytes completed a frame";
+  }
+}
+
+// CRC-32 detects every single-bit error in the data it covers: flipping
+// any payload bit (or any CRC-field bit) must surface as a framing error,
+// never as a silently-different frame.
+TEST(ProtocolTest, EveryPayloadBitFlipIsDetected) {
+  const std::vector<uint8_t> frame =
+      EncodeRequest(MakeRequest(0x123456789a, 987654, 50));
+  // Bytes [4, 8) are the CRC field; [8, size) the payload.
+  for (size_t byte = 4; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> corrupted = frame;
+      corrupted[byte] ^= static_cast<uint8_t>(1u << bit);
+      FrameAssembler assembler;
+      assembler.Append(corrupted.data(), corrupted.size());
+      std::vector<uint8_t> payload;
+      std::string error;
+      EXPECT_EQ(assembler.Next(&payload, &error),
+                FrameAssembler::Result::kError)
+          << "bit " << bit << " of byte " << byte << " went undetected";
+    }
+  }
+}
+
+TEST(ProtocolTest, OversizedLengthIsAFramingError) {
+  const uint32_t length = kMaxFramePayload + 1;
+  uint8_t header[kFrameHeaderBytes] = {};
+  std::memcpy(header, &length, sizeof(length));
+  FrameAssembler assembler;
+  assembler.Append(header, sizeof(header));
+  std::vector<uint8_t> payload;
+  std::string error;
+  EXPECT_EQ(assembler.Next(&payload, &error),
+            FrameAssembler::Result::kError);
+  EXPECT_NE(error.find("exceeds limit"), std::string::npos) << error;
+}
+
+TEST(ProtocolTest, DecodeRejectsMalformedPayloads) {
+  const std::vector<uint8_t> request_payload =
+      PayloadOf(EncodeRequest(MakeRequest(3, 42, 5)));
+  RequestFrame request;
+  ResponseFrame response;
+  std::string error;
+
+  // A request payload is not a response (and vice versa): tag mismatch.
+  EXPECT_FALSE(TryDecodeResponse(request_payload, &response, &error));
+  ResponseFrame ok_response;
+  ok_response.status = ResponseStatus::kOk;
+  const std::vector<uint8_t> response_payload =
+      PayloadOf(EncodeResponse(ok_response));
+  EXPECT_FALSE(TryDecodeRequest(response_payload, &request, &error));
+
+  // Truncated payload bytes (CRC already verified upstream — decode must
+  // still fail cleanly, not read out of bounds).
+  for (size_t cut = 0; cut < request_payload.size(); ++cut) {
+    const std::vector<uint8_t> truncated(request_payload.begin(),
+                                         request_payload.begin() + cut);
+    EXPECT_FALSE(TryDecodeRequest(truncated, &request, &error))
+        << "decoded from " << cut << " of " << request_payload.size()
+        << " bytes";
+  }
+
+  // Trailing garbage after a well-formed body.
+  std::vector<uint8_t> padded = request_payload;
+  padded.push_back(0);
+  EXPECT_FALSE(TryDecodeRequest(padded, &request, &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+
+  // Empty payload.
+  EXPECT_FALSE(TryDecodeRequest({}, &request, &error));
+}
+
+TEST(ShardRoutingTest, DeterministicInRangeAndBalanced) {
+  for (const size_t shards : {1u, 2u, 4u, 7u}) {
+    std::vector<int> counts(shards, 0);
+    for (data::UserId user = 0; user < 10000; ++user) {
+      const size_t shard = ShardOf(user, shards);
+      ASSERT_LT(shard, shards);
+      // Routing is a pure function of (user, num_shards).
+      ASSERT_EQ(shard, ShardOf(user, shards));
+      counts[shard]++;
+    }
+    // splitmix64 scrambles sequential ids: no shard is starved or hot
+    // beyond 2x of fair share.
+    for (const int count : counts) {
+      EXPECT_GT(count, 10000 / static_cast<int>(shards) / 2);
+      EXPECT_LT(count, 2 * 10000 / static_cast<int>(shards));
+    }
+  }
+}
+
+// --- ShardSet ---------------------------------------------------------------
+
+// Thread-safe sink recording every response it receives.
+class CollectSink : public ResponseSink {
+ public:
+  void SendResponse(const ResponseFrame& response) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    responses_.push_back(response);
+  }
+  std::vector<ResponseFrame> responses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return responses_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<ResponseFrame> responses_;
+};
+
+// A sink whose first SendResponse blocks until Release() — wedges a shard
+// worker so the test can fill its queue deterministically.
+class BlockingSink : public CollectSink {
+ public:
+  void SendResponse(const ResponseFrame& response) override {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      entered_ = true;
+      entered_cv_.notify_all();
+      release_cv_.wait(lock, [this] { return released_; });
+    }
+    CollectSink::SendResponse(response);
+  }
+  void AwaitEntered() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    entered_cv_.wait(lock, [this] { return entered_; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    released_ = true;
+    release_cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable entered_cv_;
+  std::condition_variable release_cv_;
+  bool entered_ = false;
+  bool released_ = false;
+};
+
+// A small serving world: `num_users` users with varying interest counts
+// over `num_items` items.
+std::shared_ptr<ServingSnapshot> MakeSnapshot(int num_items, int num_users,
+                                              int dim, uint64_t seed,
+                                              int span) {
+  models::ModelConfig model_config;
+  model_config.embedding_dim = dim;
+  models::MsrModel model(model_config, num_items, seed);
+  core::InterestStore store;
+  util::Rng rng(seed + 1);
+  for (data::UserId user = 0; user < num_users; ++user) {
+    store.Initialize(user, 1 + static_cast<int>(user % 3), dim, 0, rng);
+  }
+  return BuildSnapshot(model, store, span);
+}
+
+TEST(ShardSetTest, AnswersEveryAdmittedRequest) {
+  SnapshotRegistry registry;
+  registry.Publish(MakeSnapshot(/*num_items=*/50, /*num_users=*/40,
+                                /*dim=*/8, /*seed=*/3, /*span=*/1));
+  ShardSetConfig config;
+  config.num_shards = 4;
+  // Cap >= kRequests: admission can never fire even if a busy machine
+  // keeps every worker descheduled while the main thread enqueues.
+  config.queue_cap = 256;
+  ShardSet shards(&registry, config);
+  shards.Start();
+
+  auto sink = std::make_shared<CollectSink>();
+  const int kRequests = 200;
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_TRUE(shards.Submit(
+        MakeRequest(static_cast<uint64_t>(i), i % 40, 5), sink));
+  }
+  shards.Drain();
+
+  const std::vector<ResponseFrame> responses = sink->responses();
+  ASSERT_EQ(responses.size(), static_cast<size_t>(kRequests));
+  std::vector<bool> seen(kRequests, false);
+  for (const ResponseFrame& response : responses) {
+    ASSERT_LT(response.request_id, static_cast<uint64_t>(kRequests));
+    EXPECT_FALSE(seen[response.request_id]) << "duplicate response";
+    seen[response.request_id] = true;
+    EXPECT_EQ(response.status, ResponseStatus::kOk);
+    EXPECT_EQ(response.items.size(), 5u);
+    EXPECT_EQ(response.snapshot_version, 1u);
+  }
+  const ShardSetStats stats = shards.stats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(stats.answered, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(ShardSetTest, UnknownUserGetsErrorResponseNotDrop) {
+  SnapshotRegistry registry;
+  registry.Publish(MakeSnapshot(50, 10, 8, 4, 1));
+  ShardSetConfig config;
+  config.num_shards = 2;
+  ShardSet shards(&registry, config);
+  shards.Start();
+  auto sink = std::make_shared<CollectSink>();
+  EXPECT_TRUE(shards.Submit(MakeRequest(7, /*user=*/9999, 5), sink));
+  shards.Drain();
+  const std::vector<ResponseFrame> responses = sink->responses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].request_id, 7u);
+  EXPECT_EQ(responses[0].status, ResponseStatus::kError);
+  EXPECT_NE(responses[0].error.find("9999"), std::string::npos);
+}
+
+TEST(ShardSetTest, NoSnapshotYetIsAnErrorResponse) {
+  SnapshotRegistry registry;  // nothing published
+  ShardSetConfig config;
+  config.num_shards = 1;
+  ShardSet shards(&registry, config);
+  shards.Start();
+  auto sink = std::make_shared<CollectSink>();
+  EXPECT_TRUE(shards.Submit(MakeRequest(1, 0, 5), sink));
+  shards.Drain();
+  const std::vector<ResponseFrame> responses = sink->responses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, ResponseStatus::kError);
+  EXPECT_NE(responses[0].error.find("snapshot"), std::string::npos);
+}
+
+// Admission control: with the single shard's worker wedged and its queue
+// full, the next Submit is rejected synchronously with kOverloaded — the
+// queue never grows past its cap and nothing is silently dropped.
+TEST(ShardSetTest, FullQueueRejectsWithOverload) {
+  SnapshotRegistry registry;
+  registry.Publish(MakeSnapshot(50, 10, 8, 5, 1));
+  ShardSetConfig config;
+  config.num_shards = 1;
+  config.queue_cap = 2;
+  ShardSet shards(&registry, config);
+  shards.Start();
+
+  auto blocking = std::make_shared<BlockingSink>();
+  auto sink = std::make_shared<CollectSink>();
+  // Wedge the worker on request 0's response...
+  ASSERT_TRUE(shards.Submit(MakeRequest(0, 0, 3), blocking));
+  blocking->AwaitEntered();
+  // ...fill the queue to its cap...
+  ASSERT_TRUE(shards.Submit(MakeRequest(1, 1, 3), sink));
+  ASSERT_TRUE(shards.Submit(MakeRequest(2, 2, 3), sink));
+  // ...and the next submit must bounce, synchronously, on this thread.
+  EXPECT_FALSE(shards.Submit(MakeRequest(3, 3, 3), sink));
+  std::vector<ResponseFrame> responses = sink->responses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].request_id, 3u);
+  EXPECT_EQ(responses[0].status, ResponseStatus::kOverloaded);
+
+  blocking->Release();
+  shards.Drain();
+  // Everything admitted before the bounce still got answered.
+  EXPECT_EQ(blocking->responses().size(), 1u);
+  responses = sink->responses();
+  ASSERT_EQ(responses.size(), 3u);
+  const ShardSetStats stats = shards.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.answered, 3u);
+}
+
+// The heart of the tentpole's consistency claim: while snapshots publish
+// mid-flight, every response is bitwise-identical to RecommendOne run
+// directly against *some* published snapshot — the one named by the
+// response's snapshot_version. No response mixes two versions.
+TEST(ShardSetTest, PublishWhileServingIsBitwiseConsistent) {
+  const int kUsers = 30;
+  const int kTopN = 8;
+  const std::shared_ptr<ServingSnapshot> v1 =
+      MakeSnapshot(/*num_items=*/80, kUsers, /*dim=*/8, /*seed=*/11,
+                   /*span=*/1);
+  const std::shared_ptr<ServingSnapshot> v2 =
+      MakeSnapshot(/*num_items=*/80, kUsers, /*dim=*/8, /*seed=*/29,
+                   /*span=*/2);
+  SnapshotRegistry registry;
+  registry.Publish(v1);
+
+  // Expected answers per user, per version, computed single-threaded.
+  const ServeConfig serve;
+  std::map<uint64_t, std::vector<std::vector<std::pair<data::ItemId, float>>>>
+      expected;
+  RecommendScratch scratch;
+  for (const auto& [version, snapshot] :
+       std::vector<std::pair<uint64_t, std::shared_ptr<ServingSnapshot>>>{
+           {1, v1}, {2, v2}}) {
+    auto& per_user = expected[version];
+    per_user.resize(kUsers);
+    for (data::UserId user = 0; user < kUsers; ++user) {
+      RecommendRequest request;
+      request.user = user;
+      request.top_n = kTopN;
+      RecommendResponse response;
+      RecommendOne(*snapshot, request, serve, &scratch, &response);
+      ASSERT_TRUE(response.ok) << response.error;
+      per_user[static_cast<size_t>(user)] = response.items;
+    }
+  }
+
+  ShardSetConfig config;
+  config.num_shards = 4;
+  config.queue_cap = 1024;
+  config.serve = serve;
+  ShardSet shards(&registry, config);
+  shards.Start();
+  auto sink = std::make_shared<CollectSink>();
+
+  // Phase 1 entirely against v1, then publish v2 into the *live* shard
+  // set (workers stay up throughout), then phase 2 entirely against v2.
+  // The phase boundary makes the expected version per request
+  // deterministic; mid-flight racing is exercised by the server smoke
+  // and the loadgen CI job.
+  const int kPerPhase = 300;
+  for (int i = 0; i < kPerPhase; ++i) {
+    ASSERT_TRUE(shards.Submit(
+        MakeRequest(static_cast<uint64_t>(i), i % kUsers, kTopN), sink));
+  }
+  while (shards.stats().answered <
+         static_cast<uint64_t>(kPerPhase)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  registry.Publish(v2);
+  for (int i = kPerPhase; i < 2 * kPerPhase; ++i) {
+    ASSERT_TRUE(shards.Submit(
+        MakeRequest(static_cast<uint64_t>(i), i % kUsers, kTopN), sink));
+  }
+  shards.Drain();
+
+  const std::vector<ResponseFrame> responses = sink->responses();
+  ASSERT_EQ(responses.size(), static_cast<size_t>(2 * kPerPhase));
+  for (const ResponseFrame& response : responses) {
+    ASSERT_EQ(response.status, ResponseStatus::kOk) << response.error;
+    const uint64_t want_version =
+        response.request_id < static_cast<uint64_t>(kPerPhase) ? 1 : 2;
+    ASSERT_EQ(response.snapshot_version, want_version)
+        << "request " << response.request_id;
+    const size_t user = response.request_id % kUsers;
+    // EXPECT_EQ on vector<pair<ItemId, float>>: item ids and float scores
+    // must match bitwise — no tolerance.
+    EXPECT_EQ(response.items, expected[want_version][user])
+        << "request " << response.request_id << " answered from v"
+        << want_version << " diverged";
+  }
+}
+
+// --- Server end-to-end ------------------------------------------------------
+
+// Minimal blocking client for the end-to-end test.
+class TestClient {
+ public:
+  explicit TestClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  bool SendBytes(const std::vector<uint8_t>& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent,
+                               bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  // Blocks until one full response frame arrives.
+  bool ReadResponse(ResponseFrame* out, std::string* error) {
+    std::vector<uint8_t> payload;
+    for (;;) {
+      const FrameAssembler::Result result = assembler_.Next(&payload, error);
+      if (result == FrameAssembler::Result::kError) return false;
+      if (result == FrameAssembler::Result::kFrame) {
+        return TryDecodeResponse(payload, out, error);
+      }
+      uint8_t buffer[4096];
+      const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+      if (n <= 0) {
+        *error = "connection closed";
+        return false;
+      }
+      assembler_.Append(buffer, static_cast<size_t>(n));
+    }
+  }
+
+  // True when the server closed this connection (EOF).
+  bool AwaitClose() {
+    uint8_t byte;
+    return ::recv(fd_, &byte, 1, 0) == 0;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  FrameAssembler assembler_;
+};
+
+TEST(ServerTest, SocketEndToEnd) {
+  SnapshotRegistry registry;
+  registry.Publish(MakeSnapshot(60, 20, 8, 17, 1));
+  ServerConfig config;
+  config.tcp_port = 0;  // ephemeral
+  config.shards.num_shards = 2;
+  Server server(&registry, config);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  ASSERT_GT(server.port(), 0);
+  std::thread io([&server] { server.Run(); });
+
+  {
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    // Two good requests and one for an unknown user, coalesced into a
+    // single write to exercise stream reassembly server-side.
+    std::vector<uint8_t> bytes = EncodeRequest(MakeRequest(1, 3, 4));
+    const std::vector<uint8_t> second = EncodeRequest(MakeRequest(2, 9999, 4));
+    const std::vector<uint8_t> third = EncodeRequest(MakeRequest(3, 7, 6));
+    bytes.insert(bytes.end(), second.begin(), second.end());
+    bytes.insert(bytes.end(), third.begin(), third.end());
+    ASSERT_TRUE(client.SendBytes(bytes));
+
+    std::map<uint64_t, ResponseFrame> responses;
+    for (int i = 0; i < 3; ++i) {
+      ResponseFrame response;
+      ASSERT_TRUE(client.ReadResponse(&response, &error)) << error;
+      responses[response.request_id] = response;
+    }
+    ASSERT_EQ(responses.size(), 3u);
+    EXPECT_EQ(responses[1].status, ResponseStatus::kOk);
+    EXPECT_EQ(responses[1].items.size(), 4u);
+    EXPECT_EQ(responses[2].status, ResponseStatus::kError);
+    EXPECT_EQ(responses[3].status, ResponseStatus::kOk);
+    EXPECT_EQ(responses[3].items.size(), 6u);
+  }
+
+  {
+    // A connection that sends garbage is dropped (framing error), while
+    // the server keeps serving everyone else.
+    TestClient garbage(server.port());
+    ASSERT_TRUE(garbage.connected());
+    std::vector<uint8_t> junk(64, 0xff);
+    ASSERT_TRUE(garbage.SendBytes(junk));
+    EXPECT_TRUE(garbage.AwaitClose());
+
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.SendBytes(EncodeRequest(MakeRequest(4, 5, 3))));
+    ResponseFrame response;
+    ASSERT_TRUE(client.ReadResponse(&response, &error)) << error;
+    EXPECT_EQ(response.status, ResponseStatus::kOk);
+  }
+
+  server.Shutdown();
+  io.join();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.frames, 4u);
+  EXPECT_GE(stats.protocol_errors, 1u);
+  const ShardSetStats shard_stats = server.shard_stats();
+  EXPECT_EQ(shard_stats.answered, 4u);
+  EXPECT_EQ(shard_stats.rejected, 0u);
+}
+
+}  // namespace
+}  // namespace imsr::serve

@@ -318,6 +318,28 @@ TEST(StreamServiceTest, SynchronousRunScoresEveryEventBeforeLearning) {
   CheckAudits(evaluator.audits());
 }
 
+// Cooperative shutdown: a raised stop flag halts ingestion but the run
+// still flushes, publishes, and returns normally — in both loop shapes.
+TEST(StreamServiceTest, StopFlagDrainsAndReturnsNormally) {
+  StreamFixture fixture(37);
+  std::atomic<bool> stop{true};  // raised before the run even starts
+  for (const bool threaded : {false, true}) {
+    serve::SnapshotRegistry registry;
+    StreamTrainer trainer(fixture.model.get(), &fixture.store, &registry,
+                          fixture.TrainerConfig(/*publish_every=*/40));
+    PrequentialEvaluator evaluator(PrequentialConfig{});
+    StreamServiceConfig service_config;
+    service_config.threaded = threaded;
+    service_config.queue_cap = 4;
+    service_config.stop = &stop;
+    StreamService service(&trainer, &evaluator, &registry, service_config);
+    ReplayEventSource source(fixture.replay);
+    const StreamResult result = service.Run(&source);
+    EXPECT_EQ(result.events, 0u) << "threaded=" << threaded;
+    EXPECT_NE(registry.Current(), nullptr);  // initial publish happened
+  }
+}
+
 TEST(StreamServiceTest, ThreadedRunWithTinyQueueKeepsOrderingInvariant) {
   StreamFixture fixture(31);
   serve::SnapshotRegistry registry;

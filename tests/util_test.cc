@@ -11,6 +11,7 @@
 #include "util/math_util.h"
 #include "util/rng.h"
 #include "util/serialization.h"
+#include "util/shutdown.h"
 
 namespace imsr::util {
 namespace {
@@ -234,6 +235,132 @@ TEST(FlagsTest, AcceptsNegativeAndBoundaryValues) {
   EXPECT_EQ(flags.GetInt("delta", 0), -12);
   EXPECT_EQ(flags.GetInt("zero", 7), 0);
   EXPECT_DOUBLE_EQ(flags.GetDouble("exp", 0.0), -1500.0);
+}
+
+TEST(FlagsTest, TryParseReportsPositionalTokens) {
+  const char* argv[] = {"--ok=1", "stray"};
+  Flags flags;
+  std::string error;
+  EXPECT_FALSE(Flags::TryParse(2, const_cast<char**>(argv), &flags, &error));
+  EXPECT_EQ(error, "expected --name=value argument, got 'stray'");
+
+  const char* good[] = {"--ok=1"};
+  ASSERT_TRUE(Flags::TryParse(1, const_cast<char**>(good), &flags, &error));
+  EXPECT_EQ(flags.GetInt("ok", 0), 1);
+}
+
+FlagSet MakeTestFlagSet() {
+  FlagSet set("tool", "unit-test flag set");
+  set.AddString("out", "results.json", "output path");
+  set.AddInt("shards", 4, "worker shard count");
+  set.AddDouble("rate", 0.5, "target rate");
+  set.AddBool("verbose", false, "chatty logging");
+  return set;
+}
+
+TEST(FlagSetTest, DefaultsAndParsedValues) {
+  FlagSet set = MakeTestFlagSet();
+  const char* argv[] = {"--shards=8", "--verbose"};
+  std::string error;
+  ASSERT_TRUE(set.Parse(2, const_cast<char**>(argv), &error)) << error;
+  EXPECT_EQ(set.GetInt("shards"), 8);
+  EXPECT_TRUE(set.GetBool("verbose"));
+  EXPECT_EQ(set.GetString("out"), "results.json");
+  EXPECT_DOUBLE_EQ(set.GetDouble("rate"), 0.5);
+  EXPECT_TRUE(set.Has("shards"));
+  EXPECT_FALSE(set.Has("out"));
+  EXPECT_FALSE(set.help_requested());
+}
+
+TEST(FlagSetTest, FullTokenValueValidation) {
+  std::string error;
+  {
+    FlagSet set = MakeTestFlagSet();
+    const char* argv[] = {"--shards=8x"};
+    EXPECT_FALSE(set.Parse(1, const_cast<char**>(argv), &error));
+    EXPECT_EQ(error, "flag --shards expects an integer, got '8x'");
+  }
+  {
+    FlagSet set = MakeTestFlagSet();
+    const char* argv[] = {"--rate=fast"};
+    EXPECT_FALSE(set.Parse(1, const_cast<char**>(argv), &error));
+    EXPECT_EQ(error, "flag --rate expects a number, got 'fast'");
+  }
+  {
+    FlagSet set = MakeTestFlagSet();
+    const char* argv[] = {"--verbose=maybe"};
+    EXPECT_FALSE(set.Parse(1, const_cast<char**>(argv), &error));
+    EXPECT_EQ(error,
+              "flag --verbose expects a boolean (true/false), got 'maybe'");
+  }
+  {
+    FlagSet set = MakeTestFlagSet();
+    const char* argv[] = {"positional"};
+    EXPECT_FALSE(set.Parse(1, const_cast<char**>(argv), &error));
+    EXPECT_EQ(error, "expected --name=value argument, got 'positional'");
+  }
+}
+
+TEST(FlagSetTest, UnknownFlagSuggestsNearestName) {
+  FlagSet set = MakeTestFlagSet();
+  const char* argv[] = {"--shrads=8"};
+  std::string error;
+  EXPECT_FALSE(set.Parse(1, const_cast<char**>(argv), &error));
+  EXPECT_EQ(error, "unknown flag --shrads (did you mean --shards?)");
+
+  FlagSet other = MakeTestFlagSet();
+  const char* far[] = {"--zzzzzzzz=1"};
+  EXPECT_FALSE(other.Parse(1, const_cast<char**>(far), &error));
+  EXPECT_EQ(error, "unknown flag --zzzzzzzz");
+}
+
+TEST(FlagSetTest, HelpRequestSkipsValidation) {
+  FlagSet set = MakeTestFlagSet();
+  const char* argv[] = {"--help", "--shards=16"};
+  std::string error;
+  ASSERT_TRUE(set.Parse(2, const_cast<char**>(argv), &error)) << error;
+  EXPECT_TRUE(set.help_requested());
+  EXPECT_EQ(set.GetInt("shards"), 16);
+
+  const std::string help = set.HelpText();
+  EXPECT_NE(help.find("usage: tool"), std::string::npos);
+  EXPECT_NE(help.find("unit-test flag set"), std::string::npos);
+  EXPECT_NE(help.find("--shards"), std::string::npos);
+  EXPECT_NE(help.find("worker shard count (default: 4)"), std::string::npos);
+  EXPECT_NE(help.find("(default: results.json)"), std::string::npos);
+}
+
+TEST(FlagSetTest, FlagsViewBridgesLegacyHelpers) {
+  FlagSet set = MakeTestFlagSet();
+  const char* argv[] = {"--shards=2", "--out=x.csv"};
+  std::string error;
+  ASSERT_TRUE(set.Parse(2, const_cast<char**>(argv), &error)) << error;
+  const Flags& view = set.flags();
+  EXPECT_EQ(view.GetInt("shards", 0), 2);
+  EXPECT_EQ(view.GetString("out", ""), "x.csv");
+  EXPECT_FALSE(view.Has("rate"));
+}
+
+TEST(FlagSetTest, SuggestFlagNameRespectsDistanceBudget) {
+  const std::vector<std::string> known = {"publish_every", "top_n", "seed"};
+  EXPECT_EQ(SuggestFlagName("publish_evry", known), "publish_every");
+  EXPECT_EQ(SuggestFlagName("topn", known), "top_n");
+  EXPECT_EQ(SuggestFlagName("q", known), "");
+}
+
+TEST(ShutdownTest, FlagRoundTrip) {
+  ResetShutdownForTest();
+  EXPECT_FALSE(ShutdownRequested());
+  EXPECT_FALSE(ShutdownFlag()->load());
+  RequestShutdown();
+  EXPECT_TRUE(ShutdownRequested());
+  EXPECT_TRUE(ShutdownFlag()->load());
+  ResetShutdownForTest();
+  EXPECT_FALSE(ShutdownRequested());
+  // Installing the handlers is idempotent and must not flip the flag.
+  InstallShutdownHandlers();
+  InstallShutdownHandlers();
+  EXPECT_FALSE(ShutdownRequested());
 }
 
 TEST(SerializationTest, RoundTrip) {

@@ -1,0 +1,120 @@
+#!/bin/sh
+# Serving-under-load benchmark: boots imsr_serve on a clustered synthetic
+# corpus and drives imsr_loadgen against it for every shard count x
+# retrieval mode in the matrix, with snapshots republishing mid-flight
+# the whole time. Writes BENCH_PR9.json at the repo root: QPS and
+# p50/p99/p99.9 latency per cell, plus the zero-failure accounting
+# (every request answered, none dropped or corrupted).
+#
+# Each cell runs a fresh server process on its own unix socket so cells
+# never share warmed caches; any loadgen-reported failure (decode error,
+# unknown request_id, malformed top-N) aborts the benchmark.
+#
+# Usage: tools/bench_pr9.sh [imsr_serve] [imsr_loadgen] [output-json]
+#   BENCH_LOAD_ITEMS=<n>       corpus size (default 100000)
+#   BENCH_LOAD_USERS=<n>       user id space (default 1000000)
+#   BENCH_LOAD_REQUESTS=<n>    requests per cell (default 20000)
+#   BENCH_LOAD_SHARDS="a b .." shard counts (default "1 2 4")
+#   BENCH_LOAD_MODES="a b .."  retrieval modes (default "exact ivf")
+#   BENCH_LOAD_CONNECTIONS=<n> loadgen connections (default 8)
+#   BENCH_LOAD_PUBLISH_MS=<n>  background republish cadence (default 2000;
+#                              packing a million-user snapshot is itself
+#                              expensive, so an aggressive cadence turns
+#                              the benchmark into a publish benchmark)
+set -eu
+
+SERVE="${1:-build/tools/imsr_serve}"
+LOADGEN="${2:-build/tools/imsr_loadgen}"
+OUT="${3:-BENCH_PR9.json}"
+ITEMS="${BENCH_LOAD_ITEMS:-100000}"
+USERS="${BENCH_LOAD_USERS:-1000000}"
+REQUESTS="${BENCH_LOAD_REQUESTS:-20000}"
+SHARDS="${BENCH_LOAD_SHARDS:-1 2 4}"
+MODES="${BENCH_LOAD_MODES:-exact ivf}"
+CONNECTIONS="${BENCH_LOAD_CONNECTIONS:-8}"
+PUBLISH_MS="${BENCH_LOAD_PUBLISH_MS:-2000}"
+
+for bin in "$SERVE" "$LOADGEN"; do
+  if [ ! -x "$bin" ]; then
+    echo "bench_pr9.sh: binary not found: $bin" >&2
+    echo "build first: cmake --build build --target imsr_serve imsr_loadgen" >&2
+    exit 1
+  fi
+done
+if ! command -v jq >/dev/null 2>&1; then
+  echo "bench_pr9.sh: jq is required" >&2
+  exit 1
+fi
+
+TMP_DIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  rm -rf "$TMP_DIR"
+}
+trap cleanup EXIT
+
+for mode in $MODES; do
+  for shards in $SHARDS; do
+    SOCK="$TMP_DIR/serve.$mode.$shards.sock"
+    LOG="$TMP_DIR/serve.$mode.$shards.log"
+    CELL="$TMP_DIR/cell.$mode.$shards.json"
+    "$SERVE" --items="$ITEMS" --users="$USERS" --socket="$SOCK" \
+      --shards="$shards" --retrieval="$mode" --publish_ms="$PUBLISH_MS" \
+      --queue_cap=1024 >"$LOG" 2>&1 &
+    SERVER_PID=$!
+    i=0
+    while ! grep -q "listening on" "$LOG" 2>/dev/null; do
+      i=$((i + 1))
+      if [ "$i" -gt 1200 ]; then
+        echo "bench_pr9.sh: server did not start ($mode, $shards shards)" >&2
+        cat "$LOG" >&2
+        exit 1
+      fi
+      kill -0 "$SERVER_PID" 2>/dev/null || { cat "$LOG" >&2; exit 1; }
+      sleep 0.1
+    done
+
+    echo "== $mode retrieval, $shards shard(s): $REQUESTS requests =="
+    "$LOADGEN" --socket="$SOCK" --connections="$CONNECTIONS" --depth=8 \
+      --requests="$REQUESTS" --users="$USERS" --zipf=0.9 \
+      --json_out="$CELL"
+
+    kill -TERM "$SERVER_PID"
+    wait "$SERVER_PID" || {
+      echo "bench_pr9.sh: server exited non-zero" >&2
+      cat "$LOG" >&2
+      exit 1
+    }
+    SERVER_PID=""
+    jq --argjson shards "$shards" --arg mode "$mode" \
+      '. + {shards: $shards, retrieval: $mode}' "$CELL" \
+      > "$CELL.tagged" && mv "$CELL.tagged" "$CELL"
+  done
+done
+
+jq -s --argjson items "$ITEMS" --argjson publish_ms "$PUBLISH_MS" '
+  {
+    pr: "imsr_serve: sharded concurrent serving under loadgen traffic",
+    description: ("imsr_loadgen (closed loop, Zipf 0.9 user skew) vs "
+                  + "imsr_serve on a clustered synthetic corpus, one "
+                  + "fresh server process per cell, snapshots "
+                  + "republishing in the background throughout. "
+                  + "failures counts protocol violations and malformed "
+                  + "responses — the acceptance bar is 0 in every "
+                  + "cell."),
+    items: $items,
+    publish_every_ms: $publish_ms,
+    runs: .
+  }
+' "$TMP_DIR"/cell.*.json > "$OUT"
+
+echo "wrote $OUT"
+jq -r '.runs[] |
+       "\(.retrieval) x \(.shards) shard(s): \(.qps) req/s, " +
+       "p50 \(.p50_ms) ms, p99 \(.p99_ms) ms, p99.9 \(.p999_ms) ms, " +
+       "\(.overloaded) overloaded, \(.failures) failures"' "$OUT"
+jq -e '[.runs[].failures] | add == 0' "$OUT" >/dev/null || {
+  echo "bench_pr9.sh: FAILED requests recorded" >&2
+  exit 1
+}

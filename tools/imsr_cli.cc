@@ -85,6 +85,7 @@
 #include "stream/stream_trainer.h"
 #include "util/csv.h"
 #include "util/flags.h"
+#include "util/shutdown.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -96,9 +97,183 @@ int Usage() {
       stderr,
       "usage: imsr_cli <generate|stats|pretrain|train-span|evaluate|"
       "recommend|stream> [--flags]\n"
-      "run with a subcommand to see its required flags; see the file "
-      "header for details.\n");
+      "run 'imsr_cli <subcommand> --help' for that subcommand's flags.\n");
   return 2;
+}
+
+// --- per-subcommand flag registries -----------------------------------
+// Every subcommand builds a util::FlagSet from these helpers, so parsing
+// is fallible (typos get suggestions instead of aborts) and
+// `imsr_cli <cmd> --help` renders the exact flag table that command
+// accepts. The Cmd* bodies read through the FlagSet's legacy-map view,
+// which only contains flags that were actually given — dynamic defaults
+// (e.g. --span defaulting to the checkpoint's next span) keep working.
+
+// Flags every subcommand accepts: threading + observability exports.
+void RegisterObsFlags(util::FlagSet* set) {
+  set->AddInt("threads", 0,
+              "process-wide worker pool size (0 = hardware threads)");
+  set->AddString("metrics_out", "",
+                 "write the metrics registry here at exit (.json or .csv)");
+  set->AddString("trace_out", "",
+                 "write a chrome://tracing trace here at exit");
+  set->AddDouble("metrics_interval", 0.0,
+                 "rewrite --metrics_out every N seconds while running");
+}
+
+void RegisterDatasetFlags(util::FlagSet* set) {
+  set->AddString("log", "", "CSV interaction log (required)");
+  set->AddInt("spans", 6, "incremental spans to split the log into");
+  set->AddDouble("alpha", 0.5, "pre-training fraction of the log");
+  set->AddInt("min_interactions", 12,
+              "drop users with fewer total interactions");
+}
+
+void RegisterModelFlags(util::FlagSet* set) {
+  set->AddString("model", "dr",
+                 "interest extractor (mind | dr | sa)");
+  set->AddInt("dim", 32, "embedding / attention dimension");
+}
+
+void RegisterTrainFlags(util::FlagSet* set) {
+  set->AddInt("pretrain_epochs", 5, "epochs over the pre-training span");
+  set->AddInt("epochs", 3, "epochs per incremental span");
+  set->AddInt("batch_size", 64, "optimizer minibatch size");
+  set->AddBool("batched", true,
+               "minibatched loss (false = per-sample debug loop)");
+  set->AddDouble("lr", 0.005, "Adam learning rate");
+  set->AddInt("k0", 4, "initial interests per user");
+  set->AddDouble("kd", 0.1, "EIR retention coefficient");
+  set->AddDouble("c1", 0.06, "NID puzzlement threshold coefficient");
+  set->AddDouble("c2", 0.3, "PIT trim threshold coefficient");
+  set->AddInt("delta_k", 3, "max interests added per expansion");
+  set->AddBool("early_stopping", false, "stop a span on loss plateau");
+  set->AddInt("seed", 7, "RNG seed for init and sampling");
+}
+
+void RegisterCheckpointFlags(util::FlagSet* set, bool writes) {
+  set->AddString("checkpoint", "", "checkpoint file (required)");
+  if (writes) {
+    set->AddInt("keep_checkpoints", 0,
+                "rotate N previous checkpoints before saving");
+  }
+}
+
+void RegisterRetrievalFlags(util::FlagSet* set) {
+  set->AddString("retrieval",
+                 serve::RetrievalModeName(serve::DefaultRetrievalMode()),
+                 "retrieval mode (exact | ivf); default follows "
+                 "IMSR_RETRIEVAL");
+  set->AddInt("nprobe", 0,
+              "IVF lists probed per interest (omit = index default)");
+}
+
+void RegisterRuleFlag(util::FlagSet* set) {
+  set->AddString("rule", "attentive", "scoring rule (attentive | max)");
+}
+
+// Builds the registry for `command`; false for unknown subcommands.
+bool BuildFlagSet(const std::string& command, util::FlagSet* out) {
+  if (command == "generate") {
+    util::FlagSet set("imsr_cli generate",
+                      "synthesise a CSV interaction log");
+    set.AddString("preset", "taobao",
+                  "dataset preset (taobao | electronics)");
+    set.AddDouble("scale", 0.3, "fraction of the preset's full size");
+    set.AddInt("seed", 0, "generator seed (omit to keep the preset's)");
+    set.AddString("out", "", "output CSV path (required)");
+    RegisterObsFlags(&set);
+    *out = std::move(set);
+    return true;
+  }
+  if (command == "stats") {
+    util::FlagSet set("imsr_cli stats",
+                      "Table-II-style statistics of a log");
+    RegisterDatasetFlags(&set);
+    RegisterObsFlags(&set);
+    *out = std::move(set);
+    return true;
+  }
+  if (command == "pretrain" || command == "train-span") {
+    util::FlagSet set(
+        "imsr_cli " + command,
+        command == "pretrain"
+            ? "train on the pre-training span, write a checkpoint"
+            : "one incremental IMSR update (EIR+NID+PIT)");
+    RegisterDatasetFlags(&set);
+    RegisterModelFlags(&set);
+    RegisterTrainFlags(&set);
+    RegisterCheckpointFlags(&set, /*writes=*/true);
+    if (command == "train-span") {
+      set.AddInt("span", 0,
+                 "span to train (omit = next after the checkpoint)");
+    }
+    RegisterObsFlags(&set);
+    *out = std::move(set);
+    return true;
+  }
+  if (command == "evaluate") {
+    util::FlagSet set("imsr_cli evaluate",
+                      "HR@N / NDCG@N over a published snapshot");
+    RegisterDatasetFlags(&set);
+    RegisterModelFlags(&set);
+    RegisterCheckpointFlags(&set, /*writes=*/false);
+    set.AddInt("test_span", 0,
+               "span to test (omit = next after the checkpoint)");
+    set.AddInt("top_n", 20, "ranking cutoff N");
+    RegisterRuleFlag(&set);
+    RegisterRetrievalFlags(&set);
+    RegisterObsFlags(&set);
+    *out = std::move(set);
+    return true;
+  }
+  if (command == "recommend") {
+    util::FlagSet set("imsr_cli recommend",
+                      "top-N items for one user or a request file");
+    RegisterDatasetFlags(&set);
+    RegisterModelFlags(&set);
+    RegisterCheckpointFlags(&set, /*writes=*/false);
+    set.AddInt("user", -1, "user id to recommend for");
+    set.AddInt("top_n", 10, "items to return per request");
+    set.AddString("recommend_requests", "",
+                  "request file ('user[,top_n]' per line) for batch mode");
+    set.AddString("recommend_out", "",
+                  "output CSV for batch mode (required with requests)");
+    RegisterRuleFlag(&set);
+    RegisterRetrievalFlags(&set);
+    RegisterObsFlags(&set);
+    *out = std::move(set);
+    return true;
+  }
+  if (command == "stream") {
+    util::FlagSet set("imsr_cli stream",
+                      "online prequential loop with live publishes");
+    RegisterDatasetFlags(&set);
+    RegisterModelFlags(&set);
+    RegisterTrainFlags(&set);
+    RegisterCheckpointFlags(&set, /*writes=*/false);
+    set.AddString("mode", "imsr",
+                  "training mode (imsr | ft fine-tuning baseline)");
+    set.AddInt("publish_every", 200, "events between snapshot publishes");
+    set.AddInt("expand_every", 5, "publishes between NID/PIT expansions");
+    set.AddInt("micro_epochs", 1, "epochs per micro-span");
+    set.AddInt("top_n", 20, "prequential ranking cutoff N");
+    set.AddInt("window", 500, "sliding recall window size");
+    set.AddInt("curve_every", 0,
+               "curve sample cadence (omit = publish_every / 2)");
+    set.AddInt("queue_cap", 1024, "ingest queue bound (full blocks)");
+    set.AddInt("max_events", 0, "truncate the stream (0 = all)");
+    set.AddBool("threaded", true,
+                "run producer and trainer on separate threads");
+    set.AddString("curve_out", "", "write the recall curve CSV here");
+    set.AddString("summary_out", "", "write the run summary JSON here");
+    RegisterRuleFlag(&set);
+    RegisterRetrievalFlags(&set);
+    RegisterObsFlags(&set);
+    *out = std::move(set);
+    return true;
+  }
+  return false;
 }
 
 // Fills `config` from --model/--dim; a bad --model value prints the valid
@@ -615,6 +790,10 @@ int CmdStream(const util::Flags& flags) {
   service_config.max_events =
       static_cast<uint64_t>(flags.GetInt("max_events", 0));
   service_config.threaded = flags.GetBool("threaded", true);
+  // Ctrl-C / SIGTERM drains the queue, flushes the trainer and still
+  // writes --curve_out / --summary_out before exiting 0.
+  util::InstallShutdownHandlers();
+  service_config.stop = util::ShutdownFlag();
 
   serve::SnapshotRegistry registry;
   stream::StreamTrainer trainer(&model, &store, &registry, trainer_config);
@@ -790,7 +969,24 @@ int Dispatch(const std::string& command, const util::Flags& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
-  util::Flags flags(argc - 1, argv + 1);
+  if (command == "--help" || command == "-h" || command == "help") {
+    Usage();
+    return 0;
+  }
+  util::FlagSet flag_set("imsr_cli", "");
+  if (!BuildFlagSet(command, &flag_set)) return Usage();
+  std::string parse_error;
+  if (!flag_set.Parse(argc - 2, argv + 2, &parse_error)) {
+    std::fprintf(stderr, "error: %s\n", parse_error.c_str());
+    std::fprintf(stderr, "run 'imsr_cli %s --help' for the flag list\n",
+                 command.c_str());
+    return 2;
+  }
+  if (flag_set.help_requested()) {
+    std::printf("%s", flag_set.HelpText().c_str());
+    return 0;
+  }
+  const util::Flags& flags = flag_set.flags();
   util::ApplyThreadFlag(flags);  // --threads=N sizes the process-wide pool
   // The session enables tracing / periodic metric flushing while the
   // command runs; its destructor (after the command's spans close) writes

@@ -1,0 +1,499 @@
+// imsr_loadgen — load harness for imsr_serve: replays a heavy-traffic
+// request mix over C concurrent connections and reports throughput and
+// latency quantiles from obs histograms.
+//
+// Traffic shape:
+//   * user ids drawn Zipf(--zipf) over [0, --users) — hot-user skew, the
+//     YCSB-style generator, so a few users dominate exactly like
+//     production fan-in (0 = uniform);
+//   * closed loop with --depth outstanding requests per connection;
+//   * optional bursts: every --burst_every responses a connection fires
+//     --burst_size extra requests beyond its depth window, probing the
+//     server's admission control.
+//
+// Every response is validated: the request_id must match an in-flight
+// request, ok responses must carry exactly top_n items with scores in
+// descending order. Any violation (or a framing/CRC error) is a
+// *failure* and makes the exit status non-zero — the CI load-smoke
+// asserts zero failures across a mid-flight snapshot publish.
+//
+// Latencies are recorded into the obs metrics registry
+// ("loadgen/latency_ms", dense geometric buckets) and the p50/p99/p99.9
+// estimates come from obs::HistogramQuantile over its snapshot — the
+// same estimator the server's own metrics exports use.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/session.h"
+#include "serve/protocol.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace imsr;  // NOLINT(build/namespaces)
+using Clock = std::chrono::steady_clock;
+
+// YCSB-style bounded Zipfian generator: rank r is drawn with probability
+// proportional to 1/r^theta over [0, n). theta in (0, 1); hot items are
+// the low ids.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+    zeta_n_ = Zeta(n, theta);
+    const double zeta2 = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2 / zeta_n_);
+  }
+
+  uint64_t Next(util::Rng* rng) const {
+    const double u = rng->NextDouble();
+    const double uz = u * zeta_n_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  double zeta_n_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+// Dense geometric latency buckets: 10us .. 10s at ~10% resolution, so
+// interpolated quantiles are accurate to a few percent.
+std::vector<double> DenseLatencyBoundsMs() {
+  std::vector<double> bounds;
+  for (double edge = 0.01; edge <= 10000.0; edge *= 1.1) {
+    bounds.push_back(edge);
+  }
+  return bounds;
+}
+
+struct WorkerStats {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t errors = 0;      // kError responses (e.g. unknown user)
+  uint64_t overloaded = 0;  // admission-control rejections
+  uint64_t failures = 0;    // protocol violations / bad responses
+  std::string first_failure;
+};
+
+struct LoadConfig {
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int port = 0;
+  uint64_t quota = 0;  // requests this connection must send
+  int depth = 8;
+  uint64_t users = 0;
+  double zipf = 0.0;
+  int top_n = 10;
+  uint64_t burst_every = 0;
+  uint64_t burst_size = 0;
+  uint64_t seed = 1;
+};
+
+int ConnectServer(const LoadConfig& config, std::string* error) {
+  int fd = -1;
+  if (!config.unix_path.empty()) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = std::strerror(errno);
+      return -1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, config.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      *error = "connect " + config.unix_path + ": " + std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = std::strerror(errno);
+      return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(config.port));
+    ::inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      *error = "connect port " + std::to_string(config.port) + ": " +
+               std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::vector<uint8_t>& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// One closed-loop connection. Returns when its quota is sent and every
+// outstanding request got a response (or on a fatal failure).
+void RunWorker(const LoadConfig& config, int worker_id,
+               const ZipfGenerator* zipf, obs::Histogram* latency,
+               WorkerStats* stats) {
+  std::string error;
+  const int fd = ConnectServer(config, &error);
+  if (fd < 0) {
+    stats->failures++;
+    stats->first_failure = error;
+    return;
+  }
+  util::Rng rng(config.seed + static_cast<uint64_t>(worker_id) * 7919);
+  std::unordered_map<uint64_t, Clock::time_point> in_flight;
+  uint64_t next_sequence = 0;
+  const uint64_t id_base = static_cast<uint64_t>(worker_id) << 40;
+
+  const auto fail = [&](const std::string& why) {
+    stats->failures++;
+    if (stats->first_failure.empty()) stats->first_failure = why;
+  };
+  const auto send_one = [&]() -> bool {
+    serve::RequestFrame request;
+    request.request_id = id_base | next_sequence;
+    request.user = static_cast<data::UserId>(
+        zipf != nullptr ? zipf->Next(&rng)
+                        : rng.NextBelow(config.users));
+    request.top_n = config.top_n;
+    const Clock::time_point now = Clock::now();
+    if (!SendAll(fd, EncodeRequest(request))) {
+      fail("send failed: " + std::string(std::strerror(errno)));
+      return false;
+    }
+    in_flight.emplace(request.request_id, now);
+    ++next_sequence;
+    ++stats->sent;
+    return true;
+  };
+
+  serve::FrameAssembler assembler;
+  uint64_t received = 0;
+  bool fatal = false;
+  while (!fatal &&
+         (stats->sent < config.quota || !in_flight.empty())) {
+    // Top up the window (bursts overshoot it deliberately).
+    while (stats->sent < config.quota &&
+           in_flight.size() < static_cast<size_t>(config.depth)) {
+      if (!send_one()) {
+        fatal = true;
+        break;
+      }
+    }
+    if (fatal || in_flight.empty()) break;
+    uint8_t buffer[64 * 1024];
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n == 0) {
+      fail("server closed connection with " +
+           std::to_string(in_flight.size()) + " in flight");
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("recv failed: " + std::string(std::strerror(errno)));
+      break;
+    }
+    assembler.Append(buffer, static_cast<size_t>(n));
+    std::vector<uint8_t> payload;
+    for (;;) {
+      const serve::FrameAssembler::Result result =
+          assembler.Next(&payload, &error);
+      if (result == serve::FrameAssembler::Result::kNeedMore) break;
+      if (result == serve::FrameAssembler::Result::kError) {
+        fail("framing error: " + error);
+        fatal = true;
+        break;
+      }
+      serve::ResponseFrame response;
+      if (!serve::TryDecodeResponse(payload, &response, &error)) {
+        fail("decode error: " + error);
+        fatal = true;
+        break;
+      }
+      const auto it = in_flight.find(response.request_id);
+      if (it == in_flight.end()) {
+        fail("response for unknown request_id " +
+             std::to_string(response.request_id));
+        fatal = true;
+        break;
+      }
+      const double millis =
+          std::chrono::duration<double, std::milli>(Clock::now() -
+                                                    it->second)
+              .count();
+      in_flight.erase(it);
+      latency->Record(millis);
+      ++received;
+      switch (response.status) {
+        case serve::ResponseStatus::kOk: {
+          bool sorted = true;
+          for (size_t i = 1; i < response.items.size(); ++i) {
+            if (response.items[i].second >
+                response.items[i - 1].second) {
+              sorted = false;
+            }
+          }
+          if (response.items.size() !=
+              static_cast<size_t>(config.top_n)) {
+            fail("ok response with " +
+                 std::to_string(response.items.size()) + " items, want " +
+                 std::to_string(config.top_n));
+          } else if (!sorted) {
+            fail("ok response with unsorted scores");
+          } else {
+            ++stats->ok;
+          }
+          break;
+        }
+        case serve::ResponseStatus::kError:
+          ++stats->errors;
+          break;
+        case serve::ResponseStatus::kOverloaded:
+        case serve::ResponseStatus::kShuttingDown:
+          ++stats->overloaded;
+          break;
+      }
+      // Burst injection: deliberately overshoot the depth window.
+      if (config.burst_every > 0 && received % config.burst_every == 0) {
+        for (uint64_t b = 0;
+             b < config.burst_size && stats->sent < config.quota; ++b) {
+          if (!send_one()) {
+            fatal = true;
+            break;
+          }
+        }
+      }
+      if (fatal) break;
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::FlagSet flags("imsr_loadgen",
+                      "closed-loop load harness for imsr_serve");
+  flags.AddString("socket", "", "server unix-domain socket path");
+  flags.AddString("host", "127.0.0.1", "server host (tcp)");
+  flags.AddInt("port", 0, "server tcp port (when --socket is empty)");
+  flags.AddInt("connections", 4, "concurrent client connections");
+  flags.AddInt("depth", 8, "outstanding requests per connection");
+  flags.AddInt("requests", 10000, "total requests across all connections");
+  flags.AddInt("users", 100000, "user id space [0, N)");
+  flags.AddDouble("zipf", 0.99,
+                  "Zipf skew theta in (0,1); 0 = uniform user draw");
+  flags.AddInt("top_n", 10, "items requested per query");
+  flags.AddInt("burst_every", 0,
+               "every K responses fire a burst (0 = no bursts)");
+  flags.AddInt("burst_size", 0, "extra requests per burst");
+  flags.AddInt("seed", 1, "traffic RNG seed");
+  flags.AddString("json_out", "", "write the results JSON here");
+  flags.AddString("metrics_out", "",
+                  "write the metrics registry here at exit");
+  flags.AddString("trace_out", "", "write a tracing export here at exit");
+  flags.AddDouble("metrics_interval", 0.0,
+                  "rewrite --metrics_out every N seconds while running");
+
+  std::string parse_error;
+  if (!flags.Parse(argc - 1, argv + 1, &parse_error)) {
+    std::fprintf(stderr, "error: %s\nrun 'imsr_loadgen --help'\n",
+                 parse_error.c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.HelpText().c_str());
+    return 0;
+  }
+  obs::ObsSession obs_session(obs::ObsOptionsFromFlags(flags.flags()));
+
+  LoadConfig config;
+  config.unix_path = flags.GetString("socket");
+  config.host = flags.GetString("host");
+  config.port = static_cast<int>(flags.GetInt("port"));
+  config.depth = static_cast<int>(flags.GetInt("depth"));
+  config.users = static_cast<uint64_t>(flags.GetInt("users"));
+  config.zipf = flags.GetDouble("zipf");
+  config.top_n = static_cast<int>(flags.GetInt("top_n"));
+  config.burst_every = static_cast<uint64_t>(flags.GetInt("burst_every"));
+  config.burst_size = static_cast<uint64_t>(flags.GetInt("burst_size"));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const int connections = static_cast<int>(flags.GetInt("connections"));
+  const uint64_t total_requests =
+      static_cast<uint64_t>(flags.GetInt("requests"));
+  if (config.unix_path.empty() && config.port == 0) {
+    std::fprintf(stderr, "error: need --socket or --port\n");
+    return 2;
+  }
+  if (connections < 1 || config.depth < 1 || config.users == 0) {
+    std::fprintf(stderr,
+                 "error: --connections, --depth and --users must be "
+                 "positive\n");
+    return 2;
+  }
+  if (config.zipf >= 1.0) {
+    std::fprintf(stderr, "error: --zipf must be in [0, 1)\n");
+    return 2;
+  }
+
+  std::unique_ptr<ZipfGenerator> zipf;
+  if (config.zipf > 0.0) {
+    zipf = std::make_unique<ZipfGenerator>(config.users, config.zipf);
+  }
+  // Direct registry use (not the macros) so latency recording works in
+  // every build, including -DIMSR_OBS=OFF.
+  obs::Histogram* latency = &obs::Registry().GetHistogram(
+      "loadgen/latency_ms", DenseLatencyBoundsMs());
+
+  std::vector<WorkerStats> stats(static_cast<size_t>(connections));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(connections));
+  const Clock::time_point start = Clock::now();
+  for (int i = 0; i < connections; ++i) {
+    LoadConfig worker_config = config;
+    worker_config.quota = total_requests / connections +
+                          (static_cast<uint64_t>(i) <
+                                   total_requests % connections
+                               ? 1
+                               : 0);
+    workers.emplace_back(RunWorker, worker_config, i, zipf.get(), latency,
+                         &stats[static_cast<size_t>(i)]);
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  WorkerStats total;
+  for (const WorkerStats& w : stats) {
+    total.sent += w.sent;
+    total.ok += w.ok;
+    total.errors += w.errors;
+    total.overloaded += w.overloaded;
+    total.failures += w.failures;
+    if (total.first_failure.empty() && !w.first_failure.empty()) {
+      total.first_failure = w.first_failure;
+    }
+  }
+  // Quantiles from the obs histogram snapshot — the exporter's own
+  // estimator (HistogramQuantile), not a second implementation.
+  obs::HistogramSnapshot latency_snapshot;
+  for (const obs::HistogramSnapshot& histogram :
+       obs::Registry().Snapshot().histograms) {
+    if (histogram.name == "loadgen/latency_ms") {
+      latency_snapshot = histogram;
+    }
+  }
+  const double p50 = obs::HistogramQuantile(latency_snapshot, 0.50);
+  const double p99 = obs::HistogramQuantile(latency_snapshot, 0.99);
+  const double p999 = obs::HistogramQuantile(latency_snapshot, 0.999);
+  const double qps =
+      elapsed > 0.0 ? static_cast<double>(total.sent) / elapsed : 0.0;
+  const double mean_ms =
+      latency_snapshot.count > 0
+          ? latency_snapshot.sum / static_cast<double>(latency_snapshot.count)
+          : 0.0;
+
+  std::printf(
+      "sent %llu requests over %d connections in %.2fs: %.0f req/s\n"
+      "responses: %llu ok, %llu error, %llu overloaded, %llu FAILED\n"
+      "latency ms: mean %.3f  p50 %.3f  p99 %.3f  p99.9 %.3f  max %.3f\n",
+      static_cast<unsigned long long>(total.sent), connections, elapsed,
+      qps, static_cast<unsigned long long>(total.ok),
+      static_cast<unsigned long long>(total.errors),
+      static_cast<unsigned long long>(total.overloaded),
+      static_cast<unsigned long long>(total.failures), mean_ms, p50, p99,
+      p999, latency_snapshot.max);
+  if (total.failures > 0) {
+    std::fprintf(stderr, "first failure: %s\n",
+                 total.first_failure.c_str());
+  }
+
+  const std::string json_out = flags.GetString("json_out");
+  if (!json_out.empty()) {
+    std::ostringstream json;
+    char buffer[64];
+    json << "{\n";
+    json << "  \"connections\": " << connections << ",\n";
+    json << "  \"depth\": " << config.depth << ",\n";
+    json << "  \"users\": " << config.users << ",\n";
+    std::snprintf(buffer, sizeof(buffer), "%.3f", config.zipf);
+    json << "  \"zipf\": " << buffer << ",\n";
+    json << "  \"top_n\": " << config.top_n << ",\n";
+    json << "  \"sent\": " << total.sent << ",\n";
+    json << "  \"ok\": " << total.ok << ",\n";
+    json << "  \"errors\": " << total.errors << ",\n";
+    json << "  \"overloaded\": " << total.overloaded << ",\n";
+    json << "  \"failures\": " << total.failures << ",\n";
+    std::snprintf(buffer, sizeof(buffer), "%.3f", elapsed);
+    json << "  \"elapsed_s\": " << buffer << ",\n";
+    std::snprintf(buffer, sizeof(buffer), "%.1f", qps);
+    json << "  \"qps\": " << buffer << ",\n";
+    std::snprintf(buffer, sizeof(buffer), "%.4f", mean_ms);
+    json << "  \"mean_ms\": " << buffer << ",\n";
+    std::snprintf(buffer, sizeof(buffer), "%.4f", p50);
+    json << "  \"p50_ms\": " << buffer << ",\n";
+    std::snprintf(buffer, sizeof(buffer), "%.4f", p99);
+    json << "  \"p99_ms\": " << buffer << ",\n";
+    std::snprintf(buffer, sizeof(buffer), "%.4f", p999);
+    json << "  \"p999_ms\": " << buffer << ",\n";
+    std::snprintf(buffer, sizeof(buffer), "%.4f", latency_snapshot.max);
+    json << "  \"max_ms\": " << buffer << "\n";
+    json << "}\n";
+    std::ofstream out(json_out, std::ios::trunc);
+    if (!out || !(out << json.str()) || !out.flush()) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+  }
+  return total.failures == 0 ? 0 : 1;
+}
