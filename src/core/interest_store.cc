@@ -1,10 +1,22 @@
 #include "core/interest_store.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/check.h"
 
 namespace imsr::core {
+
+namespace {
+// Process-wide mutation counter: every Touch() anywhere draws a fresh
+// value, so a revision can never repeat — across time or across store
+// instances (see InterestStore::revision()).
+std::atomic<uint64_t> g_store_revision{0};
+}  // namespace
+
+void InterestStore::Touch() {
+  revision_ = g_store_revision.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 bool InterestStore::Has(data::UserId user) const {
   return entries_.count(user) > 0;
@@ -34,6 +46,7 @@ void InterestStore::Initialize(data::UserId user, int64_t k0, int64_t dim,
   entry.interests = nn::Tensor::Randn({k0, dim}, rng);
   entry.birth_spans.assign(static_cast<size_t>(k0), span);
   entries_[user] = std::move(entry);
+  Touch();
 }
 
 void InterestStore::SetInterests(data::UserId user, nn::Tensor interests) {
@@ -43,6 +56,7 @@ void InterestStore::SetInterests(data::UserId user, nn::Tensor interests) {
       << "SetInterests must preserve K (use Append/Keep to resize)";
   IMSR_CHECK_EQ(interests.size(1), it->second.interests.size(1));
   it->second.interests = std::move(interests);
+  Touch();
 }
 
 void InterestStore::Append(data::UserId user, const nn::Tensor& rows,
@@ -54,6 +68,7 @@ void InterestStore::Append(data::UserId user, const nn::Tensor& rows,
   for (int64_t r = 0; r < rows.size(0); ++r) {
     it->second.birth_spans.push_back(span);
   }
+  Touch();
 }
 
 void InterestStore::Keep(data::UserId user,
@@ -74,9 +89,13 @@ void InterestStore::Keep(data::UserId user,
   }
   it->second.interests = std::move(next);
   it->second.birth_spans = std::move(next_births);
+  Touch();
 }
 
-void InterestStore::Clear() { entries_.clear(); }
+void InterestStore::Clear() {
+  entries_.clear();
+  Touch();
+}
 
 std::vector<data::UserId> InterestStore::Users() const {
   std::vector<data::UserId> users;
@@ -186,6 +205,7 @@ bool InterestStore::Load(util::BinaryReader* reader, std::string* error,
     entries[static_cast<data::UserId>(user)] = std::move(entry);
   }
   entries_ = std::move(entries);
+  Touch();
   return true;
 }
 

@@ -31,6 +31,15 @@ class InterestStore {
   bool Has(data::UserId user) const;
   int64_t NumInterests(data::UserId user) const;
 
+  // Mutation stamp drawn from a process-wide counter: every mutating
+  // call (Initialize / SetInterests / Append / Keep / Clear / Load)
+  // re-stamps it with a fresh, globally unique value, so equal nonzero
+  // revisions imply the SAME store with NO intervening mutation — the
+  // check the timed-republish fast path (serve::BuildSnapshotShared)
+  // relies on to skip the full 100s-of-MB ExportPacked. 0 means
+  // never-mutated (necessarily empty).
+  uint64_t revision() const { return revision_; }
+
   // The user's interest matrix (K x d); aborts when absent.
   const nn::Tensor& Interests(data::UserId user) const;
   // Span at which each interest row was created (parallel to rows).
@@ -76,7 +85,13 @@ class InterestStore {
     nn::Tensor interests;          // (K x d)
     std::vector<int> birth_spans;  // size K
   };
+
+  // Re-stamps revision_ from the process-wide counter; called by every
+  // mutating method.
+  void Touch();
+
   std::unordered_map<data::UserId, Entry> entries_;
+  uint64_t revision_ = 0;
 };
 
 }  // namespace imsr::core

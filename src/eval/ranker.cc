@@ -26,8 +26,6 @@ float ScoreFromLogits(const float* row, int64_t k, ScoreRule rule) {
   return weighted / total;
 }
 
-namespace {
-
 // Fused per-item reduction over the K interest logits: one pass computes
 // either max_k or the softmax-weighted combination (Eq. 5 with the
 // candidate as query), without temporaries.
@@ -38,7 +36,13 @@ void ScoresFromLogits(const float* logits, int64_t num_items, int64_t k,
   }
 }
 
-}  // namespace
+void ScoresFromLogitsStrided(const float* logits, int64_t num_items,
+                             int64_t k, int64_t stride, int64_t offset,
+                             ScoreRule rule, float* scores) {
+  for (int64_t i = 0; i < num_items; ++i) {
+    scores[i] = ScoreFromLogits(logits + i * stride + offset, k, rule);
+  }
+}
 
 const char* ScoreRuleName(ScoreRule rule) {
   switch (rule) {

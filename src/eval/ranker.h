@@ -34,6 +34,24 @@ bool ScoreRuleFromName(const std::string& name, ScoreRule* rule,
 // rows — sharing one definition keeps the two paths bitwise identical.
 float ScoreFromLogits(const float* row, int64_t k, ScoreRule rule);
 
+// The full-corpus form: applies ScoreFromLogits to each of `num_items`
+// contiguous rows of K logits. ScoreAllItemsInto uses it on its own
+// E H^T product; serve::RecommendBatch applies it to fused per-user
+// logits — one definition keeps every path bitwise identical.
+void ScoresFromLogits(const float* logits, int64_t num_items, int64_t k,
+                      ScoreRule rule, float* scores);
+
+// Strided form for fused multi-user logit matrices: item i's K logits
+// start at logits + i * stride + offset (contiguous within the row).
+// ScoresFromLogits is the stride == k, offset == 0 case; both run the
+// same per-row reduction, so a user's scores read out of a fused
+// (num_items x total_k) product are bitwise identical to scores from a
+// dedicated (num_items x k) one — the serve micro-batch relies on this
+// (DESIGN.md §15).
+void ScoresFromLogitsStrided(const float* logits, int64_t num_items,
+                             int64_t k, int64_t stride, int64_t offset,
+                             ScoreRule rule, float* scores);
+
 // Reusable buffers for repeated full-corpus scoring (one per worker
 // thread in the evaluator; never shared across threads concurrently).
 struct RankScratch {

@@ -587,6 +587,93 @@ void MatMulTransBRowsSimd(const float* __restrict__ pa,
 }
 IMSR_HOT_END
 
+// Panel dot kernel for the serve scoring path: `pat` is one panel of
+// the panelized k-major layout (PanelizeKMajorInto) — `panel_rows` items
+// stored column-major, element (i, kk) at pat[kk * panel_rows + i] — so
+// the item axis is the fastest-moving one and SIMD lanes run ACROSS
+// output rows — kLanes independent (i, j) elements per vector — while
+// every element's kk loop stays strictly sequential. Order-preserving
+// class: the vector width never touches a reduction, so the bits equal
+// MatMulTransBRows' scalar dot order for any SimdEnabled setting, any
+// operand width n, and any row-range split. (a * b == b * a bitwise
+// under IEEE 754, so the broadcast-multiply form below matches the
+// scalar dot exactly.)
+//
+// Row indices are panel-relative; `po` points at the output for row
+// r_begin — stores are range-relative, so a caller can hand each row
+// range its own tile (the blocked serve scoring loop) or offsets into
+// one full matrix (the parallel split).
+IMSR_HOT_BEGIN
+IMSR_SIMD_CLONES
+void MatMulTransBPanelRows(const float* __restrict__ pat,
+                           const float* __restrict__ pb,
+                           float* __restrict__ po, int64_t r_begin,
+                           int64_t r_end, int64_t panel_rows, int64_t k,
+                           int64_t n) {
+  constexpr int64_t kLanes = 16;  // output rows advanced per vector group
+  constexpr int64_t kCols = 4;    // b rows per register tile
+  int64_t i = r_begin;
+  for (; i + kLanes <= r_end; i += kLanes) {
+    for (int64_t jb = 0; jb < n; jb += kCols) {
+      const int64_t jn = std::min<int64_t>(kCols, n - jb);
+      float acc[kCols][kLanes];
+      for (int64_t jj = 0; jj < jn; ++jj) {
+        IMSR_SIMD_PRAGMA()
+        for (int64_t l = 0; l < kLanes; ++l) acc[jj][l] = 0.0f;
+      }
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float* __restrict__ acol = pat + kk * panel_rows + i;
+        for (int64_t jj = 0; jj < jn; ++jj) {
+          const float bjk = pb[(jb + jj) * k + kk];
+          IMSR_SIMD_PRAGMA()
+          for (int64_t l = 0; l < kLanes; ++l) acc[jj][l] += bjk * acol[l];
+        }
+      }
+      for (int64_t jj = 0; jj < jn; ++jj) {
+        for (int64_t l = 0; l < kLanes; ++l) {
+          po[(i - r_begin + l) * n + jb + jj] = acc[jj][l];
+        }
+      }
+    }
+  }
+  // Scalar remainder: same per-element kk order, so where the split lands
+  // cannot change a bit.
+  for (; i < r_end; ++i) {
+    float* __restrict__ orow = po + (i - r_begin) * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* __restrict__ brow = pb + j * k;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += pat[kk * panel_rows + i] * brow[kk];
+      }
+      orow[j] = acc;
+    }
+  }
+}
+IMSR_HOT_END
+
+// Walks the panels covering global rows [i_begin, i_end), writing
+// range-relative output — shared by the public range entry and the
+// parallel chunks of the full entry.
+void PanelRangeImpl(ConstMatrixView a_panels, ConstMatrixView b,
+                    int64_t i_begin, int64_t i_end, float* out) {
+  const int64_t m = a_panels.rows;
+  const int64_t k = a_panels.cols;
+  const int64_t n = b.rows;
+  int64_t i = i_begin;
+  float* po = out;
+  while (i < i_end) {
+    const int64_t p0 = (i / kKMajorPanelRows) * kKMajorPanelRows;
+    const int64_t panel_rows = std::min<int64_t>(kKMajorPanelRows, m - p0);
+    const int64_t r0 = i - p0;
+    const int64_t r1 = std::min<int64_t>(panel_rows, i_end - p0);
+    MatMulTransBPanelRows(a_panels.data + p0 * k, b.data, po, r0, r1,
+                          panel_rows, k, n);
+    po += (r1 - r0) * n;
+    i = p0 + r1;
+  }
+}
+
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -680,6 +767,69 @@ void MatMulTransBInto(const Tensor& a, ConstMatrixView b, Tensor* out) {
   } else {
     rows_kernel(pa, pb, po, 0, m, k, n);
   }
+}
+
+void PanelizeKMajorInto(const Tensor& a, Tensor* out) {
+  IMSR_CHECK(out != nullptr);
+  IMSR_CHECK_EQ(a.dim(), 2);
+  const int64_t m = a.size(0);
+  const int64_t k = a.size(1);
+  // Shape {m, k} like the source — the layout is panelized, but numel
+  // and the logical dims are unchanged, so byte-level comparisons and
+  // accounting keep working.
+  out->ResizeUninitialized({m, k});
+  const float* pa = a.data();
+  float* po = out->data();
+  for (int64_t p0 = 0; p0 < m; p0 += kKMajorPanelRows) {
+    const int64_t rows = std::min<int64_t>(kKMajorPanelRows, m - p0);
+    float* panel = po + p0 * k;
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* __restrict__ arow = pa + (p0 + r) * k;
+      for (int64_t kk = 0; kk < k; ++kk) panel[kk * rows + r] = arow[kk];
+    }
+  }
+}
+
+void MatMulTransBPanelInto(ConstMatrixView a_panels, ConstMatrixView b,
+                           Tensor* out) {
+  IMSR_CHECK(out != nullptr);
+  IMSR_CHECK(a_panels.data != nullptr);
+  IMSR_CHECK(b.data != nullptr);
+  IMSR_CHECK_EQ(a_panels.cols, b.cols);  // both are k
+  const int64_t m = a_panels.rows;
+  const int64_t k = a_panels.cols;
+  const int64_t n = b.rows;
+  out->ResizeUninitialized({m, n});
+  float* po = out->data();
+  // One kernel for every width — no SimdEnabled() dispatch: the panel
+  // layout makes the vectorized form order-preserving, so there is
+  // nothing to gate. The serial/parallel choice only picks a row
+  // partition, which the kernel's bits do not depend on.
+  if (m * k * n >= kParallelWorkThreshold) {
+    util::GlobalPool().ParallelFor(
+        m, RowGrain(m, k * n), [&](int64_t begin, int64_t end) {
+          PanelRangeImpl(a_panels, b, begin, end, po + begin * n);
+        });
+  } else {
+    PanelRangeImpl(a_panels, b, 0, m, po);
+  }
+}
+
+void MatMulTransBPanelRangeInto(ConstMatrixView a_panels, ConstMatrixView b,
+                                int64_t i_begin, int64_t i_end, float* out) {
+  IMSR_CHECK(a_panels.data != nullptr);
+  IMSR_CHECK(b.data != nullptr);
+  IMSR_CHECK(out != nullptr);
+  IMSR_CHECK_EQ(a_panels.cols, b.cols);  // both are k
+  IMSR_CHECK_GE(i_begin, 0);
+  IMSR_CHECK_LE(i_begin, i_end);
+  IMSR_CHECK_LE(i_end, a_panels.rows);
+  // Serial on purpose: callers block the row sweep precisely so each tile
+  // stays cache-resident between the matmul and the reduction that
+  // follows; fanning a tile out would defeat that. Same kernel body as
+  // the full entry, so where the caller draws block boundaries cannot
+  // change a bit.
+  PanelRangeImpl(a_panels, b, i_begin, i_end, out);
 }
 
 void MatMulTransBGatherInto(const Tensor& a, ConstMatrixView b,

@@ -297,6 +297,48 @@ Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& indices);
 void GatherRowsInto(const Tensor& table, const int64_t* indices,
                     int64_t count, Tensor* out);
 
+// Rows per panel of the panelized k-major layout below. Also the item
+// block size of the serve scoring sweep (serve/recommend.cc), which
+// keys its blocks to panel boundaries so every block reads exactly one
+// contiguous panel.
+inline constexpr int64_t kKMajorPanelRows = 1024;
+
+// Repacks a row-major (m x k) matrix into panelized k-major layout:
+// rows are grouped into panels of kKMajorPanelRows; within panel p
+// (rows_p = min(panel, m - p*panel) rows), element (i, kk) lives at
+// panel_base[kk * rows_p + (i - panel_first_row)]. Full panels make
+// panel p's base offset simply p * kKMajorPanelRows * k; the last panel
+// is stored compact, so `out` holds exactly m*k floats (shape {m, k},
+// layout panelized). Column-major within a panel puts SIMD lanes across
+// items; panel-major overall keeps a scoring sweep's reads inside one
+// contiguous 4*k*panel-byte window instead of k column streams strided
+// by the full corpus — sequential traffic the prefetcher can follow.
+void PanelizeKMajorInto(const Tensor& a, Tensor* out);
+
+// A * B^T with A supplied in panelized k-major layout: `a_panels` views
+// PanelizeKMajorInto's output (rows = m items, cols = k); computes
+// out[i][j] = dot(A.row(i), b.row(j)) into (m x n). Order-preserving
+// class: SIMD lanes run across output rows (independent elements), each
+// element's kk accumulation is strictly sequential, so the bits equal
+// the scalar dot order (MatMulTransBRows) regardless of the SimdEnabled
+// flag, the operand width n, or the row split. That width invariance is
+// what the serve read path builds on: the snapshot keeps its embedding
+// table in this layout, so scoring many users' concatenated interest
+// rows in one fused call is bitwise identical to one call per user — the
+// RecommendBatch == RecommendOne contract (DESIGN.md §15).
+void MatMulTransBPanelInto(ConstMatrixView a_panels, ConstMatrixView b,
+                           Tensor* out);
+
+// Row-range form of MatMulTransBPanelInto: computes output rows
+// [i_begin, i_end) into `out`, which holds (i_end - i_begin) x b.rows
+// floats — block-relative, so a caller sweeping the corpus in item
+// blocks reuses one small tile that stays cache-resident for the
+// reduction that follows (the serve scoring loop, DESIGN.md §15). Runs
+// the identical kernel body serially; row i's bits match row i of the
+// full product exactly, wherever the block boundaries land.
+void MatMulTransBPanelRangeInto(ConstMatrixView a_panels, ConstMatrixView b,
+                                int64_t i_begin, int64_t i_end, float* out);
+
 // Gathered A * B^T: out[r][j] = dot(a.row(rows[r]), b.row(j)) for the
 // `num_rows` row indices in `rows`. Picks the kernel by the FULL shape
 // (a.size(0) x b.rows), not the gathered one, so every computed row is

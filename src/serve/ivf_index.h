@@ -124,6 +124,13 @@ class IvfIndex {
   int64_t num_centroids() const { return centroids_.size(0); }
   int64_t dim() const { return dim_; }
   int default_nprobe() const { return default_nprobe_; }
+  // Re-rank knobs as resolved at build time. Construction is fully
+  // deterministic in (embeddings, seeds, config), so two indexes built
+  // over bitwise-equal inputs with equal resolved knobs answer every
+  // query identically — what SnapshotRegistry's data-epoch comparison
+  // relies on (snapshot.h).
+  int rerank_factor() const { return rerank_factor_; }
+  int min_rerank() const { return min_rerank_; }
   // Process-monotonic construction stamp (> 0); lets tests prove every
   // published snapshot carries a FRESH index, not a reused one.
   uint64_t build_id() const { return build_id_; }

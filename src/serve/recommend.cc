@@ -1,10 +1,55 @@
 #include "serve/recommend.h"
 
+#include <algorithm>
+
 #include "obs/obs.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
 
 namespace imsr::serve {
+
+namespace {
+
+// Item rows scored per block of the exact-path sweep. The block's logits
+// tile (block x total_k floats) must stay cache-resident between the
+// matmul that fills it and the reduction that drains it — that locality
+// is the whole point of blocking; a corpus-sized logits matrix thrashes
+// every level once total_k grows past a few interests. Equal to the
+// k-major panel size so every block reads exactly one contiguous panel
+// of the snapshot's table (sequential traffic, one prefetch stream),
+// and the tile stays within ~half of a typical L2 even at a full
+// micro-batch's width (1024 rows x 96 interests x 4 B = 384 KiB worst
+// case, ~12 KiB for a single user).
+constexpr int64_t kScoreBlockRows = nn::kKMajorPanelRows;
+
+// The one exact-scoring body every serve path reduces to: logits from
+// the k-major table through the width-invariant kernel, then the fused
+// per-item reduction, swept in item blocks so the tile never leaves
+// cache. `interests` may be one user's snapshot view or several users'
+// rows packed into one operand — the kernel's bits do not depend on the
+// width and the reduction is independent per item, which is exactly why
+// RecommendBatch can fuse and block and still memcmp-match RecommendOne.
+// (The evaluator keeps its own ScoreAllItemsInto on the row-major table;
+// serve owns this layout.)
+void ScoreExactInto(const ServingSnapshot& snapshot,
+                    nn::ConstMatrixView interests, eval::ScoreRule rule,
+                    eval::RankScratch* scratch) {
+  const int64_t num_items = snapshot.num_items();
+  const int64_t k = interests.rows;
+  const nn::ConstMatrixView table =
+      nn::ViewOf(snapshot.item_embeddings_kmajor());
+  scratch->logits.ResizeUninitialized({kScoreBlockRows, k});
+  scratch->scores.resize(static_cast<size_t>(num_items));
+  for (int64_t b0 = 0; b0 < num_items; b0 += kScoreBlockRows) {
+    const int64_t b1 = std::min<int64_t>(num_items, b0 + kScoreBlockRows);
+    nn::MatMulTransBPanelRangeInto(table, interests, b0, b1,
+                                   scratch->logits.data());
+    eval::ScoresFromLogits(scratch->logits.data(), b1 - b0, k, rule,
+                           scratch->scores.data() + b0);
+  }
+}
+
+}  // namespace
 
 void RecommendOne(const ServingSnapshot& snapshot,
                   const RecommendRequest& request, const ServeConfig& config,
@@ -30,12 +75,212 @@ void RecommendOne(const ServingSnapshot& snapshot,
                       snapshot.item_embeddings(), config.rule, top_n,
                       config.nprobe, &scratch->ivf, &response->items);
   } else {
-    eval::ScoreAllItemsInto(snapshot.Interests(request.user),
-                            snapshot.item_embeddings(), config.rule,
-                            &scratch->rank);
+    ScoreExactInto(snapshot, snapshot.Interests(request.user), config.rule,
+                   &scratch->rank);
     response->items = eval::TopNFromScores(scratch->rank.scores, top_n);
   }
   response->ok = true;
+}
+
+void RecommendBatch(const ServingSnapshot& snapshot,
+                    const RecommendRequest* requests, size_t count,
+                    const ServeConfig& config, RecommendScratch* scratch,
+                    RecommendResponse* responses) {
+  IMSR_CHECK(scratch != nullptr);
+  if (count == 0) return;
+  IMSR_CHECK(requests != nullptr);
+  IMSR_CHECK(responses != nullptr);
+  const IvfIndex* index =
+      config.retrieval == RetrievalMode::kIVF ? snapshot.index() : nullptr;
+  IMSR_OBS_ONLY({
+    if (config.retrieval == RetrievalMode::kIVF && index == nullptr) {
+      IMSR_COUNTER_ADD("serve/ivf_fallback_exact",
+                       static_cast<int64_t>(count));
+    }
+  })
+  // Validation mirrors RecommendOne exactly — same checks, same order,
+  // same error strings — so a batched error response is bitwise identical
+  // to the single-request one. resolved[i] > 0 marks a scoreable request.
+  std::vector<int>& resolved = scratch->batch_top_n;
+  resolved.assign(count, -1);
+  for (size_t i = 0; i < count; ++i) {
+    RecommendResponse& response = responses[i];
+    response.user = requests[i].user;
+    response.ok = false;
+    response.items.clear();
+    const int top_n =
+        requests[i].top_n > 0 ? requests[i].top_n : config.default_top_n;
+    if (top_n <= 0) {
+      response.error = "top_n must be positive";
+      continue;
+    }
+    if (!snapshot.HasUser(requests[i].user)) {
+      response.error =
+          "no interests for user " + std::to_string(requests[i].user);
+      continue;
+    }
+    resolved[i] = top_n;
+  }
+  // Duplicate detector: an earlier request with the same (user, top_n)
+  // against the same snapshot/config produced the identical answer, so
+  // the later one copies it. Linear scan — batches are batch_max-sized.
+  auto duplicate_of = [&](size_t i) -> int64_t {
+    for (size_t j = 0; j < i; ++j) {
+      if (resolved[j] == resolved[i] && requests[j].user == requests[i].user) {
+        return static_cast<int64_t>(j);
+      }
+    }
+    return -1;
+  };
+  if (index != nullptr) {
+    // IVF path: one shortlist pass per unique (user, top_n), all sharing
+    // the shard's IvfIndex scratch.
+    for (size_t i = 0; i < count; ++i) {
+      if (resolved[i] <= 0) continue;
+      const int64_t dup = duplicate_of(i);
+      if (dup >= 0) {
+        responses[i].items = responses[static_cast<size_t>(dup)].items;
+        responses[i].ok = true;
+        continue;
+      }
+      index->SearchTopN(snapshot.Interests(requests[i].user),
+                        snapshot.item_embeddings(), config.rule, resolved[i],
+                        config.nprobe, &scratch->ivf, &responses[i].items);
+      responses[i].ok = true;
+    }
+    return;
+  }
+  // Exact path: concatenate each unique user's interest rows into one
+  // packed operand and sweep the snapshot's k-major table once in item
+  // blocks — the embedding table streams through cache once per batch
+  // instead of once per user, and each block's fused logits tile is
+  // reduced into every user's scores while still cache-hot. The kernel's
+  // bits are invariant to the operand width and the block split, and the
+  // strided per-user reduction shares ScoreFromLogits with the
+  // single-request path, so every response is bitwise identical to
+  // RecommendOne's.
+  std::vector<data::UserId>& users = scratch->batch_users;
+  std::vector<int64_t>& user_slot = scratch->batch_user_slot;
+  users.clear();
+  user_slot.assign(count, -1);
+  for (size_t i = 0; i < count; ++i) {
+    if (resolved[i] <= 0) continue;
+    int64_t slot = -1;
+    for (size_t u = 0; u < users.size(); ++u) {
+      if (users[u] == requests[i].user) {
+        slot = static_cast<int64_t>(u);
+        break;
+      }
+    }
+    if (slot < 0) {
+      slot = static_cast<int64_t>(users.size());
+      users.push_back(requests[i].user);
+    }
+    user_slot[i] = slot;
+  }
+  if (users.empty()) return;
+  const int64_t dim = snapshot.dim();
+  std::vector<int64_t>& col_offset = scratch->batch_col_offset;
+  col_offset.clear();
+  int64_t total_k = 0;
+  for (size_t u = 0; u < users.size(); ++u) {
+    col_offset.push_back(total_k);
+    total_k += snapshot.NumInterests(users[u]);
+  }
+  scratch->batch_interests.ResizeUninitialized({total_k, dim});
+  for (size_t u = 0; u < users.size(); ++u) {
+    const nn::ConstMatrixView rows = snapshot.Interests(users[u]);
+    std::copy_n(rows.data, rows.rows * rows.cols,
+                scratch->batch_interests.data() + col_offset[u] * dim);
+  }
+  const int64_t num_items = snapshot.num_items();
+  const nn::ConstMatrixView table =
+      nn::ViewOf(snapshot.item_embeddings_kmajor());
+  const nn::ConstMatrixView packed = {scratch->batch_interests.data(),
+                                      total_k, dim};
+  // Blocked sweep: each item block's fused logits tile is produced and
+  // reduced into every unique user's scores before the next block evicts
+  // it. Every unique user has at least one non-duplicate request, so no
+  // scored row is wasted.
+  std::vector<std::vector<float>>& scores = scratch->batch_scores;
+  if (scores.size() < users.size()) scores.resize(users.size());
+  for (size_t u = 0; u < users.size(); ++u) {
+    scores[u].resize(static_cast<size_t>(num_items));
+  }
+  scratch->batch_logits.ResizeUninitialized({kScoreBlockRows, total_k});
+  // Per-user interest counts hoisted out of the reduce loop.
+  std::vector<int64_t>& user_k = scratch->batch_user_k;
+  user_k.clear();
+  for (size_t u = 0; u < users.size(); ++u) {
+    user_k.push_back(snapshot.NumInterests(users[u]));
+  }
+  for (int64_t b0 = 0; b0 < num_items; b0 += kScoreBlockRows) {
+    const int64_t b1 = std::min<int64_t>(num_items, b0 + kScoreBlockRows);
+    nn::MatMulTransBPanelRangeInto(table, packed, b0, b1,
+                                   scratch->batch_logits.data());
+    // One strided tile pass per user: the tile fits L2 at serving
+    // widths, so this beats a row-major interchange (which pays one
+    // ScoreFromLogits call per (item, user) for no bandwidth win).
+    for (size_t u = 0; u < users.size(); ++u) {
+      eval::ScoresFromLogitsStrided(scratch->batch_logits.data(), b1 - b0,
+                                    user_k[u], total_k, col_offset[u],
+                                    config.rule, scores[u].data() + b0);
+    }
+  }
+  // Responses come out in request order; duplicates copy the first
+  // answer, everyone else selects from their user's scores.
+  for (size_t i = 0; i < count; ++i) {
+    if (resolved[i] <= 0) continue;
+    const int64_t dup = duplicate_of(i);
+    if (dup >= 0) {
+      responses[i].items = responses[static_cast<size_t>(dup)].items;
+      responses[i].ok = true;
+      continue;
+    }
+    responses[i].items = eval::TopNFromScores(
+        scores[static_cast<size_t>(user_slot[i])], resolved[i]);
+    responses[i].ok = true;
+  }
+}
+
+// Mixes the key fields through splitmix64-style avalanche rounds; the
+// epoch is in the mix, so each content change redistributes the table.
+size_t ResponseCacheKeyHash::operator()(const ResponseCacheKey& key) const {
+  auto mix = [](uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  };
+  uint64_t h = mix(key.epoch);
+  h = mix(h ^ static_cast<uint64_t>(key.user));
+  h = mix(h ^ (static_cast<uint64_t>(static_cast<uint32_t>(key.top_n)) |
+               (static_cast<uint64_t>(key.rule) << 32) |
+               (static_cast<uint64_t>(key.retrieval) << 40)));
+  h = mix(h ^ static_cast<uint64_t>(static_cast<uint32_t>(key.nprobe)));
+  return static_cast<size_t>(h);
+}
+
+ResponseCacheKey MakeResponseCacheKey(const ServingSnapshot& snapshot,
+                                      const RecommendRequest& request,
+                                      const ServeConfig& config) {
+  ResponseCacheKey key;
+  key.epoch = snapshot.data_epoch();
+  key.user = request.user;
+  key.top_n = request.top_n > 0 ? request.top_n : config.default_top_n;
+  key.rule = static_cast<uint8_t>(config.rule);
+  key.retrieval = static_cast<uint8_t>(config.retrieval);
+  key.nprobe = config.nprobe;
+  return key;
+}
+
+size_t ResponseCacheEntryBytes(
+    const std::vector<std::pair<data::ItemId, float>>& items) {
+  // Key + vector payload + an allowance for the LRU list node and index
+  // slot. An estimate, not an accounting — the budget bounds memory to
+  // within a small constant factor.
+  return sizeof(ResponseCacheKey) +
+         items.size() * sizeof(std::pair<data::ItemId, float>) + 96;
 }
 
 std::vector<RecommendResponse> Recommend(

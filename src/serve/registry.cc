@@ -13,6 +13,21 @@ void SnapshotRegistry::Publish(std::shared_ptr<ServingSnapshot> snapshot) {
   IMSR_OBS_ONLY(util::Stopwatch timer;)
   snapshot->version_ =
       next_version_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Data-epoch stamp: when the incoming snapshot would score every
+  // request bitwise identically to the current one (a timed republish of
+  // an unchanged model), carry the current epoch forward so epoch-keyed
+  // state — the per-shard response cache — stays warm across the publish.
+  // Any real content change starts a fresh epoch (= this version), which
+  // invalidates every cached response by key. The comparison costs one
+  // memcmp sweep over the frozen tables, on the publisher's thread, never
+  // a reader's.
+  std::shared_ptr<const ServingSnapshot> prev =
+      current_.load(std::memory_order_acquire);
+  if (prev != nullptr && snapshot->SameScoringContent(*prev)) {
+    snapshot->data_epoch_ = prev->data_epoch_;
+  } else {
+    snapshot->data_epoch_ = snapshot->version_;
+  }
   IMSR_GAUGE_SET("serve/snapshot_version",
                  static_cast<double>(snapshot->version_));
   IMSR_GAUGE_SET("serve/snapshot_span",

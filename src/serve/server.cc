@@ -8,11 +8,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
 #include "obs/obs.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
 
 namespace imsr::serve {
 namespace {
@@ -69,34 +71,140 @@ void ShardSet::Start() {
 
 void ShardSet::WorkerLoop(Shard* shard) {
   RecommendScratch scratch;
+  const int batch_max = std::max(1, config_.batch_max);
+  std::unique_ptr<ResponseCache> cache;
+  if (config_.cache_bytes > 0) {
+    // The total budget splits evenly; a per-shard cache needs no lock
+    // because only this worker thread touches it, and the user-hash
+    // routing already partitions the key space across shards.
+    const size_t per_shard =
+        std::max<size_t>(1, config_.cache_bytes / shards_.size());
+    cache = std::make_unique<ResponseCache>(per_shard);
+  }
+  uint64_t seen_hits = 0;
+  uint64_t seen_misses = 0;
+  uint64_t seen_evictions = 0;
+  std::vector<Task> tasks;
+  std::vector<ResponseFrame> frames;
+  std::vector<RecommendRequest> misses;
+  std::vector<size_t> miss_frame;
+  std::vector<RecommendResponse> miss_responses;
   Task task;
   while (shard->queue.Pop(&task)) {
+    // Micro-batch drain: one blocking pop, then whatever is already
+    // waiting up to batch_max. A shallow queue yields a small batch
+    // immediately — batching never trades latency for throughput.
+    tasks.clear();
+    tasks.push_back(std::move(task));
+    while (static_cast<int>(tasks.size()) < batch_max &&
+           shard->queue.TryPop(&task)) {
+      tasks.push_back(std::move(task));
+    }
+    IMSR_OBS_ONLY(util::Stopwatch drain_timer;)
+    // The snapshot is loaded once per batch, AFTER collecting it: every
+    // batched request was admitted before this load, so no response is
+    // built from a snapshot older than the registry's current at that
+    // request's admission (the freshness contract in DESIGN.md §15).
     const std::shared_ptr<const ServingSnapshot> snapshot =
         registry_->Current();
-    ResponseFrame frame;
-    frame.request_id = task.request.request_id;
-    if (snapshot == nullptr) {
-      frame.status = ResponseStatus::kError;
-      frame.error = "no snapshot published yet";
-    } else {
-      RecommendRequest request;
-      request.user = task.request.user;
-      request.top_n = task.request.top_n;
-      RecommendResponse response;
-      RecommendOne(*snapshot, request, config_.serve, &scratch, &response);
-      frame.snapshot_version = snapshot->version();
-      if (response.ok) {
-        frame.status = ResponseStatus::kOk;
-        frame.items = std::move(response.items);
-      } else {
+    frames.clear();
+    frames.resize(tasks.size());
+    misses.clear();
+    miss_frame.clear();
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      ResponseFrame& frame = frames[i];
+      frame.request_id = tasks[i].request.request_id;
+      if (snapshot == nullptr) {
         frame.status = ResponseStatus::kError;
-        frame.error = std::move(response.error);
+        frame.error = "no snapshot published yet";
+        continue;
+      }
+      frame.snapshot_version = snapshot->version();
+      RecommendRequest request;
+      request.user = tasks[i].request.user;
+      request.top_n = tasks[i].request.top_n;
+      if (cache != nullptr) {
+        const ResponseCacheKey key =
+            MakeResponseCacheKey(*snapshot, request, config_.serve);
+        // Unresolvable top_n (<= 0 after defaults) is an error response;
+        // those never enter the cache, so skip the lookup too.
+        if (key.top_n > 0) {
+          if (const auto* hit = cache->Get(key)) {
+            frame.status = ResponseStatus::kOk;
+            frame.items = *hit;
+            continue;
+          }
+        }
+      }
+      miss_frame.push_back(i);
+      misses.push_back(request);
+    }
+    if (!misses.empty()) {
+      miss_responses.resize(misses.size());
+      RecommendBatch(*snapshot, misses.data(), misses.size(), config_.serve,
+                     &scratch, miss_responses.data());
+      for (size_t r = 0; r < misses.size(); ++r) {
+        ResponseFrame& frame = frames[miss_frame[r]];
+        RecommendResponse& response = miss_responses[r];
+        if (response.ok) {
+          frame.status = ResponseStatus::kOk;
+          if (cache != nullptr) {
+            // Only ok responses are cached: errors are cheap to redo and
+            // must not mask a user appearing in a later snapshot.
+            cache->Put(MakeResponseCacheKey(*snapshot, misses[r],
+                                            config_.serve),
+                       response.items, ResponseCacheEntryBytes(response.items));
+          }
+          frame.items = std::move(response.items);
+        } else {
+          frame.status = ResponseStatus::kError;
+          frame.error = std::move(response.error);
+        }
       }
     }
-    task.sink->SendResponse(frame);
-    task.sink.reset();  // release the connection before blocking in Pop
-    answered_.fetch_add(1, std::memory_order_relaxed);
-    IMSR_COUNTER_ADD("serve/shard_answered", 1);
+    // Responses go out in arrival order within the batch (ordering across
+    // shards is still not promised — frames carry request_ids).
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      tasks[i].sink->SendResponse(frames[i]);
+      tasks[i].sink.reset();  // release the connection before blocking in Pop
+    }
+    answered_.fetch_add(tasks.size(), std::memory_order_relaxed);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    if (cache != nullptr) {
+      cache_hits_.fetch_add(cache->hits() - seen_hits,
+                            std::memory_order_relaxed);
+      cache_misses_.fetch_add(cache->misses() - seen_misses,
+                              std::memory_order_relaxed);
+      cache_evictions_.fetch_add(cache->evictions() - seen_evictions,
+                                 std::memory_order_relaxed);
+      IMSR_COUNTER_ADD("serve/cache_hits",
+                       static_cast<int64_t>(cache->hits() - seen_hits));
+      IMSR_COUNTER_ADD("serve/cache_misses",
+                       static_cast<int64_t>(cache->misses() - seen_misses));
+      IMSR_COUNTER_ADD(
+          "serve/cache_evictions",
+          static_cast<int64_t>(cache->evictions() - seen_evictions));
+      seen_hits = cache->hits();
+      seen_misses = cache->misses();
+      seen_evictions = cache->evictions();
+      shard->cache_bytes.store(cache->bytes(), std::memory_order_relaxed);
+      IMSR_OBS_ONLY({
+        uint64_t total_bytes = 0;
+        for (const auto& s : shards_) {
+          total_bytes += s->cache_bytes.load(std::memory_order_relaxed);
+        }
+        IMSR_GAUGE_SET("serve/cache_bytes",
+                       static_cast<double>(total_bytes));
+      })
+    }
+    IMSR_COUNTER_ADD("serve/shard_answered",
+                     static_cast<int64_t>(tasks.size()));
+    IMSR_OBS_ONLY({
+      IMSR_HISTOGRAM_RECORD("serve/shard_batch_size",
+                            static_cast<double>(tasks.size()));
+      IMSR_HISTOGRAM_RECORD("serve/shard_drain_ms",
+                            drain_timer.ElapsedSeconds() * 1e3);
+    })
   }
 }
 
@@ -139,6 +247,13 @@ ShardSetStats ShardSet::stats() const {
   stats.submitted = submitted_.load(std::memory_order_relaxed);
   stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.answered = answered_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  stats.cache_evictions = cache_evictions_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    stats.cache_bytes += shard->cache_bytes.load(std::memory_order_relaxed);
+  }
   return stats;
 }
 

@@ -2,17 +2,30 @@
 //
 // Two layers, split so the concurrency core is testable without sockets:
 //
-//  * ShardSet — N worker shards, each owning a bounded task queue and a
-//    RecommendScratch. Requests are hash-routed by user id (splitmix64,
-//    so consecutive ids spread evenly), answered against the lock-free
+//  * ShardSet — N worker shards, each owning a bounded task queue, a
+//    RecommendScratch, and (optionally) a snapshot-versioned response
+//    cache. Requests are hash-routed by user id (splitmix64, so
+//    consecutive ids spread evenly), answered against the lock-free
 //    SnapshotRegistry's current snapshot, and delivered through a
 //    ResponseSink. Admission control is explicit: a full shard queue
 //    rejects the request with a kOverloaded response on the submitting
 //    thread — queues never grow without bound and nothing is dropped
-//    silently. Because a shard worker loads the registry's current
-//    snapshot per request, publishes land between requests, never inside
-//    one: every response is bitwise-consistent with exactly one snapshot
-//    version.
+//    silently.
+//
+//    Workers drain their queue in micro-batches: one blocking pop, then
+//    whatever is immediately available up to batch_max (no added latency
+//    when the queue is shallow — an empty queue yields a batch of one).
+//    Each batch is scored through serve::RecommendBatch, which fuses the
+//    unique users' corpus scans into one pass over the embedding table;
+//    responses are bitwise identical to the per-request RecommendOne
+//    path. The worker loads the registry's current snapshot once per
+//    batch, AFTER collecting it, so publishes land between batches and
+//    every response reflects a snapshot at least as new as the
+//    registry's current at that request's admission: every response is
+//    bitwise-consistent with exactly one snapshot version, never a
+//    stale one. Cache entries are keyed by (snapshot version, user,
+//    top_n, rule, retrieval, nprobe) — a publish invalidates by
+//    construction (DESIGN.md §15).
 //
 //  * Server — the transport: one I/O thread runs accept + a poll()
 //    readiness loop over all connections (Unix-domain or TCP), reassembles
@@ -57,6 +70,14 @@ struct ShardSetConfig {
   int num_shards = 4;
   // Per-shard queue bound; a full queue rejects (kOverloaded).
   size_t queue_cap = 256;
+  // Most requests a worker scores per queue drain. 1 restores the PR 9
+  // pop-score-respond loop; larger values amortise the corpus scan
+  // across whatever is already waiting (never adds latency — a shallow
+  // queue just yields a small batch).
+  int batch_max = 32;
+  // Total response-cache budget in bytes, split evenly across shards.
+  // 0 disables caching entirely.
+  size_t cache_bytes = 0;
   // Scoring configuration (threads is ignored — parallelism comes from
   // the shards themselves).
   ServeConfig serve;
@@ -66,6 +87,12 @@ struct ShardSetStats {
   uint64_t submitted = 0;  // accepted into a shard queue
   uint64_t rejected = 0;   // admission-control rejections
   uint64_t answered = 0;   // responses produced by workers
+  uint64_t batches = 0;    // micro-batches drained (answered/batches =
+                           // mean batch size)
+  uint64_t cache_hits = 0;       // responses served from the cache
+  uint64_t cache_misses = 0;     // lookups that fell through to scoring
+  uint64_t cache_evictions = 0;  // entries evicted by the byte budget
+  uint64_t cache_bytes = 0;      // resident cache bytes, summed over shards
 };
 
 class ShardSet {
@@ -104,6 +131,9 @@ class ShardSet {
     explicit Shard(size_t queue_cap);
     util::BoundedQueue<Task> queue;
     std::thread worker;
+    // Resident bytes of this shard's response cache (worker-written,
+    // stats()-read).
+    std::atomic<uint64_t> cache_bytes{0};
   };
 
   void WorkerLoop(Shard* shard);
@@ -116,6 +146,10 @@ class ShardSet {
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> answered_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> cache_evictions_{0};
 };
 
 struct ServerConfig {

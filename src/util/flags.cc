@@ -262,6 +262,14 @@ bool FlagSet::Parse(int argc, char** argv, std::string* error) {
       return false;
     }
     Spec& spec = specs_[it->second];
+    if (spec.set) {
+      // Last-wins would silently mask the first value — in a shell
+      // one-liner edited in place that is almost always a mistake.
+      if (error != nullptr) {
+        *error = "flag --" + name + " given more than once";
+      }
+      return false;
+    }
     switch (spec.type) {
       case Type::kString:
         spec.string_value = value;

@@ -7,6 +7,7 @@
 #include "data/sampler.h"
 #include "nn/ops.h"
 #include "nn/tensor.h"
+#include "util/flags.h"
 #include "util/serialization.h"
 
 namespace imsr {
@@ -49,6 +50,15 @@ TEST(DeathTest, InterestStoreMisuse) {
                "preserve K");
   // Keep cannot empty a user's interest set.
   EXPECT_DEATH(store.Keep(7, {}), "at least one");
+}
+
+TEST(DeathTest, FlagSetDuplicateRegistrationAborts) {
+  // Silent last-wins registration would let two call sites fight over
+  // one flag; the abort must name the offender.
+  util::FlagSet set("tool", "duplicate registration");
+  set.AddInt("shards", 4, "worker shard count");
+  EXPECT_DEATH(set.AddString("shards", "x", "conflicting re-register"),
+               "flag --shards registered twice");
 }
 
 TEST(DeathTest, PitRequiresValidBasis) {

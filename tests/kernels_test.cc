@@ -8,6 +8,7 @@
 
 #include "eval/ranker.h"
 #include "nn/optim.h"
+#include "nn/simd.h"
 #include "nn/tensor.h"
 #include "nn/variable.h"
 #include "util/rng.h"
@@ -172,6 +173,96 @@ TEST(KernelsTest, AdamStepBitwiseIdenticalAcrossThreadCounts) {
   const std::vector<float> serial = run(1);
   EXPECT_EQ(serial, run(4));
   util::SetGlobalThreadCount(1);
+}
+
+// The serve scoring kernel: A supplied in the panelized k-major layout,
+// SIMD lanes across output rows, every element's kk accumulation
+// strictly sequential. Its bits must equal the scalar dot order (the
+// SimdEnabled()==false MatMulTransBInto path) for ANY operand width,
+// any SIMD setting, and any thread count — that width invariance is the
+// RecommendBatch == RecommendOne contract. m values cover lane
+// remainders (non-multiple-of-8), a compact partial last panel
+// (m < 1024 and m = 2001 = 1024 + 977), and both the serial and
+// pool-dispatched regimes; n straddles every historical dispatch
+// boundary.
+TEST(KernelsTest, MatMulTransBPanelMatchesScalarOrderAnyWidth) {
+  util::Rng rng(111);
+  const bool prev_simd = nn::SetSimdEnabled(true);
+  for (int64_t m : {5, 12, 300, 2001}) {
+    const nn::Tensor a = nn::Tensor::Randn({m, 24}, rng);
+    nn::Tensor panels;
+    nn::PanelizeKMajorInto(a, &panels);
+    for (int64_t n : {1, 2, 3, 8, 12, 51}) {
+      const nn::Tensor b = nn::Tensor::Randn({n, 24}, rng);
+      // Scalar-order reference: the dot kernels with SIMD forced off.
+      nn::SetSimdEnabled(false);
+      nn::Tensor expected;
+      nn::MatMulTransBInto(a, b, &expected);
+      for (const bool simd : {false, true}) {
+        nn::SetSimdEnabled(simd);
+        for (int threads : {1, 3}) {
+          util::SetGlobalThreadCount(threads);
+          nn::Tensor out;
+          nn::MatMulTransBPanelInto(nn::ViewOf(panels), nn::ViewOf(b), &out);
+          EXPECT_EQ(out.storage(), expected.storage())
+              << "m=" << m << " n=" << n << " simd=" << simd
+              << " threads=" << threads;
+        }
+        util::SetGlobalThreadCount(1);
+      }
+    }
+  }
+  nn::SetSimdEnabled(prev_simd);
+}
+
+// Width invariance directly: one fused call over concatenated operands
+// equals per-operand calls column-for-column, bit for bit; and the
+// blocked row-range sweep (the serve scoring loop's shape) reproduces
+// the full product wherever the block boundaries land, including blocks
+// that straddle a panel boundary. This is the exact shape of the serve
+// micro-batch (users' interest rows packed into one operand, per-user
+// columns read back strided out of block tiles).
+TEST(KernelsTest, MatMulTransBPanelFusedColumnsMatchPerOperand) {
+  util::Rng rng(113);
+  const int64_t m = 1500, d = 24;  // spans two panels (1024 + 476)
+  const nn::Tensor a = nn::Tensor::Randn({m, d}, rng);
+  nn::Tensor panels;
+  nn::PanelizeKMajorInto(a, &panels);
+  const std::vector<int64_t> widths = {3, 2, 4, 3};
+  int64_t total = 0;
+  for (int64_t w : widths) total += w;
+  const nn::Tensor packed = nn::Tensor::Randn({total, d}, rng);
+  nn::Tensor fused;
+  nn::MatMulTransBPanelInto(nn::ViewOf(panels), nn::ViewOf(packed), &fused);
+  int64_t offset = 0;
+  for (size_t u = 0; u < widths.size(); ++u) {
+    const int64_t w = widths[u];
+    nn::Tensor solo;
+    nn::MatMulTransBPanelInto(
+        nn::ViewOf(panels), {packed.data() + offset * d, w, d}, &solo);
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < w; ++j) {
+        ASSERT_EQ(fused.at(i, offset + j), solo.at(i, j))
+            << "operand=" << u << " i=" << i << " j=" << j;
+      }
+    }
+    offset += w;
+  }
+  // Range sweep: odd-sized blocks that do not divide the panel size, so
+  // some cross the panel seam mid-block.
+  std::vector<float> tile(707 * total);
+  for (int64_t b0 = 0; b0 < m; b0 += 707) {
+    const int64_t b1 = std::min<int64_t>(m, b0 + 707);
+    nn::MatMulTransBPanelRangeInto(nn::ViewOf(panels), nn::ViewOf(packed),
+                                   b0, b1, tile.data());
+    for (int64_t i = b0; i < b1; ++i) {
+      for (int64_t j = 0; j < total; ++j) {
+        ASSERT_EQ(tile[static_cast<size_t>((i - b0) * total + j)],
+                  fused.at(i, j))
+            << "block@" << b0 << " i=" << i << " j=" << j;
+      }
+    }
+  }
 }
 
 TEST(KernelsTest, RankerPrecomputedScoresMatchFromScratchPaths) {

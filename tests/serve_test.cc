@@ -189,6 +189,59 @@ TEST(SnapshotRegistryTest, PublishStampsMonotonicVersions) {
   EXPECT_EQ(registry.versions_published(), 2u);
 }
 
+// The timed-republish fast path: an unchanged model + store republishes
+// by sharing the previous snapshot's frozen content — same table
+// pointers, fresh version, carried data epoch — and any mutation of
+// either side disqualifies the shortcut.
+TEST(SnapshotRegistryTest, SharedRepublishSharesContentAndCarriesEpoch) {
+  core::InterestStore store = MakeStore(/*dim=*/4, /*seed=*/18);
+  models::ModelConfig model_config;
+  model_config.embedding_dim = 4;
+  models::MsrModel model(model_config, /*num_items=*/6, /*seed=*/1);
+
+  SnapshotRegistry registry;
+  EXPECT_EQ(BuildSnapshotShared(model, store, 0, registry.Current()),
+            nullptr);  // nothing published yet
+  registry.Publish(BuildSnapshot(model, store, 0));
+  const std::shared_ptr<const ServingSnapshot> first = registry.Current();
+  EXPECT_GT(first->store_revision(), 0u);
+
+  std::shared_ptr<ServingSnapshot> shared =
+      BuildSnapshotShared(model, store, 1, first);
+  ASSERT_NE(shared, nullptr);
+  // Shared tables, not copies.
+  EXPECT_EQ(shared->item_embeddings().data(),
+            first->item_embeddings().data());
+  EXPECT_EQ(shared->item_embeddings_kmajor().data(),
+            first->item_embeddings_kmajor().data());
+  EXPECT_EQ(shared->Interests(0).data, first->Interests(0).data);
+  EXPECT_EQ(shared->trained_through_span(), 1);
+  registry.Publish(std::move(shared));
+  EXPECT_EQ(registry.Current()->version(), 2u);
+  EXPECT_EQ(registry.Current()->data_epoch(), first->data_epoch());
+
+  // Store mutation re-stamps the revision and disqualifies sharing.
+  nn::Tensor mutated = store.Interests(0).Clone();
+  mutated.at(0, 0) += 1.0f;
+  store.SetInterests(0, std::move(mutated));
+  EXPECT_EQ(BuildSnapshotShared(model, store, 2, registry.Current()),
+            nullptr);
+  registry.Publish(BuildSnapshot(model, store, 2));
+  EXPECT_EQ(registry.Current()->data_epoch(), 3u);  // fresh epoch
+
+  // Model mutation is caught by the embedding byte compare even though
+  // the store revision matches.
+  model.embeddings().parameter().mutable_value().at(0, 0) += 1.0f;
+  EXPECT_EQ(BuildSnapshotShared(model, store, 3, registry.Current()),
+            nullptr);
+
+  // A hand-assembled snapshot (revision 0) never qualifies as prev.
+  auto hand = std::make_shared<ServingSnapshot>(
+      model.ExportItemEmbeddings(), store.ExportPacked(), /*span=*/3);
+  EXPECT_EQ(hand->store_revision(), 0u);
+  EXPECT_EQ(BuildSnapshotShared(model, store, 4, hand), nullptr);
+}
+
 // A retired snapshot stays valid for readers that still hold it.
 TEST(SnapshotRegistryTest, RetiredSnapshotOutlivesPublish) {
   core::InterestStore store = MakeStore(/*dim=*/4, /*seed=*/15);

@@ -1,23 +1,26 @@
 #!/bin/sh
-# Daemon smoke test for imsr_serve + imsr_loadgen: boot the server on a
-# unix socket with timed background snapshot publishes, drive a bursty
-# Zipf-skewed load against it, and assert
-#   - the load harness reports zero failed requests (every response
-#     decoded, matched an in-flight request_id, and was well-formed)
-#     even though snapshots publish mid-flight,
-#   - SIGTERM produces a graceful drain and exit code 0 from the server.
+# Daemon smoke test for imsr_serve + imsr_loadgen, run as two cells:
+#
+#   1. cache+batching enabled — boot the server on a unix socket with
+#      timed background snapshot publishes, drive a bursty Zipf-skewed
+#      closed loop against it, and assert zero failed requests AND a
+#      nonzero cache-hit counter (Zipf 0.9 re-asks for hot users between
+#      publishes, so a working snapshot-versioned cache must hit).
+#   2. --cache=off --batch_max=1 — the PR 9 pop-score-respond loop, same
+#      zero-failure bar, and the stats line must report a fully idle
+#      cache (no lookups happen when the budget is zero).
+#
+# Both cells assert SIGTERM produces a graceful drain and exit code 0.
 set -e
 
 SERVE="$1"
 LOADGEN="$2"
 WORKDIR="$(mktemp -d)"
-SOCK="$WORKDIR/imsr.sock"
-SERVER_LOG="$WORKDIR/server.log"
-RESULT="$WORKDIR/load.json"
 
 fail() {
   echo "server_smoke_test: $1" >&2
-  [ -s "$SERVER_LOG" ] && sed 's/^/  server: /' "$SERVER_LOG" >&2
+  [ -n "$SERVER_LOG" ] && [ -s "$SERVER_LOG" ] && \
+    sed 's/^/  server: /' "$SERVER_LOG" >&2
   exit 1
 }
 
@@ -27,51 +30,85 @@ cleanup() {
 }
 trap cleanup EXIT
 
-# A small synthetic corpus boots in well under a second; --publish_ms
-# keeps fresh snapshot versions landing while the load runs.
-"$SERVE" --items=2000 --users=10000 --socket="$SOCK" --shards=2 \
-  --publish_ms=50 >"$SERVER_LOG" 2>&1 &
-SERVER_PID=$!
+# run_cell <name> <extra imsr_serve flags...>
+# Boots the server, runs the load, SIGTERMs, and leaves the server log in
+# $SERVER_LOG and the loadgen JSON in $RESULT for per-cell asserts.
+run_cell() {
+  CELL="$1"
+  shift
+  SOCK="$WORKDIR/imsr_$CELL.sock"
+  SERVER_LOG="$WORKDIR/server_$CELL.log"
+  RESULT="$WORKDIR/load_$CELL.json"
 
-# Wait for the listening line (the socket file appears with it).
-i=0
-while ! grep -q "listening on" "$SERVER_LOG" 2>/dev/null; do
-  i=$((i + 1))
-  [ "$i" -gt 100 ] && fail "server did not start"
-  kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited during boot"
-  sleep 0.1
-done
+  # A small synthetic corpus boots in well under a second; --publish_ms
+  # keeps fresh snapshot versions landing while the load runs.
+  "$SERVE" --items=2000 --users=10000 --socket="$SOCK" --shards=2 \
+    --publish_ms=50 "$@" >"$SERVER_LOG" 2>&1 &
+  SERVER_PID=$!
 
-# Bursty, hot-user-skewed load. Depth+bursts overshoot the shard queues
-# on purpose; overloaded responses are fine (admission control working),
-# failures are not.
-"$LOADGEN" --socket="$SOCK" --connections=4 --depth=8 --requests=8000 \
-  --users=10000 --zipf=0.9 --burst_every=40 --burst_size=8 \
-  --json_out="$RESULT" || fail "loadgen reported failures"
-test -s "$RESULT" || fail "loadgen wrote no JSON"
+  # Wait for the listening line (the socket file appears with it).
+  i=0
+  while ! grep -q "listening on" "$SERVER_LOG" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "$CELL: server did not start"
+    kill -0 "$SERVER_PID" 2>/dev/null || \
+      fail "$CELL: server exited during boot"
+    sleep 0.1
+  done
 
-python3 - "$RESULT" <<'EOF'
+  # Bursty, hot-user-skewed load. Depth+bursts overshoot the shard queues
+  # on purpose; overloaded responses are fine (admission control working),
+  # failures are not.
+  "$LOADGEN" --socket="$SOCK" --connections=4 --depth=8 --requests=8000 \
+    --users=10000 --zipf=0.9 --burst_every=40 --burst_size=8 --seed=7 \
+    --json_out="$RESULT" || fail "$CELL: loadgen reported failures"
+  test -s "$RESULT" || fail "$CELL: loadgen wrote no JSON"
+
+  python3 - "$RESULT" "$CELL" <<'EOF'
 import json, sys
 result = json.load(open(sys.argv[1]))
-assert result['failures'] == 0, f"failed requests: {result}"
-assert result['sent'] == 8000, f"short send: {result}"
+cell = sys.argv[2]
+assert result['failures'] == 0, f"{cell}: failed requests: {result}"
+assert result['sent'] == 8000, f"{cell}: short send: {result}"
 assert result['ok'] + result['errors'] + result['overloaded'] == 8000, \
-    f"responses lost: {result}"
-assert result['errors'] == 0, f"unexpected error responses: {result}"
+    f"{cell}: responses lost: {result}"
+assert result['errors'] == 0, f"{cell}: unexpected error responses: {result}"
 assert result['qps'] > 0 and result['p99_ms'] >= result['p50_ms'] > 0, \
-    f"nonsense latency report: {result}"
-print('load ok:', result['qps'], 'req/s, p50', result['p50_ms'],
+    f"{cell}: nonsense latency report: {result}"
+print(f'{cell} load ok:', result['qps'], 'req/s, p50', result['p50_ms'],
       'ms, p99', result['p99_ms'], 'ms,', result['overloaded'],
       'overloaded')
 EOF
 
-# Graceful shutdown: SIGTERM must drain and exit 0.
-kill -TERM "$SERVER_PID"
-SERVER_RC=0
-wait "$SERVER_PID" || SERVER_RC=$?
-SERVER_PID=""
-[ "$SERVER_RC" -eq 0 ] || fail "server exited $SERVER_RC on SIGTERM"
-grep -q "served" "$SERVER_LOG" || fail "server final stats line missing"
-[ -S "$SOCK" ] && fail "socket file not unlinked on shutdown"
+  # Graceful shutdown: SIGTERM must drain and exit 0.
+  kill -TERM "$SERVER_PID"
+  SERVER_RC=0
+  wait "$SERVER_PID" || SERVER_RC=$?
+  SERVER_PID=""
+  [ "$SERVER_RC" -eq 0 ] || fail "$CELL: server exited $SERVER_RC on SIGTERM"
+  grep -q "served" "$SERVER_LOG" || \
+    fail "$CELL: server final stats line missing"
+  grep -q "batching:" "$SERVER_LOG" || \
+    fail "$CELL: server batch/cache stats line missing"
+  [ -S "$SOCK" ] && fail "$CELL: socket file not unlinked on shutdown"
+  return 0
+}
+
+# --- Cell 1: batching + response cache enabled ------------------------------
+run_cell cached --batch_max=32 --cache=on --cache_mb=16
+
+# The stats line reads "... cache: <N> hits, <M> misses, ...": under a
+# Zipf 0.9 user pick the hot users repeat between publishes, so a working
+# cache must record hits.
+CACHE_HITS="$(sed -n 's/.*cache: \([0-9]*\) hits.*/\1/p' "$SERVER_LOG")"
+[ -n "$CACHE_HITS" ] || fail "cached: could not parse cache hits"
+[ "$CACHE_HITS" -gt 0 ] || fail "cached: expected nonzero cache hits"
+echo "cached cell: $CACHE_HITS cache hits"
+
+# --- Cell 2: cache off, batch_max=1 (the PR 9 serving loop) -----------------
+run_cell plain --batch_max=1 --cache=off --republish=full
+
+grep -q "cache: 0 hits, 0 misses" "$SERVER_LOG" || \
+  fail "plain: --cache=off still touched the cache"
 
 echo "server_smoke_test: ok"

@@ -299,17 +299,24 @@ class BlockingSink : public CollectSink {
 };
 
 // A small serving world: `num_users` users with varying interest counts
-// over `num_items` items.
+// (k_base + user % 3) over `num_items` items. k_base >= 8 puts every
+// user on the wide-output kernel dispatch; with_index attaches an IVF
+// index so the kIVF retrieval path has something to probe.
 std::shared_ptr<ServingSnapshot> MakeSnapshot(int num_items, int num_users,
                                               int dim, uint64_t seed,
-                                              int span) {
+                                              int span, int k_base = 1,
+                                              bool with_index = false) {
   models::ModelConfig model_config;
   model_config.embedding_dim = dim;
   models::MsrModel model(model_config, num_items, seed);
   core::InterestStore store;
   util::Rng rng(seed + 1);
   for (data::UserId user = 0; user < num_users; ++user) {
-    store.Initialize(user, 1 + static_cast<int>(user % 3), dim, 0, rng);
+    store.Initialize(user, k_base + static_cast<int>(user % 3), dim, 0,
+                     rng);
+  }
+  if (with_index) {
+    return BuildSnapshot(model, store, span, IvfBuildConfig{});
   }
   return BuildSnapshot(model, store, span);
 }
@@ -503,6 +510,341 @@ TEST(ShardSetTest, PublishWhileServingIsBitwiseConsistent) {
         << "request " << response.request_id << " answered from v"
         << want_version << " diverged";
   }
+}
+
+// RecommendBatch is the worker's fused scoring entry point; its contract
+// is bitwise identity with per-request RecommendOne. Exercised across
+// the kernel-dispatch regimes (narrow K, wide K) and the IVF shortlist
+// path, with duplicate (user, top_n) pairs, defaulted top_n, and an
+// unknown user mixed into the batch, at batch sizes 1 and N.
+TEST(RecommendBatchTest, BitwiseMatchesRecommendOne) {
+  struct Case {
+    const char* name;
+    int k_base;
+    bool with_index;
+    RetrievalMode retrieval;
+  };
+  const std::vector<Case> cases = {
+      {"exact_narrow", 1, false, RetrievalMode::kExact},
+      {"exact_wide", 9, false, RetrievalMode::kExact},
+      {"ivf", 1, true, RetrievalMode::kIVF},
+  };
+  for (const Case& test_case : cases) {
+    SCOPED_TRACE(test_case.name);
+    const std::shared_ptr<ServingSnapshot> snapshot = MakeSnapshot(
+        /*num_items=*/120, /*num_users=*/12, /*dim=*/8, /*seed=*/41,
+        /*span=*/1, test_case.k_base, test_case.with_index);
+    ServeConfig config;
+    config.default_top_n = 7;
+    config.retrieval = test_case.retrieval;
+
+    std::vector<RecommendRequest> requests;
+    auto add = [&requests](data::UserId user, int top_n) {
+      RecommendRequest request;
+      request.user = user;
+      request.top_n = top_n;
+      requests.push_back(request);
+    };
+    add(0, 5);
+    add(3, 9);
+    add(0, 5);     // duplicate of request 0: copied, not re-scored
+    add(7, 0);     // defaulted top_n
+    add(9999, 5);  // unknown user: per-request error, batch survives
+    add(7, 7);     // duplicate of request 3 after default resolution
+    add(11, 120);  // top_n == corpus size
+    add(3, 4);     // same user, different top_n: distinct answer
+
+    RecommendScratch single_scratch;
+    std::vector<RecommendResponse> expected(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      RecommendOne(*snapshot, requests[i], config, &single_scratch,
+                   &expected[i]);
+    }
+
+    RecommendScratch batch_scratch;
+    std::vector<RecommendResponse> got(requests.size());
+    RecommendBatch(*snapshot, requests.data(), requests.size(), config,
+                   &batch_scratch, got.data());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      SCOPED_TRACE("request " + std::to_string(i));
+      EXPECT_EQ(got[i].ok, expected[i].ok);
+      EXPECT_EQ(got[i].error, expected[i].error);
+      // EXPECT_EQ on vector<pair<ItemId, float>> is exact — identical
+      // item order and float bits, no tolerance.
+      EXPECT_EQ(got[i].items, expected[i].items);
+    }
+
+    // A batch of one is the degenerate case the batch_max=1 server
+    // configuration runs permanently.
+    for (size_t i = 0; i < requests.size(); ++i) {
+      RecommendResponse one;
+      RecommendBatch(*snapshot, &requests[i], 1, config, &batch_scratch,
+                     &one);
+      EXPECT_EQ(one.ok, expected[i].ok);
+      EXPECT_EQ(one.error, expected[i].error);
+      EXPECT_EQ(one.items, expected[i].items);
+    }
+  }
+}
+
+// Micro-batched draining must be invisible in the bytes on the wire:
+// every response frame a batching worker produces is byte-identical to
+// the frame a batch_max=1 worker (the PR 9 loop) would have produced.
+// A wedged sink forces a deep queue so real multi-request batches form.
+TEST(ShardSetTest, BatchedResponsesBitwiseEqualSingleRequestFrames) {
+  const int kUsers = 10;
+  const std::shared_ptr<ServingSnapshot> snapshot = MakeSnapshot(
+      /*num_items=*/90, kUsers, /*dim=*/8, /*seed=*/23, /*span=*/1,
+      /*k_base=*/9);
+  // Oracle frames from direct RecommendOne calls — what the unbatched
+  // worker would have sent.
+  const ServeConfig serve;
+  RecommendScratch scratch;
+  auto oracle_frame = [&](const RequestFrame& request) {
+    RecommendRequest single;
+    single.user = request.user;
+    single.top_n = request.top_n;
+    RecommendResponse response;
+    RecommendOne(*snapshot, single, serve, &scratch, &response);
+    ResponseFrame frame;
+    frame.request_id = request.request_id;
+    frame.snapshot_version = 1;
+    if (response.ok) {
+      frame.status = ResponseStatus::kOk;
+      frame.items = response.items;
+    } else {
+      frame.status = ResponseStatus::kError;
+      frame.error = response.error;
+    }
+    return frame;
+  };
+
+  std::vector<RequestFrame> requests;
+  for (int i = 0; i < 24; ++i) {
+    // Duplicates (user repeats every kUsers), a defaulted top_n, and an
+    // unknown user all ride inside the forced batches.
+    const int top_n = i % 6 == 5 ? 0 : 3 + i % 4;
+    const data::UserId user = i % 8 == 7 ? 9999 : i % kUsers;
+    requests.push_back(MakeRequest(static_cast<uint64_t>(i), user, top_n));
+  }
+
+  for (const int num_shards : {1, 3}) {
+    SCOPED_TRACE("shards=" + std::to_string(num_shards));
+    SnapshotRegistry registry;
+    registry.Publish(snapshot);
+    ShardSetConfig config;
+    config.num_shards = num_shards;
+    config.queue_cap = 64;
+    config.batch_max = 6;
+    config.serve = serve;
+    ShardSet shards(&registry, config);
+    shards.Start();
+
+    // Wedge one worker on a throwaway request so the queue behind it
+    // deepens; its release drains the backlog in multi-request batches.
+    auto blocking = std::make_shared<BlockingSink>();
+    ASSERT_TRUE(shards.Submit(MakeRequest(1000, 0, 3), blocking));
+    blocking->AwaitEntered();
+    auto sink = std::make_shared<CollectSink>();
+    for (const RequestFrame& request : requests) {
+      ASSERT_TRUE(shards.Submit(request, sink));
+    }
+    blocking->Release();
+    shards.Drain();
+
+    const std::vector<ResponseFrame> responses = sink->responses();
+    ASSERT_EQ(responses.size(), requests.size());
+    for (const ResponseFrame& response : responses) {
+      ASSERT_LT(response.request_id, requests.size());
+      const ResponseFrame want =
+          oracle_frame(requests[response.request_id]);
+      // memcmp-level identity: the full encoded frame, not just fields.
+      EXPECT_EQ(EncodeResponse(response), EncodeResponse(want))
+          << "request " << response.request_id;
+    }
+    if (num_shards == 1) {
+      // 24 queued requests behind the wedge with batch_max=6 cannot
+      // legally drain one at a time.
+      const ShardSetStats stats = shards.stats();
+      EXPECT_LT(stats.batches, stats.answered);
+    }
+  }
+}
+
+// A cache hit must be invisible to the client: byte-identical frame to
+// the cold scored response, and a defaulted top_n shares the entry of
+// the equivalent explicit request (resolved top_n is in the key).
+TEST(ShardSetTest, CacheHitIsBitwiseIdenticalToColdScore) {
+  SnapshotRegistry registry;
+  registry.Publish(MakeSnapshot(80, 12, 8, 31, 1));
+  ShardSetConfig config;
+  config.num_shards = 1;
+  config.batch_max = 1;
+  config.cache_bytes = 1 << 20;
+  ShardSet shards(&registry, config);
+  shards.Start();
+  auto sink = std::make_shared<CollectSink>();
+
+  // Same request_id on purpose: frames must be memcmp-equal end to end.
+  ASSERT_TRUE(shards.Submit(MakeRequest(1, 4, 10), sink));
+  while (shards.stats().answered < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(shards.Submit(MakeRequest(1, 4, 10), sink));
+  while (shards.stats().answered < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // top_n=0 resolves to default_top_n=10: hits the same entry.
+  ASSERT_TRUE(shards.Submit(MakeRequest(2, 4, 0), sink));
+  shards.Drain();
+
+  const std::vector<ResponseFrame> responses = sink->responses();
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[0].status, ResponseStatus::kOk);
+  EXPECT_EQ(EncodeResponse(responses[1]), EncodeResponse(responses[0]));
+  EXPECT_EQ(responses[2].items, responses[0].items);
+  EXPECT_EQ(responses[2].snapshot_version, responses[0].snapshot_version);
+
+  const ShardSetStats stats = shards.stats();
+  EXPECT_EQ(stats.cache_hits, 2u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_evictions, 0u);
+  EXPECT_GT(stats.cache_bytes, 0u);
+}
+
+// Publishing a snapshot with different scoring content must invalidate
+// every cached answer: the data epoch advances and is in the key, so the
+// next identical request re-scores against the new snapshot and can
+// never be served a stale entry.
+TEST(ShardSetTest, PublishInvalidatesCacheAndForcesRescore) {
+  const std::shared_ptr<ServingSnapshot> v1 =
+      MakeSnapshot(80, 12, 8, 31, /*span=*/1);
+  const std::shared_ptr<ServingSnapshot> v2 =
+      MakeSnapshot(80, 12, 8, 57, /*span=*/2);
+  const ServeConfig serve;
+  RecommendScratch scratch;
+  RecommendRequest probe;
+  probe.user = 5;
+  probe.top_n = 8;
+  RecommendResponse want_v1;
+  RecommendOne(*v1, probe, serve, &scratch, &want_v1);
+  RecommendResponse want_v2;
+  RecommendOne(*v2, probe, serve, &scratch, &want_v2);
+  ASSERT_TRUE(want_v1.ok);
+  ASSERT_TRUE(want_v2.ok);
+  // Different seeds: the two snapshots really do rank differently, so a
+  // stale cache hit would be visible below.
+  ASSERT_NE(want_v1.items, want_v2.items);
+
+  SnapshotRegistry registry;
+  registry.Publish(v1);
+  ShardSetConfig config;
+  config.num_shards = 1;
+  config.batch_max = 1;
+  config.cache_bytes = 1 << 20;
+  config.serve = serve;
+  ShardSet shards(&registry, config);
+  shards.Start();
+  auto sink = std::make_shared<CollectSink>();
+
+  ASSERT_TRUE(shards.Submit(MakeRequest(0, probe.user, probe.top_n), sink));
+  while (shards.stats().answered < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(shards.Submit(MakeRequest(1, probe.user, probe.top_n), sink));
+  while (shards.stats().answered < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  registry.Publish(v2);
+  ASSERT_TRUE(shards.Submit(MakeRequest(2, probe.user, probe.top_n), sink));
+  shards.Drain();
+
+  const std::vector<ResponseFrame> responses = sink->responses();
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[0].snapshot_version, 1u);
+  EXPECT_EQ(responses[0].items, want_v1.items);
+  EXPECT_EQ(responses[1].snapshot_version, 1u);
+  EXPECT_EQ(responses[1].items, want_v1.items);
+  EXPECT_EQ(responses[2].snapshot_version, 2u);
+  EXPECT_EQ(responses[2].items, want_v2.items);
+
+  const ShardSetStats stats = shards.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);   // request 1, against v1
+  EXPECT_EQ(stats.cache_misses, 2u);  // requests 0 and 2
+}
+
+// The flip side: a publish whose scoring content is bitwise identical to
+// the live snapshot's (the timed-republish deployment — a fresh export
+// of an unchanged model) carries the data epoch forward, so cached
+// answers stay valid across it. The next identical request is a HIT,
+// served under the NEW snapshot's version, with items equal to the cold
+// score — sound because equal epoch certifies the two snapshots score
+// every request bitwise identically.
+TEST(ShardSetTest, RepublishUnchangedContentKeepsCacheWarm) {
+  const std::shared_ptr<ServingSnapshot> v1 =
+      MakeSnapshot(80, 12, 8, 31, /*span=*/1);
+  const std::shared_ptr<ServingSnapshot> v2 =
+      MakeSnapshot(80, 12, 8, 31, /*span=*/2);
+  SnapshotRegistry registry;
+  registry.Publish(v1);
+  ShardSetConfig config;
+  config.num_shards = 1;
+  config.batch_max = 1;
+  config.cache_bytes = 1 << 20;
+  ShardSet shards(&registry, config);
+  shards.Start();
+  auto sink = std::make_shared<CollectSink>();
+
+  ASSERT_TRUE(shards.Submit(MakeRequest(0, 5, 8), sink));
+  while (shards.stats().answered < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  registry.Publish(v2);
+  EXPECT_EQ(v2->version(), 2u);
+  EXPECT_EQ(v2->data_epoch(), v1->data_epoch());
+  ASSERT_TRUE(shards.Submit(MakeRequest(1, 5, 8), sink));
+  shards.Drain();
+
+  const std::vector<ResponseFrame> responses = sink->responses();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].status, ResponseStatus::kOk);
+  EXPECT_EQ(responses[0].snapshot_version, 1u);
+  // The warm hit answers under the new version with the same items.
+  EXPECT_EQ(responses[1].status, ResponseStatus::kOk);
+  EXPECT_EQ(responses[1].snapshot_version, 2u);
+  EXPECT_EQ(responses[1].items, responses[0].items);
+
+  const ShardSetStats stats = shards.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+}
+
+// A tiny byte budget keeps the cache resident set bounded: distinct
+// users churn through, evictions fire, and resident bytes never exceed
+// the configured budget.
+TEST(ShardSetTest, CacheEvictsUnderTinyByteBudget) {
+  SnapshotRegistry registry;
+  registry.Publish(MakeSnapshot(80, 64, 8, 13, 1));
+  ShardSetConfig config;
+  config.num_shards = 1;
+  config.batch_max = 1;
+  config.cache_bytes = 400;  // room for ~2 entries
+  ShardSet shards(&registry, config);
+  shards.Start();
+  auto sink = std::make_shared<CollectSink>();
+  const int kRequests = 50;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(shards.Submit(
+        MakeRequest(static_cast<uint64_t>(i), i % 64, 5), sink));
+  }
+  shards.Drain();
+
+  ASSERT_EQ(sink->responses().size(), static_cast<size_t>(kRequests));
+  const ShardSetStats stats = shards.stats();
+  EXPECT_EQ(stats.cache_misses, static_cast<uint64_t>(kRequests));
+  EXPECT_GT(stats.cache_evictions, 0u);
+  EXPECT_LE(stats.cache_bytes, config.cache_bytes);
+  EXPECT_GT(stats.cache_bytes, 0u);
 }
 
 // --- Server end-to-end ------------------------------------------------------

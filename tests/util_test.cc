@@ -8,6 +8,7 @@
 #include "util/csv.h"
 #include "util/env.h"
 #include "util/flags.h"
+#include "util/lru_cache.h"
 #include "util/math_util.h"
 #include "util/rng.h"
 #include "util/serialization.h"
@@ -339,6 +340,83 @@ TEST(FlagSetTest, FlagsViewBridgesLegacyHelpers) {
   EXPECT_EQ(view.GetInt("shards", 0), 2);
   EXPECT_EQ(view.GetString("out", ""), "x.csv");
   EXPECT_FALSE(view.Has("rate"));
+}
+
+TEST(FlagSetTest, RejectsDuplicateCommandLineOccurrence) {
+  // Last-wins would silently mask the first value; the parse must fail
+  // and name the flag.
+  FlagSet set = MakeTestFlagSet();
+  const char* argv[] = {"--shards=2", "--out=x.csv", "--shards=8"};
+  std::string error;
+  EXPECT_FALSE(set.Parse(3, const_cast<char**>(argv), &error));
+  EXPECT_EQ(error, "flag --shards given more than once");
+}
+
+TEST(LruCacheTest, GetMissThenHitAfterPut) {
+  LruCache<int, std::string> cache(1024);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  cache.Put(1, "one", 100);
+  const std::string* hit = cache.Get(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "one");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.bytes(), 100u);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(LruCacheTest, EvictsColdestWhenOverByteBudget) {
+  LruCache<int, int> cache(300);
+  cache.Put(1, 10, 100);
+  cache.Put(2, 20, 100);
+  cache.Put(3, 30, 100);  // exactly at budget: nothing evicted
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  ASSERT_NE(cache.Get(1), nullptr);  // warm 1; coldest is now 2
+  cache.Put(4, 40, 100);
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Get(2), nullptr);  // the cold entry went
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+  EXPECT_NE(cache.Get(4), nullptr);
+  EXPECT_LE(cache.bytes(), cache.budget());
+}
+
+TEST(LruCacheTest, ReplacingAKeyUpdatesValueAndBytes) {
+  LruCache<int, std::string> cache(1000);
+  cache.Put(7, "old", 200);
+  cache.Put(7, "new", 300);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), 300u);
+  const std::string* hit = cache.Get(7);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "new");
+}
+
+TEST(LruCacheTest, SingleOverBudgetEntryStaysResidentUntilNextInsert) {
+  // The cache never rejects an insert: an entry bigger than the whole
+  // budget becomes the sole resident, then goes first when anything
+  // else arrives.
+  LruCache<int, int> cache(100);
+  cache.Put(1, 10, 500);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_NE(cache.Get(1), nullptr);
+  cache.Put(2, 20, 50);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(2), nullptr);
+  EXPECT_LE(cache.bytes(), cache.budget());
+}
+
+TEST(LruCacheTest, ManyInsertsStayWithinBudget) {
+  LruCache<int, int> cache(1000);
+  for (int i = 0; i < 200; ++i) cache.Put(i, i, 90);
+  EXPECT_LE(cache.bytes(), 1000u);
+  EXPECT_EQ(cache.entries(), 11u);  // floor(1000 / 90)
+  EXPECT_EQ(cache.evictions(), 189u);
+  // The warm tail survived, the cold head did not.
+  EXPECT_NE(cache.Get(199), nullptr);
+  EXPECT_EQ(cache.Get(0), nullptr);
 }
 
 TEST(FlagSetTest, SuggestFlagNameRespectsDistanceBudget) {

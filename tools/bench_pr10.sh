@@ -1,0 +1,181 @@
+#!/bin/sh
+# Cross-request batching + response cache benchmark: the BENCH_PR9.json
+# workload (clustered synthetic corpus, Zipf 0.9 user skew, snapshots
+# republishing mid-flight) driven against three server configurations
+# per retrieval mode:
+#
+#   baseline     --batch_max=1  --cache=off --republish=full
+#                (the PR 9 serving loop, full re-export every publish)
+#   batch        --batch_max=32 --cache=off --republish=full
+#                (micro-batching alone)
+#   batch_cache  --batch_max=32 --cache=on  --republish=shared
+#                (batching + response cache + content-shared republish —
+#                the full PR 10 configuration)
+#
+# plus two open-loop cells (--rate > 0: Poisson arrivals, latency
+# measured from the scheduled send time, so coordinated omission cannot
+# hide queueing delay) against the full batch_cache configuration.
+#
+# Writes BENCH_PR10.json at the repo root: QPS and p50/p99/p99.9 per
+# cell plus the zero-failure accounting. Any loadgen-reported failure
+# aborts the benchmark; the baseline cells reproduce BENCH_PR9.json
+# within noise.
+#
+# Usage: tools/bench_pr10.sh [imsr_serve] [imsr_loadgen] [output-json]
+#   BENCH_LOAD_ITEMS=<n>       corpus size (default 100000)
+#   BENCH_LOAD_USERS=<n>       user id space (default 1000000)
+#   BENCH_LOAD_REQUESTS=<n>    requests per closed-loop cell (default 12000)
+#   BENCH_LOAD_SHARDS=<n>      shard count (default 2)
+#   BENCH_LOAD_MODES="a b .."  retrieval modes (default "exact ivf")
+#   BENCH_LOAD_CONNECTIONS=<n> loadgen connections (default 8)
+#   BENCH_LOAD_PUBLISH_MS=<n>  background republish cadence (default 2000)
+#   BENCH_LOAD_CACHE_MB=<n>    response-cache budget (default 64)
+#   BENCH_OPEN_REQUESTS=<n>    requests per open-loop cell (default 8000)
+#   BENCH_OPEN_RATE_EXACT=<r>  open-loop arrival rate, exact (default 400)
+#   BENCH_OPEN_RATE_IVF=<r>    open-loop arrival rate, ivf (default 1300)
+#
+# The default rates sit at ~80% of the measured batch_cache capacity on
+# the reference single-core container (exact ~500 req/s, ivf ~1650), so
+# the open-loop cells exercise real queueing without tipping into
+# overload; override them when benchmarking other hardware.
+set -eu
+
+SERVE="${1:-build/tools/imsr_serve}"
+LOADGEN="${2:-build/tools/imsr_loadgen}"
+OUT="${3:-BENCH_PR10.json}"
+ITEMS="${BENCH_LOAD_ITEMS:-100000}"
+USERS="${BENCH_LOAD_USERS:-1000000}"
+REQUESTS="${BENCH_LOAD_REQUESTS:-12000}"
+SHARDS="${BENCH_LOAD_SHARDS:-2}"
+MODES="${BENCH_LOAD_MODES:-exact ivf}"
+CONNECTIONS="${BENCH_LOAD_CONNECTIONS:-8}"
+PUBLISH_MS="${BENCH_LOAD_PUBLISH_MS:-2000}"
+CACHE_MB="${BENCH_LOAD_CACHE_MB:-64}"
+OPEN_REQUESTS="${BENCH_OPEN_REQUESTS:-8000}"
+OPEN_RATE_EXACT="${BENCH_OPEN_RATE_EXACT:-400}"
+OPEN_RATE_IVF="${BENCH_OPEN_RATE_IVF:-1300}"
+
+for bin in "$SERVE" "$LOADGEN"; do
+  if [ ! -x "$bin" ]; then
+    echo "bench_pr10.sh: binary not found: $bin" >&2
+    echo "build first: cmake --build build --target imsr_serve imsr_loadgen" >&2
+    exit 1
+  fi
+done
+if ! command -v jq >/dev/null 2>&1; then
+  echo "bench_pr10.sh: jq is required" >&2
+  exit 1
+fi
+
+TMP_DIR="$(mktemp -d)"
+SERVER_PID=""
+CELL_SEED=1
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  rm -rf "$TMP_DIR"
+}
+trap cleanup EXIT
+
+# run_cell <name> <mode> <batch_max> <cache on|off> <requests> <rate> \
+#          <republish full|shared>
+# rate 0 = closed loop (depth 8); rate > 0 = open loop at that rate.
+run_cell() {
+  name="$1"; mode="$2"; batch_max="$3"; cache="$4"
+  requests="$5"; rate="$6"; republish="$7"
+  SOCK="$TMP_DIR/serve.$name.$mode.sock"
+  LOG="$TMP_DIR/serve.$name.$mode.log"
+  CELL="$TMP_DIR/cell.$name.$mode.json"
+  "$SERVE" --items="$ITEMS" --users="$USERS" --socket="$SOCK" \
+    --shards="$SHARDS" --retrieval="$mode" --publish_ms="$PUBLISH_MS" \
+    --queue_cap=1024 --batch_max="$batch_max" --cache="$cache" \
+    --cache_mb="$CACHE_MB" --republish="$republish" >"$LOG" 2>&1 &
+  SERVER_PID=$!
+  i=0
+  while ! grep -q "listening on" "$LOG" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 1200 ]; then
+      echo "bench_pr10.sh: server did not start ($name, $mode)" >&2
+      cat "$LOG" >&2
+      exit 1
+    fi
+    kill -0 "$SERVER_PID" 2>/dev/null || { cat "$LOG" >&2; exit 1; }
+    sleep 0.1
+  done
+
+  echo "== $name / $mode: $requests requests" \
+    "(batch_max=$batch_max cache=$cache republish=$republish rate=$rate) =="
+  CELL_SEED=$((CELL_SEED + 1))
+  "$LOADGEN" --socket="$SOCK" --connections="$CONNECTIONS" --depth=8 \
+    --requests="$requests" --users="$USERS" --zipf=0.9 --rate="$rate" \
+    --seed="$CELL_SEED" --json_out="$CELL"
+
+  kill -TERM "$SERVER_PID"
+  wait "$SERVER_PID" || {
+    echo "bench_pr10.sh: server exited non-zero" >&2
+    cat "$LOG" >&2
+    exit 1
+  }
+  SERVER_PID=""
+  # Server-side batch/cache accounting from the final stats line.
+  hits="$(sed -n 's/.*cache: \([0-9]*\) hits.*/\1/p' "$LOG")"
+  batches="$(sed -n 's/.*batching: \([0-9]*\) batches.*/\1/p' "$LOG")"
+  jq --arg config "$name" --arg mode "$mode" \
+    --argjson batch_max "$batch_max" --arg cache "$cache" \
+    --arg republish "$republish" --argjson shards "$SHARDS" \
+    --argjson cache_hits "${hits:-0}" --argjson batches "${batches:-0}" \
+    '. + {config: $config, retrieval: $mode, shards: $shards,
+          batch_max: $batch_max, cache: $cache, republish: $republish,
+          server_cache_hits: $cache_hits, server_batches: $batches}' \
+    "$CELL" > "$CELL.tagged" && mv "$CELL.tagged" "$CELL"
+}
+
+for mode in $MODES; do
+  run_cell baseline "$mode" 1 off "$REQUESTS" 0 full
+  run_cell batch "$mode" 32 off "$REQUESTS" 0 full
+  run_cell batch_cache "$mode" 32 on "$REQUESTS" 0 shared
+done
+
+# Open-loop cells: fixed Poisson arrival rates against the full
+# configuration, so reported latency includes queueing delay relative to
+# the intended schedule.
+for mode in $MODES; do
+  case "$mode" in
+    exact) rate="$OPEN_RATE_EXACT" ;;
+    *) rate="$OPEN_RATE_IVF" ;;
+  esac
+  run_cell open_batch_cache "$mode" 32 on "$OPEN_REQUESTS" "$rate" shared
+done
+
+jq -s --argjson items "$ITEMS" --argjson publish_ms "$PUBLISH_MS" '
+  {
+    pr: ("imsr_serve: cross-request micro-batching + snapshot-versioned "
+         + "response cache"),
+    description: ("The BENCH_PR9.json workload (Zipf 0.9 user skew, "
+                  + "snapshots republishing in the background, one fresh "
+                  + "server process per cell) against baseline "
+                  + "(batch_max=1, cache off, full re-export per publish "
+                  + "— the PR 9 loop), batching alone, and batching + "
+                  + "response cache + content-shared republish, in closed "
+                  + "loop; plus open-loop (fixed-rate Poisson arrivals, "
+                  + "latency from scheduled send time) cells against the "
+                  + "full configuration. failures counts protocol "
+                  + "violations and malformed responses — the acceptance "
+                  + "bar is 0 in every cell."),
+    items: $items,
+    publish_every_ms: $publish_ms,
+    host_note: ("single-core container: gains come from cache hits and "
+                + "batch locality, not parallelism"),
+    runs: .
+  }
+' "$TMP_DIR"/cell.*.json > "$OUT"
+
+echo "wrote $OUT"
+jq -r '.runs[] |
+       "\(.config) \(.retrieval) [\(.mode)]: \(.qps) req/s, " +
+       "p50 \(.p50_ms) ms, p99 \(.p99_ms) ms, " +
+       "\(.server_cache_hits) cache hits, \(.overloaded) overloaded, " +
+       "\(.failures) failures"' "$OUT"
+jq -e '[.runs[].failures] | add == 0' "$OUT" >/dev/null || {
+  echo "bench_pr10.sh: FAILED requests recorded" >&2
+  exit 1
+}

@@ -6,10 +6,15 @@
 //   * user ids drawn Zipf(--zipf) over [0, --users) — hot-user skew, the
 //     YCSB-style generator, so a few users dominate exactly like
 //     production fan-in (0 = uniform);
-//   * closed loop with --depth outstanding requests per connection;
-//   * optional bursts: every --burst_every responses a connection fires
-//     --burst_size extra requests beyond its depth window, probing the
-//     server's admission control.
+//   * closed loop (default) with --depth outstanding requests per
+//     connection, or open loop with --rate=N: Poisson arrivals at N
+//     aggregate req/s, sends never gated on responses, latency measured
+//     from the *scheduled* arrival time so a slow server inflates the
+//     tail instead of silently thinning the load (no coordinated
+//     omission);
+//   * optional bursts (closed loop): every --burst_every responses a
+//     connection fires --burst_size extra requests beyond its depth
+//     window, probing the server's admission control.
 //
 // Every response is validated: the request_id must match an in-flight
 // request, ok responses must carry exactly top_n items with scores in
@@ -24,10 +29,12 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -121,7 +128,63 @@ struct LoadConfig {
   uint64_t burst_every = 0;
   uint64_t burst_size = 0;
   uint64_t seed = 1;
+  // Open-loop mode: this connection's Poisson arrival rate in req/s
+  // (the aggregate --rate split across connections). 0 = closed loop.
+  double rate = 0.0;
 };
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Per-connection RNG seed: splitmix64 over (seed, worker) decorrelates
+// the streams completely — a linear offset would hand neighbouring
+// workers overlapping Zipf/user/gap sequences — while staying a pure
+// function of --seed, so a bench cell replays its exact traffic.
+uint64_t WorkerSeed(uint64_t seed, int worker_id) {
+  return SplitMix64(seed ^
+                    SplitMix64(static_cast<uint64_t>(worker_id) + 1));
+}
+
+// Counts one validated response into `stats` (shared by the closed- and
+// open-loop workers, so the two modes enforce the identical response
+// contract).
+void CountResponse(const serve::ResponseFrame& response, int top_n,
+                   WorkerStats* stats) {
+  const auto fail = [&](const std::string& why) {
+    stats->failures++;
+    if (stats->first_failure.empty()) stats->first_failure = why;
+  };
+  switch (response.status) {
+    case serve::ResponseStatus::kOk: {
+      bool sorted = true;
+      for (size_t i = 1; i < response.items.size(); ++i) {
+        if (response.items[i].second > response.items[i - 1].second) {
+          sorted = false;
+        }
+      }
+      if (response.items.size() != static_cast<size_t>(top_n)) {
+        fail("ok response with " + std::to_string(response.items.size()) +
+             " items, want " + std::to_string(top_n));
+      } else if (!sorted) {
+        fail("ok response with unsorted scores");
+      } else {
+        ++stats->ok;
+      }
+      break;
+    }
+    case serve::ResponseStatus::kError:
+      ++stats->errors;
+      break;
+    case serve::ResponseStatus::kOverloaded:
+    case serve::ResponseStatus::kShuttingDown:
+      ++stats->overloaded;
+      break;
+  }
+}
 
 int ConnectServer(const LoadConfig& config, std::string* error) {
   int fd = -1;
@@ -190,7 +253,7 @@ void RunWorker(const LoadConfig& config, int worker_id,
     stats->first_failure = error;
     return;
   }
-  util::Rng rng(config.seed + static_cast<uint64_t>(worker_id) * 7919);
+  util::Rng rng(WorkerSeed(config.seed, worker_id));
   std::unordered_map<uint64_t, Clock::time_point> in_flight;
   uint64_t next_sequence = 0;
   const uint64_t id_base = static_cast<uint64_t>(worker_id) << 40;
@@ -274,35 +337,7 @@ void RunWorker(const LoadConfig& config, int worker_id,
       in_flight.erase(it);
       latency->Record(millis);
       ++received;
-      switch (response.status) {
-        case serve::ResponseStatus::kOk: {
-          bool sorted = true;
-          for (size_t i = 1; i < response.items.size(); ++i) {
-            if (response.items[i].second >
-                response.items[i - 1].second) {
-              sorted = false;
-            }
-          }
-          if (response.items.size() !=
-              static_cast<size_t>(config.top_n)) {
-            fail("ok response with " +
-                 std::to_string(response.items.size()) + " items, want " +
-                 std::to_string(config.top_n));
-          } else if (!sorted) {
-            fail("ok response with unsorted scores");
-          } else {
-            ++stats->ok;
-          }
-          break;
-        }
-        case serve::ResponseStatus::kError:
-          ++stats->errors;
-          break;
-        case serve::ResponseStatus::kOverloaded:
-        case serve::ResponseStatus::kShuttingDown:
-          ++stats->overloaded;
-          break;
-      }
+      CountResponse(response, config.top_n, stats);
       // Burst injection: deliberately overshoot the depth window.
       if (config.burst_every > 0 && received % config.burst_every == 0) {
         for (uint64_t b = 0;
@@ -319,6 +354,136 @@ void RunWorker(const LoadConfig& config, int worker_id,
   ::close(fd);
 }
 
+// One open-loop connection: Poisson arrivals at config.rate req/s.
+// Sends are driven purely by the arrival schedule — never gated on
+// responses — and each latency sample is measured from the request's
+// *scheduled* arrival time, so queueing delay behind a slow send or a
+// saturated server counts against the tail instead of being silently
+// absorbed (the coordinated-omission fix). Returns when the quota is
+// sent and everything outstanding got a response.
+void RunOpenWorker(const LoadConfig& config, int worker_id,
+                   const ZipfGenerator* zipf, obs::Histogram* latency,
+                   WorkerStats* stats) {
+  std::string error;
+  const int fd = ConnectServer(config, &error);
+  if (fd < 0) {
+    stats->failures++;
+    stats->first_failure = error;
+    return;
+  }
+  util::Rng rng(WorkerSeed(config.seed, worker_id));
+  std::unordered_map<uint64_t, Clock::time_point> in_flight;
+  uint64_t next_sequence = 0;
+  const uint64_t id_base = static_cast<uint64_t>(worker_id) << 40;
+  const auto fail = [&](const std::string& why) {
+    stats->failures++;
+    if (stats->first_failure.empty()) stats->first_failure = why;
+  };
+  // Exponential inter-arrival gap for a Poisson process at config.rate.
+  const auto next_gap = [&]() {
+    const double u = rng.NextDouble();
+    const double gap_s =
+        -std::log(1.0 - u) / std::max(config.rate, 1e-9);
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(gap_s));
+  };
+  const auto send_scheduled = [&](Clock::time_point scheduled) -> bool {
+    serve::RequestFrame request;
+    request.request_id = id_base | next_sequence;
+    request.user = static_cast<data::UserId>(
+        zipf != nullptr ? zipf->Next(&rng) : rng.NextBelow(config.users));
+    request.top_n = config.top_n;
+    if (!SendAll(fd, EncodeRequest(request))) {
+      fail("send failed: " + std::string(std::strerror(errno)));
+      return false;
+    }
+    in_flight.emplace(request.request_id, scheduled);
+    ++next_sequence;
+    ++stats->sent;
+    return true;
+  };
+
+  serve::FrameAssembler assembler;
+  bool fatal = false;
+  Clock::time_point next_send = Clock::now();
+  while (!fatal && (stats->sent < config.quota || !in_flight.empty())) {
+    // Fire everything whose scheduled arrival has passed (catch-up
+    // sends go back-to-back — the schedule, not the server, is the
+    // clock).
+    Clock::time_point now = Clock::now();
+    while (stats->sent < config.quota && now >= next_send) {
+      if (!send_scheduled(next_send)) {
+        fatal = true;
+        break;
+      }
+      next_send += next_gap();
+    }
+    if (fatal) break;
+    if (in_flight.empty() && stats->sent >= config.quota) break;
+    // Wait for responses until the next scheduled send (capped so the
+    // loop stays responsive around sparse schedules).
+    int timeout_ms = 100;
+    if (stats->sent < config.quota) {
+      const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+          next_send - Clock::now());
+      timeout_ms = static_cast<int>(
+          std::min<int64_t>(100, std::max<int64_t>(0, until.count())));
+    }
+    pollfd pfd = {fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      fail("poll failed: " + std::string(std::strerror(errno)));
+      break;
+    }
+    if (ready == 0) continue;
+    uint8_t buffer[64 * 1024];
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n == 0) {
+      fail("server closed connection with " +
+           std::to_string(in_flight.size()) + " in flight");
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("recv failed: " + std::string(std::strerror(errno)));
+      break;
+    }
+    assembler.Append(buffer, static_cast<size_t>(n));
+    std::vector<uint8_t> payload;
+    for (;;) {
+      const serve::FrameAssembler::Result result =
+          assembler.Next(&payload, &error);
+      if (result == serve::FrameAssembler::Result::kNeedMore) break;
+      if (result == serve::FrameAssembler::Result::kError) {
+        fail("framing error: " + error);
+        fatal = true;
+        break;
+      }
+      serve::ResponseFrame response;
+      if (!serve::TryDecodeResponse(payload, &response, &error)) {
+        fail("decode error: " + error);
+        fatal = true;
+        break;
+      }
+      const auto it = in_flight.find(response.request_id);
+      if (it == in_flight.end()) {
+        fail("response for unknown request_id " +
+             std::to_string(response.request_id));
+        fatal = true;
+        break;
+      }
+      const double millis = std::chrono::duration<double, std::milli>(
+                                Clock::now() - it->second)
+                                .count();
+      in_flight.erase(it);
+      latency->Record(millis);
+      CountResponse(response, config.top_n, stats);
+    }
+  }
+  ::close(fd);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -328,7 +493,11 @@ int main(int argc, char** argv) {
   flags.AddString("host", "127.0.0.1", "server host (tcp)");
   flags.AddInt("port", 0, "server tcp port (when --socket is empty)");
   flags.AddInt("connections", 4, "concurrent client connections");
-  flags.AddInt("depth", 8, "outstanding requests per connection");
+  flags.AddInt("depth", 8,
+               "outstanding requests per connection (closed loop)");
+  flags.AddDouble("rate", 0.0,
+                  "open-loop Poisson arrival rate in req/s across all "
+                  "connections (0 = closed loop)");
   flags.AddInt("requests", 10000, "total requests across all connections");
   flags.AddInt("users", 100000, "user id space [0, N)");
   flags.AddDouble("zipf", 0.99,
@@ -368,6 +537,7 @@ int main(int argc, char** argv) {
   config.burst_every = static_cast<uint64_t>(flags.GetInt("burst_every"));
   config.burst_size = static_cast<uint64_t>(flags.GetInt("burst_size"));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const double rate = flags.GetDouble("rate");
   const int connections = static_cast<int>(flags.GetInt("connections"));
   const uint64_t total_requests =
       static_cast<uint64_t>(flags.GetInt("requests"));
@@ -385,6 +555,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --zipf must be in [0, 1)\n");
     return 2;
   }
+  if (rate < 0.0) {
+    std::fprintf(stderr, "error: --rate must be >= 0\n");
+    return 2;
+  }
+  const bool open_loop = rate > 0.0;
+  if (open_loop) config.rate = rate / connections;
 
   std::unique_ptr<ZipfGenerator> zipf;
   if (config.zipf > 0.0) {
@@ -406,7 +582,8 @@ int main(int argc, char** argv) {
                                    total_requests % connections
                                ? 1
                                : 0);
-    workers.emplace_back(RunWorker, worker_config, i, zipf.get(), latency,
+    workers.emplace_back(open_loop ? RunOpenWorker : RunWorker,
+                         worker_config, i, zipf.get(), latency,
                          &stats[static_cast<size_t>(i)]);
   }
   for (std::thread& worker : workers) worker.join();
@@ -463,6 +640,10 @@ int main(int argc, char** argv) {
     std::ostringstream json;
     char buffer[64];
     json << "{\n";
+    json << "  \"mode\": \"" << (open_loop ? "open" : "closed")
+         << "\",\n";
+    std::snprintf(buffer, sizeof(buffer), "%.1f", rate);
+    json << "  \"rate\": " << buffer << ",\n";
     json << "  \"connections\": " << connections << ",\n";
     json << "  \"depth\": " << config.depth << ",\n";
     json << "  \"users\": " << config.users << ",\n";

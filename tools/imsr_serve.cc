@@ -92,8 +92,23 @@ void MakeClusteredState(int64_t num_items, int64_t num_users, int64_t dim,
 
 void PublishSnapshot(const models::MsrModel& model,
                      const core::InterestStore& store, int span,
-                     bool with_index, serve::SnapshotRegistry* registry) {
-  if (with_index) {
+                     bool with_index, bool allow_shared,
+                     serve::SnapshotRegistry* registry) {
+  // Timed republish of an unchanged model (--republish=shared): share
+  // the current snapshot's frozen content instead of re-exporting it —
+  // the version still bumps, the data epoch carries forward, and the
+  // publisher thread stops stealing a corpus-sized export from the
+  // serving core every cycle. Any model/store change (or
+  // --republish=full, the PR 9 behavior benchmarks baseline against)
+  // falls through to the full build.
+  std::shared_ptr<serve::ServingSnapshot> shared =
+      allow_shared
+          ? serve::BuildSnapshotShared(model, store, span,
+                                       registry->Current())
+          : nullptr;
+  if (shared != nullptr) {
+    registry->Publish(std::move(shared));
+  } else if (with_index) {
     registry->Publish(
         serve::BuildSnapshot(model, store, span, serve::IvfBuildConfig{}));
   } else {
@@ -113,6 +128,17 @@ int main(int argc, char** argv) {
   flags.AddInt("shards", 4, "worker shards (hash-routed by user id)");
   flags.AddInt("queue_cap", 256,
                "per-shard queue bound; full queues reject with overload");
+  flags.AddInt("batch_max", 32,
+               "max requests a shard scores per queue drain (1 = the "
+               "unbatched pop-score-respond loop)");
+  flags.AddInt("cache_mb", 64,
+               "total response-cache budget in MiB, split across shards");
+  flags.AddString("cache", "on",
+                  "response cache (on | off); off ignores --cache_mb");
+  flags.AddString("republish", "shared",
+                  "timed-republish strategy (shared = reuse the current "
+                  "snapshot's frozen content when the model and store "
+                  "are unchanged | full = always re-export)");
   flags.AddInt("top_n", 10, "default items per request");
   flags.AddString("rule", "attentive", "scoring rule (attentive | max)");
   flags.AddString("retrieval",
@@ -176,6 +202,21 @@ int main(int argc, char** argv) {
   }
   const bool with_index = retrieval == serve::RetrievalMode::kIVF;
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const std::string cache_flag = flags.GetString("cache");
+  if (cache_flag != "on" && cache_flag != "off") {
+    std::fprintf(stderr, "error: --cache must be 'on' or 'off', got '%s'\n",
+                 cache_flag.c_str());
+    return 2;
+  }
+  const std::string republish_flag = flags.GetString("republish");
+  if (republish_flag != "shared" && republish_flag != "full") {
+    std::fprintf(stderr,
+                 "error: --republish must be 'shared' or 'full', got "
+                 "'%s'\n",
+                 republish_flag.c_str());
+    return 2;
+  }
+  const bool shared_republish = republish_flag == "shared";
 
   // --- boot: build model + store, publish the first snapshot ----------
   serve::SnapshotRegistry registry;
@@ -262,7 +303,8 @@ int main(int argc, char** argv) {
                  "error: pick a boot mode: --log=<csv> or --items=N\n");
     return 2;
   }
-  PublishSnapshot(*model, store, span, with_index, &registry);
+  PublishSnapshot(*model, store, span, with_index, shared_republish,
+                  &registry);
   std::printf("snapshot v1 published in %.2fs (%s retrieval)\n",
               boot_watch.ElapsedSeconds(),
               serve::RetrievalModeName(retrieval));
@@ -275,6 +317,12 @@ int main(int argc, char** argv) {
   server_config.shards.num_shards = static_cast<int>(flags.GetInt("shards"));
   server_config.shards.queue_cap =
       static_cast<size_t>(flags.GetInt("queue_cap"));
+  server_config.shards.batch_max =
+      static_cast<int>(flags.GetInt("batch_max"));
+  server_config.shards.cache_bytes =
+      cache_flag == "on"
+          ? static_cast<size_t>(flags.GetInt("cache_mb")) * (1u << 20)
+          : 0;
   server_config.shards.serve.default_top_n =
       static_cast<int>(flags.GetInt("top_n"));
   server_config.shards.serve.rule = rule;
@@ -341,7 +389,8 @@ int main(int argc, char** argv) {
           std::this_thread::sleep_for(std::chrono::milliseconds(20));
         }
         if (background_stop()) break;
-        PublishSnapshot(*model, store, ++span, with_index, &registry);
+        PublishSnapshot(*model, store, ++span, with_index,
+                        shared_republish, &registry);
         IMSR_COUNTER_ADD("serve/background_publishes", 1);
       }
     });
@@ -362,5 +411,20 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.accepted),
       static_cast<unsigned long long>(stats.protocol_errors),
       static_cast<unsigned long long>(registry.versions_published()));
+  // Batch/cache accounting from the shard atomics, so the smoke harness
+  // can assert on it in every build (obs included or compiled out).
+  const double mean_batch =
+      shard_stats.batches > 0
+          ? static_cast<double>(shard_stats.answered) /
+                static_cast<double>(shard_stats.batches)
+          : 0.0;
+  std::printf(
+      "batching: %llu batches (mean %.2f/drain); cache: %llu hits, "
+      "%llu misses, %llu evictions, %llu bytes resident\n",
+      static_cast<unsigned long long>(shard_stats.batches), mean_batch,
+      static_cast<unsigned long long>(shard_stats.cache_hits),
+      static_cast<unsigned long long>(shard_stats.cache_misses),
+      static_cast<unsigned long long>(shard_stats.cache_evictions),
+      static_cast<unsigned long long>(shard_stats.cache_bytes));
   return 0;
 }
